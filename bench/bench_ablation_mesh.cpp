@@ -1,0 +1,244 @@
+// Ablations on the mesh side of Table III: which microarchitectural choices
+// actually produce the mesh's transpose penalty?
+//   * t_p (reorder cycles/element) sweep,
+//   * overlapped vs serialized interface stages,
+//   * input buffer depth,
+//   * XY vs minimal-adaptive routing,
+//   * packet size (elements per packet).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "psync/analysis/transpose_model.hpp"
+#include "psync/common/table.hpp"
+#include "psync/common/rng.hpp"
+#include "psync/core/mesh_machine.hpp"
+#include "psync/mesh/traffic.hpp"
+
+namespace {
+
+using psync::core::MeshMachine;
+using psync::core::MeshMachineParams;
+
+MeshMachineParams base(bool fast) {
+  MeshMachineParams mp;
+  mp.grid = fast ? 8 : 16;
+  mp.matrix_rows = mp.grid * mp.grid;
+  mp.matrix_cols = 256;
+  mp.elements_per_packet = 32;
+  mp.mi.reorder_cycles_per_element = 1;
+  mp.mi.dram.row_switch_cycles = 0;
+  return mp;
+}
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+  const bool fast = bench::fast_mode();
+  const std::uint32_t elements = 256;
+
+  const auto pscan = [&](const MeshMachineParams& mp) {
+    analysis::TransposeParams tp;
+    tp.processors = mp.grid * mp.grid;
+    tp.row_samples = elements;
+    return static_cast<double>(analysis::pscan_writeback_cycles(tp));
+  };
+
+  std::printf("Mesh transpose ablations (%zux%zu mesh, %u elements/node; "
+              "multipliers vs the PSCAN optimum)\n\n",
+              base(fast).grid, base(fast).grid, elements);
+
+  // ---- t_p sweep ----
+  {
+    Table t({"t_p", "cycles", "multiplier"});
+    t.set_title("A1: reorder penalty t_p");
+    double m1 = 0.0, m8 = 0.0;
+    for (std::uint32_t t_p : {0u, 1u, 2u, 4u, 8u}) {
+      auto mp = base(fast);
+      mp.mi.reorder_cycles_per_element = t_p;
+      MeshMachine m(mp);
+      const auto rep = m.run_transpose_writeback(elements);
+      const double mult = rep.completion_cycle / pscan(mp);
+      if (t_p == 1) m1 = mult;
+      if (t_p == 8) m8 = mult;
+      t.row()
+          .add(static_cast<std::int64_t>(t_p))
+          .add(static_cast<std::int64_t>(rep.completion_cycle))
+          .add(mult, 2);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    checks.expect(m8 > m1 * 2.5, "t_p dominates the penalty once large");
+  }
+
+  // ---- Stage overlap ----
+  {
+    Table t({"stages", "cycles", "multiplier"});
+    t.set_title("A2: serialized vs overlapped interface stages (t_p=4)");
+    double serial = 0.0, overlap = 0.0;
+    for (bool ov : {false, true}) {
+      auto mp = base(fast);
+      mp.mi.reorder_cycles_per_element = 4;
+      mp.mi.overlap_stages = ov;
+      MeshMachine m(mp);
+      const auto rep = m.run_transpose_writeback(elements);
+      const double mult = rep.completion_cycle / pscan(mp);
+      (ov ? overlap : serial) = mult;
+      t.row()
+          .add(ov ? "overlapped" : "serialized")
+          .add(static_cast<std::int64_t>(rep.completion_cycle))
+          .add(mult, 2);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    checks.expect(serial > 2.0 * overlap,
+                  "stage serialization explains most of the 6x case: a "
+                  "pipelined interface recovers the port bound");
+  }
+
+  // ---- Buffer depth ----
+  {
+    Table t({"buffer depth", "cycles", "mean pkt latency"});
+    t.set_title("A3: input buffer depth");
+    std::int64_t d2 = 0, d16 = 0;
+    for (std::uint32_t depth : {1u, 2u, 4u, 16u}) {
+      auto mp = base(fast);
+      mp.net.buffer_depth = depth;
+      MeshMachine m(mp);
+      const auto rep = m.run_transpose_writeback(elements);
+      if (depth == 2) d2 = rep.completion_cycle;
+      if (depth == 16) d16 = rep.completion_cycle;
+      t.row()
+          .add(static_cast<std::int64_t>(depth))
+          .add(static_cast<std::int64_t>(rep.completion_cycle))
+          .add(rep.mean_packet_latency_cycles, 0);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    checks.expect(d16 <= d2,
+                  "deeper buffers never hurt the saturated gather");
+  }
+
+  // ---- Routing algorithm ----
+  {
+    Table t({"routing", "cycles"});
+    t.set_title("A4: XY vs west-first minimal adaptive");
+    std::int64_t cycles[2] = {0, 0};
+    int i = 0;
+    for (auto algo : {mesh::RouteAlgo::kXY, mesh::RouteAlgo::kWestFirstAdaptive}) {
+      auto mp = base(fast);
+      mp.net.algo = algo;
+      MeshMachine m(mp);
+      const auto rep = m.run_transpose_writeback(elements);
+      cycles[i++] = rep.completion_cycle;
+      t.row()
+          .add(algo == mesh::RouteAlgo::kXY ? "XY" : "west-first adaptive")
+          .add(static_cast<std::int64_t>(rep.completion_cycle));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    // Adaptivity cannot fix a single-port bottleneck (the paper's point
+    // that path diversity does not help the gather endpoint).
+    const double rel = static_cast<double>(cycles[1]) /
+                       static_cast<double>(cycles[0]);
+    checks.expect(rel > 0.9 && rel < 1.1,
+                  "adaptive routing does not materially help the "
+                  "port-bound transpose");
+  }
+
+  // ---- Packet size ----
+  {
+    Table t({"elements/packet", "cycles", "multiplier"});
+    t.set_title("A5: packet size (header amortization)");
+    double small_mult = 0.0, big_mult = 0.0;
+    for (std::uint32_t epp : {4u, 8u, 16u, 32u, 64u}) {
+      auto mp = base(fast);
+      mp.elements_per_packet = epp;
+      MeshMachine m(mp);
+      const auto rep = m.run_transpose_writeback(elements);
+      const double mult = rep.completion_cycle / pscan(mp);
+      if (epp == 4) small_mult = mult;
+      if (epp == 64) big_mult = mult;
+      t.row()
+          .add(static_cast<std::int64_t>(epp))
+          .add(static_cast<std::int64_t>(rep.completion_cycle))
+          .add(mult, 2);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    checks.expect(small_mult > big_mult,
+                  "small packets pay more header/packetization overhead");
+  }
+
+  // ---- Memory-port parallelism ----
+  {
+    Table t({"ports", "cycles", "speedup vs 1 port",
+             "aggregate cycles/element"});
+    t.set_title("A6: corner memory interfaces (the paper's 4-MC layout)");
+    std::int64_t one = 0;
+    double agg4 = 0.0;
+    for (std::uint32_t ports : {1u, 2u, 4u}) {
+      MeshMachine m(base(fast));
+      const auto rep = m.run_transpose_writeback_multiport(elements, ports);
+      if (ports == 1) one = rep.completion_cycle;
+      const double agg = static_cast<double>(rep.completion_cycle) /
+                         static_cast<double>(rep.elements) * ports;
+      if (ports == 4) agg4 = agg;
+      t.row()
+          .add(static_cast<std::int64_t>(ports))
+          .add(static_cast<std::int64_t>(rep.completion_cycle))
+          .add(static_cast<double>(one) /
+                   static_cast<double>(rep.completion_cycle),
+               2)
+          .add(agg, 2);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    checks.expect(agg4 > 33.0 / 32.0,
+                  "even 4 ports leave the mesh above the PSCAN's aggregate "
+                  "cycles/element (port-stage costs persist)");
+  }
+
+  // ---- Virtual channels ----
+  {
+    Table t({"VCs", "transpose cycles", "uniform-random drain cycles"});
+    t.set_title(
+        "A7: virtual channels — VCs fix head-of-line blocking, not endpoint "
+        "bottlenecks");
+    std::int64_t tr1 = 0, tr4 = 0, ur1 = 0, ur4 = 0;
+    for (std::uint32_t vc : {1u, 2u, 4u}) {
+      auto mp = base(fast);
+      mp.net.virtual_channels = vc;
+      MeshMachine m(mp);
+      const auto rep = m.run_transpose_writeback(elements);
+
+      mesh::MeshParams np = mp.net;
+      mesh::Mesh uniform(np);
+      Rng rng(42);
+      const auto traffic = mesh::uniform_random_traffic(
+          uniform, uniform.nodes() * 24, 8, rng);
+      for (const auto& d : traffic) uniform.inject(d);
+      uniform.run_until_drained(10'000'000);
+
+      if (vc == 1) {
+        tr1 = rep.completion_cycle;
+        ur1 = uniform.cycle();
+      }
+      if (vc == 4) {
+        tr4 = rep.completion_cycle;
+        ur4 = uniform.cycle();
+      }
+      t.row()
+          .add(static_cast<std::int64_t>(vc))
+          .add(static_cast<std::int64_t>(rep.completion_cycle))
+          .add(static_cast<std::int64_t>(uniform.cycle()));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+    const double tr_gain = static_cast<double>(tr1) / static_cast<double>(tr4);
+    const double ur_gain = static_cast<double>(ur1) / static_cast<double>(ur4);
+    checks.expect(tr_gain < 1.05,
+                  "VCs do not rescue the single-port transpose (<5% gain) — "
+                  "the paper's gather bottleneck is the endpoint");
+    checks.expect(ur_gain > 1.02,
+                  "VCs do help uniform-random traffic (head-of-line relief)");
+  }
+
+  return checks.finish("bench_ablation_mesh");
+}
+
+}  // namespace
+
+int main() { return run(); }

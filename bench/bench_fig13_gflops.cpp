@@ -1,0 +1,86 @@
+// Regenerates paper Fig. 13: simulated 2D FFT performance (GFLOPS) of the
+// electronic mesh vs the P-sync architecture as cores scale 4 -> 4096, with
+// the ideal curve (limited by 4 memory controllers and the row-level
+// parallelism of the 1024 x 1024 matrix).
+//
+// Paper shape: P-sync converges to ideal; the mesh peaks around 256 cores
+// and declines; for P > 256 P-sync is 2-10x better.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "psync/common/csv.hpp"
+#include "psync/common/table.hpp"
+#include "psync/llmore/llmore.hpp"
+
+namespace {
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+
+  llmore::LlmoreParams p;  // 1024x1024, 4 ports x 80 Gb/s = 320 Gb/s
+  const auto pts = llmore::sweep(p, 4, 4096);
+
+  Table t({"cores", "mesh GFLOPS", "P-sync GFLOPS", "ideal GFLOPS",
+           "P-sync/mesh"});
+  t.set_title(
+      "Fig. 13: 2D FFT performance vs cores (1024x1024, Model I delivery,\n"
+      "equal aggregate memory bandwidth; LLMORE-style phase simulation)");
+  for (const auto& pt : pts) {
+    t.row()
+        .add(static_cast<std::int64_t>(pt.cores))
+        .add(pt.gflops_mesh, 2)
+        .add(pt.gflops_psync, 2)
+        .add(pt.gflops_ideal, 2)
+        .add(pt.gflops_psync / pt.gflops_mesh, 2);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  if (auto dir = csv_output_dir()) {
+    CsvWriter csv(*dir + "/fig13.csv",
+                  {"cores", "mesh_gflops", "psync_gflops", "ideal_gflops"});
+    for (const auto& pt : pts) {
+      csv.row()
+          .add(static_cast<std::int64_t>(pt.cores))
+          .add(pt.gflops_mesh)
+          .add(pt.gflops_psync)
+          .add(pt.gflops_ideal);
+    }
+  }
+
+  // Shape checks from the paper's narrative.
+  std::uint64_t best_cores = 0;
+  double best = 0.0;
+  for (const auto& pt : pts) {
+    if (pt.gflops_mesh > best) {
+      best = pt.gflops_mesh;
+      best_cores = pt.cores;
+    }
+  }
+  checks.expect(best_cores == 256,
+                "mesh performance peaks around 256 cores (paper)");
+  checks.expect(pts.back().gflops_mesh < best,
+                "mesh declines beyond its peak");
+  bool psync_monotone = true;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].gflops_psync < pts[i - 1].gflops_psync * 0.999) {
+      psync_monotone = false;
+    }
+  }
+  checks.expect(psync_monotone, "P-sync performance never declines");
+  checks.expect(pts.back().gflops_psync / pts.back().gflops_ideal > 0.85,
+                "P-sync converges toward ideal at 4096 cores");
+  for (const auto& pt : pts) {
+    if (pt.cores > 256) {
+      const double r = pt.gflops_psync / pt.gflops_mesh;
+      checks.expect(r > 2.0 && r < 12.0,
+                    "P-sync 2-10x the mesh at " + std::to_string(pt.cores) +
+                        " cores (paper: 'two to ten times')");
+    }
+  }
+  return checks.finish("bench_fig13_gflops");
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,70 @@
+// Regenerates paper Fig. 14: percentage of total 2D FFT runtime spent
+// reorganizing data between the two 1D FFT passes (transpose write-out plus
+// reload), mesh (blue) vs P-sync (green), as cores scale.
+//
+// Paper shape: the mesh's block-transpose share keeps growing with core
+// count; the P-sync SCA share levels off at a "significantly more
+// reasonable" fraction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "psync/common/csv.hpp"
+#include "psync/common/table.hpp"
+#include "psync/llmore/llmore.hpp"
+
+namespace {
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+
+  llmore::LlmoreParams p;
+  const auto pts = llmore::sweep(p, 4, 4096);
+
+  Table t({"cores", "mesh reorg (%)", "P-sync reorg (%)",
+           "mesh total (us)", "P-sync total (us)"});
+  t.set_title(
+      "Fig. 14: fraction of runtime spent reorganizing data for the 2D FFT");
+  for (const auto& pt : pts) {
+    t.row()
+        .add(static_cast<std::int64_t>(pt.cores))
+        .add(pt.reorg_frac_mesh * 100.0, 1)
+        .add(pt.reorg_frac_psync * 100.0, 1)
+        .add(pt.mesh.total_ns() * 1e-3, 1)
+        .add(pt.psync.total_ns() * 1e-3, 1);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  if (auto dir = csv_output_dir()) {
+    CsvWriter csv(*dir + "/fig14.csv",
+                  {"cores", "mesh_reorg_frac", "psync_reorg_frac"});
+    for (const auto& pt : pts) {
+      csv.row()
+          .add(static_cast<std::int64_t>(pt.cores))
+          .add(pt.reorg_frac_mesh)
+          .add(pt.reorg_frac_psync);
+    }
+  }
+
+  bool mesh_grows = true;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].reorg_frac_mesh < pts[i - 1].reorg_frac_mesh * 0.99) {
+      mesh_grows = false;
+    }
+  }
+  checks.expect(mesh_grows,
+                "mesh reorganization share grows with core count");
+  checks.expect(pts.back().reorg_frac_mesh > 0.4,
+                "mesh reorganization dominates at 4096 cores");
+  const double psync_step =
+      pts[pts.size() - 1].reorg_frac_psync - pts[pts.size() - 2].reorg_frac_psync;
+  checks.expect(psync_step < 0.05, "P-sync share levels off at scale");
+  checks.expect(
+      pts.back().reorg_frac_psync < pts.back().reorg_frac_mesh / 1.5,
+      "P-sync share significantly below the mesh at scale");
+  return checks.finish("bench_fig14_reorg");
+}
+
+}  // namespace
+
+int main() { return run(); }

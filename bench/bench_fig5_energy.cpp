@@ -1,0 +1,131 @@
+// Regenerates paper Fig. 5: network energy per bit for the SCA gather
+// pattern, electronic mesh vs PSCAN, at equal 320 Gb/s aggregate bandwidth
+// to memory on a fixed 2 cm x 2 cm die.
+//
+//   * Mesh: the cycle-level wormhole simulator runs the gather (every node
+//     streams to its nearest corner memory interface, the paper's 4-MC
+//     configuration); the ORION-style model converts the recorded buffer /
+//     crossbar / arbiter / link activity into picojoules. Link repeater
+//     stages shrink with node count (paper Section III-C) but wire energy
+//     tracks physical length, so per-bit energy grows with hop count.
+//   * PSCAN: 32 wavelengths x 10 Gb/s; laser sized to the serpentine's
+//     actual loss budget, plus modulator/receiver/SerDes dynamic energy and
+//     per-ring thermal tuning, at the SCA's full utilization.
+//
+// The paper reports "at least a 5.2x improvement for the networks
+// simulated"; every simulated size must beat that factor.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "psync/common/csv.hpp"
+#include "psync/common/table.hpp"
+#include "psync/mesh/energy_orion.hpp"
+#include "psync/mesh/traffic.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/photonic/energy.hpp"
+
+namespace {
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+
+  Table t({"nodes", "mesh pJ/bit", "mesh mm/hop", "repeaters/link",
+           "PSCAN pJ/bit", "PSCAN spans", "mesh / PSCAN"});
+  t.set_title(
+      "Fig. 5: energy per bit, SCA gather pattern, 320 Gb/s to memory\n"
+      "(2 cm x 2 cm die; mesh: 4 corner MCs, ORION activity model;\n"
+      " PSCAN: 32 lambda x 10 Gb/s, laser sized to the link budget)");
+
+  double min_ratio = 1e30;
+  double prev_mesh = 0.0;
+  bool mesh_grows = true;
+  std::vector<std::array<double, 3>> series;
+
+  for (std::uint32_t dim : {4u, 8u, 16u}) {
+    const std::size_t nodes = static_cast<std::size_t>(dim) * dim;
+
+    // --- Mesh side: simulate the gather and convert activity to energy ---
+    mesh::MeshParams mp;
+    mp.width = dim;
+    mp.height = dim;
+    mesh::Mesh net(mp);
+    const std::uint32_t elements = 64;  // per node, 32-element packets
+    const auto traffic = mesh::gather_to_corners_traffic(net, elements, 32);
+    std::uint64_t payload_bits = 0;
+    for (const auto& d : traffic) {
+      payload_bits += static_cast<std::uint64_t>(d.payload_flits) * 64;
+      net.inject(d);
+    }
+    net.run_until_drained(10'000'000);
+
+    mesh::OrionParams op;
+    op.flit_bits = 64;
+    const auto orion = mesh::evaluate(op, net.activity(), dim, payload_bits);
+
+    // --- PSCAN side: run the real SCA for the same payload and account
+    // energy from the transaction's actual span (activity-based, like the
+    // mesh side) ---
+    photonic::PhotonicEnergyParams pp;
+    // One 64-bit word per slot at 320 Gb/s aggregate -> 5 GHz slot clock.
+    photonic::ClockParams clk;
+    clk.frequency_ghz = pp.wdm.aggregate_gbps() / 64.0;
+    core::ScaEngine engine(core::straight_bus_topology(nodes, 8.0, clk));
+    const auto sched = core::compile_gather_interleaved(nodes, elements);
+    std::vector<std::vector<core::Word>> node_data(
+        nodes, std::vector<core::Word>(elements, 0xF00D));
+    const auto g = engine.gather(sched, node_data);
+    const std::uint64_t pscan_bits =
+        static_cast<std::uint64_t>(nodes) * elements * 64;
+    const auto txn =
+        photonic::transaction_energy(pp, nodes, g.span_ps, pscan_bits);
+    const auto pscan = photonic::pscan_energy_per_bit(pp, nodes);
+
+    const double ratio = orion.pj_per_bit / txn.pj_per_bit;
+    min_ratio = std::min(min_ratio, ratio);
+    if (orion.pj_per_bit < prev_mesh) mesh_grows = false;
+    prev_mesh = orion.pj_per_bit;
+    series.push_back(
+        {static_cast<double>(nodes), orion.pj_per_bit, txn.pj_per_bit});
+
+    t.row()
+        .add(static_cast<std::int64_t>(nodes))
+        .add(orion.pj_per_bit, 3)
+        .add(orion.link_mm_per_hop, 2)
+        .add(static_cast<std::int64_t>(orion.repeaters_per_link))
+        .add(txn.pj_per_bit, 3)
+        .add(static_cast<std::int64_t>(pscan.spans))
+        .add(ratio, 2);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  if (auto dir = csv_output_dir()) {
+    CsvWriter csv(*dir + "/fig5.csv", {"nodes", "mesh_pj", "pscan_pj"});
+    for (const auto& s : series) csv.row().add(s[0]).add(s[1]).add(s[2]);
+  }
+
+  // Breakdown of the largest PSCAN configuration for the curious.
+  {
+    photonic::PhotonicEnergyParams pp;
+    const auto e = photonic::pscan_energy_per_bit(pp, 256);
+    std::printf("PSCAN 256-node breakdown (fJ/bit): laser %.1f, modulator "
+                "%.1f, receiver %.1f, serdes %.1f, thermal %.1f\n\n",
+                e.laser_fj_per_bit, e.modulator_fj_per_bit,
+                e.receiver_fj_per_bit, e.serdes_fj_per_bit,
+                e.thermal_fj_per_bit);
+  }
+
+  checks.expect(min_ratio >= 5.2,
+                "PSCAN >= 5.2x better at every simulated size (paper: 'at "
+                "least a 5.2x improvement')");
+  checks.expect(mesh_grows,
+                "mesh energy/bit grows with node count (hop count dominates "
+                "link shortening)");
+  return checks.finish("bench_fig5_energy");
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks for the simulation kernels themselves:
+// how fast the simulators simulate. Useful when scaling experiments up.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "psync/common/rng.hpp"
+#include "psync/core/cp_compile.hpp"
+#include "psync/core/psync_machine.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/dram/controller.hpp"
+#include "psync/fft/fft.hpp"
+#include "psync/mesh/mesh.hpp"
+#include "psync/mesh/traffic.hpp"
+
+namespace {
+
+using namespace psync;
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fft::FftPlan plan(n);
+  Rng rng(1);
+  std::vector<fft::Complex> sig(n);
+  for (auto& v : sig) v = {rng.next_double(), rng.next_double()};
+  for (auto _ : state) {
+    auto copy = sig;
+    benchmark::DoNotOptimize(plan.forward(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_ScaGatherInterleaved(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const core::Slot elems = 256;
+  core::ScaEngine engine(core::straight_bus_topology(nodes, 8.0));
+  const auto sched = core::compile_gather_interleaved(nodes, elems);
+  std::vector<std::vector<core::Word>> data(
+      nodes, std::vector<core::Word>(static_cast<std::size_t>(elems), 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.gather(sched, data));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nodes) * elems);
+}
+BENCHMARK(BM_ScaGatherInterleaved)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MeshUniformRandomCyclesPerSec(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  std::int64_t cycles = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mesh::MeshParams p;
+    p.width = dim;
+    p.height = dim;
+    mesh::Mesh m(p);
+    Rng rng(3);
+    for (const auto& d :
+         mesh::uniform_random_traffic(m, dim * dim * 4, 4, rng)) {
+      m.inject(d);
+    }
+    state.ResumeTiming();
+    m.run_until_drained(10'000'000);
+    cycles += m.cycle();
+  }
+  state.SetItemsProcessed(cycles);
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_MeshUniformRandomCyclesPerSec)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MeshSaturatedGather(benchmark::State& state) {
+  const auto dim = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    mesh::MeshParams p;
+    p.width = dim;
+    p.height = dim;
+    mesh::Mesh m(p);
+    for (const auto& d : mesh::transpose_writeback_traffic(m, 0, 64, 32)) {
+      m.inject(d);
+    }
+    state.ResumeTiming();
+    m.run_until_drained(50'000'000);
+  }
+}
+BENCHMARK(BM_MeshSaturatedGather)->Arg(8)->Arg(16);
+
+void BM_CpCompileTranspose(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_gather_transpose(nodes, 1, 1024));
+  }
+}
+BENCHMARK(BM_CpCompileTranspose)->Arg(256)->Arg(1024);
+
+void BM_DramStreamRows(benchmark::State& state) {
+  dram::DramParams p;
+  for (auto _ : state) {
+    dram::MemoryController mc(p);
+    benchmark::DoNotOptimize(mc.stream_rows(0, 32768));
+  }
+}
+BENCHMARK(BM_DramStreamRows);
+
+void BM_PsyncMachineEndToEnd(benchmark::State& state) {
+  core::PsyncMachineParams p;
+  p.processors = 16;
+  p.matrix_rows = 64;
+  p.matrix_cols = 64;
+  p.head.dram.row_switch_cycles = 0;
+  std::vector<std::complex<double>> input(64 * 64, {1.0, 0.0});
+  for (auto _ : state) {
+    core::PsyncMachine m(p);
+    benchmark::DoNotOptimize(m.run_fft2d(input, /*verify=*/false));
+  }
+}
+BENCHMARK(BM_PsyncMachineEndToEnd);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Regenerates paper Table I: "Compute efficiency for zero latency" —
+// blocked-FFT delivery on 256 processors, 1024-point rows, with bandwidth
+// balanced per block size (Eq. 17-20). Also cross-checks the closed form
+// against the real P-sync machine simulator (slot-exact SCA delivery plus
+// actual FFT butterfly execution) at a machine-feasible configuration.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "psync/analysis/fft_model.hpp"
+#include "psync/common/table.hpp"
+#include "psync/core/psync_machine.hpp"
+
+namespace {
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+
+  analysis::FftWorkload w;  // the paper's parameters
+  const auto rows = analysis::table1(w, 64);
+
+  const double paper_eta[] = {50.00, 68.97, 83.33, 91.95, 96.39, 98.46, 99.38};
+  const double paper_wp[] = {409.6, 455.1, 512.0, 585.1, 682.7, 819.2, 1024.0};
+
+  Table t({"k", "S_b", "t_ck (ns)", "t_cf (ns)", "W_p (Gb/s)", "eta (%)",
+           "paper eta (%)"});
+  t.set_title(
+      "Table I: compute efficiency for zero latency\n"
+      "(1024-pt FFTs, P=256, 2 ns FP multiply, 4 mults/butterfly, S_s=64)");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    t.row()
+        .add(static_cast<std::int64_t>(r.k))
+        .add(static_cast<std::int64_t>(r.block_size))
+        .add(r.t_ck_ns, 0)
+        .add(r.t_cf_ns, 0)
+        .add(r.bandwidth_gbps, 1)
+        .add(r.efficiency * 100.0, 2)
+        .add(paper_eta[i], 2);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    checks.expect(std::abs(rows[i].efficiency * 100.0 - paper_eta[i]) < 0.01,
+                  "eta matches paper at k=" + std::to_string(rows[i].k));
+    checks.expect(std::abs(rows[i].bandwidth_gbps - paper_wp[i]) < 0.05,
+                  "W_p matches paper at k=" + std::to_string(rows[i].k));
+  }
+
+  // Machine cross-check: the slot-exact simulator's pass-1 window efficiency
+  // should track the Model II trend (rising with k).
+  std::printf(
+      "\nCross-check against the slot-exact P-sync machine "
+      "(P=8, 8x512 matrix, waveguide-balanced):\n");
+  double prev = 0.0;
+  bool monotone = true;
+  Table mt({"k", "machine pass-1 window (ns)", "relative speedup"});
+  double base = 0.0;
+  for (std::size_t k : {1, 2, 4, 8}) {
+    core::PsyncMachineParams p;
+    p.processors = 8;
+    p.matrix_rows = 8;
+    p.matrix_cols = 512;
+    p.delivery_blocks = k;
+    p.bus_length_cm = 0.1;
+    p.head.dram.row_switch_cycles = 0;
+    core::PsyncMachine m(p);
+    std::vector<std::complex<double>> input(8 * 512, {1.0, 0.0});
+    const auto rep = m.run_fft2d(input, /*verify=*/false);
+    const double window = rep.phase("row_ffts").end_ns -
+                          rep.phase("scatter_rows").start_ns;
+    if (base == 0.0) base = window;
+    mt.row()
+        .add(static_cast<std::int64_t>(k))
+        .add(window, 1)
+        .add(base / window, 3);
+    const double eta = 1.0 / window;
+    if (eta <= prev) monotone = false;
+    prev = eta;
+  }
+  std::printf("%s\n", mt.to_string().c_str());
+  checks.expect(monotone,
+                "machine efficiency rises with k (Model II overlap)");
+
+  return checks.finish("bench_table1_efficiency");
+}
+
+}  // namespace
+
+int main() { return run(); }

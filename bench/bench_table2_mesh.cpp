@@ -1,0 +1,93 @@
+// Regenerates paper Table II: "Electronic mesh compute efficiency with
+// latency" — the Table I workload burdened with Eq. 21/22 routing overhead
+// (sqrt(P)*t_r cycles per packet). Cross-checks the per-packet overhead
+// model against the cycle-level wormhole mesh in an uncongested regime.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "psync/analysis/mesh_model.hpp"
+#include "psync/common/table.hpp"
+#include "psync/mesh/mesh.hpp"
+
+namespace {
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+
+  analysis::FftWorkload w;
+  analysis::MeshDeliveryParams mesh;  // t_r = 1
+  const auto rows = analysis::table2(w, mesh, 64);
+
+  const double paper_eta_d[] = {98.46, 96.97, 94.12, 88.89, 80.00, 66.67, 50.01};
+  const double paper_eta[] = {49.23, 66.88, 78.43, 81.74, 77.11, 65.64, 49.70};
+
+  Table t({"k", "eta_d (%)", "paper eta_d (%)", "eta (%)", "paper eta (%)"});
+  t.set_title(
+      "Table II: electronic mesh compute efficiency with latency\n"
+      "(square 256-processor mesh, t_r = 1 cycle per router)");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    t.row()
+        .add(static_cast<std::int64_t>(rows[i].k))
+        .add(rows[i].delivery_efficiency * 100.0, 2)
+        .add(paper_eta_d[i], 2)
+        .add(rows[i].compute_efficiency * 100.0, 2)
+        .add(paper_eta[i], 2);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::uint64_t best_k = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    checks.expect(
+        std::abs(rows[i].delivery_efficiency * 100.0 - paper_eta_d[i]) < 0.05,
+        "eta_d matches paper at k=" + std::to_string(rows[i].k));
+    checks.expect(
+        std::abs(rows[i].compute_efficiency * 100.0 - paper_eta[i]) < 0.5,
+        "eta matches paper at k=" + std::to_string(rows[i].k));
+    if (rows[i].compute_efficiency > best) {
+      best = rows[i].compute_efficiency;
+      best_k = rows[i].k;
+    }
+  }
+  checks.expect(best_k == 8, "efficiency peaks at k=8 (paper: 82% at k=8)");
+
+  // Cycle-level cross-check of the Eq. 21 overhead: a lone packet of F
+  // flits crossing H hops takes ~F + (H+1)*(1+t_r) cycles; the per-packet
+  // routing overhead term is t_r per traversed router.
+  std::printf("Cycle-level check of Eq. 21 overhead (single packet, 16x16 "
+              "mesh):\n");
+  Table mt({"flits F", "hops H", "measured latency", "F + (H+1)*(1+t_r)"});
+  bool overhead_ok = true;
+  for (std::uint32_t flits : {16u, 64u, 256u}) {
+    mesh::MeshParams mp;
+    mp.width = 16;
+    mp.height = 16;
+    mesh::Mesh net(mp);
+    mesh::PacketDesc d;
+    d.src = net.node_at(0, 0);
+    d.dst = net.node_at(15, 15);
+    d.payload_flits = flits;
+    net.inject(d);
+    net.run_until_drained(100000);
+    const double lat = net.packet_latency().mean();
+    const double hops = 30.0;
+    const double model = flits + (hops + 1.0) * 2.0;
+    mt.row()
+        .add(static_cast<std::int64_t>(flits))
+        .add(static_cast<std::int64_t>(30))
+        .add(lat, 1)
+        .add(model, 1);
+    if (std::abs(lat - model) > 4.0) overhead_ok = false;
+  }
+  std::printf("%s\n", mt.to_string().c_str());
+  checks.expect(overhead_ok,
+                "cycle-level per-router overhead matches the Eq. 21 model");
+
+  return checks.finish("bench_table2_mesh");
+}
+
+}  // namespace
+
+int main() { return run(); }

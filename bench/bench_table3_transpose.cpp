@@ -1,0 +1,115 @@
+// Regenerates paper Table III: completion time of the 2^20-sample transpose
+// writeback.
+//
+//   * PSCAN side: the slot-exact SCA gather at full waveguide utilization,
+//     landed in DRAM rows by the memory controller — Eq. 23/24 predicts
+//     1,081,344 bus cycles and the engine must hit it exactly.
+//   * Mesh side: the full cycle-level wormhole simulation — 32x32 mesh,
+//     2-flit buffers, 64-bit flits, single memory port whose interface
+//     reorders at t_p cycles/element (paper compares t_p = 1 and t_p = 4).
+//
+// The paper reports 3,526,620 cycles (3.26x) and 6,553,448 (6.06x); our
+// reconstruction of the unpublished TLM model lands in the same band.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "psync/analysis/transpose_model.hpp"
+#include "psync/common/table.hpp"
+#include "psync/core/mesh_machine.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/dram/controller.hpp"
+
+namespace {
+
+int run() {
+  using namespace psync;
+  bench::ShapeChecks checks;
+
+  const bool fast = bench::fast_mode();
+  const std::size_t grid = fast ? 8 : 32;
+  const std::size_t procs = grid * grid;
+  const std::uint32_t elements = fast ? 256 : 1024;
+
+  analysis::TransposeParams tp;
+  tp.processors = procs;
+  tp.row_samples = elements;
+
+  // ---- PSCAN side: run the actual engine + DRAM controller ----
+  // (At full scale the gather is 2^20 slot records; the engine handles it.)
+  core::ScaEngine engine(core::straight_bus_topology(procs, 8.0));
+  const auto sched = core::compile_gather_transpose(
+      procs, 1, static_cast<core::Slot>(elements));
+  std::vector<std::vector<core::Word>> data(
+      procs, std::vector<core::Word>(elements, 0x5A5A5A5AULL));
+  const auto g = engine.gather(sched, data);
+
+  dram::DramParams dp;  // paper DRAM: 2048-bit rows, 64-bit bus+header
+  dp.row_switch_cycles = 0;
+  dram::MemoryController mc(dp);
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(procs) * elements * 64;
+  const auto dram_rep = mc.stream_rows(0, dram::row_transactions(dp, total_bits));
+
+  const std::uint64_t pscan_pred = analysis::pscan_writeback_cycles(tp);
+  std::printf("PSCAN writeback (%zu procs x %u samples):\n", procs, elements);
+  std::printf("  engine stream: %zu slots, gap-free=%d, utilization=%.4f\n",
+              g.stream.size(), g.gap_free ? 1 : 0, g.utilization);
+  std::printf("  DRAM bus cycles: %llu (Eq. 23/24 predicts %llu)\n\n",
+              static_cast<unsigned long long>(dram_rep.bus_cycles),
+              static_cast<unsigned long long>(pscan_pred));
+  checks.expect(g.gap_free && g.collisions.empty(),
+                "SCA stream gap-free with zero collisions");
+  checks.expect(dram_rep.bus_cycles == pscan_pred,
+                "PSCAN bus cycles equal Eq. 23 x Eq. 24 exactly");
+  if (!fast) {
+    checks.expect(pscan_pred == analysis::kPaperPscanCycles,
+                  "PSCAN = 1,081,344 cycles (paper Table III)");
+  }
+
+  // ---- Mesh side: full cycle-level simulation at t_p = 1 and 4 ----
+  Table t({"t_p", "writeback (cycles)", "multiplier vs PSCAN",
+           "paper cycles", "paper multiplier"});
+  t.set_title("Table III: transpose completion time in cycles");
+  const std::uint64_t paper_cycles[] = {analysis::kPaperMeshCyclesTp1,
+                                        analysis::kPaperMeshCyclesTp4};
+  const double paper_mult[] = {3.26, 6.06};
+  int idx = 0;
+  for (std::uint32_t t_p : {1u, 4u}) {
+    core::MeshMachineParams mp;
+    mp.grid = grid;
+    mp.matrix_rows = procs;       // informational only for this run
+    mp.matrix_cols = elements;
+    mp.elements_per_packet = 32;  // one DRAM row per packet
+    mp.mi.reorder_cycles_per_element = t_p;
+    mp.mi.dram.row_switch_cycles = 0;
+    core::MeshMachine mesh(mp);
+    const auto rep = mesh.run_transpose_writeback(elements);
+    const double mult = static_cast<double>(rep.completion_cycle) /
+                        static_cast<double>(pscan_pred);
+    t.row()
+        .add(static_cast<std::int64_t>(t_p))
+        .add(static_cast<std::int64_t>(rep.completion_cycle))
+        .add(mult, 2)
+        .add(fast ? std::string("-")
+                  : std::to_string(paper_cycles[idx]))
+        .add(fast ? std::string("-") : format_double(paper_mult[idx], 2));
+    if (t_p == 1) {
+      checks.expect(mult > 2.6 && mult < 3.9,
+                    "t_p=1 multiplier in the paper band (~3.26x)");
+    } else {
+      checks.expect(mult > 5.2 && mult < 6.8,
+                    "t_p=4 multiplier in the paper band (~6.06x)");
+    }
+    ++idx;
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(mesh: %zux%zu wormhole, 2-flit buffers, 64-bit flits, single "
+              "memory port%s)\n",
+              grid, grid, fast ? "; PSYNC_FAST reduced scale" : "");
+
+  return checks.finish("bench_table3_transpose");
+}
+
+}  // namespace
+
+int main() { return run(); }

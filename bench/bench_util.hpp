@@ -1,0 +1,39 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace psync::bench {
+
+/// Fast mode (PSYNC_FAST=1) shrinks the expensive cycle-level experiments
+/// for quick iteration; default regenerates the paper's full configuration.
+inline bool fast_mode() {
+  const char* v = std::getenv("PSYNC_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Tracks pass/fail of shape checks; main() returns fail count.
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+    if (!ok) ++failures_;
+  }
+  int failures() const { return failures_; }
+
+  int finish(const char* name) const {
+    if (failures_ == 0) {
+      std::printf("\n%s: all shape checks passed\n", name);
+    } else {
+      std::printf("\n%s: %d shape check(s) FAILED\n", name, failures_);
+    }
+    return failures_;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace psync::bench

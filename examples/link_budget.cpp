@@ -1,0 +1,74 @@
+// PSCAN scalability explorer (paper Section III-B, Eq. 1-3): how many
+// modulation sites fit on one optical span, and when do repeaters kick in?
+//
+//   $ ./link_budget
+#include <cstdio>
+
+#include "psync/common/table.hpp"
+#include "psync/photonic/link_budget.hpp"
+
+int main() {
+  using namespace psync;
+  using namespace psync::photonic;
+
+  LinkBudgetParams base;
+  std::printf(
+      "PSCAN link budget (Eq. 1-3): launch %.1f dBm, coupler %.1f dB,\n"
+      "sensitivity %.1f dBm, ring through-loss %.2f dB, waveguide %.1f "
+      "dB/cm\n\n",
+      base.laser.launch_power_dbm, base.laser.coupler_loss_db,
+      base.detector.sensitivity_dbm, base.ring.through_loss_off_db,
+      base.waveguide.loss_straight_db_per_cm);
+
+  {
+    Table t({"modulator pitch (cm)", "segment loss (dB)", "max segments N",
+             "span length (cm)"});
+    t.set_title("Eq. 3 bound vs modulator pitch");
+    for (double pitch : {0.02, 0.05, 0.1, 0.25, 0.5}) {
+      LinkBudgetParams p = base;
+      p.modulator_pitch_cm = pitch;
+      const auto n = max_segments(p);
+      t.row()
+          .add(pitch, 2)
+          .add(segment_loss_db(p), 3)
+          .add(static_cast<std::int64_t>(n))
+          .add(static_cast<double>(n) * pitch, 1);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  {
+    Table t({"waveguide loss (dB/cm)", "max segments", "repeaters for 1024"});
+    t.set_title("Process quality: loss vs reach (0.05 cm pitch)");
+    for (double loss : {0.1, 0.3, 1.0, 2.0, 3.0}) {
+      LinkBudgetParams p = base;
+      p.waveguide.loss_straight_db_per_cm = loss;
+      const auto n = max_segments(p);
+      t.row()
+          .add(loss, 1)
+          .add(static_cast<std::int64_t>(n))
+          .add(static_cast<std::int64_t>(repeaters_required(p, 1024)));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  {
+    Table t({"grid", "nodes", "serpentine (cm)", "total loss (dB)",
+             "residual (dBm)", "closes"});
+    t.set_title("Serpentine bus across a 2 cm x 2 cm die (bends included)");
+    for (std::size_t gridd : {2, 4, 8, 16, 32}) {
+      const auto layout = serpentine_for_grid(gridd, 2.0);
+      const std::size_t nodes = gridd * gridd;
+      const auto rep = evaluate_serpentine(base, layout, nodes);
+      t.row()
+          .add(static_cast<std::int64_t>(gridd))
+          .add(static_cast<std::int64_t>(nodes))
+          .add(layout.total_length_um() * 1e-4, 1)
+          .add(rep.total_loss_db, 1)
+          .add(rep.residual_dbm, 1)
+          .add(rep.closes ? "yes" : "no (repeaters)");
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

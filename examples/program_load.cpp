@@ -1,0 +1,59 @@
+// CP chaining demo (paper Section IV): the machine bootstraps itself over
+// the waveguide. Nodes know only one thing a priori — where their boot
+// segment sits in the first SCA^-1 burst. Everything else, including the
+// communication programs for the *next* collective, arrives as data.
+//
+//   $ ./program_load
+#include <cstdio>
+
+#include "psync/core/cp_chain.hpp"
+
+int main() {
+  using namespace psync::core;
+
+  const std::size_t nodes = 4;
+  const Slot elements = 4;
+  ScaEngine engine(straight_bus_topology(nodes, 8.0));
+
+  // The "compiler" output: each node's next CP (an interleaved gather) and
+  // its working data, to be shipped together in the boot burst.
+  const auto gather_sched = compile_gather_interleaved(nodes, elements);
+  std::vector<BootSegment> segments(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    segments[i].programs.push_back(gather_sched.node_cps[i]);
+    for (Slot e = 0; e < elements; ++e) {
+      segments[i].data.push_back(static_cast<Word>(100 * i + static_cast<Word>(e)));
+    }
+  }
+
+  const BootImage image = build_boot_image(segments);
+  std::printf("Boot burst: %zu words total\n", image.burst.size());
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto words = pack_program_words(segments[i].programs[0]);
+    std::printf("  node %zu segment @ word %lld: %zu CP words + %zu data "
+                "words  (CP: %s)\n",
+                i, static_cast<long long>(image.segment_offset[i]),
+                words.size(), segments[i].data.size(),
+                segments[i].programs[0].to_string().c_str());
+  }
+
+  std::printf("\nStep 1: SCA^-1 scatters boot segments (bootstrap CPs are "
+              "one contiguous listen each)\n");
+  std::printf("Step 2: every node decodes its next CP from the received "
+              "words\n");
+  std::printf("Step 3: the decoded schedule drives the next SCA...\n\n");
+
+  const GatherResult g =
+      run_boot_chain(engine, segments, gather_sched.total_slots);
+  std::printf("Chained gather: %zu slots, gap_free=%s, utilization=%.0f%%\n",
+              g.stream.size(), g.gap_free ? "yes" : "NO",
+              g.utilization * 100.0);
+  std::printf("Stream:");
+  for (const auto& rec : g.stream) {
+    std::printf(" %lld", static_cast<long long>(rec.word));
+  }
+  std::printf("\n\nThe communication programs that produced this stream were "
+              "themselves delivered over the waveguide one transaction "
+              "earlier.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the PSCAN in ~60 lines.
+//
+// Builds an 8-node photonic bus, compiles communication programs for an
+// interleaved gather (the transpose pattern), runs a Synchronous Coalesced
+// Access, and shows the headline property: spatially separate nodes splice
+// a gap-free burst in flight, at 100% channel utilization, with the
+// receiver none the wiser that eight transmitters produced it.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "psync/core/cp_compile.hpp"
+#include "psync/core/sca.hpp"
+
+int main() {
+  using namespace psync::core;
+
+  // An 8-node bus over 8 cm of waveguide; the photonic clock runs at
+  // 10 GHz, light travels 7 cm/ns, so nodes perceive the same clock edge at
+  // deliberately different times -- that skew is what the SCA exploits.
+  const std::size_t nodes = 8;
+  ScaEngine engine(straight_bus_topology(nodes, 8.0));
+
+  // Each node holds 4 words; the compiled schedule interleaves them so the
+  // receiver sees element 0 of every node, then element 1, ...
+  const Slot elements = 4;
+  const CpSchedule schedule = compile_gather_interleaved(nodes, elements);
+
+  std::printf("Communication programs (one per node):\n");
+  for (std::size_t i = 0; i < nodes; ++i) {
+    std::printf("  node %zu: %s  (%zu bits encoded)\n", i,
+                schedule.node_cps[i].to_string().c_str(),
+                schedule.node_cps[i].encoded_bits());
+  }
+
+  // Node i's local data: i*10 + element index.
+  std::vector<std::vector<Word>> data(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (Slot e = 0; e < elements; ++e) {
+      data[i].push_back(static_cast<Word>(i * 10 + static_cast<Word>(e)));
+    }
+  }
+
+  // Run the SCA. The engine checks the link budget geometry, modulates each
+  // word at its owner's perceived slot time, and detects any collision.
+  const GatherResult g = engine.gather(schedule, data);
+
+  std::printf("\nReceiver stream (%zu slots, gap_free=%s, utilization=%.0f%%):\n",
+              g.stream.size(), g.gap_free ? "yes" : "NO",
+              g.utilization * 100.0);
+  for (const auto& rec : g.stream) {
+    std::printf("  slot %2lld <- node %d word %2llu  (arrived %lld ps)\n",
+                static_cast<long long>(rec.slot), rec.source,
+                static_cast<unsigned long long>(rec.word),
+                static_cast<long long>(rec.arrival_ps));
+  }
+
+  // The inverse operation: one monolithic burst scattered to all nodes.
+  const ScatterResult sc =
+      engine.scatter(compile_scatter_interleaved(nodes, elements), g.words());
+  std::printf("\nSCA^-1 scatter returns every word home: node 3 got:");
+  for (Word w : sc.received[3]) {
+    std::printf(" %llu", static_cast<unsigned long long>(w));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces the mechanism of paper Fig. 4 as an ASCII timing diagram:
+// two processors (P0 near the head of the waveguide, P1 downstream) splice
+// their data into one six-slot burst observed by a receiver P2.
+//
+// The diagram shows, for three waveguide positions (x0 = P0's tap, x1 =
+// P1's tap, x2 = the receiver), which slot's energy passes that point in
+// each 100 ps window — including the moment where P0 modulates slot 4 while
+// P1 is *simultaneously* modulating slot 2 further down the bus.
+//
+//   $ ./sca_timing
+#include <cstdio>
+
+#include "psync/core/cp_compile.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/core/trace.hpp"
+
+int main() {
+  using namespace psync::core;
+  using psync::TimePs;
+
+  // Match Fig. 4: P0 and P1 alternate two-slot bursts: P0 drives slots
+  // {0,1} and {4,5}; P1 drives {2,3}. Positions are far enough apart that
+  // the waveguide pipeline holds multiple slots in flight.
+  PscanTopology topo;
+  topo.clock.frequency_ghz = 10.0;           // 100 ps slots
+  topo.node_pos_um = {10'000.0, 38'000.0};   // 1.0 cm and 3.8 cm: 400 ps apart
+  topo.terminus_um = 66'000.0;               // 6.6 cm
+  ScaEngine engine(topo);
+
+  CpSchedule sched;
+  sched.total_slots = 6;
+  sched.node_cps.resize(2);
+  sched.node_cps[0].add(CpStride{0, 2, 4, 2, CpAction::kDrive});  // 0,1,4,5
+  sched.node_cps[1].add(CpStride{2, 2, 2, 1, CpAction::kDrive});  // 2,3
+
+  std::vector<std::vector<Word>> data{{0xA0, 0xA1, 0xA4, 0xA5}, {0xB2, 0xB3}};
+  const GatherResult g = engine.gather(sched, data);
+
+  std::printf("SCA in-flight splice (paper Fig. 4)\n");
+  std::printf("  P0 at 1.0 cm drives slots 0,1,4,5; P1 at 3.8 cm drives "
+              "slots 2,3; receiver at 6.6 cm\n\n");
+
+  const WaveTrace trace = trace_gather(
+      engine, g, {10'000.0, 38'000.0, 66'000.0});
+  std::printf("%s", render_ascii(trace, {"x0 (P0)", "x1 (P1)", "x2 (rx)"}).c_str());
+
+  std::printf("\nReceiver sees one contiguous burst (gap_free=%s):",
+              g.gap_free ? "yes" : "NO");
+  for (const auto& rec : g.stream) {
+    std::printf(" %02llX", static_cast<unsigned long long>(rec.word));
+  }
+  std::printf("\n");
+
+  // The Fig. 4 subtlety: P0 modulates slot 4 before P1 finished slot 3.
+  const TimePs p0_slot4 = g.stream[4].modulated_ps;
+  const TimePs p1_slot3_end =
+      g.stream[3].modulated_ps + engine.clock().period_ps();
+  std::printf("\nP0 starts modulating slot 4 at %lld ps while P1 is still "
+              "driving slot 3 until %lld ps -> simultaneous modulation, %s\n",
+              static_cast<long long>(p0_slot4),
+              static_cast<long long>(p1_slot3_end),
+              p0_slot4 < p1_slot3_end ? "held apart only by the waveguide "
+                                        "pipeline (no collision)"
+                                      : "(sequential at these positions)");
+
+  std::printf("\nMachine-readable trace (to_csv):\n%s",
+              to_csv(trace).c_str());
+  return 0;
+}

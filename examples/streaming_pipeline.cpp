@@ -1,0 +1,52 @@
+// Streaming throughput: a continuous stream of 2D FFT frames on the P-sync
+// machine. With double-buffered node memories, successive frames pipeline;
+// the waveguide (every collective's serially-shared resource) or the
+// processors' compute — whichever is busier per frame — sets the sustained
+// rate. This is the paper's "fusing computation with communication" at the
+// application level: balanced configurations hide nearly all communication.
+//
+//   $ ./streaming_pipeline [dim=64]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "psync/common/table.hpp"
+#include "psync/core/psync_machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psync;
+  using namespace psync::core;
+  const std::size_t dim = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+
+  std::printf("Streaming %zux%zu 2D FFT frames on P-sync (320 Gb/s)\n\n",
+              dim, dim);
+
+  Table t({"processors", "frame latency (us)", "initiation interval (us)",
+           "frames/s", "speedup vs serial", "bound by"});
+  std::vector<std::complex<double>> frame(dim * dim, {1.0, 0.25});
+  for (std::size_t procs : {8, 16, 32, 64}) {
+    if (dim % procs != 0) continue;
+    PsyncMachineParams p;
+    p.processors = procs;
+    p.matrix_rows = dim;
+    p.matrix_cols = dim;
+    p.delivery_blocks = 4;
+    p.head.dram.row_switch_cycles = 0;
+    PsyncMachine m(p);
+    const auto rep = m.run_fft2d(frame, false);
+    const auto pipe = PsyncMachine::pipeline_estimate(rep);
+    t.row()
+        .add(static_cast<std::int64_t>(procs))
+        .add(pipe.latency_ns * 1e-3, 2)
+        .add(pipe.interval_ns * 1e-3, 2)
+        .add(pipe.frames_per_sec, 0)
+        .add(pipe.latency_ns / pipe.interval_ns, 2)
+        .add(pipe.bus_bound ? "waveguide" : "compute");
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "As processors scale, compute per frame shrinks until the waveguide's\n"
+      "fixed occupancy becomes the limit — at which point the machine streams\n"
+      "one frame per bus pass at 100%% channel utilization.\n");
+  return 0;
+}

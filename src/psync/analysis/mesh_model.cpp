@@ -1,0 +1,75 @@
+#include "psync/analysis/mesh_model.hpp"
+
+#include <cmath>
+
+#include "psync/common/check.hpp"
+
+namespace psync::analysis {
+
+double mesh_delivery_cycles(double processors, double flits_per_packet,
+                            double t_r_cycles) {
+  PSYNC_CHECK(processors >= 1.0);
+  return processors * flits_per_packet +
+         processors * std::sqrt(processors) * t_r_cycles;
+}
+
+double mesh_delivery_cycles_pipelined(double processors,
+                                      double flits_per_packet,
+                                      double t_r_cycles) {
+  PSYNC_CHECK(processors >= 1.0);
+  return processors * (flits_per_packet + 1.0) +
+         std::sqrt(processors) * t_r_cycles;
+}
+
+double mesh_delivery_efficiency_pipelined(double processors,
+                                          double flits_per_packet,
+                                          double t_r_cycles) {
+  const double ideal = processors * flits_per_packet;
+  return ideal / mesh_delivery_cycles_pipelined(processors, flits_per_packet,
+                                                t_r_cycles);
+}
+
+double mesh_delivery_efficiency(double processors, double flits_per_packet,
+                                double t_r_cycles) {
+  const double serialization = flits_per_packet;         // S_b*S_s/W_p cycles
+  const double lambda = std::sqrt(processors) * t_r_cycles;
+  return serialization / (lambda + serialization);
+}
+
+Table2Row table2_row(const FftWorkload& w, std::uint64_t k,
+                     const MeshDeliveryParams& mesh) {
+  const FftBlockRow ideal = table1_row(w, k);
+  Table2Row row;
+  row.k = k;
+  row.delivery_efficiency = mesh_delivery_efficiency(
+      static_cast<double>(w.processors),
+      static_cast<double>(ideal.block_size), mesh.t_r_cycles);
+  row.compute_efficiency = row.delivery_efficiency * ideal.efficiency;
+  return row;
+}
+
+std::vector<Table2Row> table2(const FftWorkload& w,
+                              const MeshDeliveryParams& mesh,
+                              std::uint64_t max_k) {
+  std::vector<Table2Row> rows;
+  for (std::uint64_t k = 1; k <= max_k; k *= 2) {
+    rows.push_back(table2_row(w, k, mesh));
+  }
+  return rows;
+}
+
+std::vector<Fig11Point> fig11(const FftWorkload& w,
+                              const MeshDeliveryParams& mesh,
+                              std::uint64_t max_k) {
+  std::vector<Fig11Point> out;
+  for (std::uint64_t k = 1; k <= max_k; k *= 2) {
+    Fig11Point p;
+    p.k = k;
+    p.psync = table1_row(w, k).efficiency;
+    p.mesh = table2_row(w, k, mesh).compute_efficiency;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace psync::analysis

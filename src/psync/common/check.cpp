@@ -1,0 +1,18 @@
+#include "psync/common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psync {
+
+void check_failed(const char* expr, const char* msg,
+                  const std::source_location& loc) {
+  std::fprintf(stderr, "PSYNC_CHECK failed: %s\n  at %s:%u (%s)\n", expr,
+               loc.file_name(), loc.line(), loc.function_name());
+  if (msg != nullptr) {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::abort();
+}
+
+}  // namespace psync

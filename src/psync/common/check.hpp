@@ -1,0 +1,51 @@
+// Lightweight always-on invariant checking for the simulators.
+//
+// PSYNC_CHECK(cond)           - abort with location on violation.
+// PSYNC_CHECK_MSG(cond, msg)  - same, with a caller-supplied message.
+// PSYNC_DCHECK(cond)          - compiled out in NDEBUG hot paths.
+//
+// Simulation code prefers throwing SimulationError for *model-level* errors
+// (bad configuration, schedule collisions) so tests can assert on them;
+// PSYNC_CHECK is reserved for programming errors.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace psync {
+
+/// Thrown for recoverable model-level errors: invalid configurations,
+/// schedule collisions, FIFO overflow, and similar conditions a caller or a
+/// test may legitimately want to observe.
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* msg,
+                               const std::source_location& loc);
+
+}  // namespace psync
+
+#define PSYNC_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::psync::check_failed(#cond, nullptr, std::source_location::current()); \
+    }                                                                      \
+  } while (false)
+
+#define PSYNC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::psync::check_failed(#cond, (msg), std::source_location::current()); \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PSYNC_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define PSYNC_DCHECK(cond) PSYNC_CHECK(cond)
+#endif

@@ -1,0 +1,164 @@
+#include "psync/common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "psync/common/check.hpp"
+
+namespace psync {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+IniConfig IniConfig::parse(const std::string& text) {
+  IniConfig cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw SimulationError("IniConfig: malformed section at line " +
+                              std::to_string(lineno));
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      if (!cfg.data_.count(section)) {
+        cfg.data_[section] = {};
+        cfg.section_order_.push_back(section);
+        cfg.key_order_[section] = {};
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw SimulationError("IniConfig: expected 'key = value' at line " +
+                            std::to_string(lineno));
+    }
+    if (section.empty()) {
+      throw SimulationError("IniConfig: key outside any section at line " +
+                            std::to_string(lineno));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw SimulationError("IniConfig: empty key at line " +
+                            std::to_string(lineno));
+    }
+    auto& sec = cfg.data_[section];
+    if (sec.count(key)) {
+      throw SimulationError("IniConfig: duplicate key '" + key +
+                            "' at line " + std::to_string(lineno));
+    }
+    sec[key] = value;
+    cfg.key_order_[section].push_back(key);
+  }
+  return cfg;
+}
+
+IniConfig IniConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SimulationError("IniConfig: cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+bool IniConfig::has_section(const std::string& section) const {
+  return data_.count(section) > 0;
+}
+
+bool IniConfig::has(const std::string& section, const std::string& key) const {
+  const auto it = data_.find(section);
+  return it != data_.end() && it->second.count(key) > 0;
+}
+
+std::vector<std::string> IniConfig::sections() const { return section_order_; }
+
+std::vector<std::string> IniConfig::keys(const std::string& section) const {
+  const auto it = key_order_.find(section);
+  return it != key_order_.end() ? it->second : std::vector<std::string>{};
+}
+
+std::optional<std::string> IniConfig::get(const std::string& section,
+                                          const std::string& key) const {
+  const auto it = data_.find(section);
+  if (it == data_.end()) return std::nullopt;
+  const auto kit = it->second.find(key);
+  if (kit == it->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::string IniConfig::get_string(const std::string& section,
+                                  const std::string& key,
+                                  const std::string& fallback) const {
+  return get(section, key).value_or(fallback);
+}
+
+std::int64_t IniConfig::get_int(const std::string& section,
+                                const std::string& key,
+                                std::int64_t fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(*v, &used, 0);
+    if (used != v->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw SimulationError("IniConfig: '" + section + "." + key +
+                          "' is not an integer: " + *v);
+  }
+}
+
+double IniConfig::get_double(const std::string& section,
+                             const std::string& key, double fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw SimulationError("IniConfig: '" + section + "." + key +
+                          "' is not a number: " + *v);
+  }
+}
+
+bool IniConfig::get_bool(const std::string& section, const std::string& key,
+                         bool fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  const std::string low = lower(*v);
+  if (low == "true" || low == "yes" || low == "on" || low == "1") return true;
+  if (low == "false" || low == "no" || low == "off" || low == "0") return false;
+  throw SimulationError("IniConfig: '" + section + "." + key +
+                        "' is not a boolean: " + *v);
+}
+
+}  // namespace psync

@@ -1,0 +1,50 @@
+// Minimal INI-style configuration parser for the psync_sim command-line
+// experiment runner (tools/). Supports [sections], key = value pairs,
+// '#'/';' comments, and typed accessors with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psync {
+
+class IniConfig {
+ public:
+  /// Parse from text; throws SimulationError with a line number on
+  /// malformed input (garbage lines, keys outside any section, duplicate
+  /// keys within a section).
+  static IniConfig parse(const std::string& text);
+
+  /// Parse from a file; throws SimulationError if unreadable.
+  static IniConfig load(const std::string& path);
+
+  bool has_section(const std::string& section) const;
+  bool has(const std::string& section, const std::string& key) const;
+  std::vector<std::string> sections() const;
+  std::vector<std::string> keys(const std::string& section) const;
+
+  /// Raw string lookup.
+  std::optional<std::string> get(const std::string& section,
+                                 const std::string& key) const;
+
+  /// Typed accessors; throw SimulationError on unparsable values.
+  std::string get_string(const std::string& section, const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& section, const std::string& key,
+                       std::int64_t fallback) const;
+  double get_double(const std::string& section, const std::string& key,
+                    double fallback) const;
+  bool get_bool(const std::string& section, const std::string& key,
+                bool fallback) const;
+
+ private:
+  // section -> key -> value, insertion-ordered via auxiliary lists.
+  std::map<std::string, std::map<std::string, std::string>> data_;
+  std::vector<std::string> section_order_;
+  std::map<std::string, std::vector<std::string>> key_order_;
+};
+
+}  // namespace psync

@@ -1,0 +1,76 @@
+#include "psync/common/csv.hpp"
+
+#include <cstdlib>
+
+#include "psync/common/check.hpp"
+#include "psync/common/table.hpp"
+
+namespace psync {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), cols_(header.size()) {
+  if (!out_) throw SimulationError("CsvWriter: cannot open " + path);
+  PSYNC_CHECK(cols_ > 0);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::end_row_if_open() {
+  if (row_open_) {
+    PSYNC_CHECK_MSG(cells_in_row_ == cols_, "CSV row has wrong cell count");
+    out_ << '\n';
+    row_open_ = false;
+    cells_in_row_ = 0;
+  }
+}
+
+CsvWriter& CsvWriter::row() {
+  end_row_if_open();
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(const std::string& cell) {
+  PSYNC_CHECK(row_open_);
+  PSYNC_CHECK_MSG(cells_in_row_ < cols_, "too many CSV cells");
+  if (cells_in_row_ > 0) out_ << ',';
+  out_ << escape(cell);
+  ++cells_in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double v) { return add(format_double(v, 6)); }
+CsvWriter& CsvWriter::add(std::int64_t v) { return add(std::to_string(v)); }
+CsvWriter& CsvWriter::add(std::uint64_t v) { return add(std::to_string(v)); }
+
+void CsvWriter::close() {
+  end_row_if_open();
+  out_.flush();
+}
+
+CsvWriter::~CsvWriter() {
+  if (out_.is_open()) close();
+}
+
+std::optional<std::string> csv_output_dir() {
+  const char* dir = std::getenv("PSYNC_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+}  // namespace psync

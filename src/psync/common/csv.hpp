@@ -1,0 +1,48 @@
+// Minimal RFC-4180-ish CSV writer; bench binaries can optionally dump their
+// series for external plotting (PSYNC_CSV_DIR environment variable).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psync {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// SimulationError when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  CsvWriter& row();
+  CsvWriter& add(const std::string& cell);
+  CsvWriter& add(double v);
+  CsvWriter& add(std::int64_t v);
+  CsvWriter& add(std::uint64_t v);
+
+  /// Flushes and finishes the in-progress row (if any).
+  void close();
+
+  ~CsvWriter();
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  void end_row_if_open();
+
+  std::ofstream out_;
+  std::size_t cols_;
+  std::size_t cells_in_row_ = 0;
+  bool row_open_ = false;
+};
+
+/// Returns the CSV output directory if the PSYNC_CSV_DIR environment variable
+/// is set; bench binaries dump machine-readable series there.
+std::optional<std::string> csv_output_dir();
+
+}  // namespace psync

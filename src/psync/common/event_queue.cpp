@@ -1,0 +1,40 @@
+#include "psync/common/event_queue.hpp"
+
+#include <utility>
+
+namespace psync {
+
+void EventQueue::schedule_at(TimePs when, Handler fn) {
+  PSYNC_CHECK_MSG(when >= now_, "event scheduled in the past");
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because the element is popped immediately and never compared again.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ++fired_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::run_until(TimePs until) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace psync

@@ -1,0 +1,53 @@
+#include "psync/common/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace psync {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("PSYNC_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  return static_cast<int>(parse_log_level(env));
+}()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string low = name;
+  std::transform(low.begin(), low.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "error") return LogLevel::kError;
+  if (low == "warn") return LogLevel::kWarn;
+  if (low == "info") return LogLevel::kInfo;
+  if (low == "debug") return LogLevel::kDebug;
+  if (low == "trace") return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load();
+}
+
+void log_write(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[psync %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace psync

@@ -1,0 +1,42 @@
+// Tiny leveled logger. Simulators are silent by default; set the level to
+// kDebug/kTrace to watch schedules and waveguide events during development,
+// or via the PSYNC_LOG environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace psync {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "error|warn|info|debug|trace" (case-insensitive); unknown -> warn.
+LogLevel parse_log_level(const std::string& name);
+
+bool log_enabled(LogLevel level);
+void log_write(LogLevel level, const std::string& message);
+
+}  // namespace psync
+
+#define PSYNC_LOG(level, expr)                                    \
+  do {                                                            \
+    if (::psync::log_enabled(level)) {                            \
+      std::ostringstream psync_log_os_;                           \
+      psync_log_os_ << expr;                                      \
+      ::psync::log_write(level, psync_log_os_.str());             \
+    }                                                             \
+  } while (false)
+
+#define PSYNC_WARN(expr) PSYNC_LOG(::psync::LogLevel::kWarn, expr)
+#define PSYNC_INFO(expr) PSYNC_LOG(::psync::LogLevel::kInfo, expr)
+#define PSYNC_DEBUG(expr) PSYNC_LOG(::psync::LogLevel::kDebug, expr)
+#define PSYNC_TRACE(expr) PSYNC_LOG(::psync::LogLevel::kTrace, expr)

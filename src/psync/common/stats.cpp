@@ -1,0 +1,70 @@
+#include "psync/common/stats.hpp"
+
+#include "psync/common/check.hpp"
+
+namespace psync {
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double total = static_cast<double>(n_ + o.n_);
+  const double delta = o.mean_ - mean_;
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / total;
+  mean_ += delta * static_cast<double>(o.n_) / total;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  PSYNC_CHECK(hi > lo);
+  PSYNC_CHECK(bins > 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  PSYNC_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) return bin_hi(i);
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "[%10.3g, %10.3g) %8llu ", bin_lo(i),
+                  bin_hi(i), static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace psync

@@ -1,0 +1,87 @@
+// Time, frequency, bandwidth, energy and power units used across the
+// P-sync simulators.
+//
+// Convention:
+//  * Event-driven and cycle-level simulation uses integer picoseconds
+//    (TimePs). A 10 Gb/s photonic bit slot is exactly 100 ps and a 2.5 GHz
+//    mesh cycle is exactly 400 ps, so every quantity in the paper's
+//    parameterization is exactly representable.
+//  * Closed-form analytic models (Section V of the paper) use double
+//    seconds/nanoseconds; helpers below convert between the two domains.
+#pragma once
+
+#include <cstdint>
+
+namespace psync {
+
+/// Simulation time in integer picoseconds.
+using TimePs = std::int64_t;
+
+/// Cycle index in a clock domain.
+using Cycle = std::int64_t;
+
+namespace units {
+
+inline constexpr TimePs kPicosecond = 1;
+inline constexpr TimePs kNanosecond = 1'000;
+inline constexpr TimePs kMicrosecond = 1'000'000;
+inline constexpr TimePs kMillisecond = 1'000'000'000;
+
+/// Picoseconds for one bit at `gbps` gigabits per second (must divide evenly
+/// for the paper's rates: 10 Gb/s -> 100 ps, 2.5 GHz -> 400 ps).
+constexpr TimePs bit_period_ps(double gbps) {
+  return static_cast<TimePs>(1000.0 / gbps + 0.5);
+}
+
+/// Period of a clock at `ghz` gigahertz, in picoseconds.
+constexpr TimePs clock_period_ps(double ghz) {
+  return static_cast<TimePs>(1000.0 / ghz + 0.5);
+}
+
+constexpr double ps_to_ns(TimePs t) { return static_cast<double>(t) * 1e-3; }
+constexpr double ps_to_us(TimePs t) { return static_cast<double>(t) * 1e-6; }
+constexpr double ps_to_s(TimePs t) { return static_cast<double>(t) * 1e-12; }
+constexpr TimePs ns_to_ps(double ns) {
+  return static_cast<TimePs>(ns * 1e3 + (ns >= 0 ? 0.5 : -0.5));
+}
+
+/// Bits transferred in `t` picoseconds at `gbps` Gb/s.
+constexpr double bits_in(TimePs t, double gbps) {
+  return static_cast<double>(t) * 1e-3 * gbps;
+}
+
+/// Gb/s given bits moved over a picosecond interval.
+constexpr double gbps_of(double bits, TimePs t) {
+  return t > 0 ? bits / (static_cast<double>(t) * 1e-3) : 0.0;
+}
+
+// Energy units: femtojoules as the integer-free base (double), since device
+// energies in the Fig. 5 models are quoted in fJ/bit and pJ/bit.
+inline constexpr double kFemtojoule = 1.0;
+inline constexpr double kPicojoule = 1e3;   // in fJ
+inline constexpr double kNanojoule = 1e6;   // in fJ
+
+constexpr double fj_to_pj(double fj) { return fj * 1e-3; }
+constexpr double pj_to_fj(double pj) { return pj * 1e3; }
+
+/// Power (watts) from energy (fJ) over time (ps): W = fJ/ps * 1e-3.
+constexpr double watts_of(double energy_fj, TimePs t) {
+  return t > 0 ? energy_fj * 1e-3 / static_cast<double>(t) : 0.0;
+}
+
+/// Energy (fJ) consumed by `watts` over `t` picoseconds.
+constexpr double energy_fj(double watts, TimePs t) {
+  return watts * static_cast<double>(t) * 1e3;
+}
+
+// Length: micrometres as the base (double), chips are O(cm).
+inline constexpr double kMicrometer = 1.0;
+inline constexpr double kMillimeter = 1e3;  // in um
+inline constexpr double kCentimeter = 1e4;  // in um
+
+constexpr double um_to_cm(double um) { return um * 1e-4; }
+constexpr double cm_to_um(double cm) { return cm * 1e4; }
+constexpr double mm_to_um(double mm) { return mm * 1e3; }
+
+}  // namespace units
+}  // namespace psync

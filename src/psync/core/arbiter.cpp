@@ -1,0 +1,73 @@
+#include "psync/core/arbiter.hpp"
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+
+CommProgram shift_program(const CommProgram& cp, Slot offset) {
+  PSYNC_CHECK(offset >= 0);
+  CommProgram out;
+  for (CpStride s : cp.strides()) {
+    s.first += offset;
+    out.add(s);
+  }
+  return out;
+}
+
+CpSchedule shift_schedule(const CpSchedule& schedule, Slot offset) {
+  CpSchedule out;
+  out.total_slots = schedule.total_slots + offset;
+  out.node_cps.reserve(schedule.node_cps.size());
+  for (const auto& cp : schedule.node_cps) {
+    out.node_cps.push_back(shift_program(cp, offset));
+  }
+  return out;
+}
+
+SlotGrant SlotArbiter::reserve(Slot length, std::string owner) {
+  if (length <= 0) {
+    throw SimulationError("SlotArbiter: grant length must be positive");
+  }
+  SlotGrant g{next_, length, std::move(owner)};
+  next_ += length;
+  grants_.push_back(g);
+  return g;
+}
+
+CpSchedule SlotArbiter::compose(const CpSchedule& local,
+                                const SlotGrant& grant) const {
+  if (local.total_slots > grant.length) {
+    throw SimulationError("SlotArbiter: schedule of " +
+                          std::to_string(local.total_slots) +
+                          " slots does not fit grant of " +
+                          std::to_string(grant.length));
+  }
+  CpSchedule out = shift_schedule(local, grant.base);
+  out.total_slots = next_;
+  return out;
+}
+
+CpSchedule SlotArbiter::merge(const std::vector<CpSchedule>& parts) const {
+  if (parts.empty()) {
+    throw SimulationError("SlotArbiter: nothing to merge");
+  }
+  CpSchedule out;
+  out.total_slots = next_;
+  out.node_cps.resize(parts.front().node_cps.size());
+  for (const auto& part : parts) {
+    if (part.node_cps.size() != out.node_cps.size()) {
+      throw SimulationError("SlotArbiter: node count mismatch in merge");
+    }
+    for (std::size_t i = 0; i < part.node_cps.size(); ++i) {
+      for (const CpStride& s : part.node_cps[i].strides()) {
+        out.node_cps[i].add(s);
+      }
+    }
+  }
+  // Disjointness proof: both actions, across all transactions.
+  (void)slot_owners(out, CpAction::kDrive);
+  (void)slot_owners(out, CpAction::kListen);
+  return out;
+}
+
+}  // namespace psync::core

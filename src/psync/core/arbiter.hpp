@@ -1,0 +1,59 @@
+// Slot arbitration on the shared photonic bus.
+//
+// Paper Section IV: "the PSCAN physical layer was deliberately designed to
+// be generic, such that it could be shared with other traffic besides SCA
+// and SCA^-1 transactions". PSCAN is a *communication mode* on a
+// multipurpose channel; this module is the piece that shares the channel —
+// a slot-range allocator that composes multiple transactions (SCA bursts,
+// low-rate control messages, background point-to-point traffic) into one
+// global, provably collision-free schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psync/core/cp_compile.hpp"
+
+namespace psync::core {
+
+/// Shift every stride of a program by `offset` slots.
+CommProgram shift_program(const CommProgram& cp, Slot offset);
+
+/// Shift every node's program of a schedule by `offset` slots (total_slots
+/// grows accordingly only via SlotArbiter::compose).
+CpSchedule shift_schedule(const CpSchedule& schedule, Slot offset);
+
+/// A reserved region of the global slot timeline.
+struct SlotGrant {
+  Slot base = 0;
+  Slot length = 0;
+  std::string owner;
+};
+
+class SlotArbiter {
+ public:
+  /// Reserve `length` contiguous slots for `owner`; returns the grant.
+  SlotGrant reserve(Slot length, std::string owner);
+
+  /// Total slots allocated so far (the global schedule horizon).
+  Slot horizon() const { return next_; }
+
+  const std::vector<SlotGrant>& grants() const { return grants_; }
+
+  /// Compose a transaction's local schedule into the global timeline at
+  /// `grant`. Throws SimulationError when the schedule does not fit the
+  /// grant. The returned schedule has total_slots == horizon() so composed
+  /// schedules from different grants can be merged.
+  CpSchedule compose(const CpSchedule& local, const SlotGrant& grant) const;
+
+  /// Merge per-grant global schedules (same node count) into one; verifies
+  /// the drive/listen sets stay disjoint across transactions.
+  CpSchedule merge(const std::vector<CpSchedule>& parts) const;
+
+ private:
+  Slot next_ = 0;
+  std::vector<SlotGrant> grants_;
+};
+
+}  // namespace psync::core

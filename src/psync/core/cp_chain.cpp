@@ -1,0 +1,160 @@
+#include "psync/core/cp_chain.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+
+std::vector<Word> pack_program_words(const CommProgram& cp) {
+  const std::vector<std::uint8_t> bytes = cp.encode();
+  std::vector<Word> out;
+  out.push_back(static_cast<Word>(bytes.size()));
+  Word w = 0;
+  int shift = 0;
+  for (std::uint8_t b : bytes) {
+    w |= static_cast<Word>(b) << shift;
+    shift += 8;
+    if (shift == 64) {
+      out.push_back(w);
+      w = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) out.push_back(w);
+  return out;
+}
+
+CommProgram unpack_program_words(const std::vector<Word>& words,
+                                 std::size_t& offset) {
+  if (offset >= words.size()) {
+    throw SimulationError("unpack_program_words: missing length prefix");
+  }
+  const auto byte_count = static_cast<std::size_t>(words[offset++]);
+  const std::size_t word_count = (byte_count + 7) / 8;
+  if (offset + word_count > words.size()) {
+    throw SimulationError("unpack_program_words: truncated program (" +
+                          std::to_string(byte_count) + " bytes expected)");
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(byte_count);
+  for (std::size_t i = 0; i < byte_count; ++i) {
+    const Word w = words[offset + i / 8];
+    bytes.push_back(static_cast<std::uint8_t>((w >> (8 * (i % 8))) & 0xFF));
+  }
+  offset += word_count;
+  return CommProgram::decode(bytes);
+}
+
+BootImage build_boot_image(const std::vector<BootSegment>& segments) {
+  if (segments.empty()) {
+    throw SimulationError("build_boot_image: no segments");
+  }
+  BootImage image;
+  image.schedule.node_cps.resize(segments.size());
+  image.segment_offset.resize(segments.size());
+
+  Slot at = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    image.segment_offset[i] = at;
+    std::vector<Word> seg;
+    for (const auto& cp : segments[i].programs) {
+      const auto words = pack_program_words(cp);
+      seg.insert(seg.end(), words.begin(), words.end());
+    }
+    seg.insert(seg.end(), segments[i].data.begin(), segments[i].data.end());
+    if (seg.empty()) {
+      throw SimulationError("build_boot_image: empty segment for node " +
+                            std::to_string(i));
+    }
+    // Bootstrap CP: one contiguous listen burst — a single 94-bit record
+    // (chunked only if enormous).
+    Slot remaining = static_cast<Slot>(seg.size());
+    Slot pos = at;
+    while (remaining > 0) {
+      const Slot chunk = std::min<Slot>(remaining, kCpMaxBurst);
+      image.schedule.node_cps[i].add(
+          CpStride{pos, chunk, chunk, 1, CpAction::kListen});
+      pos += chunk;
+      remaining -= chunk;
+    }
+    image.burst.insert(image.burst.end(), seg.begin(), seg.end());
+    at += static_cast<Slot>(seg.size());
+  }
+  image.schedule.total_slots = at;
+  return image;
+}
+
+BootImage build_broadcast_boot_image(const BootSegment& shared,
+                                     std::size_t nodes) {
+  if (nodes == 0) {
+    throw SimulationError("build_broadcast_boot_image: no nodes");
+  }
+  BootImage image;
+  for (const auto& cp : shared.programs) {
+    const auto words = pack_program_words(cp);
+    image.burst.insert(image.burst.end(), words.begin(), words.end());
+  }
+  image.burst.insert(image.burst.end(), shared.data.begin(),
+                     shared.data.end());
+  if (image.burst.empty()) {
+    throw SimulationError("build_broadcast_boot_image: empty segment");
+  }
+  image.schedule.total_slots = static_cast<Slot>(image.burst.size());
+  image.schedule.node_cps.resize(nodes);
+  image.segment_offset.assign(nodes, 0);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Slot at = 0;
+    Slot remaining = image.schedule.total_slots;
+    while (remaining > 0) {
+      const Slot chunk = std::min<Slot>(remaining, kCpMaxBurst);
+      image.schedule.node_cps[i].add(
+          CpStride{at, chunk, chunk, 1, CpAction::kListen});
+      at += chunk;
+      remaining -= chunk;
+    }
+  }
+  return image;
+}
+
+DecodedSegment decode_boot_words(const std::vector<Word>& words,
+                                 std::size_t program_count) {
+  DecodedSegment out;
+  std::size_t offset = 0;
+  for (std::size_t p = 0; p < program_count; ++p) {
+    out.programs.push_back(unpack_program_words(words, offset));
+  }
+  out.data.assign(words.begin() + static_cast<std::ptrdiff_t>(offset),
+                  words.end());
+  return out;
+}
+
+GatherResult run_boot_chain(const ScaEngine& engine,
+                            const std::vector<BootSegment>& segments,
+                            Slot gather_total_slots) {
+  // Step 1: scatter the boot image.
+  const BootImage image = build_boot_image(segments);
+  const ScatterResult boot = engine.scatter(image.schedule, image.burst);
+
+  // Step 2: every node decodes its delivered segment.
+  CpSchedule next;
+  next.total_slots = gather_total_slots;
+  next.node_cps.resize(segments.size());
+  std::vector<std::vector<Word>> node_data(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const DecodedSegment dec =
+        decode_boot_words(boot.received[i], segments[i].programs.size());
+    if (dec.programs.empty()) {
+      throw SimulationError("run_boot_chain: node " + std::to_string(i) +
+                            " received no program");
+    }
+    next.node_cps[i] = dec.programs.front();
+    node_data[i] = dec.data;
+  }
+
+  // Step 3: execute the delivered schedule.
+  return engine.gather(next, node_data);
+}
+
+}  // namespace psync::core

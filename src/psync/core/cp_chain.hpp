@@ -1,0 +1,85 @@
+// CP chains: delivering communication programs (and code) over the
+// waveguide itself — paper Section IV:
+//
+//   "In the P-sync architecture, all data, including communication programs
+//    and computation programs can be delivered on the SCA^-1 PSCAN. ...
+//    CPs form chains in which one CP loads data, and the CP for the SCA
+//    waveguide driver, followed by a CP for the next SCA^-1 operation."
+//
+// Each node is hardwired with only a trivial bootstrap CP (listen on a
+// contiguous region of the boot burst). Everything else arrives over the
+// bus: a node's boot segment carries its *next* communication programs in
+// the 94-bit wire encoding, followed by initial data. After decode, the
+// machine executes the delivered schedule — and that schedule may itself
+// deliver the one after it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psync/core/cp_compile.hpp"
+#include "psync/core/sca.hpp"
+
+namespace psync::core {
+
+/// Serialize a CommProgram into waveguide words: one length-prefix word
+/// (payload byte count) followed by the encode() bytes packed 8 per word,
+/// little-endian. Round-trips via unpack_program_words.
+std::vector<Word> pack_program_words(const CommProgram& cp);
+
+/// Decode a program from `words` starting at `offset`; advances `offset`
+/// past the program. Throws SimulationError on truncation or garbage.
+CommProgram unpack_program_words(const std::vector<Word>& words,
+                                 std::size_t& offset);
+
+/// One node's boot payload: the communication programs it will run next
+/// (in execution order) plus its initial data words.
+struct BootSegment {
+  std::vector<CommProgram> programs;
+  std::vector<Word> data;
+};
+
+/// A built boot transaction: the bootstrap scatter schedule (heterogeneous
+/// contiguous blocks — the only thing nodes must know a priori is where
+/// their block starts, which is itself one 94-bit record) and the burst.
+struct BootImage {
+  CpSchedule schedule;
+  std::vector<Word> burst;
+  /// Word offset of each node's segment within the burst.
+  std::vector<Slot> segment_offset;
+};
+
+/// Assemble the boot image for `segments` (one per node).
+BootImage build_boot_image(const std::vector<BootSegment>& segments);
+
+/// Broadcast variant: ONE shared segment (e.g. the common computation
+/// kernel and its CP template), every node listening to the whole burst —
+/// run it through ScaEngine::scatter_multicast. N times less waveguide
+/// time than unicasting identical copies.
+BootImage build_broadcast_boot_image(const BootSegment& shared,
+                                     std::size_t nodes);
+
+/// What a node recovers from its received boot words.
+struct DecodedSegment {
+  std::vector<CommProgram> programs;
+  std::vector<Word> data;
+};
+
+/// Decode a node's received words (programs count is `program_count`).
+DecodedSegment decode_boot_words(const std::vector<Word>& words,
+                                 std::size_t program_count);
+
+/// Run a full boot-then-collective chain on the engine:
+///   1. SCA^-1 scatters the boot image (bootstrap blocks schedule);
+///   2. every node decodes its segment: [next CPs..., data];
+///   3. the FIRST decoded program of every node is linked into a gather
+///      schedule (total slots = sum of drive slots) and executed with the
+///      delivered data.
+/// Returns the resulting gather stream. Throws if any decode fails or the
+/// delivered schedule collides — i.e. the chain is verified end to end
+/// through the photonic transport itself.
+GatherResult run_boot_chain(const ScaEngine& engine,
+                            const std::vector<BootSegment>& segments,
+                            Slot gather_total_slots);
+
+}  // namespace psync::core

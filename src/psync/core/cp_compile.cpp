@@ -1,0 +1,187 @@
+#include "psync/core/cp_compile.hpp"
+
+#include <string>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+namespace {
+
+CpSchedule blocks_schedule(std::size_t nodes, Slot elements_per_node,
+                           CpAction action) {
+  PSYNC_CHECK(nodes > 0);
+  PSYNC_CHECK(elements_per_node > 0);
+  CpSchedule sched;
+  sched.total_slots = static_cast<Slot>(nodes) * elements_per_node;
+  sched.node_cps.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    CpStride s;
+    s.first = static_cast<Slot>(i) * elements_per_node;
+    s.burst = elements_per_node;
+    s.stride = elements_per_node;  // irrelevant for count == 1
+    s.count = 1;
+    s.action = action;
+    sched.node_cps[i].add(s);
+  }
+  return sched;
+}
+
+CpSchedule interleaved_schedule(std::size_t nodes, Slot elements_per_node,
+                                CpAction action) {
+  PSYNC_CHECK(nodes > 0);
+  PSYNC_CHECK(elements_per_node > 0);
+  CpSchedule sched;
+  sched.total_slots = static_cast<Slot>(nodes) * elements_per_node;
+  sched.node_cps.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    CpStride s;
+    s.first = static_cast<Slot>(i);
+    s.burst = 1;
+    s.stride = static_cast<Slot>(nodes);
+    s.count = elements_per_node;
+    s.action = action;
+    sched.node_cps[i].add(s);
+  }
+  return sched;
+}
+
+CpSchedule round_robin_schedule(std::size_t nodes, Slot blocks,
+                                Slot block_elements, CpAction action) {
+  PSYNC_CHECK(nodes > 0);
+  PSYNC_CHECK(blocks > 0);
+  PSYNC_CHECK(block_elements > 0);
+  CpSchedule sched;
+  sched.total_slots = static_cast<Slot>(nodes) * blocks * block_elements;
+  sched.node_cps.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    CpStride s;
+    s.first = static_cast<Slot>(i) * block_elements;
+    s.burst = block_elements;
+    s.stride = static_cast<Slot>(nodes) * block_elements;
+    s.count = blocks;
+    s.action = action;
+    sched.node_cps[i].add(s);
+  }
+  return sched;
+}
+
+}  // namespace
+
+CpSchedule compile_gather_blocks(std::size_t nodes, Slot elements_per_node) {
+  return blocks_schedule(nodes, elements_per_node, CpAction::kDrive);
+}
+CpSchedule compile_gather_interleaved(std::size_t nodes,
+                                      Slot elements_per_node) {
+  return interleaved_schedule(nodes, elements_per_node, CpAction::kDrive);
+}
+CpSchedule compile_gather_round_robin(std::size_t nodes, Slot blocks,
+                                      Slot block_elements) {
+  return round_robin_schedule(nodes, blocks, block_elements, CpAction::kDrive);
+}
+CpSchedule compile_gather_transpose(std::size_t nodes, Slot rows_per_node,
+                                    Slot row_length) {
+  PSYNC_CHECK(nodes > 0);
+  PSYNC_CHECK(rows_per_node > 0);
+  PSYNC_CHECK(row_length > 0);
+  const Slot total_rows = static_cast<Slot>(nodes) * rows_per_node;
+  CpSchedule sched;
+  sched.total_slots = total_rows * row_length;
+  sched.node_cps.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (Slot r = 0; r < rows_per_node; ++r) {
+      CpStride s;
+      s.first = static_cast<Slot>(i) * rows_per_node + r;
+      s.burst = 1;
+      s.stride = total_rows;
+      s.count = row_length;
+      s.action = CpAction::kDrive;
+      sched.node_cps[i].add(s);
+    }
+  }
+  return sched;
+}
+
+CpSchedule compile_scatter_blocks(std::size_t nodes, Slot elements_per_node) {
+  return blocks_schedule(nodes, elements_per_node, CpAction::kListen);
+}
+CpSchedule compile_scatter_interleaved(std::size_t nodes,
+                                       Slot elements_per_node) {
+  return interleaved_schedule(nodes, elements_per_node, CpAction::kListen);
+}
+CpSchedule compile_scatter_round_robin(std::size_t nodes, Slot blocks,
+                                       Slot block_elements) {
+  return round_robin_schedule(nodes, blocks, block_elements, CpAction::kListen);
+}
+
+std::vector<std::int32_t> slot_owners(const CpSchedule& schedule,
+                                      CpAction action) {
+  std::vector<std::int32_t> owner(
+      static_cast<std::size_t>(schedule.total_slots), -1);
+  for (std::size_t i = 0; i < schedule.node_cps.size(); ++i) {
+    for (const CpEntry& e : schedule.node_cps[i].entries()) {
+      if (e.action != action) continue;
+      for (Slot s = e.begin; s < e.end(); ++s) {
+        if (s < 0 || s >= schedule.total_slots) {
+          throw SimulationError("slot_owners: slot " + std::to_string(s) +
+                                " outside schedule of " +
+                                std::to_string(schedule.total_slots));
+        }
+        auto& o = owner[static_cast<std::size_t>(s)];
+        if (o != -1) {
+          throw SimulationError("slot_owners: slot " + std::to_string(s) +
+                                " claimed by nodes " + std::to_string(o) +
+                                " and " + std::to_string(i));
+        }
+        o = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  return owner;
+}
+
+ScheduleCheck check_schedule(const CpSchedule& schedule, CpAction action) {
+  ScheduleCheck out;
+  std::vector<std::int32_t> owner;
+  try {
+    owner = slot_owners(schedule, action);
+  } catch (const SimulationError&) {
+    return out;  // disjoint stays false
+  }
+  out.disjoint = true;
+  for (auto o : owner) {
+    if (o != -1) ++out.claimed_slots;
+  }
+  out.gap_free = out.claimed_slots == schedule.total_slots;
+  out.utilization = schedule.total_slots > 0
+                        ? static_cast<double>(out.claimed_slots) /
+                              static_cast<double>(schedule.total_slots)
+                        : 0.0;
+  return out;
+}
+
+CommProgram head_drive_program(Slot total_slots) {
+  PSYNC_CHECK(total_slots > 0);
+  CommProgram cp;
+  // One long burst; burst field is width-limited, so express long bursts as
+  // multiple max-width chunks.
+  Slot at = 0;
+  while (at < total_slots) {
+    const Slot chunk = std::min<Slot>(total_slots - at, kCpMaxBurst);
+    cp.add(CpStride{at, chunk, chunk, 1, CpAction::kDrive});
+    at += chunk;
+  }
+  return cp;
+}
+
+std::int64_t element_of_slot(const CommProgram& cp, CpAction action, Slot s) {
+  std::int64_t index = 0;
+  for (const CpEntry& e : cp.entries()) {
+    if (e.action != action) continue;
+    if (s >= e.begin && s < e.end()) return index + (s - e.begin);
+    if (e.begin > s) break;
+    index += e.length;
+  }
+  return -1;
+}
+
+}  // namespace psync::core

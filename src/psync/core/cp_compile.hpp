@@ -1,0 +1,82 @@
+// CP compilation: builds the linked set of per-node communication programs
+// for the collective patterns in the paper (Section IV: "CPs comprise
+// non-overlapping portions of a global schedule").
+//
+// Conventions:
+//  * A schedule covers slots [0, total_slots).
+//  * A node's drive/listen slots, taken in increasing slot order, correspond
+//    to its local elements 0, 1, 2, ... — the waveguide interface streams
+//    its local buffer in order; the *schedule* realizes the reordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psync/core/comm_program.hpp"
+
+namespace psync::core {
+
+/// A compiled schedule: one CP per node plus the global slot count.
+struct CpSchedule {
+  std::vector<CommProgram> node_cps;
+  Slot total_slots = 0;
+
+  std::size_t nodes() const { return node_cps.size(); }
+};
+
+/// Block gather (SCA): node i drives slots [i*E, (i+1)*E). The receiver sees
+/// node 0's elements, then node 1's, ... — the writeback of P contiguous
+/// row blocks.
+CpSchedule compile_gather_blocks(std::size_t nodes, Slot elements_per_node);
+
+/// Interleaved gather (SCA): element e of node i lands in slot e*P + i.
+/// With node i holding row i of a P x E matrix, the receiver sees the matrix
+/// in column-major order — the distributed matrix transpose (Section V-C).
+CpSchedule compile_gather_interleaved(std::size_t nodes,
+                                      Slot elements_per_node);
+
+/// Round-robin block gather (Model II writeback): k rounds; in round r node
+/// i drives slots [(r*P + i)*B, (r*P + i + 1)*B).
+CpSchedule compile_gather_round_robin(std::size_t nodes, Slot blocks,
+                                      Slot block_elements);
+
+/// Transpose gather (the paper's headline SCA): node i holds rows
+/// [i*rows_per_node, (i+1)*rows_per_node) of an (nodes*rows_per_node) x
+/// row_length matrix; the terminus stream is the matrix in column-major
+/// order. Node i's CP is rows_per_node strided records — one stride (94
+/// bits) when each node holds a single row.
+CpSchedule compile_gather_transpose(std::size_t nodes, Slot rows_per_node,
+                                    Slot row_length);
+
+/// Scatter (SCA^-1) mirrors of the gathers: identical slot geometry with
+/// kListen; the head node (not part of `node_cps`) drives the whole burst.
+CpSchedule compile_scatter_blocks(std::size_t nodes, Slot elements_per_node);
+CpSchedule compile_scatter_interleaved(std::size_t nodes,
+                                       Slot elements_per_node);
+CpSchedule compile_scatter_round_robin(std::size_t nodes, Slot blocks,
+                                       Slot block_elements);
+
+/// Per-slot ownership of a schedule for one action: entry s = node index
+/// owning slot s, or -1 when unowned. Throws SimulationError when two nodes
+/// claim the same slot ("all CPs on a PSCAN are linked such that ... only
+/// one processor [drives] the bus at a time").
+std::vector<std::int32_t> slot_owners(const CpSchedule& schedule,
+                                      CpAction action);
+
+/// Validation summary for a schedule.
+struct ScheduleCheck {
+  bool disjoint = false;    // no slot claimed twice
+  bool gap_free = false;    // every slot in [0, total) is claimed
+  Slot claimed_slots = 0;
+  double utilization = 0.0;  // claimed / total
+};
+ScheduleCheck check_schedule(const CpSchedule& schedule, CpAction action);
+
+/// Head-node CP driving a full burst [0, total_slots).
+CommProgram head_drive_program(Slot total_slots);
+
+/// The element index (within its node's local buffer) that a node moves in
+/// slot `s` of its program, or -1 when the node does not own the slot.
+std::int64_t element_of_slot(const CommProgram& cp, CpAction action, Slot s);
+
+}  // namespace psync::core

@@ -1,0 +1,55 @@
+#include "psync/core/dual_clock_fifo.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+
+DualClockFifo::DualClockFifo(std::size_t capacity, TimePs min_domain_gap_ps)
+    : capacity_(capacity), gap_(min_domain_gap_ps) {
+  if (capacity == 0) throw SimulationError("DualClockFifo: zero capacity");
+  if (gap_ < 0) throw SimulationError("DualClockFifo: negative domain gap");
+}
+
+void DualClockFifo::push(Word word, TimePs t) {
+  if (t < last_push_) {
+    throw SimulationError("DualClockFifo: push time regressed");
+  }
+  if (full()) {
+    throw SimulationError("DualClockFifo: overflow at t=" + std::to_string(t) +
+                          " ps (deserializer outpaced the consumer)");
+  }
+  last_push_ = t;
+  items_.push_back(Item{word, t + gap_});
+  ++total_pushed_;
+  max_occupancy_ = std::max(max_occupancy_, items_.size());
+}
+
+bool DualClockFifo::can_pop(TimePs t) const {
+  return !items_.empty() && items_.front().visible_at <= t;
+}
+
+Word DualClockFifo::pop(TimePs t) {
+  if (t < last_pop_) {
+    throw SimulationError("DualClockFifo: pop time regressed");
+  }
+  if (items_.empty()) {
+    throw SimulationError("DualClockFifo: underflow at t=" + std::to_string(t) +
+                          " ps (modulator starved)");
+  }
+  if (items_.front().visible_at > t) {
+    throw SimulationError(
+        "DualClockFifo: pop at t=" + std::to_string(t) +
+        " ps before the word cleared the synchronizer (visible at " +
+        std::to_string(items_.front().visible_at) + " ps)");
+  }
+  last_pop_ = t;
+  const Word w = items_.front().word;
+  items_.pop_front();
+  ++total_popped_;
+  return w;
+}
+
+}  // namespace psync::core

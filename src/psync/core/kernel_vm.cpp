@@ -1,0 +1,251 @@
+#include "psync/core/kernel_vm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "psync/common/check.hpp"
+#include "psync/fft/four_step.hpp"
+
+namespace psync::core {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t ilog2(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+std::vector<std::complex<double>> fft_rom(std::size_t n) {
+  std::vector<std::complex<double>> rom(std::max<std::size_t>(n / 2, 1));
+  for (std::size_t j = 0; j < rom.size(); ++j) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                       static_cast<double>(n);
+    rom[j] = {std::cos(ang), std::sin(ang)};
+  }
+  return rom;
+}
+
+void emit_stages(KernelProgram* p, std::size_t n, std::size_t base,
+                 std::size_t first_stage, std::size_t last_stage,
+                 std::size_t block_offset, std::size_t block_size) {
+  for (std::size_t s = first_stage; s < last_stage; ++s) {
+    const std::size_t m = std::size_t{1} << (s + 1);
+    const std::size_t half = m / 2;
+    const std::size_t stride = n / m;
+    for (std::size_t start = block_offset; start < block_offset + block_size;
+         start += m) {
+      for (std::size_t j = 0; j < half; ++j) {
+        p->code.push_back(
+            KernelInstr{KernelOp::kBfly,
+                        static_cast<std::uint32_t>(base + start + j),
+                        static_cast<std::uint32_t>(base + start + half + j),
+                        static_cast<std::uint32_t>(j * stride)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+KernelProgram compile_fft_kernel(std::size_t n, std::size_t base) {
+  if (!is_pow2(n)) {
+    throw SimulationError("compile_fft_kernel: n must be a power of two");
+  }
+  KernelProgram p;
+  p.twiddles = fft_rom(n);
+  p.data_size = base + n;
+  const std::size_t bits = ilog2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) r |= ((i >> b) & 1U) << (bits - 1 - b);
+    if (i < r) {
+      p.code.push_back(KernelInstr{KernelOp::kSwap,
+                                   static_cast<std::uint32_t>(base + i),
+                                   static_cast<std::uint32_t>(base + r), 0});
+    }
+  }
+  emit_stages(&p, n, base, 0, bits, 0, n);
+  p.code.push_back(KernelInstr{KernelOp::kHalt, 0, 0, 0});
+  return p;
+}
+
+KernelProgram compile_fft_stages_kernel(std::size_t n, std::size_t first_stage,
+                                        std::size_t last_stage,
+                                        std::size_t base,
+                                        std::size_t block_offset,
+                                        std::size_t block_size) {
+  if (!is_pow2(n)) {
+    throw SimulationError("compile_fft_stages_kernel: n must be a power of two");
+  }
+  if (block_size == 0) {
+    block_offset = 0;
+    block_size = n;
+  }
+  if (last_stage > ilog2(n) || first_stage > last_stage ||
+      block_offset + block_size > n) {
+    throw SimulationError("compile_fft_stages_kernel: bad stage/block range");
+  }
+  KernelProgram p;
+  p.twiddles = fft_rom(n);
+  p.data_size = base + n;
+  emit_stages(&p, n, base, first_stage, last_stage, block_offset, block_size);
+  p.code.push_back(KernelInstr{KernelOp::kHalt, 0, 0, 0});
+  return p;
+}
+
+KernelProgram compile_four_step_twiddle_kernel(std::size_t rows,
+                                               std::size_t cols,
+                                               std::size_t global_row0,
+                                               std::size_t total_rows) {
+  KernelProgram p;
+  p.data_size = rows * cols;
+  const std::size_t n = total_rows * cols;
+  p.twiddles.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t q = 0; q < cols; ++q) {
+      p.twiddles.push_back(fft::four_step_twiddle(n, global_row0 + r, q));
+      p.code.push_back(
+          KernelInstr{KernelOp::kTwid,
+                      static_cast<std::uint32_t>(r * cols + q), 0,
+                      static_cast<std::uint32_t>(r * cols + q)});
+    }
+  }
+  p.code.push_back(KernelInstr{KernelOp::kHalt, 0, 0, 0});
+  return p;
+}
+
+void append_kernel(KernelProgram* program, const KernelProgram& more) {
+  PSYNC_CHECK(program != nullptr);
+  // Drop the first program's trailing HALT.
+  while (!program->code.empty() &&
+         program->code.back().op == KernelOp::kHalt) {
+    program->code.pop_back();
+  }
+  const auto tw_base = static_cast<std::uint32_t>(program->twiddles.size());
+  for (KernelInstr ins : more.code) {
+    if (ins.op == KernelOp::kBfly || ins.op == KernelOp::kTwid) {
+      ins.tw += tw_base;
+    }
+    program->code.push_back(ins);
+  }
+  program->twiddles.insert(program->twiddles.end(), more.twiddles.begin(),
+                           more.twiddles.end());
+  program->data_size = std::max(program->data_size, more.data_size);
+}
+
+VmStats KernelVm::run(const KernelProgram& program,
+                      std::span<std::complex<double>> data) const {
+  if (data.size() < program.data_size) {
+    throw SimulationError("KernelVm: data memory smaller than the program's "
+                          "footprint");
+  }
+  VmStats stats;
+  for (const KernelInstr& ins : program.code) {
+    ++stats.instructions;
+    switch (ins.op) {
+      case KernelOp::kHalt:
+        stats.compute_ns = exec_.compute_ns(stats.ops);
+        stats.energy_pj = exec_.compute_energy_pj(stats.ops);
+        return stats;
+      case KernelOp::kBfly: {
+        if (ins.a >= data.size() || ins.b >= data.size() ||
+            ins.tw >= program.twiddles.size()) {
+          throw SimulationError("KernelVm: BFLY operand out of range");
+        }
+        const auto w = program.twiddles[ins.tw];
+        const auto t = w * data[ins.b];
+        const auto u = data[ins.a];
+        data[ins.a] = u + t;
+        data[ins.b] = u - t;
+        ++stats.ops.butterflies;
+        stats.ops.real_mults += 4;
+        stats.ops.real_adds += 6;
+        break;
+      }
+      case KernelOp::kTwid: {
+        if (ins.a >= data.size() || ins.tw >= program.twiddles.size()) {
+          throw SimulationError("KernelVm: TWID operand out of range");
+        }
+        data[ins.a] *= program.twiddles[ins.tw];
+        stats.ops.real_mults += 4;
+        stats.ops.real_adds += 2;
+        break;
+      }
+      case KernelOp::kSwap: {
+        if (ins.a >= data.size() || ins.b >= data.size()) {
+          throw SimulationError("KernelVm: SWAP operand out of range");
+        }
+        std::swap(data[ins.a], data[ins.b]);
+        break;
+      }
+    }
+  }
+  throw SimulationError("KernelVm: program ran off the end (missing HALT)");
+}
+
+std::vector<Word> pack_kernel_words(const KernelProgram& program) {
+  constexpr std::uint32_t kMaxAddr = (1U << 28) - 1;
+  std::vector<Word> out;
+  out.push_back(program.code.size());
+  for (const KernelInstr& ins : program.code) {
+    if (ins.a > kMaxAddr || ins.b > kMaxAddr) {
+      throw SimulationError("pack_kernel_words: address exceeds 28 bits");
+    }
+    const Word w0 = static_cast<Word>(ins.op) |
+                    (static_cast<Word>(ins.a) << 8) |
+                    (static_cast<Word>(ins.b) << 36);
+    out.push_back(w0);
+    out.push_back(static_cast<Word>(ins.tw));
+  }
+  out.push_back(program.twiddles.size());
+  for (const auto& t : program.twiddles) {
+    out.push_back(std::bit_cast<Word>(t.real()));
+    out.push_back(std::bit_cast<Word>(t.imag()));
+  }
+  out.push_back(program.data_size);
+  return out;
+}
+
+KernelProgram unpack_kernel_words(const std::vector<Word>& words,
+                                  std::size_t& offset) {
+  auto need = [&](std::size_t k) {
+    if (offset + k > words.size()) {
+      throw SimulationError("unpack_kernel_words: truncated stream");
+    }
+  };
+  KernelProgram p;
+  need(1);
+  const auto code_count = static_cast<std::size_t>(words[offset++]);
+  need(code_count * 2);
+  p.code.reserve(code_count);
+  for (std::size_t i = 0; i < code_count; ++i) {
+    const Word w0 = words[offset++];
+    const Word w1 = words[offset++];
+    KernelInstr ins;
+    const auto op = static_cast<std::uint8_t>(w0 & 0xFF);
+    if (op > 3) throw SimulationError("unpack_kernel_words: bad opcode");
+    ins.op = static_cast<KernelOp>(op);
+    ins.a = static_cast<std::uint32_t>((w0 >> 8) & 0x0FFFFFFF);
+    ins.b = static_cast<std::uint32_t>((w0 >> 36) & 0x0FFFFFFF);
+    ins.tw = static_cast<std::uint32_t>(w1);
+    p.code.push_back(ins);
+  }
+  need(1);
+  const auto rom_count = static_cast<std::size_t>(words[offset++]);
+  need(rom_count * 2 + 1);
+  p.twiddles.reserve(rom_count);
+  for (std::size_t i = 0; i < rom_count; ++i) {
+    const double re = std::bit_cast<double>(words[offset++]);
+    const double im = std::bit_cast<double>(words[offset++]);
+    p.twiddles.emplace_back(re, im);
+  }
+  p.data_size = static_cast<std::size_t>(words[offset++]);
+  return p;
+}
+
+}  // namespace psync::core

@@ -1,0 +1,105 @@
+// The computation side of a P-sync node made concrete (paper Fig. 7): a
+// Computation Instruction Memory holding a kernel program, executed by the
+// Execution Unit against local Data Memory.
+//
+// The ISA is deliberately tiny — the paper's node is a streaming butterfly
+// engine, not a general core:
+//
+//   BFLY  a, b, tw   (x[a], x[b]) <- (x[a] + W*x[b], x[a] - W*x[b])
+//   TWID  a, tw      x[a] <- x[a] * W          (four-step inter-pass scale)
+//   SWAP  a, b       exchange x[a], x[b]       (bit-reversal permutation)
+//   HALT
+//
+// where W = twiddle ROM entry tw. A compiler lowers the FFT plans used by
+// the machine simulators into kernel programs whose executed-instruction
+// counts and timing reproduce the analytical cost model exactly, and whose
+// numeric results are bit-identical to the FftPlan fast paths. Programs
+// serialize to 96-bit instruction words, so — like communication programs —
+// they can be delivered to nodes over the SCA^-1 waveguide (Section IV:
+// "all data, including communication programs and computation programs can
+// be delivered on the SCA^-1 PSCAN").
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "psync/core/processor.hpp"
+
+namespace psync::core {
+
+enum class KernelOp : std::uint8_t {
+  kHalt = 0,
+  kBfly = 1,
+  kTwid = 2,
+  kSwap = 3,
+};
+
+struct KernelInstr {
+  KernelOp op = KernelOp::kHalt;
+  std::uint32_t a = 0;   // data-memory address (complex-sample index)
+  std::uint32_t b = 0;   // second address (BFLY/SWAP)
+  std::uint32_t tw = 0;  // twiddle ROM index (BFLY/TWID)
+};
+
+/// A compiled kernel: instruction memory plus its twiddle ROM.
+struct KernelProgram {
+  std::vector<KernelInstr> code;
+  std::vector<std::complex<double>> twiddles;
+  /// Data-memory footprint (samples) the program expects.
+  std::size_t data_size = 0;
+};
+
+/// Compile an n-point in-place forward FFT (bit-reversal SWAPs + all
+/// butterfly stages) for a row at `base` within the node's data memory.
+KernelProgram compile_fft_kernel(std::size_t n, std::size_t base = 0);
+
+/// Compile only stages [first, last) over the (already bit-reversed) row at
+/// `base`, optionally restricted to one delivery block — the Model II
+/// per-block kernel.
+KernelProgram compile_fft_stages_kernel(std::size_t n, std::size_t first_stage,
+                                        std::size_t last_stage,
+                                        std::size_t base = 0,
+                                        std::size_t block_offset = 0,
+                                        std::size_t block_size = 0);
+
+/// Compile the four-step twiddle scaling of `rows x cols` local samples
+/// whose first global row is `global_row0` of an (total_rows x cols) view.
+KernelProgram compile_four_step_twiddle_kernel(std::size_t rows,
+                                               std::size_t cols,
+                                               std::size_t global_row0,
+                                               std::size_t total_rows);
+
+/// Append `more` onto `program` (twiddle ROMs are merged; indices fixed up).
+void append_kernel(KernelProgram* program, const KernelProgram& more);
+
+struct VmStats {
+  std::uint64_t instructions = 0;
+  fft::OpCount ops;
+  double compute_ns = 0.0;   // under the ExecCostParams model
+  double energy_pj = 0.0;
+};
+
+/// The execution unit: runs a program against data memory. Throws
+/// SimulationError on address/ROM violations (the hardware trap).
+class KernelVm {
+ public:
+  explicit KernelVm(ExecCostParams exec) : exec_(exec) {}
+
+  VmStats run(const KernelProgram& program,
+              std::span<std::complex<double>> data) const;
+
+ private:
+  ExecCostParams exec_;
+};
+
+/// Serialize the program for waveguide delivery: each instruction is a
+/// 96-bit record (op 8b + a 28b + b 28b + tw 32b) carried in two 64-bit
+/// stream words; the twiddle ROM rides along at full double precision so a
+/// delivered kernel is bit-identical to a locally compiled one. Round-trips
+/// via unpack_kernel_words.
+std::vector<Word> pack_kernel_words(const KernelProgram& program);
+KernelProgram unpack_kernel_words(const std::vector<Word>& words,
+                                  std::size_t& offset);
+
+}  // namespace psync::core

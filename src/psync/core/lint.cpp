@@ -1,0 +1,157 @@
+#include "psync/core/lint.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "psync/common/check.hpp"
+#include "psync/photonic/ber.hpp"
+
+namespace psync::core {
+
+std::size_t LintReport::errors() const {
+  std::size_t n = 0;
+  for (const auto& i : issues) n += (i.severity == LintSeverity::kError);
+  return n;
+}
+
+std::size_t LintReport::warnings() const {
+  std::size_t n = 0;
+  for (const auto& i : issues) n += (i.severity == LintSeverity::kWarning);
+  return n;
+}
+
+std::string LintReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& i : issues) {
+    const char* sev = i.severity == LintSeverity::kError     ? "error"
+                      : i.severity == LintSeverity::kWarning ? "warning"
+                                                             : "info";
+    os << sev;
+    if (i.node >= 0) os << " [node " << i.node << "]";
+    os << ": " << i.message << '\n';
+  }
+  os << (ok ? "schedule OK" : "schedule INVALID") << " (utilization "
+     << utilization * 100.0 << "%)\n";
+  return os.str();
+}
+
+LintReport lint_transaction(const PscanTopology& topology,
+                            const CpSchedule& schedule, CpAction action,
+                            const std::vector<std::size_t>& data_sizes) {
+  LintReport rep;
+  auto issue = [&](LintSeverity sev, std::int32_t node, std::string msg) {
+    rep.issues.push_back(LintIssue{sev, node, std::move(msg)});
+    if (sev == LintSeverity::kError) rep.ok = false;
+  };
+
+  // Topology.
+  try {
+    topology.validate();
+  } catch (const SimulationError& e) {
+    issue(LintSeverity::kError, -1, std::string("topology: ") + e.what());
+    return rep;
+  }
+  if (schedule.nodes() != topology.nodes()) {
+    issue(LintSeverity::kError, -1,
+          "schedule has " + std::to_string(schedule.nodes()) +
+              " nodes but the topology has " +
+              std::to_string(topology.nodes()));
+    return rep;
+  }
+
+  // Per-node programs: self-overlap, bounds, encodability, data sizes.
+  std::vector<std::int32_t> owner(
+      static_cast<std::size_t>(std::max<Slot>(schedule.total_slots, 0)), -1);
+  Slot claimed = 0;
+  for (std::size_t i = 0; i < schedule.nodes(); ++i) {
+    const auto node = static_cast<std::int32_t>(i);
+    std::vector<CpEntry> entries;
+    try {
+      entries = schedule.node_cps[i].entries();
+    } catch (const SimulationError& e) {
+      issue(LintSeverity::kError, node, e.what());
+      continue;
+    }
+    try {
+      (void)schedule.node_cps[i].encode();
+    } catch (const SimulationError& e) {
+      issue(LintSeverity::kError, node,
+            std::string("not encodable in 94-bit records: ") + e.what());
+    }
+    Slot my_slots = 0;
+    for (const auto& e : entries) {
+      if (e.action != action) continue;
+      my_slots += e.length;
+      for (Slot s = e.begin; s < e.end(); ++s) {
+        if (s < 0 || s >= schedule.total_slots) {
+          issue(LintSeverity::kError, node,
+                "claims slot " + std::to_string(s) + " outside [0, " +
+                    std::to_string(schedule.total_slots) + ")");
+          continue;
+        }
+        auto& o = owner[static_cast<std::size_t>(s)];
+        if (o != -1) {
+          issue(LintSeverity::kError, node,
+                "slot " + std::to_string(s) + " already claimed by node " +
+                    std::to_string(o));
+        } else {
+          o = node;
+          ++claimed;
+        }
+      }
+    }
+    if (!data_sizes.empty()) {
+      if (i >= data_sizes.size()) {
+        issue(LintSeverity::kError, node, "no data size supplied");
+      } else if (static_cast<Slot>(data_sizes[i]) != my_slots) {
+        issue(LintSeverity::kError, node,
+              "CP moves " + std::to_string(my_slots) + " slots but " +
+                  std::to_string(data_sizes[i]) + " words were supplied");
+      }
+    }
+  }
+
+  rep.utilization =
+      schedule.total_slots > 0
+          ? static_cast<double>(claimed) /
+                static_cast<double>(schedule.total_slots)
+          : 0.0;
+  if (claimed < schedule.total_slots) {
+    issue(LintSeverity::kWarning, -1,
+          std::to_string(schedule.total_slots - claimed) +
+              " idle slots (utilization " +
+              std::to_string(rep.utilization * 100.0) + "%)");
+  }
+
+  // Optical budget and projected reliability.
+  if (topology.budget.has_value()) {
+    photonic::LinkBudgetParams p = *topology.budget;
+    const double length_cm =
+        units::um_to_cm(topology.terminus_um - topology.head_um);
+    const double n = static_cast<double>(topology.nodes());
+    p.modulator_pitch_cm = n > 0 ? length_cm / n : length_cm;
+    rep.worst_margin_db =
+        photonic::worst_case_margin_db(p, topology.nodes());
+    rep.has_margin = true;
+    if (rep.worst_margin_db < 0.0) {
+      issue(LintSeverity::kError, -1,
+            "link budget does not close: worst-case margin " +
+                std::to_string(rep.worst_margin_db) + " dB");
+    } else {
+      const double bits =
+          static_cast<double>(schedule.total_slots) * 64.0;
+      const double errors = photonic::expected_bit_errors(
+          rep.worst_margin_db, static_cast<std::uint64_t>(bits));
+      if (errors > 1e-3) {
+        issue(LintSeverity::kWarning, -1,
+              "thin optical margin (" + std::to_string(rep.worst_margin_db) +
+                  " dB): expect ~" + std::to_string(errors) +
+                  " bit errors in this transaction");
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace psync::core

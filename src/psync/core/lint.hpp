@@ -1,0 +1,52 @@
+// Schedule linting: one call that checks everything that can be wrong with
+// a planned PSCAN transaction *before* it is simulated, with human-readable
+// diagnostics. The engine throws on hard errors; the linter explains them —
+// it is what tools/ and interactive users should run on hand-written CPs.
+//
+// Checks:
+//   errors   — per-node CP self-overlap; cross-node slot collisions;
+//              slots outside [0, total); CP fields too wide to encode;
+//              node data size != CP slot count; topology inconsistencies.
+//   warnings — schedule gaps (idle waveguide slots); link budget that does
+//              not close (or closes with thin margin -> projected BER and
+//              expected bit errors for the transaction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psync/core/sca.hpp"
+
+namespace psync::core {
+
+enum class LintSeverity { kError, kWarning, kInfo };
+
+struct LintIssue {
+  LintSeverity severity = LintSeverity::kInfo;
+  /// Node the issue concerns, or -1 for schedule/topology-wide issues.
+  std::int32_t node = -1;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintIssue> issues;
+  bool ok = true;          // no errors (warnings allowed)
+  double utilization = 0.0;
+  /// Worst-case optical margin (dB) when a budget is configured; NaN
+  /// otherwise.
+  double worst_margin_db = 0.0;
+  bool has_margin = false;
+
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  std::string to_string() const;
+};
+
+/// Lint a gather (kDrive) or scatter (kListen) transaction. `data_sizes`
+/// (optional) are the per-node word counts that will be supplied; pass an
+/// empty vector to skip that check.
+LintReport lint_transaction(const PscanTopology& topology,
+                            const CpSchedule& schedule, CpAction action,
+                            const std::vector<std::size_t>& data_sizes = {});
+
+}  // namespace psync::core

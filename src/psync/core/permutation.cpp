@@ -1,0 +1,202 @@
+#include "psync/core/permutation.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+
+std::vector<CpStride> coalesce_slots(const std::vector<Slot>& slots,
+                                     CpAction action) {
+  std::vector<CpStride> out;
+  if (slots.empty()) return out;
+
+  // Pass 1: maximal bursts of consecutive slots, split at the encoding's
+  // burst-width limit so every record stays encodable.
+  struct Burst {
+    Slot start;
+    Slot len;
+  };
+  std::vector<Burst> bursts;
+  Slot start = slots[0];
+  Slot len = 1;
+  auto flush = [&](Slot s, Slot l) {
+    while (l > kCpMaxBurst) {
+      bursts.push_back(Burst{s, kCpMaxBurst});
+      s += kCpMaxBurst;
+      l -= kCpMaxBurst;
+    }
+    bursts.push_back(Burst{s, l});
+  };
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i] <= slots[i - 1]) {
+      throw SimulationError("coalesce_slots: slots must strictly increase");
+    }
+    if (slots[i] == slots[i - 1] + 1) {
+      ++len;
+    } else {
+      flush(start, len);
+      start = slots[i];
+      len = 1;
+    }
+  }
+  flush(start, len);
+
+  // Pass 2: greedy constant-stride grouping of equal-length bursts.
+  std::size_t i = 0;
+  while (i < bursts.size()) {
+    CpStride rec;
+    rec.first = bursts[i].start;
+    rec.burst = bursts[i].len;
+    rec.stride = rec.burst;  // placeholder for count == 1
+    rec.count = 1;
+    rec.action = action;
+    if (i + 1 < bursts.size() && bursts[i + 1].len == rec.burst) {
+      const Slot stride = bursts[i + 1].start - rec.first;
+      if (stride >= rec.burst && stride <= kCpMaxStride) {
+        std::size_t j = i + 1;
+        Slot expect = rec.first + stride;
+        while (j < bursts.size() && bursts[j].len == rec.burst &&
+               bursts[j].start == expect && rec.count < kCpMaxCount) {
+          ++rec.count;
+          expect += stride;
+          ++j;
+        }
+        if (rec.count > 1) rec.stride = stride;
+        i = j;
+        out.push_back(rec);
+        continue;
+      }
+    }
+    ++i;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+CpSchedule compile_collective(const CollectiveSpec& spec, CpAction action) {
+  if (spec.nodes == 0 || spec.total_slots <= 0 || !spec.elements_of ||
+      !spec.slot_of) {
+    throw SimulationError("compile_collective: incomplete spec");
+  }
+  CpSchedule sched;
+  sched.total_slots = spec.total_slots;
+  sched.node_cps.resize(spec.nodes);
+
+  std::vector<std::uint8_t> claimed(
+      static_cast<std::size_t>(spec.total_slots), 0);
+  Slot claimed_count = 0;
+
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    const Slot elements = spec.elements_of(i);
+    std::vector<Slot> slots;
+    slots.reserve(static_cast<std::size_t>(elements));
+    Slot prev = -1;
+    for (Slot j = 0; j < elements; ++j) {
+      const Slot s = spec.slot_of(i, j);
+      if (s < 0 || s >= spec.total_slots) {
+        throw SimulationError("compile_collective: node " + std::to_string(i) +
+                              " element " + std::to_string(j) +
+                              " maps outside the schedule");
+      }
+      if (s <= prev) {
+        throw SimulationError(
+            "compile_collective: node " + std::to_string(i) +
+            " element order is not slot-monotone (the SerDes streams the "
+            "local buffer in order)");
+      }
+      auto& c = claimed[static_cast<std::size_t>(s)];
+      if (c != 0) {
+        throw SimulationError("compile_collective: slot " + std::to_string(s) +
+                              " claimed twice (not a permutation)");
+      }
+      c = 1;
+      ++claimed_count;
+      prev = s;
+      slots.push_back(s);
+    }
+    for (const CpStride& rec : coalesce_slots(slots, action)) {
+      sched.node_cps[i].add(rec);
+    }
+  }
+  if (claimed_count != spec.total_slots) {
+    throw SimulationError(
+        "compile_collective: mapping covers " + std::to_string(claimed_count) +
+        " of " + std::to_string(sched.total_slots) +
+        " slots (not a bijection)");
+  }
+  return sched;
+}
+
+CollectiveSpec transpose_spec(std::size_t nodes, Slot rows_per_node,
+                              Slot row_length) {
+  PSYNC_CHECK(nodes > 0 && rows_per_node > 0 && row_length > 0);
+  const Slot total_rows = static_cast<Slot>(nodes) * rows_per_node;
+  CollectiveSpec spec;
+  spec.nodes = nodes;
+  spec.total_slots = total_rows * row_length;
+  spec.elements_of = [=](std::size_t) { return rows_per_node * row_length; };
+  // Node-local element order is column-major over the node's block
+  // (element e = c*rows_per_node + r), exactly how the P-sync machine
+  // streams it; slot = c*total_rows + global_row.
+  spec.slot_of = [=](std::size_t node, Slot e) {
+    const Slot c = e / rows_per_node;
+    const Slot r = e % rows_per_node;
+    return c * total_rows + static_cast<Slot>(node) * rows_per_node + r;
+  };
+  return spec;
+}
+
+CollectiveSpec corner_turn_3d_spec(std::size_t nodes, Slot x_dim, Slot y_dim,
+                                   Slot z_dim) {
+  PSYNC_CHECK(nodes > 0 && x_dim > 0 && y_dim > 0 && z_dim > 0);
+  if (x_dim % static_cast<Slot>(nodes) != 0) {
+    throw SimulationError("corner_turn_3d: nodes must divide the X dimension");
+  }
+  const Slot planes_per_node = x_dim / static_cast<Slot>(nodes);
+  CollectiveSpec spec;
+  spec.nodes = nodes;
+  spec.total_slots = x_dim * y_dim * z_dim;
+  spec.elements_of = [=](std::size_t) {
+    return planes_per_node * y_dim * z_dim;
+  };
+  // Output rotates axes to (Y, Z, X): slot(x, y, z) = (y*Z + z)*X + x. The
+  // node streams its block in output order — x_local fastest, i.e. its
+  // waveguide interface reads local memory with stride Y*Z (a strided CP on
+  // the memory side, like the head node's) — so the wire order is
+  // slot-monotone as the SerDes requires.
+  spec.slot_of = [=](std::size_t node, Slot e) {
+    const Slot x_local = e % planes_per_node;
+    const Slot yz = e / planes_per_node;
+    const Slot x = static_cast<Slot>(node) * planes_per_node + x_local;
+    return yz * x_dim + x;
+  };
+  return spec;
+}
+
+CollectiveSpec submatrix_spec(std::size_t nodes, Slot row_length, Slot col0,
+                              Slot cols) {
+  PSYNC_CHECK(nodes > 0 && cols > 0);
+  if (col0 < 0 || col0 + cols > row_length) {
+    throw SimulationError("submatrix_spec: column window outside the row");
+  }
+  CollectiveSpec spec;
+  spec.nodes = nodes;
+  spec.total_slots = static_cast<Slot>(nodes) * cols;
+  spec.elements_of = [=](std::size_t) { return cols; };
+  // Element j is column col0+j of the node's row; the region of interest is
+  // emitted column-major: slot = j*P + node.
+  spec.slot_of = [=](std::size_t node, Slot j) {
+    return j * static_cast<Slot>(nodes) + static_cast<Slot>(node);
+  };
+  return spec;
+}
+
+std::size_t total_stride_records(const CpSchedule& schedule) {
+  std::size_t n = 0;
+  for (const auto& cp : schedule.node_cps) n += cp.strides().size();
+  return n;
+}
+
+}  // namespace psync::core

@@ -1,0 +1,72 @@
+// CP generation from abstract programmer constructs — the paper's first
+// "future work" item ("generation of distributed communication programs
+// from abstract programmer constructs").
+//
+// A collective is described as a *permutation*: which global slot each
+// (node, element) pair occupies. From any such description this module
+// compiles the per-node communication programs, coalescing explicit slot
+// lists into the minimal number of strided records the waveguide-interface
+// sequencer executes (and the 94-bit encoding stores).
+//
+// Built-in descriptors cover the paper's patterns (block, interleave,
+// transpose) plus the multi-dimensional corner turns that generalize them:
+// a 3D tensor held as planes across the array can be reorganized along any
+// axis pair with a single SCA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "psync/core/cp_compile.hpp"
+
+namespace psync::core {
+
+/// Abstract collective: node i contributes `elements_of(i)` elements; the
+/// j-th element of node i (in local buffer order) occupies global slot
+/// `slot_of(i, j)`. The mapping must be a bijection onto [0, total_slots).
+struct CollectiveSpec {
+  std::size_t nodes = 0;
+  Slot total_slots = 0;
+  std::function<Slot(std::size_t node)> elements_of;
+  std::function<Slot(std::size_t node, Slot element)> slot_of;
+};
+
+/// Compile a CollectiveSpec into per-node CPs with `action`. Verifies the
+/// bijection (throws SimulationError on overlap, out-of-range, or an
+/// element order that is not slot-monotone — the SerDes streams the local
+/// buffer in order, so element j must precede element j+1 on the wire).
+CpSchedule compile_collective(const CollectiveSpec& spec, CpAction action);
+
+/// Coalesce an increasing slot list into minimal strided records: greedy
+/// run-length detection of bursts (consecutive slots) followed by constant-
+/// stride repetition of equal-length bursts. Optimal for all the affine
+/// patterns in this codebase; never worse than one record per burst.
+std::vector<CpStride> coalesce_slots(const std::vector<Slot>& slots,
+                                     CpAction action);
+
+/// Affine 2D corner turn: the array holds an (R x C) matrix, node i owning
+/// rows [i*R/P, (i+1)*R/P); the output stream is column-major. Equivalent
+/// to compile_gather_transpose but produced through the generic compiler.
+CollectiveSpec transpose_spec(std::size_t nodes, Slot rows_per_node,
+                              Slot row_length);
+
+/// 3D corner turn: a (X x Y x Z) tensor stored x-major-then-y ("planes" of
+/// Y*Z), distributed so node i owns planes [i*X/P, (i+1)*X/P). The SCA
+/// emits the tensor with axes rotated to (Y x Z x X): output slot of
+/// element (x, y, z) is ((y * Z) + z) * X + x. One SCA performs the corner
+/// turn that a 3D FFT needs between axis passes.
+CollectiveSpec corner_turn_3d_spec(std::size_t nodes, Slot x_dim, Slot y_dim,
+                                   Slot z_dim);
+
+/// Gather of a strided submatrix: every node owns a full row of length C
+/// but only columns [col0, col0+cols) participate, emitted column-major —
+/// the "access a region of interest across the non-major dimension"
+/// pattern from the paper's motivation (Section II).
+CollectiveSpec submatrix_spec(std::size_t nodes, Slot row_length, Slot col0,
+                              Slot cols);
+
+/// Total stride records across a schedule (compactness metric).
+std::size_t total_stride_records(const CpSchedule& schedule);
+
+}  // namespace psync::core

@@ -1,0 +1,79 @@
+#include "psync/core/processor.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "psync/common/check.hpp"
+#include "psync/fft/four_step.hpp"
+
+namespace psync::core {
+
+Word pack_sample(std::complex<double> v) {
+  const float re = static_cast<float>(v.real());
+  const float im = static_cast<float>(v.imag());
+  const auto re_bits = std::bit_cast<std::uint32_t>(re);
+  const auto im_bits = std::bit_cast<std::uint32_t>(im);
+  return (static_cast<Word>(re_bits) << 32) | im_bits;
+}
+
+std::complex<double> unpack_sample(Word w) {
+  const auto re = std::bit_cast<float>(static_cast<std::uint32_t>(w >> 32));
+  const auto im = std::bit_cast<float>(static_cast<std::uint32_t>(w & 0xFFFFFFFFULL));
+  return {static_cast<double>(re), static_cast<double>(im)};
+}
+
+Processor::Processor(std::uint32_t id, ExecCostParams exec)
+    : id_(id), exec_(exec) {}
+
+double Processor::fft_rows(std::size_t rows, std::size_t cols) {
+  PSYNC_CHECK(data_.size() >= rows * cols);
+  fft::FftPlan plan(cols);
+  fft::OpCount total;
+  for (std::size_t r = 0; r < rows; ++r) {
+    total += plan.forward(
+        std::span<fft::Complex>(data_).subspan(r * cols, cols));
+  }
+  ops_ += total;
+  const double ns = exec_.compute_ns(total);
+  busy_ns_ += ns;
+  return ns;
+}
+
+double Processor::apply_four_step_twiddles(std::size_t rows, std::size_t cols,
+                                           std::size_t global_row0,
+                                           std::size_t total_rows) {
+  PSYNC_CHECK(data_.size() >= rows * cols);
+  const std::size_t n = total_rows * cols;
+  fft::OpCount ops;
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = std::span<fft::Complex>(data_).subspan(r * cols, cols);
+    for (std::size_t q = 0; q < cols; ++q) {
+      row[q] *= fft::four_step_twiddle(n, global_row0 + r, q);
+    }
+  }
+  ops.real_mults += 4 * rows * cols;
+  ops.real_adds += 2 * rows * cols;
+  ops_ += ops;
+  const double ns = exec_.compute_ns(ops);
+  busy_ns_ += ns;
+  return ns;
+}
+
+double Processor::fft_row_stages(const fft::FftPlan& plan, std::size_t row,
+                                 std::size_t cols, std::size_t first_stage,
+                                 std::size_t last_stage,
+                                 std::size_t block_offset,
+                                 std::size_t block_size, bool prepare) {
+  PSYNC_CHECK(plan.size() == cols);
+  PSYNC_CHECK(data_.size() >= (row + 1) * cols);
+  auto span = std::span<fft::Complex>(data_).subspan(row * cols, cols);
+  if (prepare) plan.bit_reverse(span);
+  const fft::OpCount ops =
+      plan.run_stages(span, first_stage, last_stage, block_offset, block_size);
+  ops_ += ops;
+  const double ns = exec_.compute_ns(ops);
+  busy_ns_ += ns;
+  return ns;
+}
+
+}  // namespace psync::core

@@ -1,0 +1,420 @@
+#include "psync/core/psync_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "psync/common/check.hpp"
+#include "psync/fft/fft2d.hpp"
+#include "psync/fft/four_step.hpp"
+
+namespace psync::core {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t ilog2(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+std::size_t reverse_bits(std::size_t v, std::size_t bits) {
+  std::size_t r = 0;
+  for (std::size_t b = 0; b < bits; ++b) {
+    r |= ((v >> b) & 1U) << (bits - 1 - b);
+  }
+  return r;
+}
+
+photonic::ClockParams clock_of(const PsyncMachineParams& p) {
+  photonic::ClockParams c;
+  // One slot carries one sample word across the WDM group.
+  c.frequency_ghz = p.waveguide_gbps / static_cast<double>(p.sample_bits);
+  return c;
+}
+
+}  // namespace
+
+const Phase& PsyncRunReport::phase(const std::string& name) const {
+  for (const auto& p : phases) {
+    if (p.name == name) return p;
+  }
+  throw SimulationError("PsyncRunReport: no phase named " + name);
+}
+
+PsyncMachine::PsyncMachine(PsyncMachineParams params)
+    : params_(params),
+      topo_(straight_bus_topology(params.processors, params.bus_length_cm,
+                                  clock_of(params))),
+      engine_(topo_),
+      head_(params.head) {
+  const auto& p = params_;
+  if (p.processors == 0) throw SimulationError("PsyncMachine: no processors");
+  if (!is_pow2(p.matrix_rows) || !is_pow2(p.matrix_cols)) {
+    throw SimulationError("PsyncMachine: matrix dims must be powers of two");
+  }
+  if (p.matrix_rows % p.processors != 0 || p.matrix_cols % p.processors != 0) {
+    throw SimulationError(
+        "PsyncMachine: processor count must divide both matrix dimensions");
+  }
+  if (!is_pow2(p.delivery_blocks) ||
+      p.delivery_blocks > std::min(p.matrix_cols, p.matrix_rows)) {
+    throw SimulationError(
+        "PsyncMachine: delivery_blocks must be a power of two <= both dims");
+  }
+  procs_.reserve(p.processors);
+  for (std::size_t i = 0; i < p.processors; ++i) {
+    procs_.emplace_back(static_cast<std::uint32_t>(i), p.exec);
+  }
+}
+
+double PsyncMachine::slot_period_ns() const {
+  return static_cast<double>(engine_.clock().period_ps()) * 1e-3;
+}
+
+PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
+    const std::vector<Word>& image, std::size_t rows, std::size_t cols,
+    double start_ns, Phase& scatter_phase, Phase& fft_phase) {
+  const std::size_t P = params_.processors;
+  const std::size_t k = params_.delivery_blocks;
+  const std::size_t rpp = rows / P;
+  const std::size_t bs = cols / k;        // block size in samples
+  const std::size_t B = rpp * bs;         // samples per proc per round
+  const std::size_t log2k = ilog2(k);
+  const std::size_t log2bs = ilog2(bs);
+  PSYNC_CHECK(image.size() == rows * cols);
+
+  const CpSchedule sched = compile_scatter_round_robin(
+      P, static_cast<Slot>(k), static_cast<Slot>(B));
+
+  // Burst in slot order; slot s belongs to round j, processor i, offset q.
+  // Block contents stream in bit-reversed-strided order so each block's
+  // local sub-FFT can run on arrival (Model II, Fig. 10).
+  std::vector<Word> burst(rows * cols);
+  for (std::size_t s = 0; s < burst.size(); ++s) {
+    const std::size_t j = s / (P * B);
+    const std::size_t rem = s % (P * B);
+    const std::size_t i = rem / B;
+    const std::size_t q = rem % B;
+    const std::size_t r = q / bs;
+    const std::size_t pos = q % bs;
+    const std::size_t orig_col =
+        reverse_bits(j, log2k) + k * reverse_bits(pos, log2bs);
+    burst[s] = image[(i * rpp + r) * cols + orig_col];
+  }
+
+  const ScatterResult sc = engine_.scatter(sched, burst);
+  waveguide_words_ += burst.size();
+
+  std::vector<std::vector<double>> block_done(
+      P, std::vector<double>(k, start_ns));
+  for (auto& proc : procs_) {
+    proc.data().assign(rpp * cols, {0.0, 0.0});
+  }
+  for (const auto& d : sc.deliveries) {
+    const auto i = static_cast<std::size_t>(d.node);
+    const auto e = static_cast<std::size_t>(d.element);
+    const std::size_t j = e / B;
+    const std::size_t q = e % B;
+    const std::size_t r = q / bs;
+    const std::size_t pos = q % bs;
+    procs_[i].data()[r * cols + j * bs + pos] = unpack_sample(d.word);
+    const double at = start_ns + static_cast<double>(d.arrival_ps) * 1e-3;
+    block_done[i][j] = std::max(block_done[i][j], at);
+  }
+
+  PassResult out;
+  out.delivery_end_ns = start_ns;
+  for (const auto& d : sc.deliveries) {
+    out.delivery_end_ns =
+        std::max(out.delivery_end_ns,
+                 start_ns + static_cast<double>(d.arrival_ps) * 1e-3);
+  }
+
+  const fft::FftPlan plan(cols);
+  out.compute_begin_ns = block_done[0][0];
+  out.compute_end_ns = start_ns;
+  for (std::size_t i = 0; i < P; ++i) {
+    double cursor = start_ns;
+    for (std::size_t j = 0; j < k; ++j) {
+      cursor = std::max(cursor, block_done[i][j]);
+      for (std::size_t r = 0; r < rpp; ++r) {
+        const double ns =
+            procs_[i].fft_row_stages(plan, r, cols, 0, log2bs, j * bs, bs);
+        cursor += ns;
+        out.busy_ns += ns;
+      }
+    }
+    for (std::size_t r = 0; r < rpp; ++r) {
+      const double ns =
+          procs_[i].fft_row_stages(plan, r, cols, log2bs, log2bs + log2k);
+      cursor += ns;
+      out.busy_ns += ns;
+    }
+    out.compute_end_ns = std::max(out.compute_end_ns, cursor);
+  }
+
+  scatter_phase.start_ns = start_ns;
+  scatter_phase.end_ns = out.delivery_end_ns;
+  fft_phase.start_ns = out.compute_begin_ns;
+  fft_phase.end_ns = out.compute_end_ns;
+  return out;
+}
+
+double PsyncMachine::gather_to_dram(
+    const CpSchedule& sched, const std::vector<std::vector<Word>>& node_data,
+    double start_ns, Phase& phase) {
+  const GatherResult g = engine_.gather(sched, node_data);
+  waveguide_words_ += g.stream.size();
+  collisions_ += g.collisions.size();
+  gap_free_ = gap_free_ && g.gap_free;
+  const auto words = g.words();
+  const StreamReport rep = head_.writeback(words, 0, params_.sample_bits);
+  const double span_ns = static_cast<double>(g.span_ps) * 1e-3;
+  const double dur = std::max(span_ns, rep.dram_ns);
+  phase.start_ns = start_ns;
+  phase.end_ns = start_ns + dur;
+  return phase.end_ns;
+}
+
+double PsyncMachine::reorg_and_second_pass(std::size_t rows, std::size_t cols,
+                                           double pass1_end,
+                                           std::vector<Phase>& phases,
+                                           double* reorg_ns,
+                                           PassResult* pass2_out) {
+  const std::size_t P = params_.processors;
+  const std::size_t rpp = rows / P;
+  const std::size_t cpp = cols / P;
+
+  // ---- Transpose SCA gather ----
+  Phase p_tr{"sca_transpose", 0, 0};
+  {
+    const CpSchedule sched = compile_gather_transpose(
+        P, static_cast<Slot>(rpp), static_cast<Slot>(cols));
+    std::vector<std::vector<Word>> node_data(P);
+    for (std::size_t i = 0; i < P; ++i) {
+      node_data[i].resize(rpp * cols);
+      for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < rpp; ++r) {
+          node_data[i][c * rpp + r] =
+              pack_sample(procs_[i].data()[r * cols + c]);
+        }
+      }
+    }
+    gather_to_dram(sched, node_data, pass1_end, p_tr);
+  }
+
+  // ---- Second pass: the image is now (cols x rows) row-major ----
+  Phase p_sc2{"scatter_cols", 0, 0};
+  Phase p_fft2{"col_ffts", 0, 0};
+  const PassResult pass2 =
+      scatter_fft_pass(head_.image(), cols, rows, p_tr.end_ns, p_sc2, p_fft2);
+  if (pass2_out != nullptr) *pass2_out = pass2;
+
+  // ---- Final writeback (block gather of the cols x rows result) ----
+  Phase p_wb{"sca_writeback", 0, 0};
+  {
+    const CpSchedule sched =
+        compile_gather_blocks(P, static_cast<Slot>(cpp * rows));
+    std::vector<std::vector<Word>> node_data(P);
+    for (std::size_t i = 0; i < P; ++i) {
+      node_data[i].resize(cpp * rows);
+      for (std::size_t e = 0; e < cpp * rows; ++e) {
+        node_data[i][e] = pack_sample(procs_[i].data()[e]);
+      }
+    }
+    gather_to_dram(sched, node_data, pass2.compute_end_ns, p_wb);
+  }
+
+  phases.push_back(p_tr);
+  phases.push_back(p_sc2);
+  phases.push_back(p_fft2);
+  phases.push_back(p_wb);
+  *reorg_ns = p_tr.duration_ns() + p_sc2.duration_ns();
+  return p_wb.end_ns;
+}
+
+namespace {
+
+void finish_report(PsyncRunReport* report, const std::vector<Processor>& procs,
+                   std::size_t processors, double total_ns,
+                   std::uint64_t collisions, bool gap_free) {
+  report->total_ns = total_ns;
+  report->sca_collisions = collisions;
+  report->sca_gap_free = gap_free;
+
+  fft::OpCount total_ops;
+  double busy = 0.0;
+  for (const auto& proc : procs) {
+    total_ops += proc.ops();
+    busy += proc.busy_ns();
+  }
+  // Flop accounting: the kernels track real multiplies and adds exactly
+  // (a radix-2 butterfly is 4 + 6, a twiddle scaling 4 + 2).
+  report->flops = total_ops.real_mults + total_ops.real_adds;
+  report->gflops =
+      total_ns > 0 ? static_cast<double>(report->flops) / total_ns : 0.0;
+  report->compute_efficiency =
+      total_ns > 0 ? busy / (static_cast<double>(processors) * total_ns) : 0.0;
+}
+
+double normalized_max_error(const std::vector<std::complex<double>>& got,
+                            const std::vector<std::complex<double>>& ref) {
+  PSYNC_CHECK(got.size() == ref.size());
+  double max_abs = 1e-30;
+  for (const auto& v : ref) max_abs = std::max(max_abs, std::abs(v));
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    max_err = std::max(max_err, std::abs(got[i] - ref[i]));
+  }
+  return max_err / max_abs;
+}
+
+}  // namespace
+
+void PsyncMachine::apply_energy(PsyncRunReport* report) const {
+  const photonic::PhotonicEnergyBreakdown e = photonic::pscan_energy_per_bit(
+      params_.photonics, params_.processors);
+  const double bits = static_cast<double>(waveguide_words_) *
+                      static_cast<double>(params_.sample_bits);
+  report->comm_energy_pj = bits * e.total_pj_per_bit();
+  fft::OpCount ops;
+  for (const auto& proc : procs_) ops += proc.ops();
+  report->compute_energy_pj = params_.exec.compute_energy_pj(ops);
+}
+
+PsyncRunReport PsyncMachine::run_fft2d(
+    const std::vector<std::complex<double>>& input, bool verify) {
+  const std::size_t P = params_.processors;
+  const std::size_t R = params_.matrix_rows;
+  const std::size_t C = params_.matrix_cols;
+  PSYNC_CHECK(input.size() == R * C);
+
+  collisions_ = 0;
+  gap_free_ = true;
+  waveguide_words_ = 0;
+  for (auto& proc : procs_) {
+    proc = Processor(proc.id(), params_.exec);
+  }
+
+  head_.image().resize(R * C);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    head_.image()[i] = pack_sample(input[i]);
+  }
+
+  PsyncRunReport report;
+  Phase p_sc1{"scatter_rows", 0, 0};
+  Phase p_fft1{"row_ffts", 0, 0};
+  const PassResult pass1 =
+      scatter_fft_pass(head_.image(), R, C, 0.0, p_sc1, p_fft1);
+  report.phases = {p_sc1, p_fft1};
+
+  const double end = reorg_and_second_pass(R, C, pass1.compute_end_ns,
+                                           report.phases, &report.reorg_ns,
+                                           nullptr);
+  finish_report(&report, procs_, P, end, collisions_, gap_free_);
+  apply_energy(&report);
+
+  if (verify) {
+    std::vector<std::complex<double>> ref(input);
+    fft::fft2d(ref, R, C, /*restore_layout=*/false);
+    report.max_error_vs_reference = normalized_max_error(result(), ref);
+  }
+  return report;
+}
+
+PsyncRunReport PsyncMachine::run_fft1d(
+    const std::vector<std::complex<double>>& input, bool verify) {
+  const std::size_t P = params_.processors;
+  const std::size_t R = params_.matrix_rows;  // four-step row count
+  const std::size_t C = params_.matrix_cols;  // four-step column count
+  const std::size_t N = R * C;
+  PSYNC_CHECK(input.size() == N);
+
+  collisions_ = 0;
+  gap_free_ = true;
+  waveguide_words_ = 0;
+  for (auto& proc : procs_) {
+    proc = Processor(proc.id(), params_.exec);
+  }
+
+  // DRAM holds x in natural order; the head node's CP streams the strided
+  // four-step view M[r][c] = x[c*R + r]. Build that view as the pass-1
+  // image (the strided access is the head node's job, not the processors').
+  head_.image().resize(N);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    head_.image()[i] = pack_sample(input[i]);
+  }
+  std::vector<Word> view(N);
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      view[r * C + c] = head_.image()[c * R + r];
+    }
+  }
+
+  PsyncRunReport report;
+  Phase p_sc1{"scatter_rows", 0, 0};
+  Phase p_fft1{"row_ffts", 0, 0};
+  const PassResult pass1 = scatter_fft_pass(view, R, C, 0.0, p_sc1, p_fft1);
+  report.phases = {p_sc1, p_fft1};
+
+  // ---- Twiddle scaling, entirely node-local ----
+  Phase p_tw{"twiddle", pass1.compute_end_ns, pass1.compute_end_ns};
+  const std::size_t rpp = R / P;
+  double tw_max = 0.0;
+  for (std::size_t i = 0; i < P; ++i) {
+    tw_max = std::max(
+        tw_max, procs_[i].apply_four_step_twiddles(rpp, C, i * rpp, R));
+  }
+  p_tw.end_ns = p_tw.start_ns + tw_max;
+  report.phases.push_back(p_tw);
+
+  const double end = reorg_and_second_pass(R, C, p_tw.end_ns, report.phases,
+                                           &report.reorg_ns, nullptr);
+  finish_report(&report, procs_, P, end, collisions_, gap_free_);
+  apply_energy(&report);
+
+  if (verify) {
+    std::vector<std::complex<double>> ref(input);
+    fft::FftPlan plan(N);
+    plan.forward(ref);
+    report.max_error_vs_reference = normalized_max_error(result_1d(), ref);
+  }
+  return report;
+}
+
+PsyncMachine::PipelineReport PsyncMachine::pipeline_estimate(
+    const PsyncRunReport& run) {
+  PipelineReport rep;
+  rep.latency_ns = run.total_ns;
+  // Collective phases occupy the shared waveguide serially.
+  for (const auto& ph : run.phases) {
+    if (ph.name.rfind("scatter", 0) == 0 || ph.name.rfind("sca_", 0) == 0) {
+      rep.bus_busy_ns += ph.duration_ns();
+    }
+  }
+  // Per-processor compute obligation per frame: the run's total busy time
+  // divided across the array (compute phases' wall windows include Model I
+  // delivery stagger, which pipelining hides).
+  rep.compute_busy_ns = run.compute_efficiency * run.total_ns;
+  rep.interval_ns = std::max(rep.bus_busy_ns, rep.compute_busy_ns);
+  rep.bus_bound = rep.bus_busy_ns >= rep.compute_busy_ns;
+  rep.frames_per_sec =
+      rep.interval_ns > 0.0 ? 1e9 / rep.interval_ns : 0.0;
+  return rep;
+}
+
+std::vector<std::complex<double>> PsyncMachine::result() const {
+  std::vector<std::complex<double>> out;
+  out.reserve(head_.image().size());
+  for (Word w : head_.image()) out.push_back(unpack_sample(w));
+  return out;
+}
+
+std::vector<std::complex<double>> PsyncMachine::result_1d() const {
+  // The final image is the pass-2 result (C x R row-major = matrix_t).
+  const auto mt = result();
+  return fft::four_step_store(mt, params_.matrix_rows, params_.matrix_cols);
+}
+
+}  // namespace psync::core

@@ -1,0 +1,190 @@
+// The P-sync machine: a full-system functional + timing simulator of the
+// architecture in paper Fig. 6/7 executing the distributed 2D FFT flow of
+// Section V-B:
+//
+//   1. SCA^-1 scatter of the matrix from DRAM to the processor array
+//      (Model I in one burst per processor block, or Model II in k
+//      round-robin blocks whose contents are streamed in bit-reversed-
+//      strided order so each block's sub-FFT can run on arrival),
+//   2. P parallel row FFTs (interleaved with delivery under Model II),
+//   3. SCA gather-transpose: the array drives the row-FFT results onto the
+//      waveguide in column-major slot order; the head node lands full DRAM
+//      rows (this is the paper's headline in-flight reorganization),
+//   4. SCA^-1 scatter of the reorganized data back to the array,
+//   5. P parallel column FFTs,
+//   6. SCA writeback of the final result.
+//
+// Every collective runs through the slot-exact ScaEngine, so the simulator
+// simultaneously (a) produces a numerically correct 2D FFT, verified
+// against fft::fft2d, and (b) yields cycle-accurate phase timings that the
+// analysis library's closed forms are tested against.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psync/core/head_node.hpp"
+#include "psync/core/processor.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/photonic/energy.hpp"
+
+namespace psync::core {
+
+struct PsyncMachineParams {
+  std::size_t processors = 16;
+  std::size_t matrix_rows = 64;   // divisible by processors
+  std::size_t matrix_cols = 64;   // power of two
+  std::size_t sample_bits = 64;
+  /// Aggregate waveguide rate, Gb/s; one slot carries one sample, so the
+  /// slot clock is waveguide_gbps / sample_bits GHz (paper: 320/64 = 5 GHz).
+  double waveguide_gbps = 320.0;
+  /// Model II delivery blocks per row (1 = Model I).
+  std::size_t delivery_blocks = 1;
+  ExecCostParams exec;
+  HeadNodeParams head;
+  /// Physical bus length, cm (sets flight-time latencies).
+  double bus_length_cm = 8.0;
+  /// Photonic device parameters for the energy accounting.
+  photonic::PhotonicEnergyParams photonics;
+};
+
+struct Phase {
+  std::string name;
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+  double duration_ns() const { return end_ns - start_ns; }
+};
+
+struct PsyncRunReport {
+  std::vector<Phase> phases;
+  double total_ns = 0.0;
+  /// Time in data reorganization between the two FFT passes (the SCA
+  /// transpose gather plus the reload scatter) — the Fig. 14 numerator.
+  double reorg_ns = 0.0;
+  std::uint64_t flops = 0;        // 10 real ops per butterfly
+  double gflops = 0.0;
+  /// Realized / peak multiply throughput across the array (paper Eq. 4).
+  double compute_efficiency = 0.0;
+  /// Every SCA stream arrived gap-free with zero collisions.
+  bool sca_gap_free = false;
+  std::uint64_t sca_collisions = 0;
+  /// Max |result - reference| against a monolithic fft::fft2d.
+  double max_error_vs_reference = 0.0;
+
+  /// Energy accounting (extension experiment): photonic transport energy
+  /// for every word moved across the waveguide, and execution-unit energy
+  /// for every arithmetic operation.
+  double comm_energy_pj = 0.0;
+  double compute_energy_pj = 0.0;
+  double total_energy_pj() const { return comm_energy_pj + compute_energy_pj; }
+  double pj_per_flop() const {
+    return flops > 0 ? total_energy_pj() / static_cast<double>(flops) : 0.0;
+  }
+
+  const Phase& phase(const std::string& name) const;
+};
+
+class PsyncMachine {
+ public:
+  explicit PsyncMachine(PsyncMachineParams params);
+
+  const PsyncMachineParams& params() const { return params_; }
+  const PscanTopology& topology() const { return topo_; }
+
+  /// Run the full 2D FFT flow on `input` (row-major rows x cols). The
+  /// machine's DRAM image ends with the transform in transposed layout.
+  /// When `verify` is set the result is checked against fft::fft2d and the
+  /// max deviation reported (float32 transport quantizes samples, so the
+  /// tolerance is single-precision).
+  PsyncRunReport run_fft2d(const std::vector<std::complex<double>>& input,
+                           bool verify = true);
+
+  /// Run a large 1D FFT of matrix_rows * matrix_cols points via Bailey's
+  /// four-step decomposition (the paper's Section II argument that the 2D
+  /// machinery generalizes to 1D): strided scatter -> pass-1 FFTs ->
+  /// on-node twiddle scaling -> SCA transpose -> pass-2 FFTs -> writeback.
+  /// Use result_1d() for the natural-order output. Verification compares
+  /// against a monolithic N-point FftPlan.
+  PsyncRunReport run_fft1d(const std::vector<std::complex<double>>& input,
+                           bool verify = true);
+
+  /// Natural-order 1D spectrum after run_fft1d.
+  std::vector<std::complex<double>> result_1d() const;
+
+  /// Steady-state throughput of a continuous stream of transforms (frame
+  /// after frame), derived from a single run's phase timings. With double-
+  /// buffered node memories, successive frames pipeline: the waveguide is
+  /// the one serially-shared resource (every collective occupies it), and
+  /// each processor must finish a frame's compute before starting the
+  /// next. The initiation interval is therefore
+  ///     II = max(sum of collective phases, sum of compute phases)
+  /// and sustained throughput is one frame per II — the machine-level form
+  /// of the paper's "fusing computation with communication".
+  struct PipelineReport {
+    double latency_ns = 0.0;     // single-frame latency (the run's total)
+    double interval_ns = 0.0;    // steady-state initiation interval
+    double frames_per_sec = 0.0;
+    bool bus_bound = false;      // waveguide (true) vs compute (false)
+    double bus_busy_ns = 0.0;    // waveguide occupancy per frame
+    double compute_busy_ns = 0.0;  // per-processor compute per frame
+  };
+  static PipelineReport pipeline_estimate(const PsyncRunReport& run);
+
+  /// Final DRAM image as complex samples (cols x rows, row-major —
+  /// transposed layout).
+  std::vector<std::complex<double>> result() const;
+
+  /// Per-processor state after a run (for inspection/tests).
+  const std::vector<Processor>& processors() const { return procs_; }
+  const HeadNode& head() const { return head_; }
+
+ private:
+  struct PassResult {
+    double delivery_end_ns = 0.0;   // last word latched anywhere
+    double compute_begin_ns = 0.0;  // first block compute start
+    double compute_end_ns = 0.0;    // last processor done
+    double busy_ns = 0.0;           // total compute time across the array
+  };
+
+  double slot_period_ns() const;
+  std::size_t rows_per_proc() const {
+    return params_.matrix_rows / params_.processors;
+  }
+
+  /// One SCA^-1 + blocked-FFT pass over a (rows x cols) row-major image.
+  PassResult scatter_fft_pass(const std::vector<Word>& image,
+                              std::size_t rows, std::size_t cols,
+                              double start_ns, Phase& scatter_phase,
+                              Phase& fft_phase);
+
+  /// SCA gather into DRAM; updates collision/gap accounting; returns the
+  /// phase end time (waveguide- or DRAM-bound).
+  double gather_to_dram(const CpSchedule& sched,
+                        const std::vector<std::vector<Word>>& node_data,
+                        double start_ns, Phase& phase);
+
+  /// Transpose SCA + second scatter/FFT pass + final block writeback — the
+  /// shared tail of the 2D and four-step-1D flows. `pass1_end` is when the
+  /// first compute pass finished. Appends its phases to `phases`.
+  double reorg_and_second_pass(std::size_t rows, std::size_t cols,
+                               double pass1_end, std::vector<Phase>& phases,
+                               double* reorg_ns, PassResult* pass2_out);
+
+  /// Fill the energy fields from the run's waveguide word count and the
+  /// processors' operation counters.
+  void apply_energy(PsyncRunReport* report) const;
+
+  std::uint64_t collisions_ = 0;
+  bool gap_free_ = true;
+  std::uint64_t waveguide_words_ = 0;  // words moved across the bus
+
+  PsyncMachineParams params_;
+  PscanTopology topo_;
+  ScaEngine engine_;
+  HeadNode head_;
+  std::vector<Processor> procs_;
+};
+
+}  // namespace psync::core

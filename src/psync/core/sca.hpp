@@ -1,0 +1,155 @@
+// The PSCAN waveguide engine: simulates Synchronous Coalesced Accesses
+// (SCA, gather) and their inverse (SCA^-1, scatter) at bit-slot timing
+// resolution (paper Section III, Fig. 4).
+//
+// Physics modeled:
+//  * every node takes its transmit/latch timing from the open-loop photonic
+//    clock, so node i perceives global slot s at  launch + s*T + x_i/v (+ a
+//    common detect latency);
+//  * energy modulated on perceived slot s at ANY position reaches a
+//    downstream point y at  launch + s*T + y/v (+ const): slot order at the
+//    terminus is position-independent, which is what lets spatially separate
+//    drivers splice a gap-free burst in flight;
+//  * a collision is two modulators imprinting overlapping (wavelength, time)
+//    intervals at the same waveguide point — detected exactly as interval
+//    overlap in the terminus frame, including partial overlaps caused by
+//    injected per-node timing faults;
+//  * optionally, the optical link budget for the farthest node is verified
+//    (Eq. 1-3) before any transaction is admitted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "psync/common/units.hpp"
+#include "psync/core/cp_compile.hpp"
+#include "psync/photonic/clock.hpp"
+#include "psync/photonic/link_budget.hpp"
+
+namespace psync::core {
+
+using Word = std::uint64_t;
+
+struct PscanTopology {
+  photonic::ClockParams clock;
+  /// Tap position of each node along the waveguide, micrometres, strictly
+  /// increasing downstream. (Use SerpentineLayout::tap_positions_um or any
+  /// custom placement.)
+  std::vector<double> node_pos_um;
+  /// Receiver (gather terminus / DRAM interface) position; must be at or
+  /// beyond the last node.
+  double terminus_um = 0.0;
+  /// Scatter source (head node / memory) position; must be at or before the
+  /// first node.
+  double head_um = 0.0;
+  /// Optional per-node timing error (ps) for fault injection; empty = none.
+  std::vector<TimePs> skew_error_ps;
+  /// Optional link budget checked against the farthest node.
+  std::optional<photonic::LinkBudgetParams> budget;
+
+  std::size_t nodes() const { return node_pos_um.size(); }
+  void validate() const;  // throws SimulationError on inconsistency
+};
+
+/// One slot observed at the gather terminus.
+struct SlotRecord {
+  Slot slot = 0;
+  Word word = 0;
+  std::int32_t source = -1;     // driving node
+  TimePs arrival_ps = 0;        // leading edge at the terminus
+  TimePs modulated_ps = 0;      // when the driver imprinted it
+};
+
+struct Collision {
+  std::int32_t node_a = -1;
+  std::int32_t node_b = -1;
+  Slot slot_a = 0;
+  Slot slot_b = 0;
+  TimePs overlap_ps = 0;
+};
+
+struct GatherResult {
+  /// Terminus stream in arrival order.
+  std::vector<SlotRecord> stream;
+  std::vector<Collision> collisions;
+  /// Arrivals are contiguous: consecutive leading edges exactly one slot
+  /// period apart.
+  bool gap_free = false;
+  /// slots carried / slots spanned between first and last arrival.
+  double utilization = 0.0;
+  /// End-to-end transaction latency: first modulation to last arrival.
+  TimePs span_ps = 0;
+  /// Time the receiver saw its first bit.
+  TimePs first_arrival_ps = 0;
+
+  /// Payload words in slot order (convenience view of `stream`).
+  std::vector<Word> words() const;
+};
+
+/// One word delivered to a node during a scatter.
+struct DeliveryRecord {
+  Slot slot = 0;
+  Word word = 0;
+  std::int32_t node = -1;      // receiving node
+  std::int64_t element = 0;    // index within the node's local buffer
+  TimePs arrival_ps = 0;       // when the node's detector latched it
+};
+
+struct ScatterResult {
+  /// Every delivery, ordered by slot.
+  std::vector<DeliveryRecord> deliveries;
+  /// received[i] = words latched by node i, in element order.
+  std::vector<std::vector<Word>> received;
+  /// Burst slots no node listened to (lost words).
+  std::vector<Slot> unclaimed_slots;
+  TimePs span_ps = 0;
+};
+
+class ScaEngine {
+ public:
+  explicit ScaEngine(PscanTopology topology);
+
+  const PscanTopology& topology() const { return topo_; }
+  const photonic::PhotonicClock& clock() const { return clock_; }
+
+  /// Run an SCA gather: node i drives its local `node_data[i]` words in the
+  /// slots its CP claims (element j -> j-th claimed slot). With `strict`,
+  /// throws SimulationError on any collision or CP/data size mismatch.
+  GatherResult gather(const CpSchedule& schedule,
+                      const std::vector<std::vector<Word>>& node_data,
+                      bool strict = true) const;
+
+  /// Run an SCA^-1 scatter: the head node drives `burst` (word for slot s at
+  /// index s); node i latches the slots its CP listens on.
+  ScatterResult scatter(const CpSchedule& schedule,
+                        const std::vector<Word>& burst,
+                        bool strict = true) const;
+
+  /// Multicast SCA^-1: listener sets MAY overlap — physically free on a
+  /// photonic bus, since a slot's energy passes every downstream detector
+  /// and any number of them may latch it (only *driving* needs exclusivity).
+  /// Used to broadcast programs/code to the whole array in one burst
+  /// (Section IV's program distribution). `strict` still rejects unclaimed
+  /// slots.
+  ScatterResult scatter_multicast(const CpSchedule& schedule,
+                                  const std::vector<Word>& burst,
+                                  bool strict = true) const;
+
+  /// Terminus arrival time of slot s (the paper's invariant: independent of
+  /// which node drives it).
+  TimePs slot_arrival_ps(Slot s) const;
+
+ private:
+  void check_budget() const;
+
+  PscanTopology topo_;
+  photonic::PhotonicClock clock_;
+};
+
+/// Convenience: evenly spaced topology for `nodes` taps on a straight bus of
+/// `length_cm`, terminus at the end, head at 0.
+PscanTopology straight_bus_topology(std::size_t nodes, double length_cm,
+                                    photonic::ClockParams clock = {});
+
+}  // namespace psync::core

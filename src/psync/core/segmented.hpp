@@ -1,0 +1,86 @@
+// Multi-span PSCAN: chains of optical segments joined by O-E-O repeaters —
+// paper Section III-B: "individual PSCAN segments can be linked via
+// repeaters to form larger networks".
+//
+// A repeater detects, re-times and re-modulates every bit at full launch
+// power, adding a fixed electrical latency. The key result this module
+// demonstrates (and its tests pin down): because the *clock* wavelength
+// passes through the same repeater chain as the data, every node's
+// perceived schedule shifts by exactly its upstream repeater latency, and
+// every bit's terminus arrival picks up the *total* chain latency — a
+// constant. Slot order and gap-freeness at the terminus therefore survive
+// arbitrarily long repeater chains; only pipeline fill grows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psync/core/sca.hpp"
+#include "psync/photonic/link_budget.hpp"
+
+namespace psync::core {
+
+struct SegmentedBusTopology {
+  photonic::ClockParams clock;
+  /// Node tap positions along the unrolled chain, strictly increasing, um.
+  std::vector<double> node_pos_um;
+  /// Repeater positions along the chain, strictly increasing, um. Must not
+  /// coincide with node taps.
+  std::vector<double> repeater_pos_um;
+  /// Receiver position (>= everything else).
+  double terminus_um = 0.0;
+  /// O-E-O latency per repeater (detection + retime + remodulation), ps.
+  TimePs repeater_latency_ps = 200;
+  /// Optional per-span optical budget check (each span must close Eq. 1-3
+  /// on its own, since repeaters relaunch at full power).
+  std::optional<photonic::LinkBudgetParams> budget;
+
+  std::size_t nodes() const { return node_pos_um.size(); }
+  std::size_t spans() const { return repeater_pos_um.size() + 1; }
+  void validate() const;
+
+  /// Repeaters strictly upstream of position x.
+  std::size_t repeaters_before(double x_um) const;
+};
+
+class SegmentedScaEngine {
+ public:
+  explicit SegmentedScaEngine(SegmentedBusTopology topo);
+
+  const SegmentedBusTopology& topology() const { return topo_; }
+  const photonic::PhotonicClock& clock() const { return clock_; }
+
+  /// When node i perceives global slot s (clock crossed i's upstream
+  /// repeaters too, so the shift is position-dependent but common to clock
+  /// and data).
+  TimePs perceived_edge_ps(std::size_t node, Slot s) const;
+
+  /// Terminus arrival of slot s: position-independent, includes the FULL
+  /// chain's repeater latency.
+  TimePs slot_arrival_ps(Slot s) const;
+
+  /// SCA gather across the repeater chain; same semantics as
+  /// ScaEngine::gather.
+  GatherResult gather(const CpSchedule& schedule,
+                      const std::vector<std::vector<Word>>& node_data,
+                      bool strict = true) const;
+
+  /// SCA^-1 scatter across the chain (head at position 0).
+  ScatterResult scatter(const CpSchedule& schedule,
+                        const std::vector<Word>& burst,
+                        bool strict = true) const;
+
+ private:
+  void check_budget() const;
+
+  SegmentedBusTopology topo_;
+  photonic::PhotonicClock clock_;
+};
+
+/// Evenly spread `nodes` taps over `spans` equal optical spans of
+/// `span_cm` each, with a repeater between consecutive spans.
+SegmentedBusTopology segmented_bus_topology(std::size_t nodes,
+                                            std::size_t spans, double span_cm,
+                                            photonic::ClockParams clock = {});
+
+}  // namespace psync::core

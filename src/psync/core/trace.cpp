@@ -1,0 +1,104 @@
+#include "psync/core/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+
+WaveTrace trace_gather(const ScaEngine& engine, const GatherResult& gather,
+                       const std::vector<double>& probes_um) {
+  PSYNC_CHECK(!probes_um.empty());
+  const auto& topo = engine.topology();
+  const auto& clk = engine.clock();
+
+  WaveTrace trace;
+  trace.probes_um = probes_um;
+  trace.period_ps = clk.period_ps();
+  trace.at_probe.resize(probes_um.size());
+
+  for (const auto& rec : gather.stream) {
+    const double src_pos =
+        topo.node_pos_um[static_cast<std::size_t>(rec.source)];
+    for (std::size_t p = 0; p < probes_um.size(); ++p) {
+      const double x = probes_um[p];
+      if (x < src_pos) continue;  // energy never travels upstream
+      TraceSample s;
+      s.slot = rec.slot;
+      s.source = rec.source;
+      s.word = rec.word;
+      s.at_ps = rec.modulated_ps + (clk.flight_ps(x) - clk.flight_ps(src_pos));
+      trace.at_probe[p].push_back(s);
+    }
+  }
+  for (auto& samples : trace.at_probe) {
+    std::sort(samples.begin(), samples.end(),
+              [](const TraceSample& a, const TraceSample& b) {
+                return a.at_ps < b.at_ps;
+              });
+  }
+  return trace;
+}
+
+std::string render_ascii(const WaveTrace& trace,
+                         const std::vector<std::string>& labels) {
+  PSYNC_CHECK(trace.period_ps > 0);
+  TimePs t_min = INT64_MAX;
+  TimePs t_max = INT64_MIN;
+  for (const auto& samples : trace.at_probe) {
+    for (const auto& s : samples) {
+      t_min = std::min(t_min, s.at_ps);
+      t_max = std::max(t_max, s.at_ps + trace.period_ps);
+    }
+  }
+  std::ostringstream os;
+  if (t_min > t_max) return "(empty trace)\n";
+  const auto cols =
+      static_cast<std::size_t>((t_max - t_min) / trace.period_ps);
+
+  os << "time (ps)   ";
+  char buf[32];
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::snprintf(buf, sizeof(buf), "%-6lld",
+                  static_cast<long long>(
+                      t_min + static_cast<TimePs>(c) * trace.period_ps));
+    os << buf;
+  }
+  os << '\n';
+
+  for (std::size_t p = 0; p < trace.at_probe.size(); ++p) {
+    std::string line(cols * 6, '.');
+    for (const auto& s : trace.at_probe[p]) {
+      const auto c = static_cast<std::size_t>((s.at_ps - t_min) /
+                                              trace.period_ps);
+      std::snprintf(buf, sizeof(buf), "s%lld", static_cast<long long>(s.slot));
+      const std::string tag(buf);
+      line.replace(c * 6, std::min(tag.size(), std::size_t{5}), tag, 0,
+                   std::min(tag.size(), std::size_t{5}));
+    }
+    if (p < labels.size()) {
+      std::snprintf(buf, sizeof(buf), "%-12s", labels[p].c_str());
+      os << buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-12.0f", trace.probes_um[p]);
+      os << buf;
+    }
+    os << line << '\n';
+  }
+  return os.str();
+}
+
+std::string to_csv(const WaveTrace& trace) {
+  std::ostringstream os;
+  os << "probe_um,slot,source,time_ps\n";
+  for (std::size_t p = 0; p < trace.at_probe.size(); ++p) {
+    for (const auto& s : trace.at_probe[p]) {
+      os << trace.probes_um[p] << ',' << s.slot << ',' << s.source << ','
+         << s.at_ps << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace psync::core

@@ -1,0 +1,45 @@
+// Space-time tracing of waveguide transactions: what energy passes a given
+// waveguide position, and when. This is the library form of the paper's
+// Fig. 4 timing diagram — used by the sca_timing example, exportable as
+// CSV, and handy when debugging a schedule that the collision checker
+// rejected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psync/core/sca.hpp"
+
+namespace psync::core {
+
+struct TraceSample {
+  Slot slot = 0;
+  std::int32_t source = -1;
+  Word word = 0;
+  TimePs at_ps = 0;  // leading edge passing the probe
+};
+
+struct WaveTrace {
+  /// Probe positions along the waveguide, micrometres.
+  std::vector<double> probes_um;
+  /// Samples per probe, sorted by time. Energy that never reaches a probe
+  /// (modulated downstream of it) is absent from that probe's list.
+  std::vector<std::vector<TraceSample>> at_probe;
+  /// Slot period of the traced transaction.
+  TimePs period_ps = 0;
+};
+
+/// Trace a finished gather at the given probe positions.
+WaveTrace trace_gather(const ScaEngine& engine, const GatherResult& gather,
+                       const std::vector<double>& probes_um);
+
+/// Render as an ASCII space-time diagram: one row per probe, one column per
+/// slot period, each cell naming the slot whose energy passes ('..' where
+/// the waveguide is dark). `labels` (optional) names the rows.
+std::string render_ascii(const WaveTrace& trace,
+                         const std::vector<std::string>& labels = {});
+
+/// Dump as CSV text: probe_um,slot,source,time_ps per line.
+std::string to_csv(const WaveTrace& trace);
+
+}  // namespace psync::core

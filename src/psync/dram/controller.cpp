@@ -1,0 +1,42 @@
+#include "psync/dram/controller.hpp"
+
+#include "psync/common/check.hpp"
+
+namespace psync::dram {
+
+MemoryController::MemoryController(DramParams params) : dram_(params) {}
+
+ServiceReport MemoryController::stream_rows(std::uint64_t first_row,
+                                            std::uint64_t row_count) {
+  const auto& p = dram_.params();
+  dram_.reset_counters();
+  ServiceReport rep;
+  for (std::uint64_t r = 0; r < row_count; ++r) {
+    const std::uint64_t addr = (first_row + r) * p.row_size_bits;
+    // Header occupies the bus before the data burst.
+    rep.bus_cycles += (p.header_bits + p.bus_width_bits - 1) / p.bus_width_bits;
+    rep.bus_cycles += dram_.access(addr, p.row_size_bits);
+    ++rep.transactions;
+  }
+  rep.row_hits = dram_.row_hits();
+  rep.row_misses = dram_.row_misses();
+  return rep;
+}
+
+ServiceReport MemoryController::scattered(
+    std::span<const std::uint64_t> addrs_bits, std::uint64_t bits_each) {
+  PSYNC_CHECK(bits_each > 0);
+  const auto& p = dram_.params();
+  dram_.reset_counters();
+  ServiceReport rep;
+  for (std::uint64_t addr : addrs_bits) {
+    rep.bus_cycles += (p.header_bits + p.bus_width_bits - 1) / p.bus_width_bits;
+    rep.bus_cycles += dram_.access(addr, bits_each);
+    ++rep.transactions;
+  }
+  rep.row_hits = dram_.row_hits();
+  rep.row_misses = dram_.row_misses();
+  return rep;
+}
+
+}  // namespace psync::dram

@@ -1,0 +1,54 @@
+// Memory controller: schedules an address stream onto the DRAM device and
+// reports total service time.
+//
+// Two service disciplines matter for the paper:
+//  * in-order streaming of full-row bursts (what the PSCAN head node emits:
+//    data already reorganized, so every transaction fills a whole row), and
+//  * word-granular scattered writes (what a mesh memory interface sees if it
+//    forwards transpose elements directly, the "extremely inefficient" case
+//    of Section V-C-2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "psync/dram/dram.hpp"
+
+namespace psync::dram {
+
+struct ServiceReport {
+  std::uint64_t bus_cycles = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+
+  double cycles_per_transaction() const {
+    return transactions > 0
+               ? static_cast<double>(bus_cycles) / static_cast<double>(transactions)
+               : 0.0;
+  }
+};
+
+class MemoryController {
+ public:
+  explicit MemoryController(DramParams params);
+
+  Dram& dram() { return dram_; }
+  const Dram& dram() const { return dram_; }
+
+  /// Stream `row_count` full-row write transactions at consecutive rows
+  /// starting from `first_row`. Models the PSCAN writeback: each transaction
+  /// is S_r data bits plus an S_h-bit header on the bus (Eq. 24) and lands in
+  /// an open row.
+  ServiceReport stream_rows(std::uint64_t first_row, std::uint64_t row_count);
+
+  /// Service scattered word accesses: each element of `addrs_bits` is a
+  /// write of `bits_each` bits, each carrying its own header.
+  ServiceReport scattered(std::span<const std::uint64_t> addrs_bits,
+                          std::uint64_t bits_each);
+
+ private:
+  Dram dram_;
+};
+
+}  // namespace psync::dram

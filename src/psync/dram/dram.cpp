@@ -1,0 +1,73 @@
+#include "psync/dram/dram.hpp"
+
+#include <algorithm>
+
+#include "psync/common/check.hpp"
+
+namespace psync::dram {
+
+std::uint64_t row_transaction_cycles(const DramParams& p) {
+  PSYNC_CHECK(p.bus_width_bits > 0);
+  return (p.row_size_bits + p.header_bits + p.bus_width_bits - 1) /
+         p.bus_width_bits;
+}
+
+std::uint64_t row_transactions(const DramParams& p, std::uint64_t total_bits) {
+  PSYNC_CHECK(p.row_size_bits > 0);
+  return (total_bits + p.row_size_bits - 1) / p.row_size_bits;
+}
+
+Dram::Dram(DramParams params) : params_(params) {
+  if (params_.row_size_bits == 0 || params_.bus_width_bits == 0 ||
+      params_.banks == 0) {
+    throw SimulationError("Dram: row size, bus width and banks must be > 0");
+  }
+  if (params_.row_size_bits % params_.bus_width_bits != 0) {
+    throw SimulationError("Dram: row size must be a multiple of bus width");
+  }
+  open_row_.assign(params_.banks, -1);
+}
+
+std::uint64_t Dram::access_within_row(std::uint64_t addr_bits,
+                                      std::uint64_t bits) {
+  const std::uint64_t row = addr_bits / params_.row_size_bits;
+  const std::uint64_t bank = row % params_.banks;
+  std::uint64_t cycles = 0;
+  if (open_row_[bank] != static_cast<std::int64_t>(row)) {
+    ++row_misses_;
+    cycles += params_.row_switch_cycles;
+    open_row_[bank] = static_cast<std::int64_t>(row);
+  } else {
+    ++row_hits_;
+  }
+  cycles += (bits + params_.bus_width_bits - 1) / params_.bus_width_bits;
+  return cycles;
+}
+
+std::uint64_t Dram::access(std::uint64_t addr_bits, std::uint64_t bits) {
+  PSYNC_CHECK(bits > 0);
+  std::uint64_t cycles = 0;
+  std::uint64_t remaining = bits;
+  std::uint64_t addr = addr_bits;
+  while (remaining > 0) {
+    const std::uint64_t row_off = addr % params_.row_size_bits;
+    const std::uint64_t in_row =
+        std::min<std::uint64_t>(remaining, params_.row_size_bits - row_off);
+    cycles += access_within_row(addr, in_row);
+    addr += in_row;
+    remaining -= in_row;
+  }
+  total_cycles_ += cycles;
+  total_bits_ += bits;
+  return cycles;
+}
+
+void Dram::reset_counters() {
+  row_hits_ = 0;
+  row_misses_ = 0;
+  total_cycles_ = 0;
+  total_bits_ = 0;
+  open_row_.assign(params_.banks, -1);
+}
+
+}  // namespace psync::dram

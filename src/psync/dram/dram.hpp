@@ -1,0 +1,69 @@
+// DRAM timing model.
+//
+// The paper's transpose analysis (Section V-C-1) assumes a DRAM with
+// 2048-bit rows: 32 x 64-bit complex samples can be bursted per row before a
+// costly precharge. This model captures exactly the parameters that matter
+// for PSCAN vs. mesh writeback: row size, burst transfer rate on the memory
+// bus, and the activate/precharge penalty for switching rows, plus row
+// hit/miss accounting so experiments can report locality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psync/common/units.hpp"
+
+namespace psync::dram {
+
+struct DramParams {
+  /// Row (page) size, bits. Paper: 2048.
+  std::uint64_t row_size_bits = 2048;
+  /// Memory bus width, bits transferred per bus cycle. Paper: 64.
+  std::uint64_t bus_width_bits = 64;
+  /// Address/command header per transaction, bits. Paper: 64.
+  std::uint64_t header_bits = 64;
+  /// Bus cycles to precharge + activate when switching rows (t_RP + t_RCD
+  /// expressed in memory bus cycles).
+  std::uint64_t row_switch_cycles = 24;
+  /// Number of independent banks; consecutive transactions to different
+  /// banks can hide the row-switch penalty.
+  std::uint64_t banks = 8;
+};
+
+/// Bus cycles for one full-row transaction, Eq. 24: (S_r + S_h) / S_b.
+std::uint64_t row_transaction_cycles(const DramParams& p);
+
+/// Number of full-row transactions for a dataset of `total_bits`, Eq. 23.
+std::uint64_t row_transactions(const DramParams& p, std::uint64_t total_bits);
+
+/// Open-row DRAM device: accepts word-granularity accesses and accounts
+/// bus-cycle cost with open-row (row-buffer) policy per bank.
+class Dram {
+ public:
+  explicit Dram(DramParams params);
+
+  const DramParams& params() const { return params_; }
+
+  /// Access `bits` at `addr_bits` (bit address). Returns bus cycles consumed.
+  /// Accesses that cross a row boundary are split internally.
+  std::uint64_t access(std::uint64_t addr_bits, std::uint64_t bits);
+
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t row_misses() const { return row_misses_; }
+  std::uint64_t total_cycles() const { return total_cycles_; }
+  std::uint64_t total_bits() const { return total_bits_; }
+
+  void reset_counters();
+
+ private:
+  std::uint64_t access_within_row(std::uint64_t addr_bits, std::uint64_t bits);
+
+  DramParams params_;
+  std::vector<std::int64_t> open_row_;  // per bank; -1 = closed
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace psync::dram

@@ -1,0 +1,95 @@
+// Radix-2 decimation-in-time FFT with the blocked execution mode the paper's
+// Model II exploits (Section V-B-1, Fig. 10).
+//
+// A DIT FFT over bit-reversed input runs its early butterfly stages entirely
+// within contiguous sub-blocks; non-locality (butterfly span) doubles each
+// stage. Delivering a row in k blocks therefore allows each block's local
+// sub-FFT — the first log2(N/k) stages — to run as soon as that block
+// arrives, leaving only the last log2(k) global stages for a final
+// compute-only phase. Operation counts match the paper's Eq. 17/18 and are
+// exposed so the analysis library can be cross-checked against real code.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psync::fft {
+
+using Complex = std::complex<double>;
+
+/// Multiply/add accounting. The paper counts 4 real multiplies per butterfly
+/// (one complex multiply) and only multiplies toward compute time.
+struct OpCount {
+  std::uint64_t butterflies = 0;
+  std::uint64_t real_mults = 0;
+  std::uint64_t real_adds = 0;
+
+  OpCount& operator+=(const OpCount& o) {
+    butterflies += o.butterflies;
+    real_mults += o.real_mults;
+    real_adds += o.real_adds;
+    return *this;
+  }
+};
+
+/// Expected multiplies for one block's local sub-FFT under k-block delivery:
+/// Eq. 17, (2N/k) * log2(N/k).
+std::uint64_t block_phase_mults(std::size_t n, std::size_t k);
+/// Expected multiplies for the final global phase: Eq. 18, 2N * log2(k).
+std::uint64_t final_phase_mults(std::size_t n, std::size_t k);
+/// Expected multiplies for a full N-point FFT: 2N * log2(N).
+std::uint64_t full_fft_mults(std::size_t n);
+
+/// Precomputed plan for N-point transforms (N a power of two, N >= 1).
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  std::size_t log2n() const { return log2n_; }
+
+  /// In-place forward DIT FFT. Returns the operation count.
+  OpCount forward(std::span<Complex> data) const;
+
+  /// In-place inverse FFT (scaled by 1/N).
+  OpCount inverse(std::span<Complex> data) const;
+
+  /// Blocked forward FFT in k delivery blocks (k a power of two dividing N):
+  /// 1. bit-reversal permutation of the whole row (addressing only),
+  /// 2. per block b in [0, k): local sub-FFT of the first log2(N/k) stages,
+  /// 3. final log2(k) global stages.
+  /// `block_ops` (optional, size k) receives per-block op counts; the
+  /// returned count is the final phase only. The result equals forward().
+  OpCount forward_blocked(std::span<Complex> data, std::size_t k,
+                          std::vector<OpCount>* block_ops = nullptr) const;
+
+  /// Runs stages [first_stage, last_stage) on `data` (already bit-reversed).
+  /// Stage s in [0, log2 N) has butterfly span 2^s. Exposed so machine
+  /// simulators can interleave stage execution with delivery.
+  OpCount run_stages(std::span<Complex> data, std::size_t first_stage,
+                     std::size_t last_stage, std::size_t block_offset = 0,
+                     std::size_t block_size = 0) const;
+
+  /// Bit-reversal permutation of `data` (size N).
+  void bit_reverse(std::span<Complex> data) const;
+
+  /// Source index that lands at position i after bit reversal.
+  std::size_t bit_reversed_index(std::size_t i) const { return rev_[i]; }
+
+ private:
+  std::size_t n_;
+  std::size_t log2n_;
+  std::vector<std::size_t> rev_;
+  std::vector<Complex> twiddle_;  // twiddle_[j] = exp(-2*pi*i*j/N), j < N/2
+};
+
+/// O(N^2) reference DFT used to validate the fast paths.
+std::vector<Complex> naive_dft(std::span<const Complex> in);
+std::vector<Complex> naive_idft(std::span<const Complex> in);
+
+/// Max |a-b| over two sequences; validation helper.
+double max_abs_diff(std::span<const Complex> a, std::span<const Complex> b);
+
+}  // namespace psync::fft

@@ -1,0 +1,58 @@
+#include "psync/fft/fft2d.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "psync/common/check.hpp"
+#include "psync/fft/transpose.hpp"
+
+namespace psync::fft {
+
+Fft2dOps fft2d(std::span<Complex> data, std::size_t rows, std::size_t cols,
+               bool restore_layout) {
+  PSYNC_CHECK(data.size() == rows * cols);
+  Fft2dOps ops;
+
+  FftPlan row_plan(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    ops.row_pass += row_plan.forward(data.subspan(r * cols, cols));
+  }
+
+  std::vector<Complex> scratch(data.size());
+  transpose(data, scratch, rows, cols);  // scratch is cols x rows
+
+  FftPlan col_plan(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    ops.col_pass += col_plan.forward(
+        std::span<Complex>(scratch).subspan(c * rows, rows));
+  }
+
+  if (restore_layout) {
+    transpose(scratch, data, cols, rows);
+  } else {
+    std::copy(scratch.begin(), scratch.end(), data.begin());
+  }
+  return ops;
+}
+
+std::vector<Complex> naive_dft2d(std::span<const Complex> in,
+                                 std::size_t rows, std::size_t cols) {
+  PSYNC_CHECK(in.size() == rows * cols);
+  // Rows first.
+  std::vector<Complex> tmp(in.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = naive_dft(in.subspan(r * cols, cols));
+    std::copy(row.begin(), row.end(), tmp.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+  // Then columns.
+  std::vector<Complex> out(in.size());
+  std::vector<Complex> col(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = tmp[r * cols + c];
+    const auto f = naive_dft(col);
+    for (std::size_t r = 0; r < rows; ++r) out[r * cols + c] = f[r];
+  }
+  return out;
+}
+
+}  // namespace psync::fft

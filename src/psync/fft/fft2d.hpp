@@ -1,0 +1,36 @@
+// 2D FFT built from 1D row FFTs and a transpose, mirroring the distributed
+// flow the paper maps onto both architectures (Section V-B):
+//   row FFTs -> transpose -> row FFTs (-> optional transpose back).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "psync/fft/fft.hpp"
+
+namespace psync::fft {
+
+struct Fft2dOps {
+  OpCount row_pass;
+  OpCount col_pass;
+  OpCount total() const {
+    OpCount t = row_pass;
+    t += col_pass;
+    return t;
+  }
+};
+
+/// In-place 2D FFT of a row-major rows x cols matrix via the
+/// row-transpose-row method. When `restore_layout` is true a final
+/// transpose returns the result to natural (row-major, untransposed)
+/// orientation; when false the result is left transposed (cols x rows),
+/// which is how the distributed flow leaves it in DRAM.
+Fft2dOps fft2d(std::span<Complex> data, std::size_t rows, std::size_t cols,
+               bool restore_layout = true);
+
+/// Reference 2D DFT (O(n^2) per dimension) for validation on small sizes.
+std::vector<Complex> naive_dft2d(std::span<const Complex> in,
+                                 std::size_t rows, std::size_t cols);
+
+}  // namespace psync::fft

@@ -1,0 +1,119 @@
+#include "psync/fft/four_step.hpp"
+
+#include <algorithm>
+
+#include <cmath>
+#include <numbers>
+
+#include "psync/common/check.hpp"
+#include "psync/fft/transpose.hpp"
+
+namespace psync::fft {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void four_step_factor(std::size_t n, std::size_t* rows, std::size_t* cols) {
+  if (!is_pow2(n) || n < 4) {
+    throw SimulationError("four_step_factor: N must be a power of two >= 4");
+  }
+  std::size_t r = 1;
+  while (r * r < n) r *= 2;
+  // r*r == n (even log2) or r*r == 2n (odd log2): pick R <= C.
+  if (r * r != n) r /= 2;
+  *rows = r;
+  *cols = n / r;
+  PSYNC_CHECK(*rows <= *cols);
+}
+
+Complex four_step_twiddle(std::size_t n, std::size_t r, std::size_t q) {
+  const double ang = -2.0 * std::numbers::pi *
+                     static_cast<double>(r) * static_cast<double>(q) /
+                     static_cast<double>(n);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+std::vector<Complex> four_step_load(std::span<const Complex> x,
+                                    std::size_t rows, std::size_t cols) {
+  PSYNC_CHECK(x.size() == rows * cols);
+  std::vector<Complex> m(x.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m[r * cols + c] = x[c * rows + r];
+    }
+  }
+  return m;
+}
+
+OpCount four_step_pass1(std::span<Complex> matrix, std::size_t rows,
+                        std::size_t cols) {
+  PSYNC_CHECK(matrix.size() == rows * cols);
+  FftPlan plan(cols);
+  OpCount ops;
+  for (std::size_t r = 0; r < rows; ++r) {
+    ops += plan.forward(matrix.subspan(r * cols, cols));
+  }
+  return ops;
+}
+
+OpCount four_step_twiddle_rows(std::span<Complex> matrix, std::size_t rows,
+                               std::size_t cols, std::size_t row0,
+                               std::size_t row_count) {
+  PSYNC_CHECK(matrix.size() == rows * cols);
+  PSYNC_CHECK(row0 + row_count <= rows);
+  const std::size_t n = rows * cols;
+  OpCount ops;
+  for (std::size_t r = row0; r < row0 + row_count; ++r) {
+    for (std::size_t q = 0; q < cols; ++q) {
+      matrix[r * cols + q] *= four_step_twiddle(n, r, q);
+    }
+  }
+  ops.real_mults += 4 * row_count * cols;
+  ops.real_adds += 2 * row_count * cols;
+  return ops;
+}
+
+OpCount four_step_pass2(std::span<Complex> matrix_t, std::size_t rows,
+                        std::size_t cols) {
+  PSYNC_CHECK(matrix_t.size() == rows * cols);
+  FftPlan plan(rows);
+  OpCount ops;
+  for (std::size_t q = 0; q < cols; ++q) {
+    ops += plan.forward(matrix_t.subspan(q * rows, rows));
+  }
+  return ops;
+}
+
+std::vector<Complex> four_step_store(std::span<const Complex> matrix_t,
+                                     std::size_t rows, std::size_t cols) {
+  PSYNC_CHECK(matrix_t.size() == rows * cols);
+  // matrix_t is C x R row-major: matrix_t[q][s]; output X[s*C + q].
+  std::vector<Complex> out(rows * cols);
+  for (std::size_t q = 0; q < cols; ++q) {
+    for (std::size_t s = 0; s < rows; ++s) {
+      out[s * cols + q] = matrix_t[q * rows + s];
+    }
+  }
+  return out;
+}
+
+OpCount fft1d_four_step(std::span<Complex> data) {
+  std::size_t rows = 0, cols = 0;
+  four_step_factor(data.size(), &rows, &cols);
+
+  std::vector<Complex> m = four_step_load(data, rows, cols);
+  OpCount ops = four_step_pass1(m, rows, cols);
+  ops += four_step_twiddle_rows(m, rows, cols, 0, rows);
+
+  std::vector<Complex> mt(m.size());
+  transpose(m, mt, rows, cols);
+  ops += four_step_pass2(mt, rows, cols);
+
+  const auto out = four_step_store(mt, rows, cols);
+  std::copy(out.begin(), out.end(), data.begin());
+  return ops;
+}
+
+}  // namespace psync::fft

@@ -1,0 +1,58 @@
+// Bailey's four-step 1D FFT ("FFTs in external or hierarchical memory",
+// the paper's reference [7]): a large N-point transform decomposed as an
+// R x C matrix problem —
+//
+//   1. C-point FFTs over the rows of M[r][c] = x[c*R + r],
+//   2. twiddle scaling Z[r][q] = W_N^{r*q} * Y[r][q],
+//   3. R-point FFTs over the columns,
+//   4. transpose-style output reordering X[s*C + q] = column-FFT result.
+//
+// This is why the paper treats the 2D FFT + transpose as the general case:
+// "large 1D vector FFTs are typically implemented as 2D matrix FFTs ...
+// Therefore, the optimization of the 2D FFT is generalizable to the 1D
+// case" (Section II). The P-sync machine runs exactly this flow with the
+// transposes carried by SCAs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "psync/fft/fft.hpp"
+
+namespace psync::fft {
+
+/// Factor N into R x C with both powers of two and R <= C (R = the
+/// "row count" of the four-step view). Throws for non-power-of-two N.
+void four_step_factor(std::size_t n, std::size_t* rows, std::size_t* cols);
+
+/// In-place N-point forward DFT via the four-step method (N a power of two,
+/// N >= 4). Returns total operation counts (twiddle multiplies included).
+OpCount fft1d_four_step(std::span<Complex> data);
+
+/// The twiddle factor W_N^{r*q} applied between the two passes.
+Complex four_step_twiddle(std::size_t n, std::size_t r, std::size_t q);
+
+/// Step-by-step access for machine simulators running the flow across
+/// distributed memory: each call mutates `matrix` (R x C row-major, where
+/// row r holds x[c*R + r] for step 1).
+OpCount four_step_pass1(std::span<Complex> matrix, std::size_t rows,
+                        std::size_t cols);
+/// Twiddle scaling of rows [row0, row0+row_count); returns op counts
+/// (4 real multiplies + 2 adds per element).
+OpCount four_step_twiddle_rows(std::span<Complex> matrix, std::size_t rows,
+                               std::size_t cols, std::size_t row0,
+                               std::size_t row_count);
+/// Pass 2 runs on the transposed matrix (C x R row-major).
+OpCount four_step_pass2(std::span<Complex> matrix_t, std::size_t rows,
+                        std::size_t cols);
+
+/// Gather the input into the four-step matrix view: M[r][c] = x[c*R + r].
+std::vector<Complex> four_step_load(std::span<const Complex> x,
+                                    std::size_t rows, std::size_t cols);
+
+/// Scatter the pass-2 result (C x R row-major) back to the natural output
+/// order: X[s*C + q] = matrix_t[q][s].
+std::vector<Complex> four_step_store(std::span<const Complex> matrix_t,
+                                     std::size_t rows, std::size_t cols);
+
+}  // namespace psync::fft

@@ -1,0 +1,186 @@
+#include "psync/llmore/llmore.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "psync/common/check.hpp"
+
+namespace psync::llmore {
+namespace {
+
+double ilog2d(std::uint64_t n) {
+  std::uint64_t l = 0;
+  while ((std::uint64_t{1} << l) < n) ++l;
+  return static_cast<double>(l);
+}
+
+/// Multiplies for one pass of `rows` FFTs of `points` points each.
+double pass_mults(std::uint64_t rows, std::uint64_t points) {
+  return static_cast<double>(rows) * 2.0 * static_cast<double>(points) *
+         ilog2d(points);
+}
+
+struct Common {
+  double bits_total;       // whole matrix, bits
+  double comp1_ns;         // pass-1 compute on the critical processor
+  double comp2_ns;
+  std::uint64_t active1;   // effective parallelism per pass
+  std::uint64_t active2;
+};
+
+Common common_of(const LlmoreParams& p, std::uint64_t cores) {
+  PSYNC_CHECK(cores >= 1);
+  Common c;
+  c.bits_total = static_cast<double>(p.matrix_rows) *
+                 static_cast<double>(p.matrix_cols) *
+                 static_cast<double>(p.sample_bits);
+  c.active1 = std::min<std::uint64_t>(cores, p.matrix_rows);
+  c.active2 = std::min<std::uint64_t>(cores, p.matrix_cols);
+  const double rows_per1 =
+      static_cast<double>(p.matrix_rows) / static_cast<double>(c.active1);
+  const double cols_per2 =
+      static_cast<double>(p.matrix_cols) / static_cast<double>(c.active2);
+  c.comp1_ns = rows_per1 * 2.0 * static_cast<double>(p.matrix_cols) *
+               ilog2d(p.matrix_cols) * p.fp_mult_ns;
+  c.comp2_ns = cols_per2 * 2.0 * static_cast<double>(p.matrix_rows) *
+               ilog2d(p.matrix_rows) * p.fp_mult_ns;
+  return c;
+}
+
+/// DRAM row-aligned streaming overhead factor (S_r + S_h) / S_r.
+double row_overhead(const LlmoreParams& p) {
+  return static_cast<double>(p.dram_row_bits + p.dram_header_bits) /
+         static_cast<double>(p.dram_row_bits);
+}
+
+}  // namespace
+
+double total_flops(const LlmoreParams& p) {
+  // 10 real ops per butterfly; mults account 4 of them.
+  const double mults = pass_mults(p.matrix_rows, p.matrix_cols) +
+                       pass_mults(p.matrix_cols, p.matrix_rows);
+  return mults / static_cast<double>(p.mults_per_butterfly) * 10.0;
+}
+
+double ideal_time_ns(const LlmoreParams& p, std::uint64_t cores) {
+  const Common c = common_of(p, cores);
+  const double w_total =
+      static_cast<double>(p.mesh_memory_ports) * p.port_gbps;
+  // In, transpose out, transpose in, final out: four full-matrix transfers.
+  return c.comp1_ns + c.comp2_ns + 4.0 * c.bits_total / w_total;
+}
+
+PhaseBreakdown simulate_psync(const LlmoreParams& p, std::uint64_t cores) {
+  const Common c = common_of(p, cores);
+  PhaseBreakdown out;
+  const double oh = row_overhead(p);
+  // Monolithic bursts at full waveguide rate; DRAM row headers add the
+  // (S_r+S_h)/S_r factor when the stream is DRAM-bound (Eq. 23/24).
+  out.deliver1_ns = c.bits_total / p.psync_gbps + p.waveguide_flight_ns;
+  out.compute1_ns = c.comp1_ns;
+  out.reorg_ns = c.bits_total * oh / p.psync_gbps + p.waveguide_flight_ns;
+  out.deliver2_ns = c.bits_total / p.psync_gbps + p.waveguide_flight_ns;
+  out.compute2_ns = c.comp2_ns;
+  out.writeback_ns = c.bits_total * oh / p.psync_gbps + p.waveguide_flight_ns;
+  return out;
+}
+
+PhaseBreakdown simulate_mesh(const LlmoreParams& p, std::uint64_t cores) {
+  const Common c = common_of(p, cores);
+  PhaseBreakdown out;
+
+  const double cycle_ns = 1.0 / p.clock_ghz;
+  const double ports = static_cast<double>(p.mesh_memory_ports);
+  const double hops = std::sqrt(static_cast<double>(cores));
+  const double lambda_ns = hops * p.t_r_cycles * cycle_ns;  // per packet
+
+  // ---- Delivery (Model I, serialized per port; one packet per row) ----
+  const double packets1 = static_cast<double>(p.matrix_rows);
+  out.deliver1_ns = c.bits_total / (ports * p.port_gbps) +
+                    packets1 / ports * lambda_ns;
+  out.compute1_ns = c.comp1_ns;
+
+  // ---- Transpose write-out through the memory interfaces ----
+  // Piece = one column segment per processor: R / active rows of the same
+  // column, i.e. R/active consecutive elements of the column-major output.
+  const double piece_elems = std::max(
+      1.0, static_cast<double>(p.matrix_rows) / static_cast<double>(c.active1));
+  const double elements =
+      static_cast<double>(p.matrix_rows) * static_cast<double>(p.matrix_cols);
+  const double pieces = elements / piece_elems;
+  const double piece_bits =
+      piece_elems * static_cast<double>(p.sample_bits) +
+      static_cast<double>(p.dram_header_bits);
+
+  // Port serialization + per-element reorder time.
+  const double port_ns =
+      pieces / ports *
+      (piece_bits / p.port_gbps + piece_elems * p.t_p_cycles * cycle_ns);
+
+  // DRAM behind each port. While a piece carries at least
+  // row_elems/buffer_partials elements, the interface can gather full rows
+  // (amortized cost); a growing fraction of smaller pieces forces partial-
+  // row writes that each pay the row-switch penalty.
+  const double bus_cycle_ns =
+      static_cast<double>(p.dram_bus_bits) / p.port_gbps;
+  const double row_elems = static_cast<double>(p.dram_row_bits) /
+                           static_cast<double>(p.sample_bits);
+  const double row_txn_cycles =
+      static_cast<double>(p.dram_row_bits + p.dram_header_bits) /
+      static_cast<double>(p.dram_bus_bits);
+  const double needed_partials = row_elems / piece_elems;
+  const double thrash_frac = std::clamp(
+      1.0 - static_cast<double>(p.buffer_partials) / needed_partials, 0.0,
+      1.0);
+  const double rows_total =
+      elements * static_cast<double>(p.sample_bits) /
+      static_cast<double>(p.dram_row_bits);
+  const double dram_amortized_ns =
+      (1.0 - thrash_frac) * rows_total * row_txn_cycles * bus_cycle_ns / ports;
+  const double thrash_pieces = thrash_frac * pieces;
+  const double dram_thrash_ns =
+      thrash_pieces *
+      (static_cast<double>(p.dram_row_switch_cycles) + piece_elems +
+       static_cast<double>(p.dram_header_bits) /
+           static_cast<double>(p.dram_bus_bits)) *
+      bus_cycle_ns / ports;
+  const double dram_ns = dram_amortized_ns + dram_thrash_ns;
+
+  out.reorg_ns = std::max(port_ns, dram_ns) + lambda_ns;
+
+  // ---- Reload of the reorganized data ----
+  const double packets2 = static_cast<double>(p.matrix_cols);
+  out.deliver2_ns = c.bits_total / (ports * p.port_gbps) +
+                    packets2 / ports * lambda_ns;
+  out.compute2_ns = c.comp2_ns;
+
+  // ---- Final writeback: contiguous rows, full-row DRAM bursts ----
+  out.writeback_ns = c.bits_total * row_overhead(p) / (ports * p.port_gbps) +
+                     packets2 / ports * lambda_ns;
+  return out;
+}
+
+AppPoint simulate_point(const LlmoreParams& p, std::uint64_t cores) {
+  AppPoint pt;
+  pt.cores = cores;
+  pt.mesh = simulate_mesh(p, cores);
+  pt.psync = simulate_psync(p, cores);
+  const double flops = total_flops(p);
+  pt.gflops_mesh = flops / pt.mesh.total_ns();
+  pt.gflops_psync = flops / pt.psync.total_ns();
+  pt.gflops_ideal = flops / ideal_time_ns(p, cores);
+  pt.reorg_frac_mesh = pt.mesh.reorg_total_ns() / pt.mesh.total_ns();
+  pt.reorg_frac_psync = pt.psync.reorg_total_ns() / pt.psync.total_ns();
+  return pt;
+}
+
+std::vector<AppPoint> sweep(const LlmoreParams& p, std::uint64_t min_cores,
+                            std::uint64_t max_cores) {
+  std::vector<AppPoint> out;
+  for (std::uint64_t cores = min_cores; cores <= max_cores; cores *= 4) {
+    out.push_back(simulate_point(p, cores));
+  }
+  return out;
+}
+
+}  // namespace psync::llmore

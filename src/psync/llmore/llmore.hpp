@@ -1,0 +1,112 @@
+// LLMORE-style high-level application simulator (paper Section VI).
+//
+// The paper evaluates the full 2D FFT flow (deliver -> row FFTs ->
+// reorganize -> column FFTs [-> writeback]) on two architecture models
+// (Fig. 12): an electronic mesh with four corner memory interfaces and a
+// P-sync machine with one photonically-attached memory, with equal
+// link bandwidth and latency. This library reimplements that phase-level
+// simulation and regenerates Fig. 13 (GFLOPS vs cores) and Fig. 14
+// (fraction of runtime spent reorganizing).
+//
+// Phase model (Model I delivery, as the paper's runs use):
+//  * Work distribution is by rows; with fewer rows than cores the extra
+//    cores idle (effective parallelism min(P, rows)) — together with the
+//    fixed aggregate memory bandwidth this is why even the *ideal* curve
+//    (red in Fig. 13) flattens.
+//  * Delivery: the memory ports stream every processor's block serially;
+//    the mesh additionally pays sqrt(P)*t_r routing latency per packet
+//    (Eq. 21); P-sync pays only waveguide flight time.
+//  * Mesh reorganization: each processor's contribution to the transpose is
+//    C column-segments ("pieces") of R/P elements. Every piece costs its
+//    port serialization (payload + header), t_p reorder cycles per element,
+//    and DRAM time. While pieces hold >= row_elements/buffer_partials
+//    elements, the interface's reorder buffer can assemble full DRAM rows
+//    (amortized row cost); smaller pieces overflow the partial-row buffer
+//    and a growing fraction of writes pay the row-switch penalty — this is
+//    the congestion/reordering collapse that makes the mesh curve peak
+//    around 256 cores and fall.
+//  * P-sync reorganization: one gap-free SCA at full waveguide utilization,
+//    DRAM-row aligned (Eq. 23/24) — constant time regardless of P.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psync::llmore {
+
+struct LlmoreParams {
+  std::uint64_t matrix_rows = 1024;
+  std::uint64_t matrix_cols = 1024;
+  std::uint64_t sample_bits = 64;
+
+  // Per-core compute model (same as the analysis library defaults).
+  double fp_mult_ns = 2.0;
+  std::uint32_t mults_per_butterfly = 4;
+
+  // Memory system: equal aggregate bandwidth on both architectures.
+  std::uint32_t mesh_memory_ports = 4;
+  double port_gbps = 80.0;        // per mesh port (4 x 80 = 320 aggregate)
+  double psync_gbps = 320.0;      // single PSCAN link
+
+  // Mesh microarchitecture.
+  double clock_ghz = 2.5;         // network clock
+  double t_r_cycles = 1.0;        // per-router header delay
+  double t_p_cycles = 1.0;        // per-element reorder time at the port
+  std::uint32_t buffer_partials = 8;  // partial DRAM rows the MI can hold
+
+  // DRAM (both sides).
+  std::uint64_t dram_row_bits = 2048;
+  std::uint64_t dram_header_bits = 64;
+  std::uint64_t dram_bus_bits = 64;
+  std::uint64_t dram_row_switch_cycles = 24;  // precharge+activate, bus cycles
+
+  // P-sync physical layer.
+  double waveguide_flight_ns = 1.2;  // one-way flight over the serpentine
+};
+
+struct PhaseBreakdown {
+  double deliver1_ns = 0.0;
+  double compute1_ns = 0.0;
+  double reorg_ns = 0.0;     // transpose write-out (mesh) / SCA (P-sync)
+  double deliver2_ns = 0.0;  // reload of reorganized data
+  double compute2_ns = 0.0;
+  double writeback_ns = 0.0;
+
+  double total_ns() const {
+    return deliver1_ns + compute1_ns + reorg_ns + deliver2_ns + compute2_ns +
+           writeback_ns;
+  }
+  /// Fig. 14 numerator: time reorganizing between the two FFT passes.
+  double reorg_total_ns() const { return reorg_ns + deliver2_ns; }
+};
+
+struct AppPoint {
+  std::uint64_t cores = 0;
+  PhaseBreakdown mesh;
+  PhaseBreakdown psync;
+  double gflops_mesh = 0.0;
+  double gflops_psync = 0.0;
+  double gflops_ideal = 0.0;
+  double reorg_frac_mesh = 0.0;   // Fig. 14 blue
+  double reorg_frac_psync = 0.0;  // Fig. 14 green
+};
+
+/// Total useful flops of the 2D FFT (10 real ops per radix-2 butterfly).
+double total_flops(const LlmoreParams& p);
+
+/// Phase timings for one architecture at `cores`.
+PhaseBreakdown simulate_mesh(const LlmoreParams& p, std::uint64_t cores);
+PhaseBreakdown simulate_psync(const LlmoreParams& p, std::uint64_t cores);
+
+/// Ideal runtime: perfectly parallel compute (bounded by rows) plus four
+/// full-matrix transfers at the aggregate memory bandwidth.
+double ideal_time_ns(const LlmoreParams& p, std::uint64_t cores);
+
+/// One Fig. 13/14 point.
+AppPoint simulate_point(const LlmoreParams& p, std::uint64_t cores);
+
+/// Core sweep (paper: 4 to 4096 in powers of 4, i.e. mesh dim 2..64).
+std::vector<AppPoint> sweep(const LlmoreParams& p, std::uint64_t min_cores = 4,
+                            std::uint64_t max_cores = 4096);
+
+}  // namespace psync::llmore

@@ -1,0 +1,58 @@
+#include "psync/mesh/energy_orion.hpp"
+
+#include <cmath>
+
+#include "psync/common/check.hpp"
+
+namespace psync::mesh {
+
+double hop_length_mm(const OrionParams& p, std::size_t mesh_dim) {
+  PSYNC_CHECK(mesh_dim > 0);
+  return p.die_mm / static_cast<double>(mesh_dim);
+}
+
+std::size_t repeaters_per_link(const OrionParams& p, std::size_t mesh_dim) {
+  const double len = hop_length_mm(p, mesh_dim);
+  return static_cast<std::size_t>(std::ceil(len / p.repeater_segment_mm));
+}
+
+double per_hop_flit_pj(const OrionParams& p, std::size_t mesh_dim) {
+  const double router_bit =
+      p.buffer_write_pj_per_bit + p.buffer_read_pj_per_bit +
+      p.crossbar_pj_per_bit +
+      p.pipeline_pj_per_bit_per_stage * p.router_stages;
+  const double link_bit = p.link_pj_per_bit_per_mm * hop_length_mm(p, mesh_dim);
+  return (router_bit + link_bit) * p.flit_bits + p.arbiter_pj_per_flit;
+}
+
+OrionReport evaluate(const OrionParams& p, const MeshActivity& a,
+                     std::size_t mesh_dim, std::uint64_t payload_bits_moved) {
+  OrionReport rep;
+  rep.link_mm_per_hop = hop_length_mm(p, mesh_dim);
+  rep.repeaters_per_link = repeaters_per_link(p, mesh_dim);
+
+  const double fb = p.flit_bits;
+  rep.router_pj =
+      static_cast<double>(a.buffer_writes) * p.buffer_write_pj_per_bit * fb +
+      static_cast<double>(a.buffer_reads) * p.buffer_read_pj_per_bit * fb +
+      static_cast<double>(a.crossbar_traversals) * p.crossbar_pj_per_bit * fb +
+      static_cast<double>(a.crossbar_traversals) *
+          p.pipeline_pj_per_bit_per_stage * p.router_stages * fb +
+      static_cast<double>(a.arbitrations) * p.arbiter_pj_per_flit;
+  rep.link_pj = static_cast<double>(a.link_traversals) *
+                p.link_pj_per_bit_per_mm * rep.link_mm_per_hop * fb;
+  rep.total_pj = rep.router_pj + rep.link_pj;
+  rep.pj_per_bit = payload_bits_moved > 0
+                       ? rep.total_pj / static_cast<double>(payload_bits_moved)
+                       : 0.0;
+  return rep;
+}
+
+double estimate_pj_per_bit(const OrionParams& p, std::size_t mesh_dim,
+                           double avg_hops, double header_overhead) {
+  PSYNC_CHECK(header_overhead >= 1.0);
+  return per_hop_flit_pj(p, mesh_dim) * avg_hops * header_overhead /
+         p.flit_bits;
+}
+
+}  // namespace psync::mesh

@@ -1,0 +1,69 @@
+// ORION-style energy model for the electronic mesh (paper Fig. 5, [24]).
+//
+// Energy per bit moving through the network decomposes per hop into router
+// energy (input buffer write + read, crossbar traversal, arbitration) and
+// link energy. Links are repeated global wires: with the die fixed at
+// 2 cm x 2 cm, per-hop wire length is die_width / mesh_dim, so "the
+// link-repeater stages are inversely related to the number of network
+// nodes" (paper Section III-C). Repeaters do not change energy/mm to first
+// order (they linearize delay), so link energy scales with physical length
+// — which is why the electronic network cannot win back the gap by adding
+// nodes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "psync/mesh/mesh.hpp"
+
+namespace psync::mesh {
+
+struct OrionParams {
+  /// Die edge, millimetres (paper: 20 mm).
+  double die_mm = 20.0;
+  /// Flit width on the wire, bits (paper: 32-bit bus).
+  double flit_bits = 32.0;
+  /// Router pipeline depth, stages (paper assumes 3-stage routers).
+  double router_stages = 3.0;
+
+  // Per-event energies (45 nm-class constants, pJ per flit-event).
+  double buffer_write_pj_per_bit = 0.050;
+  double buffer_read_pj_per_bit = 0.030;
+  double crossbar_pj_per_bit = 0.080;
+  double arbiter_pj_per_flit = 0.25;
+  /// Repeated full-swing global wire, pJ per bit per millimetre.
+  double link_pj_per_bit_per_mm = 0.35;
+  /// Router clock/pipeline overhead per stage, pJ per bit per stage.
+  double pipeline_pj_per_bit_per_stage = 0.010;
+  /// Optimal repeater segment length, millimetres (sets repeater count).
+  double repeater_segment_mm = 1.0;
+};
+
+struct OrionReport {
+  double total_pj = 0.0;
+  double pj_per_bit = 0.0;        // per *delivered payload* bit
+  double link_mm_per_hop = 0.0;
+  std::size_t repeaters_per_link = 0;
+  double router_pj = 0.0;
+  double link_pj = 0.0;
+};
+
+/// Per-hop wire length for a `dim x dim` mesh on the configured die.
+double hop_length_mm(const OrionParams& p, std::size_t mesh_dim);
+
+/// Repeater stages per link (ceil of length over optimal segment).
+std::size_t repeaters_per_link(const OrionParams& p, std::size_t mesh_dim);
+
+/// Energy of one flit crossing one router + one link, pJ.
+double per_hop_flit_pj(const OrionParams& p, std::size_t mesh_dim);
+
+/// Evaluate the energy of a finished simulation from its activity counters.
+OrionReport evaluate(const OrionParams& p, const MeshActivity& activity,
+                     std::size_t mesh_dim, std::uint64_t payload_bits_moved);
+
+/// Closed-form estimate for traffic with mean hop count `avg_hops`,
+/// pJ per payload bit (header overhead factor >= 1 inflates flit count).
+double estimate_pj_per_bit(const OrionParams& p, std::size_t mesh_dim,
+                           double avg_hops, double header_overhead = 1.0);
+
+}  // namespace psync::mesh

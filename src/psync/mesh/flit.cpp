@@ -1,0 +1,21 @@
+#include "psync/mesh/flit.hpp"
+
+#include <sstream>
+
+namespace psync::mesh {
+
+std::string to_string(const Flit& f) {
+  std::ostringstream os;
+  const char* kind = "?";
+  switch (f.kind) {
+    case FlitKind::kHead: kind = "H"; break;
+    case FlitKind::kBody: kind = "B"; break;
+    case FlitKind::kTail: kind = "T"; break;
+    case FlitKind::kHeadTail: kind = "HT"; break;
+  }
+  os << "flit{pkt=" << f.packet << " " << kind << " seq=" << f.seq
+     << " src=" << f.src << " dst=" << f.dst << " pay=" << f.payload << "}";
+  return os.str();
+}
+
+}  // namespace psync::mesh

@@ -1,0 +1,239 @@
+// Cycle-level wormhole-routed 2D mesh NoC.
+//
+// Microarchitecture (paper Section V-C-2):
+//   * square mesh, single channel between neighbors, 64-bit flits, one flit
+//     crosses a link per cycle;
+//   * input-buffered routers with `buffer_depth`-flit FIFOs (paper: 2);
+//   * t_r-cycle routing delay for every header flit in every router;
+//   * wormhole switching: an output port is held by a packet from its head
+//     grant until its tail traverses;
+//   * credit-based flow control with one-cycle credit return;
+//   * routing: deterministic XY, or minimal-adaptive west-first (deadlock-
+//     free turn model) that picks the less congested minimal direction.
+//
+// Ejection at a node goes to a Sink; memory interfaces (memory_interface.hpp)
+// and simple consumers implement this interface.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "psync/common/stats.hpp"
+#include "psync/mesh/flit.hpp"
+
+namespace psync::mesh {
+
+enum class RouteAlgo : std::uint8_t {
+  kXY = 0,
+  kWestFirstAdaptive = 1,
+};
+
+struct MeshParams {
+  std::uint32_t width = 4;
+  std::uint32_t height = 4;
+  std::uint32_t buffer_depth = 2;   // flits per input VC FIFO (paper: 2)
+  std::uint32_t route_delay = 1;    // t_r, cycles per header per router
+  RouteAlgo algo = RouteAlgo::kXY;
+  /// Virtual channels per physical port (paper's mesh: 1). Each VC has its
+  /// own buffer_depth-flit FIFO; one flit still crosses a link per cycle.
+  std::uint32_t virtual_channels = 1;
+};
+
+/// Consumer of ejected flits at a node.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Offer a flit this cycle; return false to exert backpressure.
+  virtual bool accept(const Flit& flit, std::int64_t cycle) = 0;
+  /// Advance internal state one cycle (called once per mesh cycle).
+  virtual void step(std::int64_t cycle) { (void)cycle; }
+};
+
+/// Unbounded sink consuming up to `rate` flits per cycle; records stats.
+/// Self-clocked from the cycle passed to accept(), so it needs no step().
+class ConsumeSink final : public Sink {
+ public:
+  explicit ConsumeSink(std::uint32_t rate = 1) : rate_(rate) {}
+  bool accept(const Flit& flit, std::int64_t cycle) override;
+
+  std::uint64_t flits() const { return flits_; }
+  std::uint64_t packets() const { return packets_; }
+  const std::vector<Flit>& log() const { return log_; }
+  /// Arrival cycle of log()[i] (kept alongside the flit log).
+  const std::vector<std::int64_t>& log_cycles() const { return log_cycles_; }
+  void keep_log(bool on) { keep_log_ = on; }
+
+ private:
+  std::uint32_t rate_;
+  std::uint32_t used_this_cycle_ = 0;
+  std::int64_t last_cycle_ = -1;
+  std::uint64_t flits_ = 0;
+  std::uint64_t packets_ = 0;
+  bool keep_log_ = false;
+  std::vector<Flit> log_;
+  std::vector<std::int64_t> log_cycles_;
+};
+
+/// Per-simulation activity counters feeding the ORION-style energy model.
+struct MeshActivity {
+  std::uint64_t buffer_writes = 0;    // flit enqueued into an input FIFO
+  std::uint64_t buffer_reads = 0;     // flit dequeued
+  std::uint64_t crossbar_traversals = 0;
+  std::uint64_t link_traversals = 0;  // inter-router hops (not local)
+  std::uint64_t arbitrations = 0;     // output allocations performed
+  std::uint64_t injected_flits = 0;
+  std::uint64_t ejected_flits = 0;
+  std::uint64_t injected_packets = 0;
+  std::uint64_t ejected_packets = 0;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(MeshParams params);
+
+  const MeshParams& params() const { return params_; }
+  std::uint32_t nodes() const { return params_.width * params_.height; }
+  std::int64_t cycle() const { return cycle_; }
+
+  NodeId node_at(std::uint32_t x, std::uint32_t y) const;
+  std::uint32_t x_of(NodeId n) const { return n % params_.width; }
+  std::uint32_t y_of(NodeId n) const { return n / params_.width; }
+  std::uint32_t manhattan(NodeId a, NodeId b) const;
+
+  /// Attach a sink to a node's ejection port (replaces the default
+  /// ConsumeSink). The mesh keeps a non-owning pointer.
+  void set_sink(NodeId node, Sink* sink);
+
+  /// Queue a packet for injection at its source node.
+  void inject(const PacketDesc& desc);
+
+  /// Advance one cycle.
+  void step();
+
+  /// Run until all injected packets are fully ejected or `max_cycles`
+  /// elapse. Returns true when drained.
+  bool run_until_drained(std::int64_t max_cycles);
+
+  /// True when no flit is buffered anywhere and no injection is pending.
+  bool drained() const;
+
+  const MeshActivity& activity() const { return activity_; }
+  /// Packet latency (inject of head to eject of tail), in cycles.
+  const RunningStats& packet_latency() const { return packet_latency_; }
+  /// Opt-in per-packet latency recording (for histograms); off by default
+  /// to keep the big runs lean.
+  void record_latencies(bool on) { record_latencies_ = on; }
+  const std::vector<double>& latencies() const { return latencies_; }
+  /// Flits currently buffered in the network.
+  std::uint64_t in_flight_flits() const { return in_flight_flits_; }
+  /// Packets injected but whose tail has not yet ejected.
+  std::uint64_t in_flight_packets() const { return in_flight_packets_; }
+
+ private:
+  // Port order: N, E, S, W, LOCAL-in (injection); outputs: N, E, S, W, EJECT.
+  static constexpr int kPortN = 0;
+  static constexpr int kPortE = 1;
+  static constexpr int kPortS = 2;
+  static constexpr int kPortW = 3;
+  static constexpr int kPortLocal = 4;
+  static constexpr int kPorts = 5;
+  static constexpr int kNoPort = -1;
+  static constexpr int kNoVc = -1;
+  static constexpr std::int16_t kFree = -1;
+
+  /// One virtual channel of one input port: its own FIFO and per-packet
+  /// routing/allocation state.
+  struct InputVc {
+    std::vector<Flit> fifo;   // ring buffer, capacity = buffer_depth
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;
+    // State for the packet at the FIFO front.
+    int route_out = kNoPort;        // decided output, or kNoPort
+    int out_vc = kNoVc;             // allocated downstream VC
+    std::uint32_t route_wait = 0;   // remaining t_r cycles
+    bool routing = false;           // countdown in progress
+  };
+
+  struct Router {
+    std::vector<InputVc> in;             // kPorts * V input VCs
+    std::vector<std::int16_t> out_owner; // kPorts * V: holding in-VC index
+    std::vector<std::uint16_t> credits;  // kPorts * V toward downstream
+    std::uint8_t rr_next[kPorts];        // switch round-robin per output
+    std::uint8_t vc_rr[kPorts];          // out-VC allocation round-robin
+  };
+
+  struct Staged {
+    Flit flit;
+    NodeId node;
+    int in_port;
+    int vc;
+  };
+
+  struct Release {
+    std::int64_t cycle;
+    PacketId id;
+    PacketDesc desc;
+    bool operator<(const Release& o) const {
+      // std::priority_queue is a max-heap; invert for earliest-first, with
+      // packet id as a deterministic tiebreak.
+      if (cycle != o.cycle) return cycle > o.cycle;
+      return id > o.id;
+    }
+  };
+
+  int vcs() const { return static_cast<int>(params_.virtual_channels); }
+  int ivc(int port, int vc) const { return port * vcs() + vc; }
+
+  bool fifo_full(const InputVc& p) const { return p.count >= params_.buffer_depth; }
+  const Flit& fifo_front(const InputVc& p) const { return p.fifo[p.head]; }
+  void fifo_push(InputVc& p, const Flit& f);
+  Flit fifo_pop(InputVc& p);
+
+  int neighbor(NodeId node, int out_port, NodeId* out_node) const;
+  int compute_route(NodeId at, const Flit& head, const Router& r) const;
+  void update_routing(Router& r, NodeId n);
+  bool serve_outputs(NodeId n, Router& r);
+  bool serve_injection(NodeId n);
+  void activate(NodeId n);
+  void expand_packet(PacketId id, const PacketDesc& desc);
+
+  MeshParams params_;
+  std::vector<Router> routers_;
+  std::vector<Sink*> sinks_;
+  std::vector<NodeId> stepped_sinks_;  // explicitly attached, need step()
+  std::vector<std::unique_ptr<ConsumeSink>> default_sinks_;
+  // Expanded flits awaiting injection, one queue per (node, local VC);
+  // packets are assigned to local VCs round-robin.
+  std::vector<std::deque<Flit>> inject_queues_;  // nodes * V
+  std::vector<std::uint8_t> inject_vc_rr_;       // per node
+  std::uint64_t queued_flits_ = 0;
+  std::priority_queue<Release> releases_;        // future-release packets
+  std::vector<Staged> staged_;
+  struct CreditReturn {
+    NodeId node;
+    int in_port;
+    int vc;
+  };
+  std::vector<CreditReturn> credit_returns_;
+
+  // Activity-gated simulation: only routers in the active set are stepped.
+  std::vector<NodeId> cur_active_;
+  std::vector<NodeId> next_active_;
+  std::vector<std::uint8_t> in_next_active_;
+
+  // Packet bookkeeping for latency stats: inject cycle by packet id.
+  std::vector<std::int64_t> packet_inject_cycle_;
+  RunningStats packet_latency_;
+  bool record_latencies_ = false;
+  std::vector<double> latencies_;
+
+  std::int64_t cycle_ = 0;
+  std::uint64_t in_flight_flits_ = 0;
+  std::uint64_t in_flight_packets_ = 0;
+  MeshActivity activity_;
+};
+
+}  // namespace psync::mesh

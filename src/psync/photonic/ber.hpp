@@ -1,0 +1,45 @@
+// Bit-error-rate model for the optical link.
+//
+// The photodiode sensitivity in the link budget (Eq. 1) is the power at
+// which the receiver achieves its reference quality; power above that
+// sensitivity is margin, and for a thermal-noise-limited OOK receiver the
+// Q-factor scales linearly with received power:
+//
+//     Q(margin) = Q_ref * 10^(margin_dB / 10),   BER = 0.5 * erfc(Q / sqrt2)
+//
+// with Q_ref = 6 (BER ~ 1e-9) at exactly the sensitivity. This lets
+// experiments ask "how many bit errors should a 2^20-slot SCA expect at
+// this node count?" and quantifies the reliability cliff at the Eq. 3
+// scaling bound.
+#pragma once
+
+#include <cstdint>
+
+#include "psync/photonic/link_budget.hpp"
+
+namespace psync::photonic {
+
+/// Q at the reference sensitivity (Q = 6 -> BER ~ 1e-9).
+inline constexpr double kQAtSensitivity = 6.0;
+
+/// Q-factor for a received power `margin_db` above sensitivity (negative
+/// margin degrades Q below the reference).
+double q_factor(double margin_db, double q_at_sensitivity = kQAtSensitivity);
+
+/// BER for a given Q: 0.5 * erfc(Q / sqrt(2)).
+double ber_from_q(double q);
+
+/// BER at a given margin above sensitivity.
+double ber_at_margin(double margin_db,
+                     double q_at_sensitivity = kQAtSensitivity);
+
+/// Margin (dB) of the farthest tap of a `segments`-segment PSCAN span under
+/// budget `p` (negative when the link does not close).
+double worst_case_margin_db(const LinkBudgetParams& p, std::size_t segments);
+
+/// Expected bit errors for a transaction of `bits` bits received at
+/// `margin_db` above sensitivity.
+double expected_bit_errors(double margin_db, std::uint64_t bits,
+                           double q_at_sensitivity = kQAtSensitivity);
+
+}  // namespace psync::photonic

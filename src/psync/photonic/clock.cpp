@@ -1,0 +1,49 @@
+#include "psync/photonic/clock.hpp"
+
+#include <cmath>
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+
+PhotonicClock::PhotonicClock(ClockParams params) : params_(params) {
+  PSYNC_CHECK(params.frequency_ghz > 0.0);
+  PSYNC_CHECK(params.group_velocity_cm_per_ns > 0.0);
+  PSYNC_CHECK(params.detect_latency_ps >= 0);
+  period_ps_ = units::clock_period_ps(params.frequency_ghz);
+}
+
+TimePs PhotonicClock::flight_ps(double x_um) const {
+  PSYNC_CHECK(x_um >= 0.0);
+  const double ns =
+      units::um_to_cm(x_um) / params_.group_velocity_cm_per_ns;
+  return units::ns_to_ps(ns);
+}
+
+TimePs PhotonicClock::perceived_edge_ps(double x_um, Cycle s) const {
+  return params_.launch_time_ps + s * period_ps_ + flight_ps(x_um) +
+         params_.detect_latency_ps;
+}
+
+TimePs PhotonicClock::arrival_at_ps(double x_um, Cycle s, double y_um) const {
+  PSYNC_CHECK_MSG(y_um >= x_um, "light only travels downstream");
+  // Modulation happens detect_latency after the perceived edge; the imprinted
+  // energy then takes (y - x)/v to reach y. Equivalently: launch + s*T +
+  // flight(y) + detect latency. The x-dependence cancels -- the paper's core
+  // observation.
+  return perceived_edge_ps(x_um, s) + (flight_ps(y_um) - flight_ps(x_um));
+}
+
+TimePs PhotonicClock::skew_ps(double x_a_um, double x_b_um) const {
+  return perceived_edge_ps(x_b_um, 0) - perceived_edge_ps(x_a_um, 0);
+}
+
+std::vector<TimePs> skew_table(const PhotonicClock& clk,
+                               const std::vector<double>& taps_um) {
+  std::vector<TimePs> out;
+  out.reserve(taps_um.size());
+  for (double x : taps_um) out.push_back(clk.perceived_edge_ps(x, 0));
+  return out;
+}
+
+}  // namespace psync::photonic

@@ -1,0 +1,67 @@
+// Open-loop photonic clock distribution (paper Section III-A).
+//
+// A clock wavelength is modulated at the head of the waveguide; each node
+// takes its I/O clock edge *directly* from the detected photonic clock, so
+// node i at path position x_i perceives global clock edge s at
+//
+//     t(i, s) = t_launch + s * T + x_i / v_g + t_detect
+//
+// The deliberate, position-proportional skew is what makes the SCA work:
+// a bit modulated on perceived edge s at any position arrives at the
+// terminus at t_launch + s*T + X_end/v_g + const, i.e. slot order at the
+// receiver is independent of where the modulating node sits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "psync/common/units.hpp"
+
+namespace psync::photonic {
+
+struct ClockParams {
+  /// Photonic clock / bit-slot frequency, GHz (paper: 10 Gb/s slots).
+  double frequency_ghz = 10.0;
+  /// Group velocity along the distribution waveguide, cm/ns.
+  double group_velocity_cm_per_ns = 7.0;
+  /// Time for a node to sense the clock edge and respond (the "short delay
+  /// for P0 to sense and respond" in Fig. 4), ps. Common to all nodes, so it
+  /// cancels out of slot alignment.
+  TimePs detect_latency_ps = 20;
+  /// Absolute launch time of edge 0 at position 0, ps.
+  TimePs launch_time_ps = 0;
+};
+
+/// Clock as perceived along one waveguide.
+class PhotonicClock {
+ public:
+  explicit PhotonicClock(ClockParams params);
+
+  const ClockParams& params() const { return params_; }
+
+  /// Slot period, ps (exact for 10 GHz: 100 ps).
+  TimePs period_ps() const { return period_ps_; }
+
+  /// Flight time from launch point to position `x_um`, ps (rounded).
+  TimePs flight_ps(double x_um) const;
+
+  /// Absolute time at which the node at `x_um` *perceives* edge `s`.
+  TimePs perceived_edge_ps(double x_um, Cycle s) const;
+
+  /// Absolute time at which energy modulated on perceived edge `s` at
+  /// position `x_um` passes position `y_um` (y >= x downstream).
+  TimePs arrival_at_ps(double x_um, Cycle s, double y_um) const;
+
+  /// Skew between two taps: perceived time difference of the same edge.
+  TimePs skew_ps(double x_a_um, double x_b_um) const;
+
+ private:
+  ClockParams params_;
+  TimePs period_ps_;
+};
+
+/// Skew table for a set of taps; useful for configuring SerDes offsets.
+std::vector<TimePs> skew_table(const PhotonicClock& clk,
+                               const std::vector<double>& taps_um);
+
+}  // namespace psync::photonic

@@ -1,0 +1,46 @@
+#include "psync/photonic/devices.hpp"
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+
+void validate(const RingResonator& r) {
+  if (r.through_loss_off_db < 0.0 || r.insertion_loss_on_db < 0.0) {
+    throw SimulationError("RingResonator: losses must be non-negative");
+  }
+  if (r.extinction_ratio_db <= 0.0) {
+    throw SimulationError("RingResonator: extinction ratio must be positive");
+  }
+  if (r.modulation_energy_fj_per_bit < 0.0 || r.thermal_tuning_uw < 0.0) {
+    throw SimulationError("RingResonator: energies must be non-negative");
+  }
+  if (r.max_rate_gbps <= 0.0) {
+    throw SimulationError("RingResonator: max rate must be positive");
+  }
+}
+
+void validate(const Photodetector& p) {
+  if (p.receive_energy_fj_per_bit < 0.0 || p.tap_loss_db < 0.0) {
+    throw SimulationError("Photodetector: energies/losses must be non-negative");
+  }
+}
+
+void validate(const Laser& l) {
+  if (l.wall_plug_efficiency <= 0.0 || l.wall_plug_efficiency > 1.0) {
+    throw SimulationError("Laser: wall-plug efficiency must be in (0, 1]");
+  }
+  if (l.coupler_loss_db < 0.0) {
+    throw SimulationError("Laser: coupler loss must be non-negative");
+  }
+}
+
+void validate(const WdmPlan& w) {
+  if (w.wavelength_count == 0) {
+    throw SimulationError("WdmPlan: need at least one wavelength");
+  }
+  if (w.rate_gbps_per_wavelength <= 0.0) {
+    throw SimulationError("WdmPlan: per-wavelength rate must be positive");
+  }
+}
+
+}  // namespace psync::photonic

@@ -1,0 +1,110 @@
+#include "psync/photonic/energy.hpp"
+
+#include <cmath>
+
+#include "psync/common/check.hpp"
+#include "psync/common/units.hpp"
+#include "psync/photonic/power.hpp"
+
+namespace psync::photonic {
+
+PhotonicEnergyBreakdown pscan_energy_per_bit(const PhotonicEnergyParams& p,
+                                             std::size_t nodes, double die_cm,
+                                             double utilization) {
+  PSYNC_CHECK(nodes > 0);
+  if (utilization <= 0.0 || utilization > 1.0) {
+    throw SimulationError("pscan_energy_per_bit: utilization must be in (0, 1]");
+  }
+  validate(p.laser);
+  validate(p.ring);
+  validate(p.detector);
+  validate(p.wdm);
+
+  // Size the serpentine so every row of a sqrt(nodes) grid is reached.
+  const auto grid = static_cast<std::size_t>(
+      std::max(1.0, std::round(std::sqrt(static_cast<double>(nodes)))));
+  const SerpentineLayout layout = serpentine_for_grid(grid, die_cm);
+  const Waveguide wg = layout.build(p.waveguide);
+
+  // Total path loss end to end: waveguide + every detuned ring + terminus
+  // tap + laser coupler (per span the coupler/tap recur, handled below).
+  const double wg_and_ring_loss_db =
+      wg.total_loss_db() +
+      static_cast<double>(nodes) * p.ring.through_loss_off_db;
+  const double per_span_fixed_db =
+      p.detector.tap_loss_db + p.laser.coupler_loss_db;
+
+  // Split into the minimum number of equal spans whose launch power fits
+  // within max_launch_dbm.
+  const double span_budget_db = p.max_launch_dbm - p.detector.sensitivity_dbm;
+  std::size_t spans = 1;
+  while (wg_and_ring_loss_db / static_cast<double>(spans) + per_span_fixed_db >
+         span_budget_db) {
+    ++spans;
+    if (spans > 1024) {
+      throw SimulationError(
+          "pscan_energy_per_bit: cannot close the link even with 1024 spans; "
+          "check device parameters");
+    }
+  }
+  const double span_loss_db =
+      wg_and_ring_loss_db / static_cast<double>(spans) + per_span_fixed_db;
+  const double launch_dbm = p.detector.sensitivity_dbm + span_loss_db;
+  const double launch_mw = dbm_to_mw(launch_dbm);
+  const double laser_electrical_mw =
+      launch_mw / p.laser.wall_plug_efficiency *
+      static_cast<double>(p.wdm.wavelength_count) * static_cast<double>(spans);
+
+  const double aggregate_gbps = p.wdm.aggregate_gbps() * utilization;
+
+  PhotonicEnergyBreakdown out;
+  out.spans = spans;
+  // mW / Gb/s = pJ/bit -> fJ/bit.
+  out.laser_fj_per_bit = laser_electrical_mw / aggregate_gbps * 1e3;
+  out.modulator_fj_per_bit = p.ring.modulation_energy_fj_per_bit;
+  out.receiver_fj_per_bit = p.detector.receive_energy_fj_per_bit;
+  out.serdes_fj_per_bit = p.serdes_energy_fj_per_bit;
+
+  // Each O-E-O repeater detects and re-modulates every bit.
+  const double repeaters = static_cast<double>(spans - 1);
+  out.repeater_fj_per_bit =
+      repeaters * (p.detector.receive_energy_fj_per_bit +
+                   p.ring.modulation_energy_fj_per_bit);
+
+  // Each node carries one ring per wavelength (modulator bank); rings are
+  // thermally tuned whether or not they are currently driving.
+  const double rings =
+      static_cast<double>(nodes) * static_cast<double>(p.wdm.wavelength_count);
+  const double thermal_mw = rings * p.ring.thermal_tuning_uw * 1e-3;
+  out.thermal_fj_per_bit = thermal_mw / aggregate_gbps * 1e3;
+  return out;
+}
+
+PhotonicTransactionEnergy transaction_energy(const PhotonicEnergyParams& p,
+                                             std::size_t nodes,
+                                             std::int64_t span_ps,
+                                             std::uint64_t payload_bits,
+                                             double die_cm) {
+  PSYNC_CHECK(span_ps > 0);
+  PSYNC_CHECK(payload_bits > 0);
+  // Reuse the per-bit model at full utilization to obtain the sized laser
+  // and device constants, then re-integrate the static terms over the real
+  // span: the per-bit breakdown at utilization 1 amortizes static power
+  // over aggregate_rate * 1s, so static power (mW) = fJ/bit * Gb/s * 1e-3.
+  const PhotonicEnergyBreakdown e = pscan_energy_per_bit(p, nodes, die_cm);
+  const double rate_gbps = p.wdm.aggregate_gbps();
+  const double static_mw =
+      (e.laser_fj_per_bit + e.thermal_fj_per_bit) * rate_gbps * 1e-3;
+
+  PhotonicTransactionEnergy out;
+  // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = fJ -> pJ via 1e-3.
+  out.static_pj = static_mw * static_cast<double>(span_ps) * 1e-3;
+  out.dynamic_pj = static_cast<double>(payload_bits) *
+                   (e.modulator_fj_per_bit + e.receiver_fj_per_bit +
+                    e.serdes_fj_per_bit + e.repeater_fj_per_bit) *
+                   1e-3;
+  out.pj_per_bit = out.total_pj() / static_cast<double>(payload_bits);
+  return out;
+}
+
+}  // namespace psync::photonic

@@ -1,0 +1,81 @@
+// Photonic link energy model (the PSCAN side of the paper's Fig. 5).
+//
+// Energy per transported bit decomposes into:
+//   * laser wall-plug energy  — each optical span's laser must launch enough
+//     power to cover that span's worst-case loss; electrical draw is
+//     continuous, so E/bit = P_elec / aggregate data rate;
+//   * modulator dynamic energy (fJ/bit) and receiver energy (fJ/bit);
+//   * thermal ring tuning — static power per ring amortized over data moved;
+//   * O-E-O repeater energy when the bus is too long/lossy for one span
+//     (Section III-B: "individual PSCAN segments can be linked via
+//     repeaters to form larger networks").
+//
+// The decisive property reproduced from the paper: photonic energy/bit is
+// nearly independent of how many nodes share the bus, because propagation is
+// lossy but not *switched* — there are no per-hop buffers or arbiters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "psync/photonic/devices.hpp"
+#include "psync/photonic/link_budget.hpp"
+
+namespace psync::photonic {
+
+struct PhotonicEnergyParams {
+  Laser laser;
+  RingResonator ring;
+  Photodetector detector;
+  WaveguideParams waveguide;
+  WdmPlan wdm;
+  /// Serializer/deserializer energy at each end, fJ/bit.
+  double serdes_energy_fj_per_bit = 100.0;
+  /// Maximum optical power one span's laser can launch per wavelength, dBm;
+  /// beyond this, O-E-O repeaters split the bus into spans.
+  double max_launch_dbm = 10.0;
+};
+
+struct PhotonicEnergyBreakdown {
+  double laser_fj_per_bit = 0.0;
+  double modulator_fj_per_bit = 0.0;
+  double receiver_fj_per_bit = 0.0;
+  double thermal_fj_per_bit = 0.0;
+  double serdes_fj_per_bit = 0.0;
+  double repeater_fj_per_bit = 0.0;
+  std::size_t spans = 1;
+
+  double total_fj_per_bit() const {
+    return laser_fj_per_bit + modulator_fj_per_bit + receiver_fj_per_bit +
+           thermal_fj_per_bit + serdes_fj_per_bit + repeater_fj_per_bit;
+  }
+  double total_pj_per_bit() const { return total_fj_per_bit() * 1e-3; }
+};
+
+/// Energy per bit for a PSCAN bus with `nodes` taps on a serpentine covering
+/// a `die_cm` square die, at utilization `utilization` (fraction of slots
+/// carrying data; the SCA achieves ~1.0). Laser power per span is sized from
+/// the actual path loss (launch = sensitivity + span loss), so more nodes
+/// cost slightly more laser power but nothing per hop.
+PhotonicEnergyBreakdown pscan_energy_per_bit(const PhotonicEnergyParams& p,
+                                             std::size_t nodes,
+                                             double die_cm = 2.0,
+                                             double utilization = 1.0);
+
+/// Activity-based energy of one finished transaction (the PSCAN counterpart
+/// of the mesh's ORION activity evaluation): static power (laser, thermal)
+/// integrates over the transaction's wall-clock `span_ps`; dynamic energy
+/// (modulator, receiver, SerDes, repeaters) charges per bit actually moved.
+struct PhotonicTransactionEnergy {
+  double static_pj = 0.0;    // laser + thermal over the span
+  double dynamic_pj = 0.0;   // per-bit device energy
+  double total_pj() const { return static_pj + dynamic_pj; }
+  double pj_per_bit = 0.0;   // total / payload bits
+};
+PhotonicTransactionEnergy transaction_energy(const PhotonicEnergyParams& p,
+                                             std::size_t nodes,
+                                             std::int64_t span_ps,
+                                             std::uint64_t payload_bits,
+                                             double die_cm = 2.0);
+
+}  // namespace psync::photonic

@@ -1,0 +1,75 @@
+#include "psync/photonic/link_budget.hpp"
+
+#include <cmath>
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+
+double segment_loss_db(const LinkBudgetParams& p) {
+  return p.ring.through_loss_off_db +
+         p.modulator_pitch_cm * p.waveguide.loss_straight_db_per_cm;
+}
+
+double launch_power_dbm(const LinkBudgetParams& p) {
+  return p.laser.launch_power_dbm - p.laser.coupler_loss_db;
+}
+
+double budget_db(const LinkBudgetParams& p) {
+  return launch_power_dbm(p) - (p.detector.sensitivity_dbm + p.margin_db);
+}
+
+std::size_t max_segments(const LinkBudgetParams& p) {
+  validate(p.laser);
+  validate(p.ring);
+  validate(p.detector);
+  const double budget = budget_db(p) - p.detector.tap_loss_db;
+  const double per_segment = segment_loss_db(p);
+  if (budget <= 0.0) return 0;
+  if (per_segment <= 0.0) throw SimulationError("segment loss must be positive");
+  return static_cast<std::size_t>(budget / per_segment);
+}
+
+PowerDbm power_after_segments(const LinkBudgetParams& p,
+                              std::size_t segments) {
+  const double loss = static_cast<double>(segments) * segment_loss_db(p) +
+                      p.detector.tap_loss_db;
+  return PowerDbm(launch_power_dbm(p)).attenuated(loss);
+}
+
+bool closes(const LinkBudgetParams& p, std::size_t segments) {
+  return power_after_segments(p, segments)
+      .detectable_by(p.detector.sensitivity_dbm + p.margin_db);
+}
+
+std::size_t repeaters_required(const LinkBudgetParams& p,
+                               std::size_t total_segments) {
+  const std::size_t per_span = max_segments(p);
+  if (per_span == 0) {
+    throw SimulationError(
+        "link budget cannot close even a single segment; no repeater count "
+        "is meaningful");
+  }
+  if (total_segments <= per_span) return 0;
+  // ceil(total/per_span) spans need (spans - 1) repeaters.
+  const std::size_t spans = (total_segments + per_span - 1) / per_span;
+  return spans - 1;
+}
+
+SerpentineBudget evaluate_serpentine(const LinkBudgetParams& p,
+                                     const SerpentineLayout& layout,
+                                     std::size_t nodes) {
+  PSYNC_CHECK(nodes > 0);
+  const Waveguide wg = layout.build(p.waveguide);
+  SerpentineBudget out;
+  out.total_loss_db = wg.total_loss_db() +
+                      static_cast<double>(nodes) * p.ring.through_loss_off_db +
+                      p.detector.tap_loss_db;
+  out.residual_dbm =
+      PowerDbm(launch_power_dbm(p)).attenuated(out.total_loss_db).dbm();
+  out.closes = out.residual_dbm >= p.detector.sensitivity_dbm + p.margin_db;
+  out.max_nodes_eq3 = max_segments(p);
+  return out;
+}
+
+}  // namespace psync::photonic

@@ -1,0 +1,69 @@
+// PSCAN scalability analysis: paper Section III-B, Eq. 1-3.
+//
+//   Eq. 1:  P_i - L_w >= P_min-pd              (detectability)
+//   Eq. 2:  L_ws = L_r-off + D_m * L_w         (loss per segment)
+//   Eq. 3:  (P_i - P_min-pd) / L_ws >= N       (max segment count)
+//
+// A *segment* is one detuned ring resonator plus D_m centimetres of
+// waveguide (the modulator pitch). Segments can be chained through O-E-O
+// repeaters to build networks longer than a single optical budget allows.
+#pragma once
+
+#include <cstddef>
+
+#include "psync/photonic/devices.hpp"
+#include "psync/photonic/power.hpp"
+#include "psync/photonic/waveguide.hpp"
+
+namespace psync::photonic {
+
+struct LinkBudgetParams {
+  Laser laser;
+  RingResonator ring;
+  Photodetector detector;
+  WaveguideParams waveguide;
+  /// Modulator pitch D_m along the bus, centimetres.
+  double modulator_pitch_cm = 0.05;
+  /// Extra margin demanded above sensitivity, dB (engineering headroom).
+  double margin_db = 0.0;
+};
+
+/// Loss of one PSCAN segment, dB (Eq. 2). Uses the straight-waveguide loss;
+/// bends are accounted separately by callers that know the layout.
+double segment_loss_db(const LinkBudgetParams& p);
+
+/// Launch power available after the laser-to-waveguide coupler, dBm.
+double launch_power_dbm(const LinkBudgetParams& p);
+
+/// Optical budget: launch power minus (sensitivity + margin), dB.
+double budget_db(const LinkBudgetParams& p);
+
+/// Maximum number of segments on a single optical span (Eq. 3); zero when
+/// even one segment cannot close the link.
+std::size_t max_segments(const LinkBudgetParams& p);
+
+/// Residual power at the detector after `segments` segments, dBm.
+PowerDbm power_after_segments(const LinkBudgetParams& p, std::size_t segments);
+
+/// True when a span of `segments` closes the link budget (Eq. 1).
+bool closes(const LinkBudgetParams& p, std::size_t segments);
+
+/// Number of O-E-O repeaters required to support `total_segments` taps
+/// (each repeater relaunches at full power). Zero when one span suffices.
+std::size_t repeaters_required(const LinkBudgetParams& p,
+                               std::size_t total_segments);
+
+/// Convenience: budget evaluation for a serpentine bus with `nodes` evenly
+/// pitched taps across a square die. Includes bend losses, which Eq. 3
+/// ignores ("for simplicity"); exposing both lets tests quantify the gap.
+struct SerpentineBudget {
+  double total_loss_db = 0.0;       // waveguide + bends + detuned rings
+  double residual_dbm = 0.0;        // at the terminus detector
+  bool closes = false;
+  std::size_t max_nodes_eq3 = 0;    // paper's bend-free bound
+};
+SerpentineBudget evaluate_serpentine(const LinkBudgetParams& p,
+                                     const SerpentineLayout& layout,
+                                     std::size_t nodes);
+
+}  // namespace psync::photonic

@@ -1,0 +1,27 @@
+#include "psync/photonic/power.hpp"
+
+#include <cmath>
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+
+double mw_to_dbm(double mw) {
+  if (mw <= 0.0) {
+    throw SimulationError("power must be positive to express in dBm");
+  }
+  return 10.0 * std::log10(mw);
+}
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double ratio_to_db(double ratio) {
+  if (ratio <= 0.0) {
+    throw SimulationError("ratio must be positive");
+  }
+  return 10.0 * std::log10(ratio);
+}
+
+double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace psync::photonic

@@ -1,0 +1,44 @@
+// Optical power arithmetic in the dB domain.
+//
+// The PSCAN scalability analysis (paper Section III-B, Eq. 1-3) is entirely
+// a link-budget computation: launch power minus accumulated losses must stay
+// above the photodetector sensitivity. Powers are dBm, losses/gains dB.
+#pragma once
+
+namespace psync::photonic {
+
+/// Convert absolute power between milliwatts and dBm.
+double mw_to_dbm(double mw);
+double dbm_to_mw(double dbm);
+
+/// Ratio <-> decibels.
+double ratio_to_db(double ratio);
+double db_to_ratio(double db);
+
+/// Optical power level in dBm with explicit loss/gain application.
+class PowerDbm {
+ public:
+  constexpr PowerDbm() = default;
+  constexpr explicit PowerDbm(double dbm) : dbm_(dbm) {}
+
+  constexpr double dbm() const { return dbm_; }
+  double mw() const { return dbm_to_mw(dbm_); }
+
+  /// Attenuate by `loss_db` (>= 0).
+  constexpr PowerDbm attenuated(double loss_db) const {
+    return PowerDbm(dbm_ - loss_db);
+  }
+  /// Amplify by `gain_db` (>= 0), e.g. at an O-E-O repeater relaunch.
+  constexpr PowerDbm amplified(double gain_db) const {
+    return PowerDbm(dbm_ + gain_db);
+  }
+
+  constexpr bool detectable_by(double sensitivity_dbm) const {
+    return dbm_ >= sensitivity_dbm;
+  }
+
+ private:
+  double dbm_ = 0.0;
+};
+
+}  // namespace psync::photonic

@@ -1,0 +1,86 @@
+#include "psync/photonic/waveguide.hpp"
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+
+Waveguide::Waveguide(WaveguideParams params, double straight_um,
+                     double curved_um, std::size_t bends)
+    : params_(params),
+      straight_um_(straight_um),
+      curved_um_(curved_um),
+      bends_(bends) {
+  PSYNC_CHECK(straight_um >= 0.0);
+  PSYNC_CHECK(curved_um >= 0.0);
+  PSYNC_CHECK(params.group_velocity_cm_per_ns > 0.0);
+}
+
+double Waveguide::total_loss_db() const {
+  return units::um_to_cm(straight_um_) * params_.loss_straight_db_per_cm +
+         units::um_to_cm(curved_um_) * params_.loss_curved_db_per_cm +
+         static_cast<double>(bends_) * params_.loss_per_bend_db;
+}
+
+double Waveguide::flight_time_ps() const {
+  return flight_time_to_ps(length_um());
+}
+
+double Waveguide::flight_time_to_ps(double at_um) const {
+  PSYNC_CHECK(at_um >= 0.0);
+  // cm / (cm/ns) = ns; convert to ps.
+  return units::um_to_cm(at_um) / params_.group_velocity_cm_per_ns * 1e3;
+}
+
+double Waveguide::loss_to_db(double at_um) const {
+  const double len = length_um();
+  if (len <= 0.0) return 0.0;
+  const double frac = at_um / len;
+  return total_loss_db() * frac;
+}
+
+double SerpentineLayout::row_pitch_um() const {
+  return rows > 0 ? height_um / static_cast<double>(rows) : 0.0;
+}
+
+double SerpentineLayout::straight_um() const {
+  return static_cast<double>(rows) * width_um;
+}
+
+double SerpentineLayout::curved_um() const {
+  // Each of the (rows - 1) turnarounds descends one row pitch.
+  return rows > 1 ? static_cast<double>(rows - 1) * row_pitch_um() : 0.0;
+}
+
+std::size_t SerpentineLayout::bends() const {
+  return rows > 1 ? 2 * (rows - 1) : 0;
+}
+
+double SerpentineLayout::total_length_um() const {
+  return straight_um() + curved_um();
+}
+
+std::vector<double> SerpentineLayout::tap_positions_um(std::size_t n) const {
+  PSYNC_CHECK(n > 0);
+  const double len = total_length_um();
+  const double pitch = len / static_cast<double>(n);
+  std::vector<double> taps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    taps[i] = pitch * (static_cast<double>(i) + 0.5);
+  }
+  return taps;
+}
+
+Waveguide SerpentineLayout::build(const WaveguideParams& params) const {
+  return Waveguide(params, straight_um(), curved_um(), bends());
+}
+
+SerpentineLayout serpentine_for_grid(std::size_t grid_dim, double die_cm) {
+  PSYNC_CHECK(grid_dim > 0);
+  SerpentineLayout layout;
+  layout.width_um = units::cm_to_um(die_cm);
+  layout.height_um = units::cm_to_um(die_cm);
+  layout.rows = grid_dim;
+  return layout;
+}
+
+}  // namespace psync::photonic

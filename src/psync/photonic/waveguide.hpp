@@ -1,0 +1,89 @@
+// Silicon waveguide geometry and propagation.
+//
+// The paper's key physical fact: light at 1550 nm travels ~7 cm/ns in a
+// silicon waveguide, independent of waveguide length; the only significant
+// length-dependent parameter is attenuation. We model:
+//   * group velocity (=> per-position propagation delay),
+//   * straight vs. curved attenuation (dB/cm) and per-bend loss,
+//   * a serpentine layout generator that routes a bus across a WxH die and
+//     reports total length and bend count for the link budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "psync/common/units.hpp"
+
+namespace psync::photonic {
+
+struct WaveguideParams {
+  /// Group velocity in cm/ns (paper: ~7 cm/ns at 1550 nm in silicon).
+  double group_velocity_cm_per_ns = 7.0;
+  /// Propagation loss in straight sections, dB/cm (low-loss SOI strip;
+  /// lossier 1-3 dB/cm processes are modeled by overriding this).
+  double loss_straight_db_per_cm = 0.3;
+  /// Additional propagation loss in curved sections, dB/cm.
+  double loss_curved_db_per_cm = 0.9;
+  /// Fixed loss per 90-degree bend, dB.
+  double loss_per_bend_db = 0.05;
+};
+
+/// A waveguide run of known composition.
+class Waveguide {
+ public:
+  Waveguide(WaveguideParams params, double straight_um, double curved_um,
+            std::size_t bends);
+
+  const WaveguideParams& params() const { return params_; }
+  double straight_um() const { return straight_um_; }
+  double curved_um() const { return curved_um_; }
+  std::size_t bends() const { return bends_; }
+  double length_um() const { return straight_um_ + curved_um_; }
+
+  /// Total propagation (insertion) loss of the run, dB.
+  double total_loss_db() const;
+
+  /// One-way flight time over the full run, picoseconds (real-valued).
+  double flight_time_ps() const;
+
+  /// Flight time from the launch point to a position `at_um` along the run.
+  double flight_time_to_ps(double at_um) const;
+
+  /// Loss accumulated from launch to `at_um`, assuming straight/curved
+  /// sections are uniformly interleaved (adequate for budget estimates).
+  double loss_to_db(double at_um) const;
+
+ private:
+  WaveguideParams params_;
+  double straight_um_;
+  double curved_um_;
+  std::size_t bends_;
+};
+
+/// Serpentine bus layout across a rectangular die: `rows` horizontal passes
+/// of length `width_um`, connected by 180-degree turnarounds (2 bends each)
+/// of length `pitch_um` (the row pitch). Node tap positions are evenly
+/// spaced along the unrolled path.
+struct SerpentineLayout {
+  double width_um = 2.0 * units::kCentimeter;   // die width (paper: 2 cm)
+  double height_um = 2.0 * units::kCentimeter;  // die height (paper: 2 cm)
+  std::size_t rows = 1;                         // horizontal passes
+
+  double row_pitch_um() const;
+  double straight_um() const;
+  double curved_um() const;
+  std::size_t bends() const;
+  double total_length_um() const;
+
+  /// Evenly spaced tap positions (along the unrolled path) for `n` nodes,
+  /// starting at 0 pitch/2 in; last node sits before the terminus.
+  std::vector<double> tap_positions_um(std::size_t n) const;
+
+  Waveguide build(const WaveguideParams& params) const;
+};
+
+/// Serpentine with enough rows so that `nodes` taps in a `cols x rows_grid`
+/// processor grid are all adjacent to the bus: one pass per processor row.
+SerpentineLayout serpentine_for_grid(std::size_t grid_dim, double die_cm = 2.0);
+
+}  // namespace psync::photonic

@@ -1,0 +1,106 @@
+#include "psync/core/arbiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+#include "psync/core/sca.hpp"
+
+namespace psync::core {
+namespace {
+
+TEST(Arbiter, GrantsAreContiguousAndOrdered) {
+  SlotArbiter arb;
+  const auto a = arb.reserve(100, "sca");
+  const auto b = arb.reserve(20, "control");
+  const auto c = arb.reserve(50, "background");
+  EXPECT_EQ(a.base, 0);
+  EXPECT_EQ(b.base, 100);
+  EXPECT_EQ(c.base, 120);
+  EXPECT_EQ(arb.horizon(), 170);
+  EXPECT_EQ(arb.grants().size(), 3u);
+}
+
+TEST(Arbiter, ShiftProgramPreservesShape) {
+  CommProgram cp;
+  cp.add(CpStride{2, 3, 10, 4, CpAction::kDrive});
+  const CommProgram moved = shift_program(cp, 1000);
+  EXPECT_EQ(moved.strides()[0].first, 1002);
+  EXPECT_EQ(moved.strides()[0].stride, 10);
+  EXPECT_EQ(moved.slot_count(CpAction::kDrive), cp.slot_count(CpAction::kDrive));
+}
+
+TEST(Arbiter, ComposeRejectsOversizedSchedule) {
+  SlotArbiter arb;
+  const auto g = arb.reserve(10, "tiny");
+  const auto sched = compile_gather_blocks(4, 8);  // 32 slots
+  EXPECT_THROW((void)arb.compose(sched, g), SimulationError);
+}
+
+TEST(Arbiter, MergedTransactionsShareTheBusWithoutCollisions) {
+  // An SCA gather plus a background transaction composed onto one bus.
+  const std::size_t nodes = 4;
+  SlotArbiter arb;
+  const auto sca_sched = compile_gather_interleaved(nodes, 4);   // 16 slots
+  const auto bg_sched = compile_gather_blocks(nodes, 2);         // 8 slots
+  const auto g1 = arb.reserve(sca_sched.total_slots, "sca");
+  const auto g2 = arb.reserve(bg_sched.total_slots, "background");
+  const auto merged =
+      arb.merge({arb.compose(sca_sched, g1), arb.compose(bg_sched, g2)});
+  EXPECT_EQ(merged.total_slots, 24);
+  const auto check = check_schedule(merged, CpAction::kDrive);
+  EXPECT_TRUE(check.disjoint);
+  EXPECT_TRUE(check.gap_free);
+
+  // And it actually runs: one waveguide, two logical transactions.
+  ScaEngine engine(straight_bus_topology(nodes, 8.0));
+  std::vector<std::vector<Word>> data(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const Slot n = merged.node_cps[i].slot_count(CpAction::kDrive);
+    for (Slot j = 0; j < n; ++j) {
+      data[i].push_back(static_cast<Word>(i * 100 + static_cast<Word>(j)));
+    }
+  }
+  const auto g = engine.gather(merged, data);
+  EXPECT_TRUE(g.gap_free);
+  EXPECT_EQ(g.stream.size(), 24u);
+  // Slots [0,16) carry the interleaved SCA; [16,24) the background blocks.
+  for (std::size_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(g.stream[s].source, static_cast<std::int32_t>(s % nodes));
+  }
+  for (std::size_t s = 16; s < 24; ++s) {
+    EXPECT_EQ(g.stream[s].source,
+              static_cast<std::int32_t>((s - 16) / 2));
+  }
+}
+
+TEST(Arbiter, MergeDetectsCrossTransactionCollision) {
+  SlotArbiter arb;
+  const auto sched = compile_gather_blocks(2, 4);
+  const auto g1 = arb.reserve(8, "a");
+  (void)g1;
+  // Compose the same schedule twice into the SAME grant region by abusing
+  // shift_schedule directly: merge must catch the overlap.
+  const auto s1 = arb.compose(sched, arb.grants()[0]);
+  EXPECT_THROW((void)arb.merge({s1, s1}), SimulationError);
+}
+
+TEST(Arbiter, RejectsBadInputs) {
+  SlotArbiter arb;
+  EXPECT_THROW((void)arb.reserve(0, "zero"), SimulationError);
+  EXPECT_THROW((void)arb.merge({}), SimulationError);
+}
+
+TEST(Arbiter, UtilizationAccountingViaScheduleCheck) {
+  // A half-empty grant shows up as <100% bus utilization.
+  SlotArbiter arb;
+  const auto sched = compile_gather_blocks(2, 2);  // 4 slots
+  const auto g = arb.reserve(8, "padded");
+  const auto composed = arb.compose(sched, g);
+  const auto check = check_schedule(composed, CpAction::kDrive);
+  EXPECT_TRUE(check.disjoint);
+  EXPECT_FALSE(check.gap_free);
+  EXPECT_DOUBLE_EQ(check.utilization, 0.5);
+}
+
+}  // namespace
+}  // namespace psync::core

@@ -1,0 +1,61 @@
+#include "psync/photonic/ber.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psync::photonic {
+namespace {
+
+TEST(Ber, ReferencePointIs1e9AtSensitivity) {
+  // Q = 6 -> BER ~ 1e-9 (the classic OOK reference).
+  EXPECT_NEAR(ber_at_margin(0.0), 1e-9, 5e-10);
+}
+
+TEST(Ber, QScalesWithPowerMargin) {
+  EXPECT_DOUBLE_EQ(q_factor(0.0), 6.0);
+  EXPECT_NEAR(q_factor(3.0103), 12.0, 1e-3);   // +3 dB doubles Q
+  EXPECT_NEAR(q_factor(-3.0103), 3.0, 1e-3);
+}
+
+TEST(Ber, MonotoneInMargin) {
+  double prev = 1.0;
+  for (double m = -6.0; m <= 4.0; m += 0.5) {
+    const double b = ber_at_margin(m);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Ber, NoEyeMeansCoinFlip) {
+  EXPECT_DOUBLE_EQ(ber_from_q(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ber_from_q(-1.0), 0.5);
+}
+
+TEST(Ber, WorstCaseMarginTracksLinkBudget) {
+  LinkBudgetParams p;
+  const std::size_t n_max = max_segments(p);
+  // At the Eq. 3 bound the margin is tiny but non-negative; one segment
+  // past it goes negative.
+  EXPECT_GE(worst_case_margin_db(p, n_max), 0.0);
+  EXPECT_LT(worst_case_margin_db(p, n_max), segment_loss_db(p) + 1e-9);
+  EXPECT_LT(worst_case_margin_db(p, n_max + 1), 0.0);
+}
+
+TEST(Ber, ReliabilityCliffAtScalingBound) {
+  // Expected errors in a 2^20-bit SCA: negligible with 3 dB of margin,
+  // catastrophic 3 dB past the bound.
+  LinkBudgetParams p;
+  const std::size_t n_max = max_segments(p);
+  const double margin_ok = worst_case_margin_db(p, n_max / 2);
+  const double margin_bad = -3.0;
+  EXPECT_LT(expected_bit_errors(margin_ok, 1ULL << 20), 1e-3);
+  EXPECT_GT(expected_bit_errors(margin_bad, 1ULL << 20), 100.0);
+}
+
+TEST(Ber, ExpectedErrorsScaleLinearlyInBits) {
+  const double one = expected_bit_errors(-2.0, 1'000'000);
+  const double two = expected_bit_errors(-2.0, 2'000'000);
+  EXPECT_NEAR(two, 2.0 * one, 1e-12 * two);
+}
+
+}  // namespace
+}  // namespace psync::photonic

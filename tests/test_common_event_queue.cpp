@@ -1,0 +1,85 @@
+#include "psync/common/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psync {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(300, [&] { order.push_back(3); });
+  q.schedule_at(100, [&] { order.push_back(1); });
+  q.schedule_at(200, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300);
+}
+
+TEST(EventQueue, SameTimestampFiresInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(42, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) q.schedule_in(10, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueue, SchedulingInPastAborts) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.step();
+  EXPECT_DEATH(q.schedule_at(50, [] {}), "scheduled in the past");
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.schedule_at(21, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.run_until(500);
+  EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueue, CountsFired) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(i, [] {});
+  EXPECT_EQ(q.run(), 7u);
+  EXPECT_EQ(q.fired(), 7u);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace psync

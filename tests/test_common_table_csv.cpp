@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "psync/common/check.hpp"
+#include "psync/common/csv.hpp"
+#include "psync/common/table.hpp"
+
+namespace psync {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"k", "eta (%)"});
+  t.row().add(1).add(50.0);
+  t.row().add(64).add(99.38);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("k"), std::string::npos);
+  EXPECT_NE(s.find("99.38"), std::string::npos);
+  EXPECT_NE(s.find("50.00"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("--"), std::string::npos);
+}
+
+TEST(Table, CellAccessors) {
+  Table t({"a", "b"});
+  t.row().add("x").add(static_cast<std::int64_t>(-7));
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "-7");
+}
+
+TEST(Table, TitleAppearsFirst) {
+  Table t({"a"});
+  t.set_title("Table I");
+  t.row().add("v");
+  EXPECT_EQ(t.to_string().rfind("Table I", 0), 0u);
+}
+
+TEST(Table, IncompleteRowAborts) {
+  Table t({"a", "b"});
+  t.row().add("only-one");
+  EXPECT_DEATH((void)t.to_string(), "incomplete");
+}
+
+TEST(FormatHelpers, Engineering) {
+  EXPECT_EQ(format_eng(1081344.0, 2), "1.08M");
+  EXPECT_EQ(format_eng(1500.0, 1), "1.5k");
+  EXPECT_EQ(format_eng(3.5e9, 1), "3.5G");
+  EXPECT_EQ(format_eng(12.0, 0), "12");
+  EXPECT_EQ(format_double(3.14159, 3), "3.142");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRowsToFile) {
+  const std::string path = ::testing::TempDir() + "psync_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.row().add(static_cast<std::int64_t>(1)).add(2.5);
+    w.row().add(static_cast<std::int64_t>(3)).add(4.0);
+    w.close();
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("x,y"), std::string::npos);
+  EXPECT_NE(content.find("1,2.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               SimulationError);
+}
+
+}  // namespace
+}  // namespace psync

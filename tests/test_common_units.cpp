@@ -1,0 +1,49 @@
+#include "psync/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psync::units {
+namespace {
+
+TEST(Units, BitPeriodExactForPaperRates) {
+  // 10 Gb/s photonic slot = 100 ps; 2.5 GHz mesh clock = 400 ps.
+  EXPECT_EQ(bit_period_ps(10.0), 100);
+  EXPECT_EQ(clock_period_ps(2.5), 400);
+  EXPECT_EQ(bit_period_ps(320.0 / 64.0), 200);  // one 64-bit sample slot
+}
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ps_to_ns(1500), 1.5);
+  EXPECT_EQ(ns_to_ps(1.5), 1500);
+  EXPECT_EQ(ns_to_ps(ps_to_ns(123456789)), 123456789);
+  EXPECT_DOUBLE_EQ(ps_to_us(2'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(ps_to_s(1'000'000'000'000LL), 1.0);
+}
+
+TEST(Units, NegativeNanosecondsRoundCorrectly) {
+  EXPECT_EQ(ns_to_ps(-1.5), -1500);
+}
+
+TEST(Units, BitsInInterval) {
+  // 320 Gb/s for 1 ns = 320 bits.
+  EXPECT_DOUBLE_EQ(bits_in(1000, 320.0), 320.0);
+  EXPECT_DOUBLE_EQ(gbps_of(320.0, 1000), 320.0);
+  EXPECT_DOUBLE_EQ(gbps_of(320.0, 0), 0.0);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(fj_to_pj(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(pj_to_fj(1.5), 1500.0);
+  // 1 W for 1 ns = 1 nJ = 1e6 fJ.
+  EXPECT_DOUBLE_EQ(energy_fj(1.0, 1000), 1e6);
+  EXPECT_DOUBLE_EQ(watts_of(1e6, 1000), 1.0);
+}
+
+TEST(Units, LengthConversions) {
+  EXPECT_DOUBLE_EQ(cm_to_um(2.0), 20000.0);
+  EXPECT_DOUBLE_EQ(um_to_cm(20000.0), 2.0);
+  EXPECT_DOUBLE_EQ(mm_to_um(1.0), 1000.0);
+}
+
+}  // namespace
+}  // namespace psync::units

@@ -1,0 +1,81 @@
+#include "psync/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync {
+namespace {
+
+const char* kSample = R"(
+# top comment
+[experiment]
+kind = fft2d    ; inline comment
+
+[machine]
+processors = 16
+waveguide_gbps = 320.5
+verify = true
+hex = 0x20
+)";
+
+TEST(IniConfig, ParsesSectionsAndKeys) {
+  const auto cfg = IniConfig::parse(kSample);
+  EXPECT_TRUE(cfg.has_section("experiment"));
+  EXPECT_TRUE(cfg.has("machine", "processors"));
+  EXPECT_FALSE(cfg.has("machine", "missing"));
+  EXPECT_EQ(cfg.sections(), (std::vector<std::string>{"experiment", "machine"}));
+  EXPECT_EQ(cfg.keys("machine").size(), 4u);
+}
+
+TEST(IniConfig, TypedAccessors) {
+  const auto cfg = IniConfig::parse(kSample);
+  EXPECT_EQ(cfg.get_string("experiment", "kind", "?"), "fft2d");
+  EXPECT_EQ(cfg.get_int("machine", "processors", 0), 16);
+  EXPECT_EQ(cfg.get_int("machine", "hex", 0), 32);  // base 0 parsing
+  EXPECT_DOUBLE_EQ(cfg.get_double("machine", "waveguide_gbps", 0.0), 320.5);
+  EXPECT_TRUE(cfg.get_bool("machine", "verify", false));
+}
+
+TEST(IniConfig, FallbacksWhenMissing) {
+  const auto cfg = IniConfig::parse(kSample);
+  EXPECT_EQ(cfg.get_int("machine", "nope", 42), 42);
+  EXPECT_EQ(cfg.get_string("nosection", "k", "dflt"), "dflt");
+  EXPECT_FALSE(cfg.get("nosection", "k").has_value());
+}
+
+TEST(IniConfig, BooleanSpellings) {
+  const auto cfg = IniConfig::parse(
+      "[b]\na = yes\nb = OFF\nc = 1\nd = False\n");
+  EXPECT_TRUE(cfg.get_bool("b", "a", false));
+  EXPECT_FALSE(cfg.get_bool("b", "b", true));
+  EXPECT_TRUE(cfg.get_bool("b", "c", false));
+  EXPECT_FALSE(cfg.get_bool("b", "d", true));
+}
+
+TEST(IniConfig, MalformedInputsRejectedWithLineNumbers) {
+  EXPECT_THROW((void)IniConfig::parse("[unclosed\nk = v\n"), SimulationError);
+  EXPECT_THROW((void)IniConfig::parse("key_outside = 1\n"), SimulationError);
+  EXPECT_THROW((void)IniConfig::parse("[s]\nnot a pair\n"), SimulationError);
+  EXPECT_THROW((void)IniConfig::parse("[s]\n= novalue\n"), SimulationError);
+  EXPECT_THROW((void)IniConfig::parse("[s]\nk = 1\nk = 2\n"), SimulationError);
+}
+
+TEST(IniConfig, TypeErrorsAreLoud) {
+  const auto cfg = IniConfig::parse("[s]\nn = 12abc\nf = x.y\nb = maybe\n");
+  EXPECT_THROW((void)cfg.get_int("s", "n", 0), SimulationError);
+  EXPECT_THROW((void)cfg.get_double("s", "f", 0.0), SimulationError);
+  EXPECT_THROW((void)cfg.get_bool("s", "b", false), SimulationError);
+}
+
+TEST(IniConfig, LoadMissingFileThrows) {
+  EXPECT_THROW((void)IniConfig::load("/no/such/file.ini"), SimulationError);
+}
+
+TEST(IniConfig, EmptyAndCommentOnlyInputs) {
+  const auto cfg = IniConfig::parse("# nothing\n\n; also nothing\n");
+  EXPECT_TRUE(cfg.sections().empty());
+}
+
+}  // namespace
+}  // namespace psync

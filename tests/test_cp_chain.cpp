@@ -1,0 +1,121 @@
+#include "psync/core/cp_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+namespace {
+
+CommProgram sample_cp(Slot first, Slot stride, Slot count) {
+  CommProgram cp;
+  cp.add(CpStride{first, 1, stride, count, CpAction::kDrive});
+  return cp;
+}
+
+TEST(CpChain, PackUnpackRoundTrip) {
+  CommProgram cp;
+  cp.add(CpStride{7, 3, 12, 5, CpAction::kDrive});
+  cp.add(CpStride{1000, 1, 64, 32, CpAction::kListen});
+  const auto words = pack_program_words(cp);
+  std::size_t offset = 0;
+  const CommProgram back = unpack_program_words(words, offset);
+  EXPECT_EQ(offset, words.size());
+  ASSERT_EQ(back.strides().size(), 2u);
+  EXPECT_EQ(back.strides()[0].first, 7);
+  EXPECT_EQ(back.strides()[1].count, 32);
+}
+
+TEST(CpChain, PackedSizeIsSmall) {
+  // A one-record CP: 16-bit header + 94-bit record = 110 bits -> 14 bytes
+  // -> 1 length word + 2 payload words.
+  const auto words = pack_program_words(sample_cp(0, 4, 4));
+  EXPECT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 14u);
+}
+
+TEST(CpChain, UnpackDetectsTruncation) {
+  auto words = pack_program_words(sample_cp(0, 4, 4));
+  words.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW((void)unpack_program_words(words, offset), SimulationError);
+}
+
+TEST(CpChain, BootImageLayout) {
+  std::vector<BootSegment> segs(2);
+  segs[0].programs.push_back(sample_cp(0, 2, 3));
+  segs[0].data = {11, 12};
+  segs[1].programs.push_back(sample_cp(1, 2, 3));
+  segs[1].data = {21, 22, 23};
+  const BootImage image = build_boot_image(segs);
+  EXPECT_EQ(image.segment_offset[0], 0);
+  EXPECT_EQ(image.burst.size(),
+            static_cast<std::size_t>(image.schedule.total_slots));
+  // Bootstrap CPs are disjoint, gap-free listens.
+  const auto check = check_schedule(image.schedule, CpAction::kListen);
+  EXPECT_TRUE(check.disjoint);
+  EXPECT_TRUE(check.gap_free);
+}
+
+TEST(CpChain, DecodeRecoversProgramsAndData) {
+  std::vector<BootSegment> segs(1);
+  segs[0].programs.push_back(sample_cp(5, 7, 9));
+  segs[0].programs.push_back(sample_cp(6, 7, 9));
+  segs[0].data = {1, 2, 3, 4};
+  const BootImage image = build_boot_image(segs);
+  const DecodedSegment dec = decode_boot_words(image.burst, 2);
+  ASSERT_EQ(dec.programs.size(), 2u);
+  EXPECT_EQ(dec.programs[0].strides()[0].first, 5);
+  EXPECT_EQ(dec.programs[1].strides()[0].first, 6);
+  EXPECT_EQ(dec.data, (std::vector<Word>{1, 2, 3, 4}));
+}
+
+// The headline: CPs delivered over the waveguide itself drive the next
+// collective (paper Section IV's CP chaining), end to end through the
+// photonic transport.
+TEST(CpChain, BootThenGatherChainRunsEndToEnd) {
+  const std::size_t nodes = 4;
+  const Slot elements = 4;
+  ScaEngine engine(straight_bus_topology(nodes, 8.0));
+
+  // Each node's boot segment: its *interleaved-gather* CP + its data.
+  const auto gather_sched = compile_gather_interleaved(nodes, elements);
+  std::vector<BootSegment> segs(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    segs[i].programs.push_back(gather_sched.node_cps[i]);
+    for (Slot e = 0; e < elements; ++e) {
+      segs[i].data.push_back(static_cast<Word>(100 * i + static_cast<Word>(e)));
+    }
+  }
+
+  const GatherResult g =
+      run_boot_chain(engine, segs, gather_sched.total_slots);
+  ASSERT_TRUE(g.gap_free);
+  ASSERT_TRUE(g.collisions.empty());
+  const auto words = g.words();
+  ASSERT_EQ(words.size(), static_cast<std::size_t>(nodes) * elements);
+  for (std::size_t s = 0; s < words.size(); ++s) {
+    EXPECT_EQ(words[s], 100 * (s % nodes) + s / nodes);
+  }
+}
+
+TEST(CpChain, ChainFailsLoudlyOnCorruptedProgram) {
+  const std::size_t nodes = 2;
+  ScaEngine engine(straight_bus_topology(nodes, 8.0));
+  const auto gather_sched = compile_gather_interleaved(nodes, 2);
+  std::vector<BootSegment> segs(nodes);
+  // Node 1 is given node 0's CP: the delivered schedule now collides.
+  segs[0].programs.push_back(gather_sched.node_cps[0]);
+  segs[1].programs.push_back(gather_sched.node_cps[0]);
+  for (auto& s : segs) s.data = {1, 2};
+  EXPECT_THROW((void)run_boot_chain(engine, segs, gather_sched.total_slots),
+               SimulationError);
+}
+
+TEST(CpChain, EmptySegmentRejected) {
+  std::vector<BootSegment> segs(1);
+  EXPECT_THROW((void)build_boot_image(segs), SimulationError);
+}
+
+}  // namespace
+}  // namespace psync::core

@@ -1,0 +1,123 @@
+#include "psync/core/cp_compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+namespace {
+
+TEST(CpCompile, GatherBlocksPartitionsSchedule) {
+  const auto s = compile_gather_blocks(4, 8);
+  EXPECT_EQ(s.total_slots, 32);
+  const auto check = check_schedule(s, CpAction::kDrive);
+  EXPECT_TRUE(check.disjoint);
+  EXPECT_TRUE(check.gap_free);
+  EXPECT_DOUBLE_EQ(check.utilization, 1.0);
+
+  const auto owners = slot_owners(s, CpAction::kDrive);
+  for (Slot slot = 0; slot < 32; ++slot) {
+    EXPECT_EQ(owners[static_cast<std::size_t>(slot)], slot / 8);
+  }
+}
+
+TEST(CpCompile, GatherInterleavedIsTransposePattern) {
+  const auto s = compile_gather_interleaved(4, 8);
+  const auto owners = slot_owners(s, CpAction::kDrive);
+  for (Slot slot = 0; slot < s.total_slots; ++slot) {
+    EXPECT_EQ(owners[static_cast<std::size_t>(slot)], slot % 4);
+  }
+  EXPECT_TRUE(check_schedule(s, CpAction::kDrive).gap_free);
+}
+
+TEST(CpCompile, RoundRobinBlocksOwnership) {
+  const auto s = compile_gather_round_robin(3, 2, 4);  // 3 nodes, 2 rounds, 4
+  EXPECT_EQ(s.total_slots, 24);
+  const auto owners = slot_owners(s, CpAction::kDrive);
+  // Round 0: [0,4)->0 [4,8)->1 [8,12)->2; round 1 repeats.
+  for (Slot slot = 0; slot < 24; ++slot) {
+    EXPECT_EQ(owners[static_cast<std::size_t>(slot)], (slot / 4) % 3);
+  }
+}
+
+TEST(CpCompile, TransposeScheduleIsColumnMajor) {
+  // 2 nodes x 2 rows of length 3: stream order is column-major over 4 rows.
+  const auto s = compile_gather_transpose(2, 2, 3);
+  EXPECT_EQ(s.total_slots, 12);
+  const auto owners = slot_owners(s, CpAction::kDrive);
+  // Slot = c*4 + r; node = r / 2.
+  for (Slot c = 0; c < 3; ++c) {
+    for (Slot r = 0; r < 4; ++r) {
+      EXPECT_EQ(owners[static_cast<std::size_t>(c * 4 + r)], r / 2);
+    }
+  }
+  EXPECT_TRUE(check_schedule(s, CpAction::kDrive).gap_free);
+}
+
+TEST(CpCompile, SingleRowTransposeCpIsOneStride) {
+  const auto s = compile_gather_transpose(1024, 1, 1024);
+  for (const auto& cp : s.node_cps) {
+    EXPECT_EQ(cp.strides().size(), 1u);
+    EXPECT_LE(cp.encoded_bits(), 96u);  // the paper's CP size claim
+  }
+}
+
+TEST(CpCompile, ScatterMirrorsUseListen) {
+  const auto s = compile_scatter_interleaved(4, 4);
+  EXPECT_EQ(s.node_cps[0].slot_count(CpAction::kListen), 4);
+  EXPECT_EQ(s.node_cps[0].slot_count(CpAction::kDrive), 0);
+  EXPECT_TRUE(check_schedule(s, CpAction::kListen).gap_free);
+}
+
+TEST(CpCompile, SlotOwnersDetectsCollision) {
+  CpSchedule s;
+  s.total_slots = 8;
+  s.node_cps.resize(2);
+  s.node_cps[0].add(CpStride{0, 4, 4, 1, CpAction::kDrive});
+  s.node_cps[1].add(CpStride{3, 4, 4, 1, CpAction::kDrive});
+  EXPECT_THROW((void)slot_owners(s, CpAction::kDrive), SimulationError);
+  EXPECT_FALSE(check_schedule(s, CpAction::kDrive).disjoint);
+}
+
+TEST(CpCompile, SlotOwnersDetectsOutOfRange) {
+  CpSchedule s;
+  s.total_slots = 4;
+  s.node_cps.resize(1);
+  s.node_cps[0].add(CpStride{2, 4, 4, 1, CpAction::kDrive});
+  EXPECT_THROW((void)slot_owners(s, CpAction::kDrive), SimulationError);
+}
+
+TEST(CpCompile, GappySchedulesReportUtilization) {
+  CpSchedule s;
+  s.total_slots = 16;
+  s.node_cps.resize(1);
+  s.node_cps[0].add(CpStride{0, 4, 4, 1, CpAction::kDrive});
+  const auto check = check_schedule(s, CpAction::kDrive);
+  EXPECT_TRUE(check.disjoint);
+  EXPECT_FALSE(check.gap_free);
+  EXPECT_DOUBLE_EQ(check.utilization, 0.25);
+}
+
+TEST(CpCompile, HeadDriveProgramCoversBurst) {
+  const auto cp = head_drive_program(10'000'000);
+  Slot covered = 0;
+  for (const auto& e : cp.entries()) {
+    EXPECT_EQ(e.action, CpAction::kDrive);
+    covered += e.length;
+  }
+  EXPECT_EQ(covered, 10'000'000);
+  // And it can be encoded (every burst chunk within field limits).
+  EXPECT_NO_THROW((void)cp.encode());
+}
+
+TEST(CpCompile, ElementOfSlotMapsScheduleOrder) {
+  const auto s = compile_gather_interleaved(4, 8);
+  // Node 1 drives slots 1, 5, 9, ...; its element j is at slot 4j+1.
+  for (Slot j = 0; j < 8; ++j) {
+    EXPECT_EQ(element_of_slot(s.node_cps[1], CpAction::kDrive, 4 * j + 1), j);
+  }
+  EXPECT_EQ(element_of_slot(s.node_cps[1], CpAction::kDrive, 2), -1);
+}
+
+}  // namespace
+}  // namespace psync::core

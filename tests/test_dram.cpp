@@ -1,0 +1,129 @@
+#include "psync/dram/controller.hpp"
+#include "psync/dram/dram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psync/common/check.hpp"
+
+namespace psync::dram {
+namespace {
+
+DramParams paper() {
+  DramParams p;  // defaults are the paper's: 2048-bit rows, 64-bit bus/header
+  return p;
+}
+
+TEST(Dram, RowTransactionCyclesIsEq24) {
+  // t_t = (S_r + S_h) / S_b = (2048 + 64) / 64 = 33.
+  EXPECT_EQ(row_transaction_cycles(paper()), 33u);
+}
+
+TEST(Dram, RowTransactionsIsEq23) {
+  // P_t = N*S_s*P / S_r = 1024*64*1024 / 2048 = 32768.
+  const std::uint64_t total_bits = 1024ULL * 64 * 1024;
+  EXPECT_EQ(row_transactions(paper(), total_bits), 32768u);
+}
+
+TEST(Dram, OpenRowPolicyCountsHitsAndMisses) {
+  auto p = paper();
+  p.row_switch_cycles = 24;
+  Dram d(p);
+  // Two accesses in the same row: one miss then one hit.
+  d.access(0, 64);
+  d.access(64, 64);
+  EXPECT_EQ(d.row_misses(), 1u);
+  EXPECT_EQ(d.row_hits(), 1u);
+  // A different row (different bank may be open; force same bank by jumping
+  // banks*row_size).
+  d.access(p.row_size_bits * p.banks, 64);
+  EXPECT_EQ(d.row_misses(), 2u);
+}
+
+TEST(Dram, AccessCyclesIncludeSwitchPenalty) {
+  auto p = paper();
+  p.row_switch_cycles = 24;
+  Dram d(p);
+  // First access: 24 (switch) + 1 (one bus beat).
+  EXPECT_EQ(d.access(0, 64), 25u);
+  // Row hit: 1 cycle.
+  EXPECT_EQ(d.access(64, 64), 1u);
+}
+
+TEST(Dram, CrossRowAccessSplits) {
+  auto p = paper();
+  p.row_switch_cycles = 10;
+  Dram d(p);
+  // Access straddling a row boundary touches two rows.
+  const std::uint64_t cycles = d.access(p.row_size_bits - 64, 128);
+  EXPECT_EQ(d.row_misses(), 2u);
+  EXPECT_EQ(cycles, 10u + 1u + 10u + 1u);
+}
+
+TEST(Dram, BankInterleavingKeepsRowsOpen) {
+  auto p = paper();
+  p.row_switch_cycles = 24;
+  Dram d(p);
+  // Rows 0..banks-1 map to distinct banks; revisiting them all hits.
+  for (std::uint64_t r = 0; r < p.banks; ++r) {
+    d.access(r * p.row_size_bits, 64);
+  }
+  for (std::uint64_t r = 0; r < p.banks; ++r) {
+    d.access(r * p.row_size_bits + 64, 64);
+  }
+  EXPECT_EQ(d.row_misses(), p.banks);
+  EXPECT_EQ(d.row_hits(), p.banks);
+}
+
+TEST(Dram, InvalidParamsRejected) {
+  DramParams p;
+  p.row_size_bits = 100;  // not a multiple of bus width
+  EXPECT_THROW(Dram{p}, SimulationError);
+  DramParams q;
+  q.banks = 0;
+  EXPECT_THROW(Dram{q}, SimulationError);
+}
+
+TEST(MemoryController, StreamRowsMatchesPaperTransposeCount) {
+  // The PSCAN transpose writeback: 32768 rows x 33 cycles = 1,081,344.
+  auto p = paper();
+  p.row_switch_cycles = 0;  // the paper's optimal streaming assumption
+  MemoryController mc(p);
+  const auto rep = mc.stream_rows(0, 32768);
+  EXPECT_EQ(rep.transactions, 32768u);
+  EXPECT_EQ(rep.bus_cycles, 1'081'344u);
+}
+
+TEST(MemoryController, StreamRowsWithPrechargeCostsMore) {
+  auto p = paper();
+  p.row_switch_cycles = 24;
+  MemoryController mc(p);
+  const auto rep = mc.stream_rows(0, 1024);
+  EXPECT_GT(rep.bus_cycles, 1024u * 33u);
+  EXPECT_EQ(rep.row_misses, 1024u);
+}
+
+TEST(MemoryController, ScatteredWordWritesAreFarWorse) {
+  // The "extremely inefficient" direct-forwarding case of Section V-C-2:
+  // word-granular writes at transpose-strided addresses.
+  auto p = paper();
+  p.row_switch_cycles = 24;
+  MemoryController mc(p);
+
+  // Column-major visit of a 64x64 matrix stored row-major, 64-bit words.
+  std::vector<std::uint64_t> addrs;
+  for (std::uint64_t c = 0; c < 64; ++c) {
+    for (std::uint64_t r = 0; r < 64; ++r) {
+      addrs.push_back((r * 64 + c) * 64);
+    }
+  }
+  const auto scattered = mc.scattered(addrs, 64);
+
+  MemoryController mc2(p);
+  const auto streamed = mc2.stream_rows(0, 64ULL * 64 * 64 / 2048);
+  EXPECT_GT(scattered.bus_cycles, 5 * streamed.bus_cycles);
+}
+
+}  // namespace
+}  // namespace psync::dram

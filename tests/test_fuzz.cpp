@@ -1,0 +1,181 @@
+// Randomized property suites: seeds drive random schedules, topologies and
+// traffic; invariants must hold for every draw.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "psync/common/rng.hpp"
+#include "psync/core/permutation.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/mesh/mesh.hpp"
+#include "psync/mesh/traffic.hpp"
+
+namespace psync {
+namespace {
+
+// ---------- SCA schedule fuzzing ----------
+
+class ScaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random slot ownership (any partition of the schedule among nodes) is a
+// valid collective: compile via the generic permutation compiler, run the
+// gather, and the receiver must see a gap-free stream realizing exactly
+// that ownership.
+TEST_P(ScaFuzz, RandomPartitionGathersGapFree) {
+  Rng rng(GetParam());
+  const std::size_t nodes = 2 + rng.next_below(7);
+  const core::Slot total = static_cast<core::Slot>(32 + rng.next_below(200));
+
+  // Random owner per slot (every node guaranteed at least one slot by
+  // round-robin seeding).
+  std::vector<std::size_t> owner(static_cast<std::size_t>(total));
+  for (std::size_t s = 0; s < owner.size(); ++s) {
+    owner[s] = s < nodes ? s : rng.next_below(nodes);
+  }
+  rng.shuffle(owner);
+
+  std::vector<std::vector<core::Slot>> slots_of(nodes);
+  for (std::size_t s = 0; s < owner.size(); ++s) {
+    slots_of[owner[s]].push_back(static_cast<core::Slot>(s));
+  }
+
+  core::CollectiveSpec spec;
+  spec.nodes = nodes;
+  spec.total_slots = total;
+  spec.elements_of = [&](std::size_t i) {
+    return static_cast<core::Slot>(slots_of[i].size());
+  };
+  spec.slot_of = [&](std::size_t i, core::Slot j) {
+    return slots_of[i][static_cast<std::size_t>(j)];
+  };
+  const auto sched = core::compile_collective(spec, core::CpAction::kDrive);
+
+  // Random (strictly increasing) node placement on a random-length bus.
+  core::PscanTopology topo;
+  topo.clock.frequency_ghz = 10.0;
+  double at = 0.0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    at += 500.0 + rng.next_double() * 15000.0;
+    topo.node_pos_um.push_back(at);
+  }
+  topo.terminus_um = at + 1000.0 + rng.next_double() * 30000.0;
+  core::ScaEngine engine(topo);
+
+  std::vector<std::vector<core::Word>> data(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = 0; j < slots_of[i].size(); ++j) {
+      data[i].push_back((static_cast<core::Word>(i) << 32) |
+                        static_cast<core::Word>(j));
+    }
+  }
+  const auto g = engine.gather(sched, data);
+  ASSERT_TRUE(g.gap_free);
+  ASSERT_TRUE(g.collisions.empty());
+  ASSERT_EQ(g.stream.size(), static_cast<std::size_t>(total));
+  std::vector<std::size_t> element_seen(nodes, 0);
+  for (std::size_t s = 0; s < g.stream.size(); ++s) {
+    const auto& rec = g.stream[s];
+    EXPECT_EQ(rec.slot, static_cast<core::Slot>(s));
+    EXPECT_EQ(static_cast<std::size_t>(rec.source), owner[s]);
+    EXPECT_EQ(rec.word >> 32, owner[s]);
+    EXPECT_EQ(rec.word & 0xFFFFFFFF, element_seen[owner[s]]++);
+  }
+}
+
+// Corrupting one slot to a duplicate owner must always be detected.
+TEST_P(ScaFuzz, DuplicatedSlotAlwaysCollides) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  const std::size_t nodes = 2 + rng.next_below(5);
+  const core::Slot elems = static_cast<core::Slot>(4 + rng.next_below(16));
+  auto sched = core::compile_gather_interleaved(nodes, elems);
+  // Give node 0 an extra claim over a random slot owned by someone else.
+  const core::Slot stolen = static_cast<core::Slot>(
+      1 + rng.next_below(static_cast<std::uint64_t>(sched.total_slots - 1)));
+  if (stolen % static_cast<core::Slot>(nodes) == 0) return;  // already node 0's
+  sched.node_cps[0].add(core::CpStride{stolen, 1, 1, 1, core::CpAction::kDrive});
+
+  core::ScaEngine engine(core::straight_bus_topology(nodes, 8.0));
+  std::vector<std::vector<core::Word>> data(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    data[i].assign(static_cast<std::size_t>(elems) + (i == 0 ? 1 : 0), 7);
+  }
+  const auto g = engine.gather(sched, data, /*strict=*/false);
+  EXPECT_FALSE(g.collisions.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScaFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------- Mesh fuzzing ----------
+
+class MeshFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeshFuzz, ConservationAndLatencyBounds) {
+  Rng rng(GetParam());
+  mesh::MeshParams p;
+  p.width = static_cast<std::uint32_t>(2 + rng.next_below(5));
+  p.height = static_cast<std::uint32_t>(2 + rng.next_below(5));
+  p.buffer_depth = static_cast<std::uint32_t>(1 + rng.next_below(4));
+  p.route_delay = static_cast<std::uint32_t>(rng.next_below(3));
+  p.virtual_channels = static_cast<std::uint32_t>(1 + rng.next_below(4));
+  p.algo = rng.next_bool() ? mesh::RouteAlgo::kXY
+                           : mesh::RouteAlgo::kWestFirstAdaptive;
+  mesh::Mesh m(p);
+
+  std::vector<mesh::ConsumeSink> sinks(m.nodes());
+  for (mesh::NodeId n = 0; n < m.nodes(); ++n) {
+    sinks[n].keep_log(true);
+    m.set_sink(n, &sinks[n]);
+  }
+
+  const auto packets = static_cast<std::uint32_t>(20 + rng.next_below(200));
+  const auto flits = static_cast<std::uint32_t>(rng.next_below(8));
+  std::vector<mesh::PacketDesc> traffic =
+      mesh::uniform_random_traffic(m, packets, flits, rng);
+  // Random staggered release times.
+  for (auto& d : traffic) {
+    d.release_cycle = static_cast<std::int64_t>(rng.next_below(100));
+    m.inject(d);
+  }
+  ASSERT_TRUE(m.run_until_drained(2'000'000))
+      << "deadlock or livelock at seed " << GetParam();
+
+  // Conservation: every flit injected is ejected exactly once, at the
+  // right node, in order within its packet.
+  EXPECT_EQ(m.activity().injected_flits, m.activity().ejected_flits);
+  EXPECT_EQ(m.activity().ejected_packets, traffic.size());
+  std::map<mesh::PacketId, std::uint32_t> next_seq;
+  for (mesh::NodeId n = 0; n < m.nodes(); ++n) {
+    for (const auto& f : sinks[n].log()) {
+      EXPECT_EQ(f.dst, n);
+      EXPECT_EQ(f.seq, next_seq[f.packet]++);
+    }
+  }
+  // Latency floor: hops + routing delays + payload serialization.
+  EXPECT_GE(m.packet_latency().min(), 1.0);
+}
+
+TEST_P(MeshFuzz, HotspotGatherNeverDeadlocks) {
+  Rng rng(GetParam() * 7919);
+  mesh::MeshParams p;
+  p.width = static_cast<std::uint32_t>(3 + rng.next_below(4));
+  p.height = p.width;
+  p.buffer_depth = static_cast<std::uint32_t>(1 + rng.next_below(3));
+  p.virtual_channels = static_cast<std::uint32_t>(1 + rng.next_below(4));
+  p.algo = rng.next_bool() ? mesh::RouteAlgo::kXY
+                           : mesh::RouteAlgo::kWestFirstAdaptive;
+  mesh::Mesh m(p);
+  const auto hotspot = static_cast<mesh::NodeId>(rng.next_below(m.nodes()));
+  const auto traffic = mesh::transpose_writeback_traffic(m, hotspot, 32, 8);
+  for (const auto& d : traffic) m.inject(d);
+  ASSERT_TRUE(m.run_until_drained(5'000'000));
+  EXPECT_EQ(m.activity().ejected_packets, traffic.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace psync

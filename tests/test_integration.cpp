@@ -1,0 +1,180 @@
+// Cross-module integration tests: the event-driven PSCAN engine, the
+// cycle-level mesh, the closed-form analysis and the machine simulators
+// must tell one consistent story.
+#include <gtest/gtest.h>
+
+#include "psync/analysis/fft_model.hpp"
+#include "psync/analysis/transpose_model.hpp"
+#include "psync/core/mesh_machine.hpp"
+#include "psync/core/psync_machine.hpp"
+#include "psync/core/sca.hpp"
+#include "psync/dram/controller.hpp"
+#include "psync/fft/fft2d.hpp"
+#include "psync/fft/transpose.hpp"
+
+namespace psync {
+namespace {
+
+TEST(Integration, ScaTransposeBitstreamEqualsSoftwareTranspose) {
+  // Drive a real matrix through the SCA transpose gather and check the
+  // terminus stream equals fft::transpose of the source.
+  const std::size_t p = 8, cols = 16;
+  core::ScaEngine engine(core::straight_bus_topology(p, 8.0));
+  const auto sched = core::compile_gather_transpose(p, 1, cols);
+
+  std::vector<fft::Complex> matrix(p * cols);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    matrix[i] = {static_cast<double>(i), -static_cast<double>(i)};
+  }
+  std::vector<std::vector<core::Word>> node_data(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    node_data[r].resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      node_data[r][c] = core::pack_sample(matrix[r * cols + c]);
+    }
+  }
+  const auto g = engine.gather(sched, node_data);
+  ASSERT_TRUE(g.gap_free);
+
+  std::vector<fft::Complex> expect(matrix.size());
+  fft::transpose(matrix, expect, p, cols);
+  const auto words = g.words();
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const auto v = core::unpack_sample(words[i]);
+    EXPECT_EQ(v.real(), expect[i].real());
+    EXPECT_EQ(v.imag(), expect[i].imag());
+  }
+}
+
+TEST(Integration, EngineGatherTimingMatchesEq23Eq24ThroughDram) {
+  // PSCAN side of Table III at 1/64 scale: gather 2^14 samples and land
+  // them in DRAM rows; bus cycles must equal P_t * t_t exactly.
+  const std::size_t p = 128, n = 128;  // 2^14 samples
+  core::ScaEngine engine(core::straight_bus_topology(p, 8.0));
+  const auto sched = core::compile_gather_transpose(p, 1, n);
+  std::vector<std::vector<core::Word>> data(
+      p, std::vector<core::Word>(n, 0xAB));
+  const auto g = engine.gather(sched, data);
+  ASSERT_TRUE(g.gap_free);
+
+  dram::DramParams dp;
+  dp.row_switch_cycles = 0;
+  dram::MemoryController mc(dp);
+  const auto total_bits = static_cast<std::uint64_t>(p) * n * 64;
+  const auto rep = mc.stream_rows(0, dram::row_transactions(dp, total_bits));
+
+  analysis::TransposeParams tp;
+  tp.processors = p;
+  tp.row_samples = n;
+  EXPECT_EQ(rep.bus_cycles, analysis::pscan_writeback_cycles(tp));
+}
+
+TEST(Integration, MachineEfficiencySweepMatchesTable1Shape) {
+  // Run the real P-sync machine across k and verify its pass-1 window
+  // efficiency rises with k like Table I says (start-up/wind-down shrink).
+  std::vector<double> etas;
+  for (std::size_t k : {1, 4, 8}) {
+    core::PsyncMachineParams p;
+    p.processors = 8;
+    p.matrix_rows = 8;
+    p.matrix_cols = 512;
+    p.delivery_blocks = k;
+    p.bus_length_cm = 0.1;
+    p.head.dram.row_switch_cycles = 0;
+    core::PsyncMachine m(p);
+    std::vector<std::complex<double>> input(8 * 512, {1.0, 0.0});
+    const auto rep = m.run_fft2d(input, /*verify=*/false);
+    const auto& sc = rep.phase("scatter_rows");
+    const auto& ff = rep.phase("row_ffts");
+    // Busy time of the pass is the same for all k; window shrinks.
+    etas.push_back(1.0 / (ff.end_ns - sc.start_ns));
+  }
+  EXPECT_GT(etas[1], etas[0]);
+  EXPECT_GT(etas[2], etas[1]);
+}
+
+TEST(Integration, CycleMeshTransposeVsPscanMatchesTable3Band) {
+  // Reduced-scale Table III: 64 processors x 256 samples. The cycle-level
+  // mesh against the analytic PSCAN bound must land in the paper's 3-6x
+  // band for t_p = 1 and t_p = 4.
+  analysis::TransposeParams tp;
+  tp.processors = 64;
+  tp.row_samples = 256;
+  const double pscan = static_cast<double>(analysis::pscan_writeback_cycles(tp));
+
+  for (std::uint32_t t_p : {1u, 4u}) {
+    core::MeshMachineParams mp;
+    mp.grid = 8;
+    mp.matrix_rows = 256;
+    mp.matrix_cols = 256;
+    mp.elements_per_packet = 32;
+    mp.mi.reorder_cycles_per_element = t_p;
+    mp.mi.dram.row_switch_cycles = 0;
+    core::MeshMachine mesh(mp);
+    const auto rep = mesh.run_transpose_writeback(256);
+    const double mult = static_cast<double>(rep.completion_cycle) / pscan;
+    if (t_p == 1) {
+      EXPECT_GT(mult, 2.6) << "t_p=1";
+      EXPECT_LT(mult, 3.8) << "t_p=1";
+    } else {
+      EXPECT_GT(mult, 5.2) << "t_p=4";
+      EXPECT_LT(mult, 6.8) << "t_p=4";
+    }
+  }
+}
+
+TEST(Integration, BothMachinesAgreeWithReferenceFftNumerically) {
+  std::vector<std::complex<double>> input(32 * 32);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = {std::cos(0.01 * static_cast<double>(i)),
+                std::sin(0.02 * static_cast<double>(i))};
+  }
+  core::PsyncMachineParams pp;
+  pp.processors = 16;
+  pp.matrix_rows = 32;
+  pp.matrix_cols = 32;
+  pp.delivery_blocks = 4;
+  pp.head.dram.row_switch_cycles = 0;
+  core::PsyncMachine psm(pp);
+  const auto pr = psm.run_fft2d(input);
+  EXPECT_LT(pr.max_error_vs_reference, 1e-4);
+
+  core::MeshMachineParams mp;
+  mp.grid = 4;
+  mp.matrix_rows = 32;
+  mp.matrix_cols = 32;
+  mp.elements_per_packet = 8;
+  mp.mi.dram.row_switch_cycles = 0;
+  core::MeshMachine msm(mp);
+  const auto mr = msm.run_fft2d(input);
+  EXPECT_LT(mr.max_error_vs_reference, 1e-4);
+}
+
+TEST(Integration, PsyncBeatsMeshOnGatherHeavyFlowAtEqualBandwidth) {
+  // The headline end-to-end claim at small scale: with matched link rates,
+  // the P-sync machine finishes the same 2D FFT faster, and the gap comes
+  // from the reorganization phase.
+  std::vector<std::complex<double>> input(64 * 64, {1.0, 0.5});
+  core::PsyncMachineParams pp;
+  pp.processors = 16;
+  pp.matrix_rows = 64;
+  pp.matrix_cols = 64;
+  pp.head.dram.row_switch_cycles = 0;
+  core::PsyncMachine psm(pp);
+  const auto pr = psm.run_fft2d(input, false);
+
+  core::MeshMachineParams mp;
+  mp.grid = 4;
+  mp.matrix_rows = 64;
+  mp.matrix_cols = 64;
+  mp.elements_per_packet = 32;
+  mp.mi.dram.row_switch_cycles = 0;
+  core::MeshMachine msm(mp);
+  const auto mr = msm.run_fft2d(input, false);
+
+  EXPECT_LT(pr.total_ns, mr.total_ns);
+  EXPECT_LT(pr.reorg_ns, mr.reorg_ns);
+}
+
+}  // namespace
+}  // namespace psync

@@ -1,0 +1,202 @@
+#include "psync/core/kernel_vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+#include "psync/common/rng.hpp"
+#include "psync/core/cp_chain.hpp"
+#include "psync/fft/fft.hpp"
+#include "psync/fft/four_step.hpp"
+
+namespace psync::core {
+namespace {
+
+std::vector<std::complex<double>> random_signal(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> v(n);
+  for (auto& x : v) {
+    x = {rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0};
+  }
+  return v;
+}
+
+class VmFftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VmFftSizes, CompiledKernelBitIdenticalToFftPlan) {
+  const std::size_t n = GetParam();
+  auto vm_data = random_signal(n, n + 1);
+  auto ref = vm_data;
+
+  const KernelProgram prog = compile_fft_kernel(n);
+  KernelVm vm{ExecCostParams{}};
+  const VmStats stats = vm.run(prog, vm_data);
+
+  fft::FftPlan plan(n);
+  plan.forward(ref);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(vm_data[i], ref[i]) << "bitwise mismatch at " << i;
+  }
+  // Executed op counts equal the analytic ones: (n/2)*log2(n) butterflies.
+  EXPECT_EQ(stats.ops.real_mults, fft::full_fft_mults(n));
+  EXPECT_EQ(stats.ops.butterflies, fft::full_fft_mults(n) / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, VmFftSizes,
+                         ::testing::Values(2, 8, 64, 256, 1024));
+
+TEST(KernelVm, TimingMatchesCostModel) {
+  const std::size_t n = 1024;
+  auto data = random_signal(n, 7);
+  KernelVm vm{ExecCostParams{}};
+  const VmStats stats = vm.run(compile_fft_kernel(n), data);
+  // 1024-pt FFT: 20480 multiplies at 2 ns = 40960 ns (paper Table I, k=1).
+  EXPECT_DOUBLE_EQ(stats.compute_ns, 40960.0);
+  EXPECT_DOUBLE_EQ(stats.energy_pj, 20480.0 * 20.0 + 30720.0 * 5.0);
+}
+
+TEST(KernelVm, StagedKernelsComposeToFullFft) {
+  // Model II as kernels: bit-reversal + per-block stage kernels + final
+  // stages, appended into one program, equals the monolithic kernel.
+  const std::size_t n = 64, k = 4, bs = n / k;
+  auto a = random_signal(n, 3);
+  auto b = a;
+
+  KernelVm vm{ExecCostParams{}};
+  vm.run(compile_fft_kernel(n), a);
+
+  // b: swaps only, then per-block kernels, then final stages.
+  KernelProgram prog;
+  {
+    // Build the bit-reversal prologue with SWAPs from the plan.
+    fft::FftPlan plan(n);
+    prog.data_size = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = plan.bit_reversed_index(i);
+      if (i < r) {
+        prog.code.push_back(KernelInstr{KernelOp::kSwap,
+                                        static_cast<std::uint32_t>(i),
+                                        static_cast<std::uint32_t>(r), 0});
+      }
+    }
+    prog.code.push_back(KernelInstr{KernelOp::kHalt, 0, 0, 0});
+  }
+  for (std::size_t blk = 0; blk < k; ++blk) {
+    append_kernel(&prog, compile_fft_stages_kernel(n, 0, 4, 0, blk * bs, bs));
+  }
+  append_kernel(&prog, compile_fft_stages_kernel(n, 4, 6));
+  const VmStats stats = vm.run(prog, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  EXPECT_EQ(stats.ops.real_mults, fft::full_fft_mults(n));
+}
+
+TEST(KernelVm, FourStepTwiddleKernelMatchesLibrary) {
+  const std::size_t rows = 4, cols = 8, total_rows = 16, row0 = 8;
+  auto a = random_signal(rows * cols, 9);
+  auto b = a;
+
+  KernelVm vm{ExecCostParams{}};
+  vm.run(compile_four_step_twiddle_kernel(rows, cols, row0, total_rows), a);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t q = 0; q < cols; ++q) {
+      b[r * cols + q] *=
+          fft::four_step_twiddle(total_rows * cols, row0 + r, q);
+    }
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(KernelVm, TrapsOnBadPrograms) {
+  KernelVm vm{ExecCostParams{}};
+  std::vector<std::complex<double>> data(4);
+
+  KernelProgram oob;
+  oob.data_size = 4;
+  oob.twiddles = {{1.0, 0.0}};
+  oob.code = {KernelInstr{KernelOp::kBfly, 2, 9, 0},
+              KernelInstr{KernelOp::kHalt, 0, 0, 0}};
+  EXPECT_THROW((void)vm.run(oob, data), SimulationError);
+
+  KernelProgram no_halt;
+  no_halt.data_size = 4;
+  no_halt.code = {KernelInstr{KernelOp::kSwap, 0, 1, 0}};
+  EXPECT_THROW((void)vm.run(no_halt, data), SimulationError);
+
+  KernelProgram too_big;
+  too_big.data_size = 64;
+  too_big.code = {KernelInstr{KernelOp::kHalt, 0, 0, 0}};
+  EXPECT_THROW((void)vm.run(too_big, data), SimulationError);
+}
+
+TEST(KernelVm, PackUnpackRoundTripsBitExactly) {
+  const KernelProgram prog = compile_fft_kernel(128, 7);
+  const auto words = pack_kernel_words(prog);
+  std::size_t offset = 0;
+  const KernelProgram back = unpack_kernel_words(words, offset);
+  EXPECT_EQ(offset, words.size());
+  ASSERT_EQ(back.code.size(), prog.code.size());
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    EXPECT_EQ(back.code[i].op, prog.code[i].op);
+    EXPECT_EQ(back.code[i].a, prog.code[i].a);
+    EXPECT_EQ(back.code[i].b, prog.code[i].b);
+    EXPECT_EQ(back.code[i].tw, prog.code[i].tw);
+  }
+  ASSERT_EQ(back.twiddles.size(), prog.twiddles.size());
+  for (std::size_t i = 0; i < prog.twiddles.size(); ++i) {
+    EXPECT_EQ(back.twiddles[i], prog.twiddles[i]);  // full double precision
+  }
+  EXPECT_EQ(back.data_size, prog.data_size);
+}
+
+TEST(KernelVm, UnpackRejectsCorruptStreams) {
+  auto words = pack_kernel_words(compile_fft_kernel(8));
+  words.resize(words.size() / 2);
+  std::size_t offset = 0;
+  EXPECT_THROW((void)unpack_kernel_words(words, offset), SimulationError);
+}
+
+// The full Section IV story: computation kernels delivered over the
+// SCA^-1 waveguide, decoded, executed — and the result is bit-identical to
+// local execution.
+TEST(KernelVm, KernelDeliveredOverWaveguideExecutesIdentically) {
+  const std::size_t nodes = 2, n = 64;
+  ScaEngine engine(straight_bus_topology(nodes, 8.0));
+
+  // Node i's boot segment: its FFT kernel as raw words (in the data part),
+  // plus its signal.
+  const KernelProgram prog = compile_fft_kernel(n);
+  const auto kernel_words = pack_kernel_words(prog);
+
+  std::vector<BootSegment> segs(nodes);
+  std::vector<std::vector<std::complex<double>>> signals(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    segs[i].programs.push_back(
+        compile_gather_blocks(nodes, 4).node_cps[i]);  // any next CP
+    segs[i].data = kernel_words;
+    signals[i] = random_signal(n, 100 + i);
+  }
+  const BootImage image = build_boot_image(segs);
+  const ScatterResult boot = engine.scatter(image.schedule, image.burst);
+
+  KernelVm vm{ExecCostParams{}};
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const DecodedSegment dec = decode_boot_words(boot.received[i], 1);
+    std::size_t offset = 0;
+    const KernelProgram delivered = unpack_kernel_words(dec.data, offset);
+
+    auto over_wire = signals[i];
+    auto local = signals[i];
+    vm.run(delivered, over_wire);
+    vm.run(prog, local);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(over_wire[j], local[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psync::core

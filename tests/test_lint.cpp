@@ -1,0 +1,126 @@
+#include "psync/core/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/core/cp_compile.hpp"
+
+namespace psync::core {
+namespace {
+
+TEST(Lint, CleanScheduleIsOk) {
+  const auto topo = straight_bus_topology(4, 8.0);
+  const auto sched = compile_gather_interleaved(4, 8);
+  const auto rep = lint_transaction(topo, sched, CpAction::kDrive,
+                                    {8, 8, 8, 8});
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.errors(), 0u);
+  EXPECT_EQ(rep.warnings(), 0u);
+  EXPECT_DOUBLE_EQ(rep.utilization, 1.0);
+  EXPECT_NE(rep.to_string().find("schedule OK"), std::string::npos);
+}
+
+TEST(Lint, CollisionReportedWithBothNodes) {
+  const auto topo = straight_bus_topology(2, 8.0);
+  CpSchedule bad;
+  bad.total_slots = 4;
+  bad.node_cps.resize(2);
+  bad.node_cps[0].add(CpStride{0, 3, 3, 1, CpAction::kDrive});
+  bad.node_cps[1].add(CpStride{2, 2, 2, 1, CpAction::kDrive});
+  const auto rep = lint_transaction(topo, bad, CpAction::kDrive);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(rep.errors(), 1u);
+  EXPECT_NE(rep.to_string().find("already claimed by node 0"),
+            std::string::npos);
+}
+
+TEST(Lint, OutOfRangeSlotIsError) {
+  const auto topo = straight_bus_topology(1, 8.0);
+  CpSchedule bad;
+  bad.total_slots = 4;
+  bad.node_cps.resize(1);
+  bad.node_cps[0].add(CpStride{2, 4, 4, 1, CpAction::kDrive});
+  const auto rep = lint_transaction(topo, bad, CpAction::kDrive);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.to_string().find("outside"), std::string::npos);
+}
+
+TEST(Lint, GapsAreWarningsNotErrors) {
+  const auto topo = straight_bus_topology(2, 8.0);
+  CpSchedule gappy;
+  gappy.total_slots = 8;
+  gappy.node_cps.resize(2);
+  gappy.node_cps[0].add(CpStride{0, 2, 2, 1, CpAction::kDrive});
+  gappy.node_cps[1].add(CpStride{4, 2, 2, 1, CpAction::kDrive});
+  const auto rep = lint_transaction(topo, gappy, CpAction::kDrive);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.warnings(), 1u);
+  EXPECT_DOUBLE_EQ(rep.utilization, 0.5);
+  EXPECT_NE(rep.to_string().find("idle slots"), std::string::npos);
+}
+
+TEST(Lint, DataSizeMismatchCaught) {
+  const auto topo = straight_bus_topology(2, 8.0);
+  const auto sched = compile_gather_blocks(2, 4);
+  const auto rep =
+      lint_transaction(topo, sched, CpAction::kDrive, {4, 3});
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.to_string().find("3 words were supplied"), std::string::npos);
+}
+
+TEST(Lint, SelfOverlapCaughtPerNode) {
+  const auto topo = straight_bus_topology(1, 8.0);
+  CpSchedule bad;
+  bad.total_slots = 8;
+  bad.node_cps.resize(1);
+  bad.node_cps[0].add(CpStride{0, 4, 4, 1, CpAction::kDrive});
+  bad.node_cps[0].add(CpStride{2, 2, 2, 1, CpAction::kDrive});
+  const auto rep = lint_transaction(topo, bad, CpAction::kDrive);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Lint, BudgetFailureIsError) {
+  auto topo = straight_bus_topology(64, 40.0);
+  photonic::LinkBudgetParams budget;
+  budget.waveguide.loss_straight_db_per_cm = 2.0;  // 80 dB: hopeless
+  topo.budget = budget;
+  const auto sched = compile_gather_blocks(64, 2);
+  const auto rep = lint_transaction(topo, sched, CpAction::kDrive);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.has_margin);
+  EXPECT_LT(rep.worst_margin_db, 0.0);
+  EXPECT_NE(rep.to_string().find("does not close"), std::string::npos);
+}
+
+TEST(Lint, ThinMarginWarnsWithProjectedErrors) {
+  auto topo = straight_bus_topology(16, 8.0);
+  photonic::LinkBudgetParams budget;
+  // Engineer the launch power so the margin is barely positive.
+  budget.laser.launch_power_dbm =
+      budget.detector.sensitivity_dbm + budget.laser.coupler_loss_db +
+      budget.detector.tap_loss_db + 16 * 0.01 + 8.0 * 0.3 + 0.05;
+  topo.budget = budget;
+  const auto sched = compile_gather_blocks(16, 4096);  // ~4.2 Mbit moved
+  const auto rep = lint_transaction(topo, sched, CpAction::kDrive);
+  EXPECT_TRUE(rep.ok);  // closes, but...
+  EXPECT_GE(rep.warnings(), 1u);
+  EXPECT_NE(rep.to_string().find("thin optical margin"), std::string::npos);
+}
+
+TEST(Lint, NodeCountMismatchShortCircuits) {
+  const auto topo = straight_bus_topology(4, 8.0);
+  const auto sched = compile_gather_blocks(2, 4);
+  const auto rep = lint_transaction(topo, sched, CpAction::kDrive);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.errors(), 1u);
+}
+
+TEST(Lint, BadTopologyShortCircuits) {
+  PscanTopology topo;  // empty: invalid
+  const auto rep =
+      lint_transaction(topo, compile_gather_blocks(1, 1), CpAction::kDrive);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.to_string().find("topology"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psync::core

@@ -1,0 +1,125 @@
+// Meta-property: the schedule linter and the SCA engine must agree. For
+// randomly generated schedules — valid partitions and deliberately
+// corrupted ones — lint_transaction reports ok exactly when the engine
+// accepts the transaction in strict mode.
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+#include "psync/common/rng.hpp"
+#include "psync/analysis/mesh_model.hpp"
+#include "psync/core/lint.hpp"
+#include "psync/core/permutation.hpp"
+
+namespace psync::core {
+namespace {
+
+struct Generated {
+  CpSchedule schedule;
+  std::vector<std::vector<Word>> data;
+};
+
+Generated random_partition(Rng& rng, std::size_t nodes, Slot total) {
+  std::vector<std::size_t> owner(static_cast<std::size_t>(total));
+  for (std::size_t s = 0; s < owner.size(); ++s) {
+    owner[s] = s < nodes ? s : rng.next_below(nodes);
+  }
+  rng.shuffle(owner);
+  std::vector<std::vector<Slot>> slots_of(nodes);
+  for (std::size_t s = 0; s < owner.size(); ++s) {
+    slots_of[owner[s]].push_back(static_cast<Slot>(s));
+  }
+  CollectiveSpec spec;
+  spec.nodes = nodes;
+  spec.total_slots = total;
+  spec.elements_of = [slots_of](std::size_t i) {
+    return static_cast<Slot>(slots_of[i].size());
+  };
+  spec.slot_of = [slots_of](std::size_t i, Slot j) {
+    return slots_of[i][static_cast<std::size_t>(j)];
+  };
+  Generated out;
+  out.schedule = compile_collective(spec, CpAction::kDrive);
+  out.data.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    out.data[i].assign(slots_of[i].size(), 0xAB);
+  }
+  return out;
+}
+
+bool engine_accepts(const PscanTopology& topo, const Generated& g) {
+  try {
+    ScaEngine engine(topo);
+    (void)engine.gather(g.schedule, g.data, /*strict=*/true);
+    return true;
+  } catch (const SimulationError&) {
+    return false;
+  }
+}
+
+class LintConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LintConsistency, ValidPartitionsPassBoth) {
+  Rng rng(GetParam());
+  const std::size_t nodes = 2 + rng.next_below(6);
+  const Slot total = static_cast<Slot>(16 + rng.next_below(100));
+  const auto g = random_partition(rng, nodes, total);
+  const auto topo = straight_bus_topology(nodes, 8.0);
+
+  std::vector<std::size_t> sizes;
+  for (const auto& d : g.data) sizes.push_back(d.size());
+  const auto rep = lint_transaction(topo, g.schedule, CpAction::kDrive, sizes);
+  EXPECT_TRUE(rep.ok) << rep.to_string();
+  EXPECT_TRUE(engine_accepts(topo, g));
+}
+
+TEST_P(LintConsistency, CorruptedSchedulesFailBoth) {
+  Rng rng(GetParam() ^ 0x5EED);
+  const std::size_t nodes = 2 + rng.next_below(6);
+  const Slot total = static_cast<Slot>(16 + rng.next_below(100));
+  auto g = random_partition(rng, nodes, total);
+  const auto topo = straight_bus_topology(nodes, 8.0);
+
+  // Corrupt: give node 0 an extra claim on a random slot it does not own.
+  Slot victim = 0;
+  for (int tries = 0; tries < 64; ++tries) {
+    victim = static_cast<Slot>(rng.next_below(static_cast<std::uint64_t>(total)));
+    if (element_of_slot(g.schedule.node_cps[0], CpAction::kDrive, victim) < 0) {
+      break;
+    }
+  }
+  if (element_of_slot(g.schedule.node_cps[0], CpAction::kDrive, victim) >= 0) {
+    GTEST_SKIP() << "node 0 owns everything in this draw";
+  }
+  g.schedule.node_cps[0].add(CpStride{victim, 1, 1, 1, CpAction::kDrive});
+  g.data[0].push_back(0xAB);
+
+  std::vector<std::size_t> sizes;
+  for (const auto& d : g.data) sizes.push_back(d.size());
+  const auto rep = lint_transaction(topo, g.schedule, CpAction::kDrive, sizes);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(engine_accepts(topo, g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LintConsistency,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56));
+
+// The pipelined-source delivery model (our Eq. 21 refinement) tracks the
+// cycle-level mesh at the configuration the fig11 bench uses.
+TEST(MeshModelPipelined, RefinementBetweenIdealAndEq21) {
+  for (double f : {4.0, 16.0, 64.0, 256.0}) {
+    const double eq21 = analysis::mesh_delivery_cycles(16, f, 1.0);
+    const double pipe = analysis::mesh_delivery_cycles_pipelined(16, f, 1.0);
+    const double ideal = 16.0 * f;
+    EXPECT_GE(pipe, ideal);
+    EXPECT_LE(pipe, eq21);
+    EXPECT_GT(analysis::mesh_delivery_efficiency_pipelined(16, f, 1.0),
+              analysis::mesh_delivery_efficiency(16, f, 1.0) - 1e-12);
+  }
+  // At small packets the refinement is dramatically tighter: F=4, P=16:
+  // Eq. 21 charges 16*4 + 16*4 = 128; pipelined charges 16*5 + 4 = 84.
+  EXPECT_DOUBLE_EQ(analysis::mesh_delivery_cycles(16, 4, 1.0), 128.0);
+  EXPECT_DOUBLE_EQ(analysis::mesh_delivery_cycles_pipelined(16, 4, 1.0), 84.0);
+}
+
+}  // namespace
+}  // namespace psync::core

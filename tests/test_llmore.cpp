@@ -1,0 +1,120 @@
+#include "psync/llmore/llmore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psync::llmore {
+namespace {
+
+TEST(Llmore, FlopsCountForPaperMatrix) {
+  LlmoreParams p;  // 1024 x 1024
+  // Butterflies: 2 passes x 1024 rows x 512 x 10 stages = 10.49M; x10 flops.
+  EXPECT_NEAR(total_flops(p), 104'857'600.0, 1.0);
+}
+
+TEST(Llmore, PsyncReorgConstantInCores) {
+  LlmoreParams p;
+  const auto a = simulate_psync(p, 16);
+  const auto b = simulate_psync(p, 1024);
+  EXPECT_NEAR(a.reorg_ns, b.reorg_ns, 1e-6);
+}
+
+TEST(Llmore, ComputeShrinksWithCoresUntilRowLimit) {
+  LlmoreParams p;
+  const auto a = simulate_psync(p, 64);
+  const auto b = simulate_psync(p, 256);
+  EXPECT_NEAR(a.compute1_ns / b.compute1_ns, 4.0, 1e-9);
+  // Beyond 1024 cores the row distribution saturates.
+  const auto c = simulate_psync(p, 1024);
+  const auto d = simulate_psync(p, 4096);
+  EXPECT_NEAR(c.compute1_ns, d.compute1_ns, 1e-9);
+}
+
+TEST(Llmore, Fig13MeshPeaksNear256ThenDeclines) {
+  LlmoreParams p;
+  const auto pts = sweep(p, 4, 4096);  // 4, 16, 64, 256, 1024, 4096
+  ASSERT_EQ(pts.size(), 6u);
+  std::uint64_t best_cores = 0;
+  double best = 0.0;
+  for (const auto& pt : pts) {
+    if (pt.gflops_mesh > best) {
+      best = pt.gflops_mesh;
+      best_cores = pt.cores;
+    }
+  }
+  EXPECT_EQ(best_cores, 256u);  // the paper's "peaks around 256 cores"
+  // And it declines afterwards.
+  EXPECT_LT(pts[4].gflops_mesh, pts[3].gflops_mesh);
+  EXPECT_LT(pts[5].gflops_mesh, pts[3].gflops_mesh);
+}
+
+TEST(Llmore, Fig13PsyncConvergesToIdeal) {
+  LlmoreParams p;
+  const auto pts = sweep(p, 4, 4096);
+  // Monotone non-decreasing and approaching ideal at the top end.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].gflops_psync, pts[i - 1].gflops_psync * 0.999);
+  }
+  const auto& last = pts.back();
+  EXPECT_GT(last.gflops_psync / last.gflops_ideal, 0.85);
+  // P-sync never exceeds ideal.
+  for (const auto& pt : pts) {
+    EXPECT_LE(pt.gflops_psync, pt.gflops_ideal * 1.0001);
+  }
+}
+
+TEST(Llmore, Fig13PsyncBeatsMeshByPaperFactorsAtScale) {
+  // "The performance for the P-sync architecture for P > 256 is two to ten
+  // times better than the electronic mesh architecture."
+  LlmoreParams p;
+  for (std::uint64_t cores : {1024, 4096}) {
+    const auto pt = simulate_point(p, cores);
+    const double ratio = pt.gflops_psync / pt.gflops_mesh;
+    EXPECT_GT(ratio, 2.0) << cores;
+    EXPECT_LT(ratio, 12.0) << cores;
+  }
+}
+
+TEST(Llmore, Fig14MeshReorgShareGrowsPsyncLevelsOff) {
+  LlmoreParams p;
+  const auto pts = sweep(p, 4, 4096);
+  // Mesh reorg fraction grows with cores.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].reorg_frac_mesh, pts[i - 1].reorg_frac_mesh * 0.99);
+  }
+  EXPECT_GT(pts.back().reorg_frac_mesh, 0.4);
+  // P-sync levels off to a "significantly more reasonable" share.
+  EXPECT_LT(pts.back().reorg_frac_psync, pts.back().reorg_frac_mesh / 1.5);
+  const double d_last = pts[5].reorg_frac_psync - pts[4].reorg_frac_psync;
+  EXPECT_LT(d_last, 0.05);  // flat at the top end
+}
+
+TEST(Llmore, MeshAndPsyncAgreeAtTinyScaleWhereNetworkIsEasy) {
+  // At 4 cores the transpose pieces are huge and the mesh has no
+  // congestion problem: the architectures should be within ~2x.
+  LlmoreParams p;
+  const auto pt = simulate_point(p, 4);
+  EXPECT_LT(pt.gflops_psync / pt.gflops_mesh, 2.0);
+}
+
+TEST(Llmore, BiggerBufferDefersTheCollapse) {
+  LlmoreParams small = {};
+  small.buffer_partials = 2;
+  LlmoreParams big = {};
+  big.buffer_partials = 32;
+  const auto s = simulate_mesh(small, 1024);
+  const auto b = simulate_mesh(big, 1024);
+  EXPECT_GT(s.reorg_ns, b.reorg_ns);
+}
+
+TEST(Llmore, PhaseBreakdownSumsToTotal) {
+  LlmoreParams p;
+  const auto ph = simulate_mesh(p, 64);
+  EXPECT_NEAR(ph.total_ns(),
+              ph.deliver1_ns + ph.compute1_ns + ph.reorg_ns + ph.deliver2_ns +
+                  ph.compute2_ns + ph.writeback_ns,
+              1e-9);
+  EXPECT_GT(ph.reorg_total_ns(), ph.reorg_ns);
+}
+
+}  // namespace
+}  // namespace psync::llmore

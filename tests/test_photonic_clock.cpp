@@ -1,0 +1,92 @@
+#include "psync/photonic/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/units.hpp"
+
+namespace psync::photonic {
+namespace {
+
+ClockParams nominal() {
+  ClockParams c;
+  c.frequency_ghz = 10.0;
+  c.group_velocity_cm_per_ns = 7.0;
+  c.detect_latency_ps = 20;
+  return c;
+}
+
+TEST(PhotonicClock, PeriodExact) {
+  PhotonicClock clk(nominal());
+  EXPECT_EQ(clk.period_ps(), 100);
+}
+
+TEST(PhotonicClock, FlightTimeLinearInPosition) {
+  PhotonicClock clk(nominal());
+  // 7 cm at 7 cm/ns = 1 ns = 1000 ps.
+  EXPECT_EQ(clk.flight_ps(units::cm_to_um(7.0)), 1000);
+  EXPECT_EQ(clk.flight_ps(units::cm_to_um(3.5)), 500);
+  EXPECT_EQ(clk.flight_ps(0.0), 0);
+}
+
+TEST(PhotonicClock, PerceivedEdgeCombinesAllTerms) {
+  auto p = nominal();
+  p.launch_time_ps = 1000;
+  PhotonicClock clk(p);
+  // Edge 3 at 3.5 cm: 1000 + 3*100 + 500 + 20.
+  EXPECT_EQ(clk.perceived_edge_ps(units::cm_to_um(3.5), 3), 1820);
+}
+
+TEST(PhotonicClock, SkewIsPositionDifference) {
+  PhotonicClock clk(nominal());
+  const double a = units::cm_to_um(1.0);
+  const double b = units::cm_to_um(4.5);
+  // 3.5 cm apart at 7 cm/ns = 500 ps of deliberate skew.
+  EXPECT_EQ(clk.skew_ps(a, b), 500);
+  EXPECT_EQ(clk.skew_ps(b, a), -500);
+}
+
+// The paper's central timing fact: a bit modulated on perceived slot s at
+// ANY position reaches a downstream point at the same absolute time.
+TEST(PhotonicClock, ArrivalIndependentOfModulatorPosition) {
+  PhotonicClock clk(nominal());
+  const double terminus = units::cm_to_um(10.0);
+  const TimePs from_near = clk.arrival_at_ps(units::cm_to_um(1.0), 5, terminus);
+  const TimePs from_mid = clk.arrival_at_ps(units::cm_to_um(5.0), 5, terminus);
+  const TimePs from_far = clk.arrival_at_ps(units::cm_to_um(9.9), 5, terminus);
+  EXPECT_EQ(from_near, from_mid);
+  EXPECT_EQ(from_mid, from_far);
+}
+
+TEST(PhotonicClock, ConsecutiveSlotsArriveOnePeriodApart) {
+  PhotonicClock clk(nominal());
+  const double x = units::cm_to_um(2.0);
+  const double terminus = units::cm_to_um(8.0);
+  for (Cycle s = 0; s < 10; ++s) {
+    EXPECT_EQ(clk.arrival_at_ps(x, s + 1, terminus) -
+                  clk.arrival_at_ps(x, s, terminus),
+              clk.period_ps());
+  }
+}
+
+TEST(PhotonicClock, SkewTableMatchesPerceivedEdges) {
+  PhotonicClock clk(nominal());
+  const std::vector<double> taps{0.0, units::cm_to_um(1.0),
+                                 units::cm_to_um(2.0)};
+  const auto table = skew_table(clk, taps);
+  ASSERT_EQ(table.size(), 3u);
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    EXPECT_EQ(table[i], clk.perceived_edge_ps(taps[i], 0));
+  }
+  // ~1 cm pitch at 7 cm/ns: ~143 ps between taps (integer-rounded).
+  EXPECT_NEAR(static_cast<double>(table[1] - table[0]), 1e4 / 7.0 * 1e-1, 1.0);
+}
+
+TEST(PhotonicClock, UpstreamArrivalRejected) {
+  PhotonicClock clk(nominal());
+  EXPECT_DEATH(
+      (void)clk.arrival_at_ps(units::cm_to_um(5.0), 0, units::cm_to_um(1.0)),
+      "downstream");
+}
+
+}  // namespace
+}  // namespace psync::photonic

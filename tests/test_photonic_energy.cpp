@@ -1,0 +1,105 @@
+#include "psync/photonic/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+namespace {
+
+PhotonicEnergyParams nominal() {
+  PhotonicEnergyParams p;  // defaults are the Fig. 5 configuration
+  return p;
+}
+
+TEST(PhotonicEnergy, BreakdownComponentsPositive) {
+  const auto e = pscan_energy_per_bit(nominal(), 16);
+  EXPECT_GT(e.laser_fj_per_bit, 0.0);
+  EXPECT_GT(e.modulator_fj_per_bit, 0.0);
+  EXPECT_GT(e.receiver_fj_per_bit, 0.0);
+  EXPECT_GT(e.thermal_fj_per_bit, 0.0);
+  EXPECT_GT(e.serdes_fj_per_bit, 0.0);
+  EXPECT_NEAR(e.total_fj_per_bit(),
+              e.laser_fj_per_bit + e.modulator_fj_per_bit +
+                  e.receiver_fj_per_bit + e.thermal_fj_per_bit +
+                  e.serdes_fj_per_bit + e.repeater_fj_per_bit,
+              1e-12);
+}
+
+TEST(PhotonicEnergy, NearlyFlatInNodeCount) {
+  // The headline property: energy/bit grows only weakly with node count
+  // (laser sizing + thermal tuning), with no per-hop term.
+  const auto e16 = pscan_energy_per_bit(nominal(), 16);
+  const auto e256 = pscan_energy_per_bit(nominal(), 256);
+  EXPECT_LT(e256.total_fj_per_bit() / e16.total_fj_per_bit(), 3.0);
+}
+
+TEST(PhotonicEnergy, ThermalScalesWithRings) {
+  const auto e16 = pscan_energy_per_bit(nominal(), 16);
+  const auto e64 = pscan_energy_per_bit(nominal(), 64);
+  EXPECT_NEAR(e64.thermal_fj_per_bit / e16.thermal_fj_per_bit, 4.0, 1e-9);
+}
+
+TEST(PhotonicEnergy, LowUtilizationCostsMorePerBit) {
+  const auto full = pscan_energy_per_bit(nominal(), 64, 2.0, 1.0);
+  const auto half = pscan_energy_per_bit(nominal(), 64, 2.0, 0.5);
+  // Static power (laser, thermal) amortizes over fewer bits.
+  EXPECT_GT(half.laser_fj_per_bit, full.laser_fj_per_bit * 1.9);
+  EXPECT_GT(half.thermal_fj_per_bit, full.thermal_fj_per_bit * 1.9);
+  // Dynamic per-bit terms unchanged.
+  EXPECT_DOUBLE_EQ(half.modulator_fj_per_bit, full.modulator_fj_per_bit);
+}
+
+TEST(PhotonicEnergy, RepeatersAppearOnLossyBuses) {
+  auto p = nominal();
+  p.waveguide.loss_straight_db_per_cm = 3.0;
+  const auto e = pscan_energy_per_bit(p, 1024, 2.0);
+  // 32 serpentine rows x 2 cm x 3 dB/cm cannot be closed by one span.
+  EXPECT_GT(e.spans, 1u);
+  EXPECT_GT(e.repeater_fj_per_bit, 0.0);
+}
+
+TEST(PhotonicEnergy, SingleSpanOnShortBus) {
+  const auto e = pscan_energy_per_bit(nominal(), 16, 2.0);
+  EXPECT_EQ(e.spans, 1u);
+  EXPECT_DOUBLE_EQ(e.repeater_fj_per_bit, 0.0);
+}
+
+TEST(PhotonicEnergy, RejectsBadUtilization) {
+  EXPECT_THROW(pscan_energy_per_bit(nominal(), 16, 2.0, 0.0),
+               SimulationError);
+  EXPECT_THROW(pscan_energy_per_bit(nominal(), 16, 2.0, 1.5),
+               SimulationError);
+}
+
+TEST(PhotonicEnergy, TransactionEnergyMatchesPerBitAtFullUtilization) {
+  // A gap-free transaction moving B bits spans exactly B / rate seconds;
+  // the activity-based accounting must then agree with the per-bit model.
+  const auto p = nominal();
+  const std::size_t nodes = 64;
+  const std::uint64_t bits = 1'000'000;
+  // Span for 1 Mbit at 320 Gb/s: 3.125 us = 3,125,000 ps.
+  const std::int64_t span_ps = 3'125'000;
+  const auto txn = transaction_energy(p, nodes, span_ps, bits);
+  const auto per_bit = pscan_energy_per_bit(p, nodes);
+  EXPECT_NEAR(txn.pj_per_bit, per_bit.total_pj_per_bit(),
+              per_bit.total_pj_per_bit() * 1e-6);
+}
+
+TEST(PhotonicEnergy, IdleSpanCostsStaticPowerOnly) {
+  // Doubling the span (half utilization) adds exactly the static share.
+  const auto p = nominal();
+  const auto tight = transaction_energy(p, 64, 3'125'000, 1'000'000);
+  const auto slack = transaction_energy(p, 64, 6'250'000, 1'000'000);
+  EXPECT_NEAR(slack.dynamic_pj, tight.dynamic_pj, 1e-9);
+  EXPECT_NEAR(slack.static_pj, 2.0 * tight.static_pj, 1e-6 * slack.static_pj);
+  EXPECT_GT(slack.pj_per_bit, tight.pj_per_bit);
+}
+
+TEST(PhotonicEnergy, WdmAggregateRate) {
+  WdmPlan w;  // 32 x 10 Gb/s
+  EXPECT_DOUBLE_EQ(w.aggregate_gbps(), 320.0);
+}
+
+}  // namespace
+}  // namespace psync::photonic

@@ -1,0 +1,115 @@
+#include "psync/photonic/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+namespace {
+
+LinkBudgetParams nominal() {
+  LinkBudgetParams p;
+  p.laser.launch_power_dbm = 3.0;
+  p.laser.coupler_loss_db = 1.0;
+  p.detector.sensitivity_dbm = -20.0;
+  p.detector.tap_loss_db = 0.5;
+  p.ring.through_loss_off_db = 0.01;
+  p.waveguide.loss_straight_db_per_cm = 1.0;
+  p.modulator_pitch_cm = 0.05;
+  return p;
+}
+
+TEST(LinkBudget, SegmentLossIsEq2) {
+  const auto p = nominal();
+  // L_ws = L_r-off + D_m * L_w = 0.01 + 0.05 * 1.0.
+  EXPECT_NEAR(segment_loss_db(p), 0.06, 1e-12);
+}
+
+TEST(LinkBudget, MaxSegmentsIsEq3) {
+  const auto p = nominal();
+  // Budget: (3 - 1) - (-20) - 0.5 tap = 21.5 dB over 0.06 dB/segment -> 358.
+  EXPECT_EQ(max_segments(p), 358u);
+}
+
+TEST(LinkBudget, ClosesExactlyUpToBound) {
+  const auto p = nominal();
+  const std::size_t n = max_segments(p);
+  EXPECT_TRUE(closes(p, n));
+  EXPECT_FALSE(closes(p, n + 1));
+}
+
+TEST(LinkBudget, PowerAfterSegmentsMonotone) {
+  const auto p = nominal();
+  double prev = power_after_segments(p, 0).dbm();
+  for (std::size_t n = 1; n < 20; ++n) {
+    const double cur = power_after_segments(p, n).dbm();
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(LinkBudget, HigherLaunchPowerExtendsReach) {
+  auto p = nominal();
+  const auto base = max_segments(p);
+  p.laser.launch_power_dbm += 6.0;  // 4x the power
+  EXPECT_GT(max_segments(p), base);
+  // +6 dB over 0.06 dB/segment = +100 segments.
+  EXPECT_EQ(max_segments(p), base + 100);
+}
+
+TEST(LinkBudget, MarginReducesReach) {
+  auto p = nominal();
+  const auto base = max_segments(p);
+  p.margin_db = 3.0;
+  EXPECT_LT(max_segments(p), base);
+}
+
+TEST(LinkBudget, ZeroWhenBudgetCannotClose) {
+  auto p = nominal();
+  p.laser.launch_power_dbm = -25.0;  // below sensitivity after coupler
+  EXPECT_EQ(max_segments(p), 0u);
+}
+
+TEST(LinkBudget, RepeatersPartitionLongBuses) {
+  const auto p = nominal();
+  const std::size_t span = max_segments(p);
+  EXPECT_EQ(repeaters_required(p, span), 0u);
+  EXPECT_EQ(repeaters_required(p, span + 1), 1u);
+  EXPECT_EQ(repeaters_required(p, 3 * span), 2u);
+  EXPECT_EQ(repeaters_required(p, 3 * span + 1), 3u);
+}
+
+TEST(LinkBudget, RepeatersImpossibleWhenSegmentTooLossy) {
+  auto p = nominal();
+  p.laser.launch_power_dbm = -25.0;
+  EXPECT_THROW(repeaters_required(p, 10), SimulationError);
+}
+
+TEST(LinkBudget, SerpentineEvaluationIncludesBends) {
+  auto p = nominal();
+  const SerpentineLayout layout = serpentine_for_grid(4, 2.0);
+  const auto rep = evaluate_serpentine(p, layout, 16);
+  // Loss must exceed the pure straight-line loss of the same length.
+  const double straight_only =
+      layout.total_length_um() * 1e-4 * p.waveguide.loss_straight_db_per_cm;
+  EXPECT_GT(rep.total_loss_db, straight_only);
+  EXPECT_TRUE(rep.closes);
+  EXPECT_GT(rep.max_nodes_eq3, 0u);
+}
+
+TEST(LinkBudget, SerpentineFailsWhenTooLossy) {
+  auto p = nominal();
+  p.waveguide.loss_straight_db_per_cm = 10.0;
+  const SerpentineLayout layout = serpentine_for_grid(8, 2.0);
+  const auto rep = evaluate_serpentine(p, layout, 64);
+  EXPECT_FALSE(rep.closes);
+}
+
+TEST(LinkBudget, InvalidDevicesRejected) {
+  auto p = nominal();
+  p.ring.extinction_ratio_db = -1.0;
+  EXPECT_THROW(max_segments(p), SimulationError);
+}
+
+}  // namespace
+}  // namespace psync::photonic

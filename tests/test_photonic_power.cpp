@@ -1,0 +1,52 @@
+#include "psync/photonic/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::photonic {
+namespace {
+
+TEST(Power, DbmMwRoundTrip) {
+  EXPECT_DOUBLE_EQ(mw_to_dbm(1.0), 0.0);
+  EXPECT_NEAR(mw_to_dbm(2.0), 3.0103, 1e-4);
+  EXPECT_NEAR(dbm_to_mw(10.0), 10.0, 1e-12);
+  for (double mw : {0.01, 0.5, 1.0, 3.7, 100.0}) {
+    EXPECT_NEAR(dbm_to_mw(mw_to_dbm(mw)), mw, 1e-12);
+  }
+}
+
+TEST(Power, RatioDb) {
+  EXPECT_DOUBLE_EQ(ratio_to_db(10.0), 10.0);
+  EXPECT_NEAR(ratio_to_db(2.0), 3.0103, 1e-4);
+  EXPECT_NEAR(db_to_ratio(-3.0103), 0.5, 1e-4);
+}
+
+TEST(Power, NonPositiveInputsThrow) {
+  EXPECT_THROW(mw_to_dbm(0.0), SimulationError);
+  EXPECT_THROW(mw_to_dbm(-1.0), SimulationError);
+  EXPECT_THROW(ratio_to_db(0.0), SimulationError);
+}
+
+TEST(PowerDbm, AttenuationChainsLinearlyInDb) {
+  PowerDbm p(3.0);
+  const PowerDbm q = p.attenuated(1.5).attenuated(2.5);
+  EXPECT_DOUBLE_EQ(q.dbm(), -1.0);
+  EXPECT_DOUBLE_EQ(q.amplified(4.0).dbm(), 3.0);
+}
+
+TEST(PowerDbm, HalfPowerIs3Db) {
+  PowerDbm p(0.0);  // 1 mW
+  EXPECT_NEAR(p.attenuated(3.0103).mw(), 0.5, 1e-4);
+}
+
+TEST(PowerDbm, Detectability) {
+  PowerDbm p(-19.9);
+  EXPECT_TRUE(p.detectable_by(-20.0));
+  EXPECT_FALSE(p.attenuated(0.2).detectable_by(-20.0));
+  // Boundary counts as detectable (Eq. 1 uses >=).
+  EXPECT_TRUE(PowerDbm(-20.0).detectable_by(-20.0));
+}
+
+}  // namespace
+}  // namespace psync::photonic

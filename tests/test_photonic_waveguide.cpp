@@ -1,0 +1,86 @@
+#include "psync/photonic/waveguide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/units.hpp"
+
+namespace psync::photonic {
+namespace {
+
+TEST(Waveguide, FlightTimeMatchesPaperVelocity) {
+  // Paper: light travels ~7 cm/ns in silicon; 7 cm of waveguide = 1 ns.
+  WaveguideParams wp;
+  Waveguide wg(wp, units::cm_to_um(7.0), 0.0, 0);
+  EXPECT_NEAR(wg.flight_time_ps(), 1000.0, 1e-9);
+  EXPECT_NEAR(wg.flight_time_to_ps(units::cm_to_um(3.5)), 500.0, 1e-9);
+}
+
+TEST(Waveguide, LossComposition) {
+  WaveguideParams wp;
+  wp.loss_straight_db_per_cm = 1.0;
+  wp.loss_curved_db_per_cm = 3.0;
+  wp.loss_per_bend_db = 0.05;
+  Waveguide wg(wp, units::cm_to_um(2.0), units::cm_to_um(0.5), 4);
+  EXPECT_NEAR(wg.total_loss_db(), 2.0 * 1.0 + 0.5 * 3.0 + 4 * 0.05, 1e-12);
+}
+
+TEST(Waveguide, LossToIsProportional) {
+  WaveguideParams wp;
+  Waveguide wg(wp, units::cm_to_um(4.0), 0.0, 0);
+  EXPECT_NEAR(wg.loss_to_db(units::cm_to_um(2.0)), wg.total_loss_db() / 2.0,
+              1e-12);
+  EXPECT_NEAR(wg.loss_to_db(0.0), 0.0, 1e-12);
+}
+
+TEST(Serpentine, GeometryForSingleRow) {
+  SerpentineLayout s;
+  s.width_um = units::cm_to_um(2.0);
+  s.height_um = units::cm_to_um(2.0);
+  s.rows = 1;
+  EXPECT_DOUBLE_EQ(s.total_length_um(), units::cm_to_um(2.0));
+  EXPECT_EQ(s.bends(), 0u);
+  EXPECT_DOUBLE_EQ(s.curved_um(), 0.0);
+}
+
+TEST(Serpentine, GeometryForGrid) {
+  // 4 passes over a 2 cm die: 4 x 2 cm straight + 3 turnarounds of 0.5 cm.
+  SerpentineLayout s = serpentine_for_grid(4, 2.0);
+  EXPECT_DOUBLE_EQ(s.straight_um(), units::cm_to_um(8.0));
+  EXPECT_DOUBLE_EQ(s.curved_um(), units::cm_to_um(1.5));
+  EXPECT_EQ(s.bends(), 6u);
+  EXPECT_DOUBLE_EQ(s.total_length_um(), units::cm_to_um(9.5));
+}
+
+TEST(Serpentine, TapPositionsEvenAndOrdered) {
+  SerpentineLayout s = serpentine_for_grid(2, 2.0);
+  const auto taps = s.tap_positions_um(8);
+  ASSERT_EQ(taps.size(), 8u);
+  const double pitch = s.total_length_um() / 8.0;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    EXPECT_NEAR(taps[i], pitch * (i + 0.5), 1e-9);
+    if (i > 0) {
+      EXPECT_GT(taps[i], taps[i - 1]);
+    }
+  }
+  EXPECT_LT(taps.back(), s.total_length_um());
+}
+
+TEST(Serpentine, BuildWaveguideMatchesLayout) {
+  SerpentineLayout s = serpentine_for_grid(8, 2.0);
+  WaveguideParams wp;
+  const Waveguide wg = s.build(wp);
+  EXPECT_DOUBLE_EQ(wg.length_um(), s.total_length_um());
+  EXPECT_EQ(wg.bends(), s.bends());
+}
+
+TEST(Waveguide, LongerBusSameVelocity) {
+  // Distance independence: doubling length doubles flight time exactly,
+  // regardless of composition.
+  WaveguideParams wp;
+  Waveguide a(wp, units::cm_to_um(4.0), 0.0, 0);
+  Waveguide b(wp, units::cm_to_um(8.0), 0.0, 0);
+  EXPECT_NEAR(b.flight_time_ps(), 2.0 * a.flight_time_ps(), 1e-9);
+}
+
+}  // namespace
+}  // namespace psync::photonic

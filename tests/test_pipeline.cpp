@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "psync/common/rng.hpp"
+#include "psync/core/psync_machine.hpp"
+
+namespace psync::core {
+namespace {
+
+std::vector<std::complex<double>> random_matrix(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> m(n);
+  for (auto& v : m) {
+    v = {rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0};
+  }
+  return m;
+}
+
+PsyncRunReport run(std::size_t dim, std::size_t procs, double gbps,
+                   std::size_t k = 1) {
+  PsyncMachineParams p;
+  p.processors = procs;
+  p.matrix_rows = dim;
+  p.matrix_cols = dim;
+  p.waveguide_gbps = gbps;
+  p.delivery_blocks = k;
+  p.head.dram.row_switch_cycles = 0;
+  PsyncMachine m(p);
+  return m.run_fft2d(random_matrix(dim * dim, dim), false);
+}
+
+TEST(Pipeline, IntervalNeverExceedsLatency) {
+  const auto rep = run(32, 8, 320.0);
+  const auto pipe = PsyncMachine::pipeline_estimate(rep);
+  EXPECT_GT(pipe.interval_ns, 0.0);
+  EXPECT_LE(pipe.interval_ns, pipe.latency_ns);
+  EXPECT_NEAR(pipe.frames_per_sec, 1e9 / pipe.interval_ns, 1e-6);
+}
+
+TEST(Pipeline, BusAndComputePartsAreConsistent) {
+  const auto rep = run(32, 8, 320.0);
+  const auto pipe = PsyncMachine::pipeline_estimate(rep);
+  // Bus busy equals the sum of the collective phases.
+  double bus = 0.0;
+  for (const auto& ph : rep.phases) {
+    if (ph.name.rfind("scatter", 0) == 0 || ph.name.rfind("sca_", 0) == 0) {
+      bus += ph.duration_ns();
+    }
+  }
+  EXPECT_NEAR(pipe.bus_busy_ns, bus, 1e-6);
+  // Compute busy is the per-processor share of the run's busy time.
+  EXPECT_NEAR(pipe.compute_busy_ns, rep.compute_efficiency * rep.total_ns,
+              1e-6);
+}
+
+TEST(Pipeline, ComputeBoundAtHighBandwidth) {
+  // A fat waveguide makes compute the steady-state limiter.
+  const auto pipe =
+      PsyncMachine::pipeline_estimate(run(32, 4, 1280.0));
+  EXPECT_FALSE(pipe.bus_bound);
+}
+
+TEST(Pipeline, BusBoundAtLowBandwidth) {
+  const auto pipe = PsyncMachine::pipeline_estimate(run(32, 16, 40.0));
+  EXPECT_TRUE(pipe.bus_bound);
+}
+
+TEST(Pipeline, ThroughputGainOverSerialExecution) {
+  // Pipelining must buy at least ~1.5x over back-to-back serial frames for
+  // a balanced configuration (bus and compute comparable: 64 processors
+  // make per-node compute ~ waveguide occupancy at 320 Gb/s).
+  const auto rep = run(64, 64, 320.0);
+  const auto pipe = PsyncMachine::pipeline_estimate(rep);
+  EXPECT_GT(pipe.latency_ns / pipe.interval_ns, 1.5);
+}
+
+}  // namespace
+}  // namespace psync::core

@@ -1,0 +1,154 @@
+#include "psync/core/psync_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+#include "psync/common/rng.hpp"
+#include "psync/fft/fft2d.hpp"
+
+namespace psync::core {
+namespace {
+
+std::vector<std::complex<double>> random_matrix(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> m(n);
+  for (auto& v : m) {
+    v = {rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0};
+  }
+  return m;
+}
+
+PsyncMachineParams small_params(std::size_t procs, std::size_t rows,
+                                std::size_t cols, std::size_t k = 1) {
+  PsyncMachineParams p;
+  p.processors = procs;
+  p.matrix_rows = rows;
+  p.matrix_cols = cols;
+  p.delivery_blocks = k;
+  p.head.dram.row_switch_cycles = 0;
+  return p;
+}
+
+TEST(PsyncMachine, FullFlowNumericallyCorrectModelI) {
+  PsyncMachine m(small_params(8, 32, 64));
+  const auto input = random_matrix(32 * 64, 1);
+  const auto rep = m.run_fft2d(input);
+  EXPECT_TRUE(rep.sca_gap_free);
+  EXPECT_EQ(rep.sca_collisions, 0u);
+  // Float32 transport bounds the error.
+  EXPECT_LT(rep.max_error_vs_reference, 1e-4);
+  EXPECT_GT(rep.total_ns, 0.0);
+}
+
+class PsyncModelII : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PsyncModelII, BlockedDeliveryStillCorrect) {
+  const std::size_t k = GetParam();
+  PsyncMachine m(small_params(4, 16, 64, k));
+  const auto input = random_matrix(16 * 64, 2 + k);
+  const auto rep = m.run_fft2d(input);
+  EXPECT_TRUE(rep.sca_gap_free);
+  EXPECT_LT(rep.max_error_vs_reference, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, PsyncModelII,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(PsyncMachine, ModelIIOverlapImprovesEfficiency) {
+  // The whole point of Model II: delivery overlaps compute, so the same
+  // problem at k=8 must beat k=1 in compute efficiency.
+  const auto input = random_matrix(16 * 1024, 3);
+  PsyncMachine m1(small_params(16, 16, 1024, 1));
+  PsyncMachine m8(small_params(16, 16, 1024, 8));
+  const auto r1 = m1.run_fft2d(input);
+  const auto r8 = m8.run_fft2d(input);
+  EXPECT_GT(r8.compute_efficiency, r1.compute_efficiency);
+  EXPECT_LT(r8.total_ns, r1.total_ns);
+}
+
+TEST(PsyncMachine, PhasesOrderedAndAccounted) {
+  PsyncMachine m(small_params(4, 16, 16));
+  const auto rep = m.run_fft2d(random_matrix(256, 4));
+  ASSERT_EQ(rep.phases.size(), 6u);
+  EXPECT_EQ(rep.phases[0].name, "scatter_rows");
+  EXPECT_EQ(rep.phases[2].name, "sca_transpose");
+  EXPECT_EQ(rep.phases[5].name, "sca_writeback");
+  // Non-overlapping sequential phases end in order.
+  EXPECT_LE(rep.phases[0].end_ns, rep.phases[2].end_ns);
+  EXPECT_LE(rep.phases[2].end_ns, rep.phases[4].end_ns);
+  EXPECT_DOUBLE_EQ(rep.total_ns, rep.phases[5].end_ns);
+  EXPECT_GT(rep.reorg_ns, 0.0);
+  EXPECT_GT(rep.flops, 0u);
+  // phase() accessor finds by name and throws otherwise.
+  EXPECT_EQ(rep.phase("row_ffts").name, "row_ffts");
+  EXPECT_THROW((void)rep.phase("nope"), SimulationError);
+}
+
+TEST(PsyncMachine, EfficiencyMatchesModelIPrediction) {
+  // Model I: eta = t_c / (P*t_d + t_c) for ONE pass. Configure so DRAM is
+  // not binding and flight time is negligible, then compare the machine's
+  // pass-1 window to the analytic value.
+  auto p = small_params(8, 8, 1024);  // one row per processor
+  p.bus_length_cm = 0.1;              // negligible flight
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(8 * 1024, 5));
+
+  // t_c = 40960 ns (1024-pt FFT at 2 ns/multiply); t_d per proc = 1024
+  // slots * 0.2 ns.
+  const double t_c = 40960.0;
+  const double t_d = 1024 * 0.2;
+  const double eta_pred = t_c / (8.0 * t_d + t_c);
+  const auto& sc = rep.phase("scatter_rows");
+  const auto& ff = rep.phase("row_ffts");
+  const double window = ff.end_ns - sc.start_ns;
+  const double eta_meas = t_c / window;
+  EXPECT_NEAR(eta_meas, eta_pred, 0.02);
+}
+
+TEST(PsyncMachine, TransposePhaseMatchesEq23Eq24Timing) {
+  // DRAM-bound SCA transpose: duration ~= transactions * t_t * bus cycle.
+  auto p = small_params(16, 64, 64);
+  p.bus_length_cm = 0.1;
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(64 * 64, 6));
+  const auto& tr = rep.phase("sca_transpose");
+  // 64*64 samples * 64 bits / 2048 = 128 rows * 33 cycles * 0.2 ns.
+  EXPECT_NEAR(tr.duration_ns(), 128 * 33 * 0.2, 1.0);
+}
+
+TEST(PsyncMachine, ResultLayoutIsTransposed) {
+  PsyncMachine m(small_params(4, 8, 16));
+  auto input = random_matrix(8 * 16, 7);
+  m.run_fft2d(input, /*verify=*/false);
+  const auto got = m.result();  // 16 x 8, row-major
+  std::vector<std::complex<double>> ref(input);
+  fft::fft2d(ref, 8, 16, /*restore_layout=*/true);  // 8 x 16 natural
+  double max_err = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      max_err = std::max(max_err, std::abs(got[c * 8 + r] - ref[r * 16 + c]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(PsyncMachine, InvalidConfigsRejected) {
+  EXPECT_THROW(PsyncMachine(small_params(3, 16, 16)), SimulationError);
+  EXPECT_THROW(PsyncMachine(small_params(4, 20, 16)), SimulationError);
+  auto p = small_params(4, 16, 16);
+  p.delivery_blocks = 3;
+  EXPECT_THROW(PsyncMachine{p}, SimulationError);
+  p.delivery_blocks = 64;  // > cols
+  EXPECT_THROW(PsyncMachine{p}, SimulationError);
+}
+
+TEST(PsyncMachine, GflopsConsistentWithFlopsAndTime) {
+  PsyncMachine m(small_params(4, 16, 16));
+  const auto rep = m.run_fft2d(random_matrix(256, 8));
+  EXPECT_NEAR(rep.gflops,
+              static_cast<double>(rep.flops) / rep.total_ns, 1e-9);
+}
+
+}  // namespace
+}  // namespace psync::core

@@ -1,0 +1,134 @@
+#include "psync/core/sca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+namespace {
+
+std::vector<Word> iota_burst(std::size_t n) {
+  std::vector<Word> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = 1000 + i;
+  return b;
+}
+
+TEST(ScaScatter, BlockScatterDeliversContiguousRanges) {
+  ScaEngine engine(straight_bus_topology(4, 8.0));
+  const auto sched = compile_scatter_blocks(4, 8);
+  const auto r = engine.scatter(sched, iota_burst(32));
+  ASSERT_EQ(r.received.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(r.received[i].size(), 8u);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(r.received[i][j], 1000 + i * 8 + j);
+    }
+  }
+  EXPECT_TRUE(r.unclaimed_slots.empty());
+}
+
+TEST(ScaScatter, InterleavedScatterDealsRoundRobin) {
+  ScaEngine engine(straight_bus_topology(4, 8.0));
+  const auto sched = compile_scatter_interleaved(4, 4);
+  const auto r = engine.scatter(sched, iota_burst(16));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(r.received[i][j], 1000 + j * 4 + i);
+    }
+  }
+}
+
+TEST(ScaScatter, DeliveryTimesFollowNodePositionAndSlot) {
+  ScaEngine engine(straight_bus_topology(3, 9.0));
+  const auto sched = compile_scatter_blocks(3, 2);
+  const auto r = engine.scatter(sched, iota_burst(6));
+  for (const auto& d : r.deliveries) {
+    const auto node = static_cast<std::size_t>(d.node);
+    EXPECT_EQ(d.arrival_ps,
+              engine.clock().perceived_edge_ps(
+                  engine.topology().node_pos_um[node], d.slot));
+  }
+  // Later slots to the same node arrive strictly later.
+  for (std::size_t i = 1; i < r.deliveries.size(); ++i) {
+    if (r.deliveries[i].node == r.deliveries[i - 1].node) {
+      EXPECT_GT(r.deliveries[i].arrival_ps, r.deliveries[i - 1].arrival_ps);
+    }
+  }
+}
+
+TEST(ScaScatter, UnclaimedSlotsDetected) {
+  ScaEngine engine(straight_bus_topology(2, 8.0));
+  CpSchedule sched;
+  sched.total_slots = 8;
+  sched.node_cps.resize(2);
+  sched.node_cps[0].add(CpStride{0, 2, 2, 1, CpAction::kListen});
+  sched.node_cps[1].add(CpStride{4, 2, 2, 1, CpAction::kListen});
+  // Slots 2, 3, 6, 7 unclaimed.
+  EXPECT_THROW((void)engine.scatter(sched, iota_burst(8)), SimulationError);
+  const auto r = engine.scatter(sched, iota_burst(8), /*strict=*/false);
+  EXPECT_EQ(r.unclaimed_slots.size(), 4u);
+}
+
+TEST(ScaScatter, DoubleClaimRejected) {
+  ScaEngine engine(straight_bus_topology(2, 8.0));
+  CpSchedule sched;
+  sched.total_slots = 4;
+  sched.node_cps.resize(2);
+  sched.node_cps[0].add(CpStride{0, 3, 3, 1, CpAction::kListen});
+  sched.node_cps[1].add(CpStride{2, 2, 2, 1, CpAction::kListen});
+  EXPECT_THROW((void)engine.scatter(sched, iota_burst(4), false),
+               SimulationError);
+}
+
+TEST(ScaScatter, ListenBeyondBurstRejected) {
+  ScaEngine engine(straight_bus_topology(2, 8.0));
+  const auto sched = compile_scatter_blocks(2, 8);  // 16 slots
+  EXPECT_THROW((void)engine.scatter(sched, iota_burst(8)), SimulationError);
+}
+
+// Scatter followed by the mirrored gather is the identity: the paper's
+// SCA^-1 then SCA round trip (load, compute nothing, write back).
+TEST(ScaScatter, ScatterGatherRoundTripIsIdentity) {
+  ScaEngine engine(straight_bus_topology(8, 12.0));
+  const auto burst = iota_burst(64);
+  const auto sc = engine.scatter(compile_scatter_interleaved(8, 8), burst);
+  const auto g =
+      engine.gather(compile_gather_interleaved(8, 8), sc.received);
+  EXPECT_EQ(g.words(), burst);
+  EXPECT_TRUE(g.gap_free);
+}
+
+TEST(ScaScatter, BlockRoundTripIsIdentityToo) {
+  ScaEngine engine(straight_bus_topology(4, 8.0));
+  const auto burst = iota_burst(32);
+  const auto sc = engine.scatter(compile_scatter_blocks(4, 8), burst);
+  const auto g = engine.gather(compile_gather_blocks(4, 8), sc.received);
+  EXPECT_EQ(g.words(), burst);
+}
+
+TEST(ScaScatter, CrossPatternRoundTripTransposes) {
+  // Scatter by blocks, gather interleaved: the round trip applies the
+  // transpose permutation — the machine-level mechanism of Section V-C.
+  const std::size_t p = 4, e = 4;
+  ScaEngine engine(straight_bus_topology(p, 8.0));
+  const auto burst = iota_burst(p * e);
+  const auto sc = engine.scatter(compile_scatter_blocks(p, e), burst);
+  const auto g = engine.gather(compile_gather_interleaved(p, e), sc.received);
+  const auto words = g.words();
+  // words[c*P + r] == burst[r*E + c]: a P x E matrix transpose.
+  for (std::size_t r = 0; r < p; ++r) {
+    for (std::size_t c = 0; c < e; ++c) {
+      EXPECT_EQ(words[c * p + r], burst[r * e + c]);
+    }
+  }
+}
+
+TEST(ScaScatter, SpanAccountsForBusTraversal) {
+  ScaEngine engine(straight_bus_topology(4, 8.0));
+  const auto sched = compile_scatter_blocks(4, 8);
+  const auto r = engine.scatter(sched, iota_burst(32));
+  EXPECT_GE(r.span_ps, 32 * engine.clock().period_ps() / 2);
+}
+
+}  // namespace
+}  // namespace psync::core

@@ -1,0 +1,146 @@
+#include "psync/core/segmented.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/common/check.hpp"
+
+namespace psync::core {
+namespace {
+
+std::vector<std::vector<Word>> numbered(const CpSchedule& s) {
+  std::vector<std::vector<Word>> data(s.nodes());
+  for (std::size_t i = 0; i < s.nodes(); ++i) {
+    const Slot n = s.node_cps[i].slot_count(CpAction::kDrive);
+    for (Slot j = 0; j < n; ++j) {
+      data[i].push_back((static_cast<Word>(i) << 32) | static_cast<Word>(j));
+    }
+  }
+  return data;
+}
+
+TEST(Segmented, TopologyHelpers) {
+  const auto topo = segmented_bus_topology(8, 3, 10.0);
+  EXPECT_EQ(topo.nodes(), 8u);
+  EXPECT_EQ(topo.spans(), 3u);
+  EXPECT_EQ(topo.repeater_pos_um.size(), 2u);
+  EXPECT_NO_THROW(topo.validate());
+  EXPECT_EQ(topo.repeaters_before(0.0), 0u);
+  EXPECT_EQ(topo.repeaters_before(topo.terminus_um), 2u);
+}
+
+// The extended invariant: gap-free splicing survives repeater chains
+// because clock and data cross the same repeaters.
+TEST(Segmented, GatherStaysGapFreeAcrossRepeaters) {
+  for (std::size_t spans : {1, 2, 4}) {
+    const auto topo = segmented_bus_topology(8, spans, 10.0);
+    SegmentedScaEngine engine(topo);
+    const auto sched = compile_gather_interleaved(8, 8);
+    const auto g = engine.gather(sched, numbered(sched));
+    EXPECT_TRUE(g.gap_free) << spans << " spans";
+    EXPECT_TRUE(g.collisions.empty());
+    EXPECT_DOUBLE_EQ(g.utilization, 1.0);
+  }
+}
+
+TEST(Segmented, SingleSpanMatchesPlainEngineStream) {
+  const auto sched = compile_gather_blocks(6, 4);
+  const auto topo = segmented_bus_topology(6, 1, 12.0);
+  SegmentedScaEngine seg(topo);
+
+  PscanTopology plain;
+  plain.clock = topo.clock;
+  plain.node_pos_um = topo.node_pos_um;
+  plain.terminus_um = topo.terminus_um;
+  ScaEngine ref(plain);
+
+  const auto data = numbered(sched);
+  EXPECT_EQ(seg.gather(sched, data).words(), ref.gather(sched, data).words());
+}
+
+TEST(Segmented, RepeaterLatencyShiftsArrivalByWholeChain) {
+  const auto sched = compile_gather_interleaved(6, 4);
+  auto topo0 = segmented_bus_topology(6, 3, 10.0);
+  topo0.repeater_latency_ps = 0;
+  auto topo1 = segmented_bus_topology(6, 3, 10.0);
+  topo1.repeater_latency_ps = 500;
+  SegmentedScaEngine e0(topo0), e1(topo1);
+  const auto data = numbered(sched);
+  const auto g0 = e0.gather(sched, data);
+  const auto g1 = e1.gather(sched, data);
+  ASSERT_EQ(g0.stream.size(), g1.stream.size());
+  // Every arrival shifts by exactly 2 repeaters x 500 ps, preserving order.
+  for (std::size_t i = 0; i < g0.stream.size(); ++i) {
+    EXPECT_EQ(g1.stream[i].arrival_ps - g0.stream[i].arrival_ps, 1000);
+    EXPECT_EQ(g1.stream[i].slot, g0.stream[i].slot);
+  }
+}
+
+TEST(Segmented, PerceivedEdgeIncludesUpstreamRepeatersOnly) {
+  auto topo = segmented_bus_topology(4, 2, 10.0);
+  topo.repeater_latency_ps = 300;
+  SegmentedScaEngine engine(topo);
+  // Nodes 0,1 sit in span 0 (no upstream repeater); nodes 2,3 in span 1.
+  const TimePs base0 = engine.clock().perceived_edge_ps(topo.node_pos_um[0], 0);
+  const TimePs base3 = engine.clock().perceived_edge_ps(topo.node_pos_um[3], 0);
+  EXPECT_EQ(engine.perceived_edge_ps(0, 0), base0);
+  EXPECT_EQ(engine.perceived_edge_ps(3, 0), base3 + 300);
+}
+
+TEST(Segmented, ScatterDeliversAcrossChain) {
+  const auto topo = segmented_bus_topology(4, 2, 10.0);
+  SegmentedScaEngine engine(topo);
+  const auto sched = compile_scatter_blocks(4, 4);
+  std::vector<Word> burst(16);
+  for (std::size_t i = 0; i < 16; ++i) burst[i] = 100 + i;
+  const auto r = engine.scatter(sched, burst);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(r.received[i].size(), 4u);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(r.received[i][j], 100 + i * 4 + j);
+    }
+  }
+}
+
+TEST(Segmented, BudgetCheckedPerSpan) {
+  // A 3-span bus whose spans individually close even though the whole
+  // length would not.
+  auto topo = segmented_bus_topology(30, 3, 15.0);
+  photonic::LinkBudgetParams budget;
+  budget.waveguide.loss_straight_db_per_cm = 1.5;  // 67 dB end to end
+  topo.budget = budget;
+  EXPECT_NO_THROW(SegmentedScaEngine{topo});
+
+  // The same bus as a single span must fail.
+  auto mono = segmented_bus_topology(30, 1, 45.0);
+  mono.budget = budget;
+  EXPECT_THROW(SegmentedScaEngine{mono}, SimulationError);
+}
+
+TEST(Segmented, ValidationCatchesBadTopologies) {
+  auto topo = segmented_bus_topology(4, 2, 10.0);
+  topo.repeater_latency_ps = -1;
+  EXPECT_THROW(topo.validate(), SimulationError);
+
+  auto topo2 = segmented_bus_topology(4, 2, 10.0);
+  topo2.repeater_pos_um[0] = topo2.node_pos_um[1];  // collide with a tap
+  EXPECT_THROW(topo2.validate(), SimulationError);
+
+  auto topo3 = segmented_bus_topology(4, 2, 10.0);
+  topo3.repeater_pos_um.push_back(topo3.terminus_um + 1.0);
+  EXPECT_THROW(topo3.validate(), SimulationError);
+}
+
+TEST(Segmented, CollisionDetectionStillWorks) {
+  const auto topo = segmented_bus_topology(2, 2, 10.0);
+  SegmentedScaEngine engine(topo);
+  CpSchedule bad;
+  bad.total_slots = 2;
+  bad.node_cps.resize(2);
+  bad.node_cps[0].add(CpStride{0, 2, 2, 1, CpAction::kDrive});
+  bad.node_cps[1].add(CpStride{1, 1, 1, 1, CpAction::kDrive});
+  std::vector<std::vector<Word>> data{{1, 2}, {3}};
+  EXPECT_THROW((void)engine.gather(bad, data), SimulationError);
+}
+
+}  // namespace
+}  // namespace psync::core

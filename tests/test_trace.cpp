@@ -1,0 +1,99 @@
+#include "psync/core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psync/core/cp_compile.hpp"
+
+namespace psync::core {
+namespace {
+
+struct Traced {
+  PscanTopology topo;
+  GatherResult gather;
+  WaveTrace trace;
+};
+
+Traced make_trace() {
+  Traced out;
+  out.topo = straight_bus_topology(4, 8.0);
+  ScaEngine engine(out.topo);
+  const auto sched = compile_gather_interleaved(4, 2);
+  std::vector<std::vector<Word>> data(4, std::vector<Word>(2, 0xCC));
+  out.gather = engine.gather(sched, data);
+  out.trace = trace_gather(
+      engine, out.gather,
+      {out.topo.node_pos_um[0], out.topo.node_pos_um[2], out.topo.terminus_um});
+  return out;
+}
+
+TEST(Trace, TerminusProbeMatchesGatherArrivals) {
+  const auto t = make_trace();
+  const auto& at_term = t.trace.at_probe.back();
+  ASSERT_EQ(at_term.size(), t.gather.stream.size());
+  for (std::size_t i = 0; i < at_term.size(); ++i) {
+    EXPECT_EQ(at_term[i].slot, t.gather.stream[i].slot);
+    // The gather arrival includes the detector latch; the trace records the
+    // passing edge at the same position/time base.
+    EXPECT_EQ(at_term[i].at_ps, t.gather.stream[i].arrival_ps);
+  }
+}
+
+TEST(Trace, UpstreamProbesSeeOnlyUpstreamSources) {
+  const auto t = make_trace();
+  // Probe 0 sits at node 0's tap: only node 0's energy passes it.
+  for (const auto& s : t.trace.at_probe[0]) {
+    EXPECT_EQ(s.source, 0);
+  }
+  // Probe 1 at node 2's tap sees nodes 0..2 but never node 3.
+  bool saw_node2 = false;
+  for (const auto& s : t.trace.at_probe[1]) {
+    EXPECT_LE(s.source, 2);
+    saw_node2 |= (s.source == 2);
+  }
+  EXPECT_TRUE(saw_node2);
+}
+
+TEST(Trace, SamplesSortedAndSpacedByWholeSlots) {
+  const auto t = make_trace();
+  for (const auto& samples : t.trace.at_probe) {
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      EXPECT_GE(samples[i].at_ps, samples[i - 1].at_ps);
+      EXPECT_EQ((samples[i].at_ps - samples[i - 1].at_ps) %
+                    t.trace.period_ps,
+                0);
+    }
+  }
+}
+
+TEST(Trace, AsciiRenderContainsSlotTagsAndLabels) {
+  const auto t = make_trace();
+  const std::string art =
+      render_ascii(t.trace, {"node0", "node2", "terminus"});
+  EXPECT_NE(art.find("node0"), std::string::npos);
+  EXPECT_NE(art.find("terminus"), std::string::npos);
+  EXPECT_NE(art.find("s0"), std::string::npos);
+  EXPECT_NE(art.find("s7"), std::string::npos);
+  EXPECT_NE(art.find("time (ps)"), std::string::npos);
+}
+
+TEST(Trace, CsvHasOneRowPerSample) {
+  const auto t = make_trace();
+  const std::string csv = to_csv(t.trace);
+  std::size_t rows = 0;
+  for (char ch : csv) rows += (ch == '\n');
+  std::size_t samples = 0;
+  for (const auto& p : t.trace.at_probe) samples += p.size();
+  EXPECT_EQ(rows, samples + 1);  // + header
+  EXPECT_EQ(csv.rfind("probe_um,slot,source,time_ps", 0), 0u);
+}
+
+TEST(Trace, EmptyTraceRenders) {
+  WaveTrace empty;
+  empty.period_ps = 100;
+  empty.probes_um = {1.0};
+  empty.at_probe.resize(1);
+  EXPECT_EQ(render_ascii(empty), "(empty trace)\n");
+}
+
+}  // namespace
+}  // namespace psync::core

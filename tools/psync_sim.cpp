@@ -1,0 +1,253 @@
+// psync_sim — config-driven experiment runner.
+//
+// Runs P-sync / mesh experiments described by an INI file, so parameter
+// studies don't require recompiling. Supported experiment kinds:
+//
+//   [experiment]
+//   kind = fft2d | fft1d | transpose | pipeline
+//
+//   [machine]          # P-sync side
+//   processors = 16
+//   rows = 64          # matrix rows (or four-step R for fft1d)
+//   cols = 64
+//   blocks = 4         # Model II delivery blocks
+//   waveguide_gbps = 320
+//
+//   [mesh]             # mesh side (fft2d/transpose)
+//   grid = 4
+//   t_p = 1
+//   elements_per_packet = 32
+//   virtual_channels = 1
+//
+// Usage:
+//   psync_sim <config.ini>
+//   psync_sim --demo          # print a sample config and exit
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "psync/common/config.hpp"
+#include "psync/common/rng.hpp"
+#include "psync/common/table.hpp"
+#include "psync/core/mesh_machine.hpp"
+#include "psync/core/psync_machine.hpp"
+
+namespace {
+
+using namespace psync;
+
+constexpr const char* kDemo = R"([experiment]
+kind = fft2d
+
+[machine]
+processors = 16
+rows = 64
+cols = 64
+blocks = 4
+waveguide_gbps = 320
+
+[mesh]
+grid = 4
+t_p = 1
+elements_per_packet = 32
+virtual_channels = 1
+)";
+
+core::PsyncMachineParams machine_params(const IniConfig& cfg) {
+  core::PsyncMachineParams p;
+  p.processors = static_cast<std::size_t>(cfg.get_int("machine", "processors", 16));
+  p.matrix_rows = static_cast<std::size_t>(cfg.get_int("machine", "rows", 64));
+  p.matrix_cols = static_cast<std::size_t>(cfg.get_int("machine", "cols", 64));
+  p.delivery_blocks = static_cast<std::size_t>(cfg.get_int("machine", "blocks", 1));
+  p.waveguide_gbps = cfg.get_double("machine", "waveguide_gbps", 320.0);
+  p.bus_length_cm = cfg.get_double("machine", "bus_length_cm", 8.0);
+  p.head.dram.row_switch_cycles = static_cast<std::uint64_t>(
+      cfg.get_int("machine", "dram_row_switch_cycles", 0));
+  return p;
+}
+
+core::MeshMachineParams mesh_params(const IniConfig& cfg,
+                                    const core::PsyncMachineParams& mp) {
+  core::MeshMachineParams m;
+  m.grid = static_cast<std::size_t>(cfg.get_int("mesh", "grid", 4));
+  m.matrix_rows = mp.matrix_rows;
+  m.matrix_cols = mp.matrix_cols;
+  m.elements_per_packet = static_cast<std::uint32_t>(
+      cfg.get_int("mesh", "elements_per_packet", 32));
+  m.mi.reorder_cycles_per_element =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "t_p", 1));
+  m.mi.overlap_stages = cfg.get_bool("mesh", "overlap_stages", false);
+  m.net.buffer_depth =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "buffer_depth", 2));
+  m.net.virtual_channels =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "virtual_channels", 1));
+  m.mi.dram.row_switch_cycles = static_cast<std::uint64_t>(
+      cfg.get_int("mesh", "dram_row_switch_cycles", 0));
+  return m;
+}
+
+std::vector<std::complex<double>> random_input(std::size_t n) {
+  Rng rng(2026);
+  std::vector<std::complex<double>> v(n);
+  for (auto& x : v) {
+    x = {rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0};
+  }
+  return v;
+}
+
+void print_psync(const core::PsyncRunReport& rep) {
+  Table t({"phase", "start (us)", "duration (us)"});
+  for (const auto& ph : rep.phases) {
+    t.row().add(ph.name).add(ph.start_ns * 1e-3, 2).add(
+        ph.duration_ns() * 1e-3, 2);
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "total %.2f us | efficiency %.1f%% | %.2f GFLOPS | energy %.1f nJ "
+      "(%.1f comm + %.1f compute) | err %.2e\n\n",
+      rep.total_ns * 1e-3, rep.compute_efficiency * 100.0, rep.gflops,
+      rep.total_energy_pj() * 1e-3, rep.comm_energy_pj * 1e-3,
+      rep.compute_energy_pj * 1e-3, rep.max_error_vs_reference);
+}
+
+int run_fft2d(const IniConfig& cfg) {
+  const auto mp = machine_params(cfg);
+  const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
+
+  std::printf("== P-sync ==\n");
+  core::PsyncMachine psm(mp);
+  const auto pr = psm.run_fft2d(input);
+  print_psync(pr);
+
+  if (cfg.has_section("mesh")) {
+    std::printf("== electronic mesh ==\n");
+    core::MeshMachine msm(mesh_params(cfg, mp));
+    const auto mr = msm.run_fft2d(input);
+    Table t({"phase", "start (us)", "duration (us)"});
+    for (const auto& ph : mr.phases) {
+      t.row().add(ph.name).add(ph.start_ns * 1e-3, 2).add(
+          ph.duration_ns() * 1e-3, 2);
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::printf("total %.2f us | %.2f GFLOPS | energy %.1f nJ | err %.2e\n\n",
+                mr.total_ns * 1e-3, mr.gflops, mr.total_energy_pj() * 1e-3,
+                mr.max_error_vs_reference);
+    std::printf("P-sync speedup: %.2fx, energy advantage: %.2fx\n",
+                mr.total_ns / pr.total_ns,
+                mr.total_energy_pj() / pr.total_energy_pj());
+  }
+  return 0;
+}
+
+int run_fft1d(const IniConfig& cfg) {
+  const auto mp = machine_params(cfg);
+  const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
+  std::printf("== P-sync four-step 1D FFT (N = %zu) ==\n",
+              mp.matrix_rows * mp.matrix_cols);
+  core::PsyncMachine psm(mp);
+  print_psync(psm.run_fft1d(input));
+  return 0;
+}
+
+int run_transpose(const IniConfig& cfg) {
+  const auto mp = machine_params(cfg);
+  auto mep = mesh_params(cfg, mp);
+  const auto elements =
+      static_cast<std::uint32_t>(cfg.get_int("experiment", "elements", 256));
+  core::MeshMachine mesh(mep);
+  const auto rep = mesh.run_transpose_writeback(elements);
+  std::printf("mesh transpose: %lld cycles (%.2f cycles/element), "
+              "%llu elements\n",
+              static_cast<long long>(rep.completion_cycle),
+              rep.cycles_per_element,
+              static_cast<unsigned long long>(rep.elements));
+  return 0;
+}
+
+// Parameter sweep: rerun the P-sync 2D FFT while varying one machine knob.
+//
+//   [experiment]
+//   kind = sweep
+//   vary = processors | blocks | waveguide_gbps
+//   values = 8 16 32 64
+int run_sweep(const IniConfig& cfg) {
+  const std::string vary = cfg.get_string("experiment", "vary", "processors");
+  const std::string values = cfg.get_string("experiment", "values", "");
+  if (values.empty()) {
+    std::fprintf(stderr, "sweep: missing 'values' list\n");
+    return 2;
+  }
+  Table t({vary, "total (us)", "efficiency (%)", "GFLOPS", "energy (nJ)",
+           "frames/s"});
+  t.set_title("P-sync 2D FFT sweep over " + vary);
+  std::istringstream in(values);
+  double v = 0.0;
+  while (in >> v) {
+    auto mp = machine_params(cfg);
+    if (vary == "processors") {
+      mp.processors = static_cast<std::size_t>(v);
+    } else if (vary == "blocks") {
+      mp.delivery_blocks = static_cast<std::size_t>(v);
+    } else if (vary == "waveguide_gbps") {
+      mp.waveguide_gbps = v;
+    } else {
+      std::fprintf(stderr, "sweep: unknown knob '%s'\n", vary.c_str());
+      return 2;
+    }
+    core::PsyncMachine m(mp);
+    const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
+    const auto rep = m.run_fft2d(input, false);
+    const auto pipe = core::PsyncMachine::pipeline_estimate(rep);
+    t.row()
+        .add(v, 0)
+        .add(rep.total_ns * 1e-3, 2)
+        .add(rep.compute_efficiency * 100.0, 1)
+        .add(rep.gflops, 2)
+        .add(rep.total_energy_pj() * 1e-3, 1)
+        .add(pipe.frames_per_sec, 0);
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int run_pipeline(const IniConfig& cfg) {
+  const auto mp = machine_params(cfg);
+  const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
+  core::PsyncMachine psm(mp);
+  const auto rep = psm.run_fft2d(input, false);
+  const auto pipe = core::PsyncMachine::pipeline_estimate(rep);
+  std::printf("frame latency %.2f us | initiation interval %.2f us | "
+              "%.0f frames/s | bound by %s\n",
+              pipe.latency_ns * 1e-3, pipe.interval_ns * 1e-3,
+              pipe.frames_per_sec, pipe.bus_bound ? "waveguide" : "compute");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
+    std::printf("%s", kDemo);
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: psync_sim <config.ini>  (or --demo for a sample)\n");
+    return 2;
+  }
+  try {
+    const IniConfig cfg = IniConfig::load(argv[1]);
+    const std::string kind = cfg.get_string("experiment", "kind", "fft2d");
+    if (kind == "fft2d") return run_fft2d(cfg);
+    if (kind == "fft1d") return run_fft1d(cfg);
+    if (kind == "transpose") return run_transpose(cfg);
+    if (kind == "pipeline") return run_pipeline(cfg);
+    if (kind == "sweep") return run_sweep(cfg);
+    std::fprintf(stderr, "unknown experiment kind: %s\n", kind.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psync_sim: %s\n", e.what());
+    return 1;
+  }
+}
