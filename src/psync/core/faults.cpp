@@ -1,57 +1,20 @@
 #include "psync/core/faults.hpp"
 
-#include <bit>
-
 #include "psync/common/check.hpp"
 
 namespace psync::core {
-
-FaultModel FaultModel::from_margin_db(double margin_db, std::uint64_t seed) {
-  FaultModel f;
-  f.random_ber = photonic::ber_at_margin(margin_db);
-  f.seed = seed;
-  return f;
-}
-
-Word apply_fault(const FaultModel& fault, Word w, Rng& rng,
-                 FaultReport* report) {
-  const Word before = w;
-  Word silenced_mask = 0;
-  for (std::uint32_t lane : fault.dead_wavelengths) {
-    if (lane >= 64) throw SimulationError("FaultModel: lane must be < 64");
-    silenced_mask |= (Word{1} << lane);
-  }
-  const Word silenced_bits = w & silenced_mask;
-  w &= ~silenced_mask;
-
-  Word flipped = 0;
-  if (fault.random_ber > 0.0) {
-    for (int b = 0; b < 64; ++b) {
-      if (rng.next_double() < fault.random_ber) flipped |= (Word{1} << b);
-    }
-    w ^= flipped;
-  }
-
-  if (report != nullptr) {
-    ++report->words_total;
-    if (w != before) ++report->words_corrupted;
-    report->bits_flipped += static_cast<std::uint64_t>(std::popcount(flipped));
-    report->bits_silenced +=
-        static_cast<std::uint64_t>(std::popcount(silenced_bits));
-  }
-  return w;
-}
 
 FaultReport inject_faults(const FaultModel& fault, GatherResult* result) {
   PSYNC_CHECK(result != nullptr);
   FaultReport rep;
   if (fault.trivial()) {
+    fault.validate();
     rep.words_total = result->stream.size();
     return rep;
   }
-  Rng rng(fault.seed);
+  FaultStream stream(fault);  // mask validated and built once
   for (auto& rec : result->stream) {
-    rec.word = apply_fault(fault, rec.word, rng, &rep);
+    rec.word = stream.corrupt(rec.word, &rep);
   }
   return rep;
 }
@@ -60,12 +23,13 @@ FaultReport inject_faults(const FaultModel& fault, ScatterResult* result) {
   PSYNC_CHECK(result != nullptr);
   FaultReport rep;
   if (fault.trivial()) {
+    fault.validate();
     rep.words_total = result->deliveries.size();
     return rep;
   }
-  Rng rng(fault.seed);
+  FaultStream stream(fault);
   for (auto& d : result->deliveries) {
-    const Word w = apply_fault(fault, d.word, rng, &rep);
+    const Word w = stream.corrupt(d.word, &rep);
     d.word = w;
     result->received[static_cast<std::size_t>(d.node)]
                     [static_cast<std::size_t>(d.element)] = w;

@@ -1,11 +1,11 @@
 // Optical fault injection for PSCAN transactions.
 //
-// Two failure modes the physical layer exhibits:
-//   * a dead wavelength — a ring stuck off-resonance (thermal drift,
-//     fabrication defect) silences one bit lane of every word that passes
-//     its modulator bank: a stuck-at-0 column through the whole stream;
-//   * random bit errors — the link's BER, which the photonic::ber model
-//     derives from the optical margin (Eq. 1's headroom).
+// The word-level fault model (dead wavelengths, random BER) lives in
+// psync/reliability/fault_model.hpp so the reliability layer — SECDED/CRC
+// framing, retry/replay, lane failover (psync/reliability/channel.hpp) —
+// can sit below core in the link order. This header re-exports those names
+// for core code and keeps the injectors that corrupt completed gather/
+// scatter results in place.
 //
 // Faults apply to the *words* of completed gather/scatter results, leaving
 // the timing untouched (light arrives either way; only the data is wrong).
@@ -13,42 +13,15 @@
 // this covers the failure envelope of the transport.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "psync/common/rng.hpp"
 #include "psync/core/sca.hpp"
-#include "psync/photonic/ber.hpp"
+#include "psync/reliability/fault_model.hpp"
 
 namespace psync::core {
 
-struct FaultModel {
-  /// Stuck-at-0 bit lanes (wavelength indices, 0..63 for the one-word-per-
-  /// slot stream model).
-  std::vector<std::uint32_t> dead_wavelengths;
-  /// Independent bit-flip probability per received bit.
-  double random_ber = 0.0;
-  /// RNG seed for the random flips (deterministic injection).
-  std::uint64_t seed = 1;
-
-  bool trivial() const {
-    return dead_wavelengths.empty() && random_ber <= 0.0;
-  }
-
-  /// Derive the random BER from an optical margin via the Q-factor model.
-  static FaultModel from_margin_db(double margin_db, std::uint64_t seed = 1);
-};
-
-struct FaultReport {
-  std::uint64_t words_total = 0;
-  std::uint64_t words_corrupted = 0;
-  std::uint64_t bits_flipped = 0;     // by random BER
-  std::uint64_t bits_silenced = 0;    // 1-bits cleared by dead lanes
-};
-
-/// Corrupt one word under the model (deterministic given rng state).
-Word apply_fault(const FaultModel& fault, Word w, Rng& rng,
-                 FaultReport* report = nullptr);
+using reliability::FaultModel;
+using reliability::FaultReport;
+using reliability::FaultStream;
+using reliability::apply_fault;
 
 /// Corrupt a gather's received stream in place.
 FaultReport inject_faults(const FaultModel& fault, GatherResult* result);

@@ -14,6 +14,7 @@
 #include "psync/common/units.hpp"
 #include "psync/dram/controller.hpp"
 #include "psync/core/sca.hpp"
+#include "psync/reliability/channel.hpp"
 
 namespace psync::core {
 
@@ -61,10 +62,19 @@ class HeadNode {
   std::vector<Word>& image() { return image_; }
   const std::vector<Word>& image() const { return image_; }
 
+  /// Gather-side reliability log: the decode/replay outcomes this head
+  /// node observed while landing SCA bursts (it is the retry initiator —
+  /// a bad block is re-requested from the array in fresh slots). Cleared
+  /// at the start of each machine run.
+  void log_retry(const reliability::RetryReport& r) { retry_log_.merge(r); }
+  const reliability::RetryReport& retry_log() const { return retry_log_; }
+  void clear_retry_log() { retry_log_ = {}; }
+
  private:
   HeadNodeParams params_;
   dram::MemoryController memory_;
   std::vector<Word> image_;
+  reliability::RetryReport retry_log_;
 };
 
 }  // namespace psync::core

@@ -72,6 +72,62 @@ double PsyncMachine::slot_period_ns() const {
   return static_cast<double>(engine_.clock().period_ps()) * 1e-3;
 }
 
+double PsyncMachine::begin_run(std::vector<Phase>* phases) {
+  collisions_ = 0;
+  gap_free_ = true;
+  waveguide_words_ = 0;
+  fault_report_ = {};
+  retry_report_ = {};
+  overhead_slots_ = 0;
+  head_.clear_retry_log();
+  for (auto& proc : procs_) {
+    proc = Processor(proc.id(), params_.exec);
+  }
+
+  channel_.reset();
+  const bool want_channel =
+      params_.reliability.policy != reliability::ReliabilityPolicy::kOff ||
+      !params_.fault.trivial();
+  if (!want_channel) return 0.0;
+  channel_ = std::make_unique<reliability::ProtectedChannel>(
+      params_.fault, params_.reliability);
+
+  const std::uint64_t cal = channel_->calibration_slots();
+  if (cal == 0) return 0.0;
+  // The training burst occupies the bus before any collective may start.
+  Phase p_cal{"lane_training", 0.0,
+              static_cast<double>(cal) * slot_period_ns()};
+  phases->push_back(p_cal);
+  waveguide_words_ += cal;
+  overhead_slots_ += cal;
+  return p_cal.end_ns;
+}
+
+std::vector<Word> PsyncMachine::transmit(
+    const std::vector<Word>& sent, const std::vector<Collision>* collisions,
+    bool gather_side, double* tail_ns) {
+  *tail_ns = 0.0;
+  if (channel_ == nullptr) {
+    waveguide_words_ += sent.size();
+    return sent;
+  }
+  std::vector<std::int64_t> flagged;
+  if (collisions != nullptr) {
+    for (const auto& c : *collisions) {
+      flagged.push_back(c.slot_a);
+      flagged.push_back(c.slot_b);
+    }
+  }
+  auto tx = channel_->transmit(sent, flagged.empty() ? nullptr : &flagged);
+  waveguide_words_ += tx.wire_words;
+  fault_report_.merge(tx.fault);
+  retry_report_.merge(tx.retry);
+  overhead_slots_ += tx.overhead_slots();
+  *tail_ns = static_cast<double>(tx.overhead_slots()) * slot_period_ns();
+  if (gather_side) head_.log_retry(tx.retry);
+  return std::move(tx.words);
+}
+
 PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
     const std::vector<Word>& image, std::size_t rows, std::size_t cols,
     double start_ns, Phase& scatter_phase, Phase& fft_phase) {
@@ -104,7 +160,12 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
   }
 
   const ScatterResult sc = engine_.scatter(sched, burst);
-  waveguide_words_ += burst.size();
+  // The words cross the faulty PHY under the reliability policy; `tail_ns`
+  // is the bus time the coding slots, replays and backoff appended. A
+  // block is only usable once its framing (and any replay) resolved, so
+  // the tail conservatively delays every block's ready time.
+  double tail_ns = 0.0;
+  const std::vector<Word> delivered = transmit(burst, nullptr, false, &tail_ns);
 
   std::vector<std::vector<double>> block_done(
       P, std::vector<double>(k, start_ns));
@@ -118,8 +179,10 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
     const std::size_t q = e % B;
     const std::size_t r = q / bs;
     const std::size_t pos = q % bs;
-    procs_[i].data()[r * cols + j * bs + pos] = unpack_sample(d.word);
-    const double at = start_ns + static_cast<double>(d.arrival_ps) * 1e-3;
+    procs_[i].data()[r * cols + j * bs + pos] =
+        unpack_sample(delivered[static_cast<std::size_t>(d.slot)]);
+    const double at =
+        start_ns + static_cast<double>(d.arrival_ps) * 1e-3 + tail_ns;
     block_done[i][j] = std::max(block_done[i][j], at);
   }
 
@@ -128,7 +191,7 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
   for (const auto& d : sc.deliveries) {
     out.delivery_end_ns =
         std::max(out.delivery_end_ns,
-                 start_ns + static_cast<double>(d.arrival_ps) * 1e-3);
+                 start_ns + static_cast<double>(d.arrival_ps) * 1e-3 + tail_ns);
   }
 
   const fft::FftPlan plan(cols);
@@ -165,12 +228,16 @@ double PsyncMachine::gather_to_dram(
     const CpSchedule& sched, const std::vector<std::vector<Word>>& node_data,
     double start_ns, Phase& phase) {
   const GatherResult g = engine_.gather(sched, node_data);
-  waveguide_words_ += g.stream.size();
   collisions_ += g.collisions.size();
   gap_free_ = gap_free_ && g.gap_free;
   const auto words = g.words();
-  const StreamReport rep = head_.writeback(words, 0, params_.sample_bits);
-  const double span_ns = static_cast<double>(g.span_ps) * 1e-3;
+  // The head node decodes the landed stream; collision-flagged or CRC-bad
+  // blocks are re-requested from the array, extending the phase.
+  double tail_ns = 0.0;
+  const std::vector<Word> delivered =
+      transmit(words, &g.collisions, /*gather_side=*/true, &tail_ns);
+  const StreamReport rep = head_.writeback(delivered, 0, params_.sample_bits);
+  const double span_ns = static_cast<double>(g.span_ps) * 1e-3 + tail_ns;
   const double dur = std::max(span_ns, rep.dram_ns);
   phase.start_ns = start_ns;
   phase.end_ns = start_ns + dur;
@@ -283,6 +350,15 @@ void PsyncMachine::apply_energy(PsyncRunReport* report) const {
   report->compute_energy_pj = params_.exec.compute_energy_pj(ops);
 }
 
+void PsyncMachine::apply_reliability(PsyncRunReport* report) const {
+  report->fault = fault_report_;
+  report->retry = retry_report_;
+  if (channel_ != nullptr) report->lanes = channel_->lanes();
+  report->reliability_overhead_slots = overhead_slots_;
+  report->reliability_overhead_ns =
+      static_cast<double>(overhead_slots_) * slot_period_ns();
+}
+
 PsyncRunReport PsyncMachine::run_fft2d(
     const std::vector<std::complex<double>>& input, bool verify) {
   const std::size_t P = params_.processors;
@@ -290,30 +366,27 @@ PsyncRunReport PsyncMachine::run_fft2d(
   const std::size_t C = params_.matrix_cols;
   PSYNC_CHECK(input.size() == R * C);
 
-  collisions_ = 0;
-  gap_free_ = true;
-  waveguide_words_ = 0;
-  for (auto& proc : procs_) {
-    proc = Processor(proc.id(), params_.exec);
-  }
+  PsyncRunReport report;
+  const double t0 = begin_run(&report.phases);
 
   head_.image().resize(R * C);
   for (std::size_t i = 0; i < input.size(); ++i) {
     head_.image()[i] = pack_sample(input[i]);
   }
 
-  PsyncRunReport report;
   Phase p_sc1{"scatter_rows", 0, 0};
   Phase p_fft1{"row_ffts", 0, 0};
   const PassResult pass1 =
-      scatter_fft_pass(head_.image(), R, C, 0.0, p_sc1, p_fft1);
-  report.phases = {p_sc1, p_fft1};
+      scatter_fft_pass(head_.image(), R, C, t0, p_sc1, p_fft1);
+  report.phases.push_back(p_sc1);
+  report.phases.push_back(p_fft1);
 
   const double end = reorg_and_second_pass(R, C, pass1.compute_end_ns,
                                            report.phases, &report.reorg_ns,
                                            nullptr);
   finish_report(&report, procs_, P, end, collisions_, gap_free_);
   apply_energy(&report);
+  apply_reliability(&report);
 
   if (verify) {
     std::vector<std::complex<double>> ref(input);
@@ -331,12 +404,8 @@ PsyncRunReport PsyncMachine::run_fft1d(
   const std::size_t N = R * C;
   PSYNC_CHECK(input.size() == N);
 
-  collisions_ = 0;
-  gap_free_ = true;
-  waveguide_words_ = 0;
-  for (auto& proc : procs_) {
-    proc = Processor(proc.id(), params_.exec);
-  }
+  PsyncRunReport report;
+  const double t0 = begin_run(&report.phases);
 
   // DRAM holds x in natural order; the head node's CP streams the strided
   // four-step view M[r][c] = x[c*R + r]. Build that view as the pass-1
@@ -352,11 +421,11 @@ PsyncRunReport PsyncMachine::run_fft1d(
     }
   }
 
-  PsyncRunReport report;
   Phase p_sc1{"scatter_rows", 0, 0};
   Phase p_fft1{"row_ffts", 0, 0};
-  const PassResult pass1 = scatter_fft_pass(view, R, C, 0.0, p_sc1, p_fft1);
-  report.phases = {p_sc1, p_fft1};
+  const PassResult pass1 = scatter_fft_pass(view, R, C, t0, p_sc1, p_fft1);
+  report.phases.push_back(p_sc1);
+  report.phases.push_back(p_fft1);
 
   // ---- Twiddle scaling, entirely node-local ----
   Phase p_tw{"twiddle", pass1.compute_end_ns, pass1.compute_end_ns};
@@ -373,6 +442,7 @@ PsyncRunReport PsyncMachine::run_fft1d(
                                            &report.reorg_ns, nullptr);
   finish_report(&report, procs_, P, end, collisions_, gap_free_);
   apply_energy(&report);
+  apply_reliability(&report);
 
   if (verify) {
     std::vector<std::complex<double>> ref(input);

@@ -22,13 +22,16 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "psync/core/faults.hpp"
 #include "psync/core/head_node.hpp"
 #include "psync/core/processor.hpp"
 #include "psync/core/sca.hpp"
 #include "psync/photonic/energy.hpp"
+#include "psync/reliability/channel.hpp"
 
 namespace psync::core {
 
@@ -48,6 +51,14 @@ struct PsyncMachineParams {
   double bus_length_cm = 8.0;
   /// Photonic device parameters for the energy accounting.
   photonic::PhotonicEnergyParams photonics;
+  /// Optical fault injection applied to every word that crosses the
+  /// waveguide (dead wavelengths, random BER). Trivial by default.
+  FaultModel fault;
+  /// Error-handling layer above the optical PHY: off / detect-only /
+  /// correct+retry (SECDED+CRC framing, replay, lane failover). The coding
+  /// slots, training burst, replays and backoff all show up in the run's
+  /// timing and photonic energy — recovery is never free.
+  reliability::ReliabilityParams reliability;
 };
 
 struct Phase {
@@ -72,6 +83,17 @@ struct PsyncRunReport {
   std::uint64_t sca_collisions = 0;
   /// Max |result - reference| against a monolithic fft::fft2d.
   double max_error_vs_reference = 0.0;
+
+  /// Fault injection observed on the wire (all collectives of the run).
+  FaultReport fault;
+  /// Recovery outcomes: blocks retried, slots replayed, residual errors.
+  reliability::RetryReport retry;
+  /// Dead-lane scan + failover outcome.
+  reliability::LaneReport lanes;
+  /// Bus time spent on reliability (code slots, training, replays,
+  /// backoff) and the same quantity in slots.
+  double reliability_overhead_ns = 0.0;
+  std::uint64_t reliability_overhead_slots = 0;
 
   /// Energy accounting (extension experiment): photonic transport energy
   /// for every word moved across the waveguide, and execution-unit energy
@@ -176,9 +198,29 @@ class PsyncMachine {
   /// processors' operation counters.
   void apply_energy(PsyncRunReport* report) const;
 
+  /// Fill the fault/retry/lane fields from the run's accumulators.
+  void apply_reliability(PsyncRunReport* report) const;
+
+  /// Reset per-run state; builds the protected channel (running its lane-
+  /// training burst) when faults are configured or a policy is on, and
+  /// returns the time the first collective may start (after training).
+  double begin_run(std::vector<Phase>* phases);
+
+  /// Push a collective's word stream through the protected channel.
+  /// Returns the delivered words and sets `*tail_ns` to the bus time the
+  /// reliability layer appended (coding slots, replays, backoff). With no
+  /// channel the stream passes through untouched and `*tail_ns` is 0.
+  std::vector<Word> transmit(const std::vector<Word>& sent,
+                             const std::vector<Collision>* collisions,
+                             bool gather_side, double* tail_ns);
+
   std::uint64_t collisions_ = 0;
   bool gap_free_ = true;
   std::uint64_t waveguide_words_ = 0;  // words moved across the bus
+  FaultReport fault_report_;
+  reliability::RetryReport retry_report_;
+  std::uint64_t overhead_slots_ = 0;
+  std::unique_ptr<reliability::ProtectedChannel> channel_;
 
   PsyncMachineParams params_;
   PscanTopology topo_;

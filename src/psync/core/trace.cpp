@@ -101,4 +101,85 @@ std::string to_csv(const WaveTrace& trace) {
   return os.str();
 }
 
+std::string to_json(const WaveTrace& trace) {
+  std::ostringstream os;
+  os << "{\"period_ps\":" << trace.period_ps << ",\"probes\":[";
+  for (std::size_t p = 0; p < trace.at_probe.size(); ++p) {
+    if (p > 0) os << ',';
+    os << "{\"probe_um\":" << trace.probes_um[p] << ",\"samples\":[";
+    for (std::size_t i = 0; i < trace.at_probe[p].size(); ++i) {
+      const auto& s = trace.at_probe[p][i];
+      if (i > 0) os << ',';
+      os << "{\"slot\":" << s.slot << ",\"source\":" << s.source
+         << ",\"time_ps\":" << s.at_ps << '}';
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_json(const FaultReport& rep) {
+  std::ostringstream os;
+  os << "{\"words_total\":" << rep.words_total
+     << ",\"words_corrupted\":" << rep.words_corrupted
+     << ",\"bits_flipped\":" << rep.bits_flipped
+     << ",\"bits_silenced\":" << rep.bits_silenced << '}';
+  return os.str();
+}
+
+std::string to_json(const reliability::RetryReport& rep) {
+  std::ostringstream os;
+  os << "{\"blocks_total\":" << rep.blocks_total
+     << ",\"blocks_retried\":" << rep.blocks_retried
+     << ",\"retries\":" << rep.retries
+     << ",\"slots_replayed\":" << rep.slots_replayed
+     << ",\"backoff_slots\":" << rep.backoff_slots
+     << ",\"corrected_bits\":" << rep.corrected_bits
+     << ",\"double_errors\":" << rep.double_errors
+     << ",\"crc_failures\":" << rep.crc_failures
+     << ",\"detected_errors\":" << rep.detected_errors
+     << ",\"residual_errors\":" << rep.residual_errors << '}';
+  return os.str();
+}
+
+std::string to_json(const reliability::LaneReport& rep) {
+  std::ostringstream os;
+  os << "{\"dead_lanes\":[";
+  for (std::size_t i = 0; i < rep.dead_lanes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << rep.dead_lanes[i];
+  }
+  os << "],\"spares_used\":" << rep.spares_used
+     << ",\"residual_dead\":" << rep.residual_dead
+     << ",\"slots_per_word\":" << rep.slots_per_word << '}';
+  return os.str();
+}
+
+std::string run_report_json(const PsyncRunReport& rep) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"phases\":[";
+  for (std::size_t i = 0; i < rep.phases.size(); ++i) {
+    const auto& ph = rep.phases[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << ph.name << "\",\"start_ns\":" << ph.start_ns
+       << ",\"end_ns\":" << ph.end_ns << '}';
+  }
+  os << "],\"total_ns\":" << rep.total_ns << ",\"reorg_ns\":" << rep.reorg_ns
+     << ",\"flops\":" << rep.flops << ",\"gflops\":" << rep.gflops
+     << ",\"compute_efficiency\":" << rep.compute_efficiency
+     << ",\"sca_gap_free\":" << (rep.sca_gap_free ? "true" : "false")
+     << ",\"sca_collisions\":" << rep.sca_collisions
+     << ",\"max_error_vs_reference\":" << rep.max_error_vs_reference
+     << ",\"comm_energy_pj\":" << rep.comm_energy_pj
+     << ",\"compute_energy_pj\":" << rep.compute_energy_pj
+     << ",\"reliability_overhead_ns\":" << rep.reliability_overhead_ns
+     << ",\"reliability_overhead_slots\":" << rep.reliability_overhead_slots
+     << ",\"fault\":" << to_json(rep.fault)
+     << ",\"retry\":" << to_json(rep.retry)
+     << ",\"lanes\":" << to_json(rep.lanes) << '}';
+  return os.str();
+}
+
 }  // namespace psync::core

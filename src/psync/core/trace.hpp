@@ -1,13 +1,18 @@
 // Space-time tracing of waveguide transactions: what energy passes a given
 // waveguide position, and when. This is the library form of the paper's
 // Fig. 4 timing diagram — used by the sca_timing example, exportable as
-// CSV, and handy when debugging a schedule that the collision checker
-// rejected.
+// CSV or JSON, and handy when debugging a schedule that the collision
+// checker rejected.
+//
+// Also home to the JSON render of a machine run report, so runs under
+// fault injection are observable (phase timings, fault/retry/lane
+// counters) rather than silent.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "psync/core/psync_machine.hpp"
 #include "psync/core/sca.hpp"
 
 namespace psync::core {
@@ -41,5 +46,17 @@ std::string render_ascii(const WaveTrace& trace,
 
 /// Dump as CSV text: probe_um,slot,source,time_ps per line.
 std::string to_csv(const WaveTrace& trace);
+
+/// Dump as JSON: {"period_ps":..,"probes":[{"probe_um":..,"samples":[..]}]}.
+std::string to_json(const WaveTrace& trace);
+
+/// JSON objects for the reliability observables.
+std::string to_json(const FaultReport& rep);
+std::string to_json(const reliability::RetryReport& rep);
+std::string to_json(const reliability::LaneReport& rep);
+
+/// Full machine-run report as JSON: phases, throughput/efficiency/energy
+/// metrics, and the fault/retry/lane counters.
+std::string run_report_json(const PsyncRunReport& rep);
 
 }  // namespace psync::core

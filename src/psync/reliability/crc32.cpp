@@ -1,0 +1,48 @@
+#include "psync/reliability/crc32.hpp"
+
+#include <array>
+
+namespace psync::reliability {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_finalize(crc32_update(kCrc32Init, data, len));
+}
+
+std::uint32_t crc32_words(const std::uint64_t* words, std::size_t count) {
+  std::uint32_t crc = kCrc32Init;
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned char bytes[8];
+    for (int b = 0; b < 8; ++b) {
+      bytes[b] = static_cast<unsigned char>(words[i] >> (8 * b));
+    }
+    crc = crc32_update(crc, bytes, 8);
+  }
+  return crc32_finalize(crc);
+}
+
+}  // namespace psync::reliability

@@ -1,0 +1,126 @@
+#include "psync/reliability/fault_model.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "psync/common/check.hpp"
+#include "psync/photonic/ber.hpp"
+
+namespace psync::reliability {
+namespace {
+
+// Geometric gap to the next flipped bit for flip probability `ber`:
+// floor(log(1-u) / log(1-ber)) with u uniform in [0,1). Exact for a
+// memoryless Bernoulli bit process.
+std::uint64_t geometric_gap(double ber, Rng& rng) {
+  if (ber >= 1.0) return 0;
+  const double u = rng.next_double();
+  const double gap = std::floor(std::log1p(-u) / std::log1p(-ber));
+  if (gap >= 1.8e19) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(gap);
+}
+
+}  // namespace
+
+void FaultModel::validate() const {
+  for (std::uint32_t lane : dead_wavelengths) {
+    if (lane >= 64) throw SimulationError("FaultModel: lane must be < 64");
+  }
+  if (random_ber < 0.0 || random_ber > 1.0) {
+    throw SimulationError("FaultModel: random_ber must be in [0, 1]");
+  }
+}
+
+std::uint64_t FaultModel::silenced_mask() const {
+  validate();
+  std::uint64_t mask = 0;
+  for (std::uint32_t lane : dead_wavelengths) {
+    mask |= (std::uint64_t{1} << lane);
+  }
+  return mask;
+}
+
+FaultModel FaultModel::from_margin_db(double margin_db, std::uint64_t seed) {
+  FaultModel f;
+  f.random_ber = photonic::ber_at_margin(margin_db);
+  f.seed = seed;
+  return f;
+}
+
+void FaultReport::merge(const FaultReport& o) {
+  words_total += o.words_total;
+  words_corrupted += o.words_corrupted;
+  bits_flipped += o.bits_flipped;
+  bits_silenced += o.bits_silenced;
+}
+
+FaultStream::FaultStream(const FaultModel& model)
+    : mask_(model.silenced_mask()),
+      ber_(model.random_ber),
+      rng_(model.seed) {
+  gap_ = ber_ > 0.0 ? geometric_gap(ber_, rng_)
+                    : std::numeric_limits<std::uint64_t>::max();
+}
+
+std::uint64_t FaultStream::draw_gap() { return geometric_gap(ber_, rng_); }
+
+std::uint64_t FaultStream::corrupt(std::uint64_t w, FaultReport* report) {
+  const std::uint64_t before = w;
+  const std::uint64_t silenced_bits = w & mask_;
+  w &= ~mask_;
+
+  std::uint64_t flipped = 0;
+  if (ber_ > 0.0) {
+    constexpr auto kNever = std::numeric_limits<std::uint64_t>::max();
+    while (gap_ < 64) {
+      flipped |= (std::uint64_t{1} << gap_);
+      const std::uint64_t skip = draw_gap();
+      gap_ = skip >= kNever - 64 ? kNever : gap_ + 1 + skip;
+    }
+    if (gap_ != kNever) gap_ -= 64;
+    w ^= flipped;
+  }
+
+  if (report != nullptr) {
+    ++report->words_total;
+    if (w != before) ++report->words_corrupted;
+    report->bits_flipped += static_cast<std::uint64_t>(std::popcount(flipped));
+    report->bits_silenced +=
+        static_cast<std::uint64_t>(std::popcount(silenced_bits));
+  }
+  return w;
+}
+
+std::uint64_t apply_fault(const FaultModel& fault, std::uint64_t w, Rng& rng,
+                          FaultReport* report) {
+  const std::uint64_t mask = fault.silenced_mask();
+  const std::uint64_t before = w;
+  const std::uint64_t silenced_bits = w & mask;
+  w &= ~mask;
+
+  // Geometric gap sampling within the word; memorylessness makes starting
+  // fresh at bit 0 for each call distribution-exact.
+  std::uint64_t flipped = 0;
+  if (fault.random_ber > 0.0) {
+    std::uint64_t bit = geometric_gap(fault.random_ber, rng);
+    while (bit < 64) {
+      flipped |= (std::uint64_t{1} << bit);
+      const std::uint64_t skip = geometric_gap(fault.random_ber, rng);
+      if (skip >= std::numeric_limits<std::uint64_t>::max() - 64) break;
+      bit += 1 + skip;
+    }
+    w ^= flipped;
+  }
+
+  if (report != nullptr) {
+    ++report->words_total;
+    if (w != before) ++report->words_corrupted;
+    report->bits_flipped += static_cast<std::uint64_t>(std::popcount(flipped));
+    report->bits_silenced +=
+        static_cast<std::uint64_t>(std::popcount(silenced_bits));
+  }
+  return w;
+}
+
+}  // namespace psync::reliability

@@ -1,0 +1,88 @@
+// Optical fault model for PSCAN words (moved here from core/faults so the
+// reliability layer can sit below core in the link order; core/faults.hpp
+// re-exports these names and keeps the Gather/ScatterResult injectors).
+//
+// Two failure modes the physical layer exhibits:
+//   * a dead wavelength — a ring stuck off-resonance (thermal drift,
+//     fabrication defect) silences one bit lane of every word that passes
+//     its modulator bank: a stuck-at-0 column through the whole stream;
+//   * random bit errors — the link's BER, which the photonic::ber model
+//     derives from the optical margin (Eq. 1's headroom).
+//
+// FaultStream is the fast path for long streams: the dead-lane mask is
+// validated and built once, and random flips are drawn by geometric gap
+// sampling (O(flips), not O(bits)) — a 2^20-slot stream at BER 1e-9 costs
+// a handful of RNG draws instead of 64M.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psync/common/rng.hpp"
+
+namespace psync::reliability {
+
+struct FaultModel {
+  /// Stuck-at-0 bit lanes (wavelength indices, 0..63 for the one-word-per-
+  /// slot stream model).
+  std::vector<std::uint32_t> dead_wavelengths;
+  /// Independent bit-flip probability per received bit.
+  double random_ber = 0.0;
+  /// RNG seed for the random flips (deterministic injection).
+  std::uint64_t seed = 1;
+
+  bool trivial() const {
+    return dead_wavelengths.empty() && random_ber <= 0.0;
+  }
+
+  /// Throws SimulationError if any dead lane index is out of range or the
+  /// BER is not a probability.
+  void validate() const;
+
+  /// Validates, then folds the dead lanes into a stuck-at-0 mask. Callers
+  /// injecting over long streams should build this once (or use
+  /// FaultStream, which caches it).
+  std::uint64_t silenced_mask() const;
+
+  /// Derive the random BER from an optical margin via the Q-factor model.
+  static FaultModel from_margin_db(double margin_db, std::uint64_t seed = 1);
+};
+
+struct FaultReport {
+  std::uint64_t words_total = 0;
+  std::uint64_t words_corrupted = 0;
+  std::uint64_t bits_flipped = 0;     // by random BER
+  std::uint64_t bits_silenced = 0;    // 1-bits cleared by dead lanes
+  void merge(const FaultReport& o);
+};
+
+/// Streaming corruptor: one validated mask, one RNG, O(flips) random
+/// errors via geometric gap sampling (the Bernoulli process is memoryless,
+/// so skipping directly to the next flipped bit is exact).
+class FaultStream {
+ public:
+  explicit FaultStream(const FaultModel& model);
+
+  /// Corrupt the next word of the stream.
+  std::uint64_t corrupt(std::uint64_t w, FaultReport* report = nullptr);
+
+  /// Override the stuck-at mask (lane failover reroutes traffic off dead
+  /// lanes; random BER still applies).
+  void set_silenced_mask(std::uint64_t mask) { mask_ = mask; }
+  std::uint64_t silenced_mask() const { return mask_; }
+
+ private:
+  std::uint64_t draw_gap();
+
+  std::uint64_t mask_ = 0;
+  double ber_ = 0.0;
+  Rng rng_;
+  std::uint64_t gap_ = 0;  // clean bits before the next random flip
+};
+
+/// Corrupt one word under the model (deterministic given rng state). Slow
+/// path — rebuilds the mask per call; use FaultStream for streams.
+std::uint64_t apply_fault(const FaultModel& fault, std::uint64_t w, Rng& rng,
+                          FaultReport* report = nullptr);
+
+}  // namespace psync::reliability

@@ -1,0 +1,67 @@
+#include "psync/reliability/framing.hpp"
+
+#include "psync/common/check.hpp"
+#include "psync/reliability/crc32.hpp"
+#include "psync/reliability/secded.hpp"
+
+namespace psync::reliability {
+
+std::size_t coded_stream_words(std::size_t payload_words,
+                               std::size_t block_words) {
+  PSYNC_CHECK(block_words > 0);
+  std::size_t total = 0;
+  for (std::size_t off = 0; off < payload_words; off += block_words) {
+    total += coded_block_words(std::min(block_words, payload_words - off));
+  }
+  return total;
+}
+
+void encode_block(const std::uint64_t* payload, std::size_t n,
+                  std::vector<std::uint64_t>* wire) {
+  PSYNC_CHECK(wire != nullptr && n > 0);
+  const std::size_t base = wire->size();
+  wire->insert(wire->end(), payload, payload + n);
+  wire->push_back(static_cast<std::uint64_t>(crc32_words(payload, n)));
+
+  const std::size_t data_words = n + 1;
+  std::vector<std::uint64_t> checks(check_words_for(data_words), 0);
+  for (std::size_t i = 0; i < data_words; ++i) {
+    const std::uint8_t c = secded_encode((*wire)[base + i]);
+    checks[i / 8] |= static_cast<std::uint64_t>(c) << (8 * (i % 8));
+  }
+  wire->insert(wire->end(), checks.begin(), checks.end());
+}
+
+BlockDecode decode_block(const std::uint64_t* wire, std::size_t n,
+                         bool correct) {
+  PSYNC_CHECK(wire != nullptr && n > 0);
+  const std::size_t data_words = n + 1;
+  const std::uint64_t* checks = wire + data_words;
+
+  BlockDecode out;
+  out.payload.reserve(n);
+  std::uint64_t crc_word = 0;
+  for (std::size_t i = 0; i < data_words; ++i) {
+    const auto check = static_cast<std::uint8_t>(
+        (checks[i / 8] >> (8 * (i % 8))) & 0xFFU);
+    const SecdedResult dec = secded_decode(wire[i], check);
+    if (!dec.clean()) ++out.flagged_words;
+    // A repair only counts when it is actually applied; in detect-only
+    // decoding a correctable word is just a flagged word.
+    if (correct && dec.status == SecdedStatus::kCorrectedData) {
+      ++out.corrected_bits;
+    }
+    if (dec.double_error()) ++out.double_errors;
+    const std::uint64_t w = correct ? dec.data : wire[i];
+    if (i < n) {
+      out.payload.push_back(w);
+    } else {
+      crc_word = w;
+    }
+  }
+  out.crc_ok = crc32_words(out.payload.data(), n) ==
+               static_cast<std::uint32_t>(crc_word & 0xFFFFFFFFU);
+  return out;
+}
+
+}  // namespace psync::reliability

@@ -1,0 +1,109 @@
+#include "psync/reliability/secded.hpp"
+
+#include <array>
+#include <bit>
+
+namespace psync::reliability {
+namespace {
+
+// Codeword position of each data bit: positions 1..71 that are not powers
+// of two (the powers of two hold the parity bits). 71 positions minus 7
+// parity positions leaves exactly the 64 we need.
+constexpr std::array<std::uint8_t, 64> make_data_pos() {
+  std::array<std::uint8_t, 64> pos{};
+  int k = 0;
+  for (int j = 1; j <= 71; ++j) {
+    if ((j & (j - 1)) != 0) pos[static_cast<std::size_t>(k++)] =
+        static_cast<std::uint8_t>(j);
+  }
+  return pos;
+}
+constexpr std::array<std::uint8_t, 64> kDataPos = make_data_pos();
+
+// Inverse map: codeword position -> data bit index (or -1).
+constexpr std::array<std::int8_t, 128> make_pos_to_bit() {
+  std::array<std::int8_t, 128> inv{};
+  for (auto& v : inv) v = -1;
+  for (int k = 0; k < 64; ++k) inv[kDataPos[static_cast<std::size_t>(k)]] =
+      static_cast<std::int8_t>(k);
+  return inv;
+}
+constexpr std::array<std::int8_t, 128> kPosToBit = make_pos_to_bit();
+
+// Per-data-bit position, folded into seven 64-bit masks: kSynMask[i] has a
+// 1 at data bit k iff bit i of kDataPos[k] is set. The syndrome of a data
+// word is then seven popcount parities instead of a 64-iteration loop.
+constexpr std::array<std::uint64_t, 7> make_syn_masks() {
+  std::array<std::uint64_t, 7> m{};
+  for (int k = 0; k < 64; ++k) {
+    for (int i = 0; i < 7; ++i) {
+      if ((kDataPos[static_cast<std::size_t>(k)] >> i) & 1) {
+        m[static_cast<std::size_t>(i)] |= (std::uint64_t{1} << k);
+      }
+    }
+  }
+  return m;
+}
+constexpr std::array<std::uint64_t, 7> kSynMask = make_syn_masks();
+
+// Syndrome contribution of the data bits alone.
+unsigned data_syndrome(std::uint64_t d) {
+  unsigned syn = 0;
+  for (int i = 0; i < 7; ++i) {
+    syn |= static_cast<unsigned>(
+               std::popcount(d & kSynMask[static_cast<std::size_t>(i)]) & 1)
+           << i;
+  }
+  return syn;
+}
+
+}  // namespace
+
+std::uint8_t secded_encode(std::uint64_t data) {
+  const unsigned syn = data_syndrome(data);
+  // Parity bit p_i sits at position 2^i and is chosen so the syndrome of
+  // the whole codeword is zero, i.e. p_i = bit i of the data syndrome.
+  const unsigned overall =
+      static_cast<unsigned>((std::popcount(data) + std::popcount(syn)) & 1);
+  return static_cast<std::uint8_t>(syn | (overall << 7));
+}
+
+SecdedResult secded_decode(std::uint64_t data, std::uint8_t check) {
+  SecdedResult out;
+  out.data = data;
+
+  const unsigned stored = check & 0x7FU;
+  const unsigned syn = data_syndrome(data) ^ stored;
+  const unsigned parity = static_cast<unsigned>(
+      (std::popcount(data) + std::popcount(static_cast<unsigned>(check))) & 1);
+
+  if (syn == 0 && parity == 0) return out;  // clean
+
+  if (parity == 1) {
+    // Odd number of flips observed -> assume a single error at `syn`.
+    if (syn == 0) {
+      out.status = SecdedStatus::kCorrectedCheck;  // overall-parity bit itself
+      return out;
+    }
+    if ((syn & (syn - 1)) == 0) {
+      out.status = SecdedStatus::kCorrectedCheck;  // parity bit p_log2(syn)
+      return out;
+    }
+    const int bit = syn < 128 ? kPosToBit[syn] : -1;
+    if (bit >= 0) {
+      out.data = data ^ (std::uint64_t{1} << bit);
+      out.status = SecdedStatus::kCorrectedData;
+      out.corrected_bit = bit;
+      return out;
+    }
+    // Syndrome points outside the codeword: more than one flip after all.
+    out.status = SecdedStatus::kDoubleError;
+    return out;
+  }
+
+  // Even parity with a nonzero syndrome: two flips, not correctable.
+  out.status = SecdedStatus::kDoubleError;
+  return out;
+}
+
+}  // namespace psync::reliability

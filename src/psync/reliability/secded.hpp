@@ -1,0 +1,50 @@
+// SECDED(72,64): single-error-correct / double-error-detect extended
+// Hamming code over one 64-bit waveguide word.
+//
+// The PSCAN stream moves one 64-bit sample per slot across the WDM group;
+// protecting it costs 8 check bits per word (7 Hamming parity bits plus an
+// overall parity bit), i.e. a 72/64 = 12.5% code rate overhead. On the wire
+// the check bytes of eight consecutive words are packed into one extra
+// 64-bit slot (see framing.hpp), so the slot-exact timing and photonic
+// energy models can charge the real cost of the code.
+//
+// Construction: codeword positions 1..71 hold the 7 parity bits (at the
+// powers of two) and the 64 data bits (everywhere else); the check byte's
+// bit 7 is the overall parity of all 71 position bits plus itself. A single
+// flipped bit anywhere — data, parity, or overall — is located by the
+// syndrome and corrected; any two flips are detected but not correctable.
+#pragma once
+
+#include <cstdint>
+
+namespace psync::reliability {
+
+/// Check bits (8) for a 64-bit data word: bits 0..6 are the Hamming parity
+/// bits p0..p6, bit 7 is the overall parity.
+std::uint8_t secded_encode(std::uint64_t data);
+
+enum class SecdedStatus {
+  kClean,           // syndrome zero, parity even
+  kCorrectedData,   // single error in a data bit, repaired
+  kCorrectedCheck,  // single error in a check bit, data untouched
+  kDoubleError,     // two errors detected, not correctable
+};
+
+struct SecdedResult {
+  std::uint64_t data = 0;  // corrected data (raw data on kDoubleError)
+  SecdedStatus status = SecdedStatus::kClean;
+  /// Data bit index repaired (kCorrectedData only), else -1.
+  int corrected_bit = -1;
+
+  bool clean() const { return status == SecdedStatus::kClean; }
+  bool corrected() const {
+    return status == SecdedStatus::kCorrectedData ||
+           status == SecdedStatus::kCorrectedCheck;
+  }
+  bool double_error() const { return status == SecdedStatus::kDoubleError; }
+};
+
+/// Decode a received (data, check) pair, correcting at most one flipped bit.
+SecdedResult secded_decode(std::uint64_t data, std::uint8_t check);
+
+}  // namespace psync::reliability

@@ -1,0 +1,174 @@
+// End-to-end fault tests: the full 2D/1D FFT machine running over a faulty
+// waveguide under each reliability policy. The acceptance bar from the
+// paper-reproduction roadmap: with BER <= 1e-6 and <= 2 dead wavelengths,
+// correct+retry must return a bit-exact transform (float32 transport
+// tolerance), report zero residual errors, and pay for it — total time and
+// energy strictly above the fault-free run.
+#include <gtest/gtest.h>
+
+#include "psync/common/rng.hpp"
+#include "psync/core/psync_machine.hpp"
+#include "psync/core/trace.hpp"
+
+namespace psync::core {
+namespace {
+
+std::vector<std::complex<double>> random_matrix(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<double>> m(n);
+  for (auto& v : m) {
+    v = {rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0};
+  }
+  return m;
+}
+
+PsyncMachineParams faulty_params(reliability::ReliabilityPolicy policy,
+                                 double ber,
+                                 std::vector<std::uint32_t> dead = {}) {
+  PsyncMachineParams p;
+  p.processors = 8;
+  p.matrix_rows = 32;
+  p.matrix_cols = 64;
+  p.delivery_blocks = 4;
+  p.fault.random_ber = ber;
+  p.fault.dead_wavelengths = std::move(dead);
+  p.fault.seed = 7;
+  p.reliability.policy = policy;
+  return p;
+}
+
+// Lane 62 sits in the float32 exponent of the packed imaginary half, so a
+// stuck-at-0 there visibly wrecks the numerics when nothing recovers it.
+constexpr std::uint32_t kExponentLane = 62;
+
+TEST(MachineReliability, OffPolicyCorruptsResult) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kOff, 1e-6,
+                         {kExponentLane});
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(32 * 64, 3));
+  EXPECT_GT(rep.fault.words_corrupted, 0u);
+  EXPECT_GT(rep.max_error_vs_reference, 1e-3);  // visibly wrong
+  EXPECT_EQ(rep.reliability_overhead_slots, 0u);
+  EXPECT_EQ(rep.retry.blocks_total, 0u);
+}
+
+TEST(MachineReliability, DetectOnlyFlagsButStaysWrong) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kDetectOnly, 1e-6,
+                         {kExponentLane});
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(32 * 64, 3));
+  EXPECT_GT(rep.retry.detected_errors, 0u);
+  EXPECT_GT(rep.retry.residual_errors, 0u);
+  EXPECT_EQ(rep.retry.retries, 0u);
+  EXPECT_EQ(rep.lanes.spares_used, 0u);  // detect-only never remaps
+  EXPECT_GT(rep.max_error_vs_reference, 1e-3);
+  // The framing slots are charged even though nothing was repaired.
+  EXPECT_GT(rep.reliability_overhead_slots, 0u);
+}
+
+TEST(MachineReliability, CorrectRetryRecoversBitExact) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 1e-6,
+                         {kExponentLane});
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(32 * 64, 3));
+  EXPECT_EQ(rep.retry.residual_errors, 0u);
+  EXPECT_LT(rep.max_error_vs_reference, 1e-4);  // float32 tolerance
+  EXPECT_EQ(rep.lanes.dead_lanes,
+            (std::vector<std::uint32_t>{kExponentLane}));
+  EXPECT_EQ(rep.lanes.spares_used, 1u);
+  EXPECT_TRUE(rep.sca_gap_free);
+}
+
+TEST(MachineReliability, AcceptanceCriterionTwoDeadLanes) {
+  // The roadmap's acceptance bar, verbatim: BER 1e-6, dead lanes {13, 41},
+  // correct+retry. Compare against the identical machine with no faults.
+  auto clean_p = faulty_params(reliability::ReliabilityPolicy::kOff, 0.0);
+  const auto input = random_matrix(32 * 64, 9);
+  const auto clean = PsyncMachine(clean_p).run_fft2d(input);
+
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 1e-6,
+                         {13, 41});
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(input);
+  EXPECT_EQ(rep.retry.residual_errors, 0u);
+  EXPECT_LT(rep.max_error_vs_reference, 1e-4);
+  EXPECT_EQ(rep.max_error_vs_reference, clean.max_error_vs_reference);
+  EXPECT_GT(rep.total_ns, clean.total_ns);
+  EXPECT_GT(rep.total_energy_pj(), clean.total_energy_pj());
+  EXPECT_GT(rep.reliability_overhead_ns, 0.0);
+  // Overhead in ns is exactly the slot count times the 64b/320Gbps slot.
+  const double slot_ns = static_cast<double>(p.sample_bits) / p.waveguide_gbps;
+  EXPECT_NEAR(rep.reliability_overhead_ns,
+              static_cast<double>(rep.reliability_overhead_slots) * slot_ns,
+              1e-9);
+}
+
+TEST(MachineReliability, TrainingPhaseAppearsInTimeline) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 0.0);
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(32 * 64, 5), false);
+  const auto& train = rep.phase("lane_training");
+  EXPECT_EQ(train.start_ns, 0.0);
+  EXPECT_GT(train.end_ns, 0.0);
+  // Every later phase starts after training.
+  for (const auto& ph : rep.phases) EXPECT_GE(ph.start_ns, train.start_ns);
+}
+
+TEST(MachineReliability, HeadNodeLogsRetries) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 1e-4);
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(32 * 64, 7));
+  EXPECT_EQ(rep.retry.residual_errors, 0u);
+  // Gather-side transmissions are logged at the head node.
+  EXPECT_GT(m.head().retry_log().blocks_total, 0u);
+}
+
+TEST(MachineReliability, FourStepFftSurvivesFaults) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 1e-6,
+                         {13});
+  PsyncMachine m(p);
+  const auto rep = m.run_fft1d(random_matrix(32 * 64, 11));
+  EXPECT_EQ(rep.retry.residual_errors, 0u);
+  EXPECT_LT(rep.max_error_vs_reference, 2e-4);
+}
+
+TEST(MachineReliability, OverheadScalesWithBer) {
+  const auto input = random_matrix(32 * 64, 13);
+  auto lo = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 0.0);
+  auto hi = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 3e-4);
+  const auto rep_lo = PsyncMachine(lo).run_fft2d(input, false);
+  const auto rep_hi = PsyncMachine(hi).run_fft2d(input, false);
+  EXPECT_GT(rep_hi.retry.retries, rep_lo.retry.retries);
+  EXPECT_GT(rep_hi.reliability_overhead_slots,
+            rep_lo.reliability_overhead_slots);
+}
+
+TEST(MachineReliability, DeterministicAcrossRuns) {
+  const auto input = random_matrix(32 * 64, 17);
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 1e-5,
+                         {8});
+  const auto a = PsyncMachine(p).run_fft2d(input);
+  const auto b = PsyncMachine(p).run_fft2d(input);
+  EXPECT_EQ(a.total_ns, b.total_ns);
+  EXPECT_EQ(a.retry.retries, b.retry.retries);
+  EXPECT_EQ(a.fault.bits_flipped, b.fault.bits_flipped);
+  EXPECT_EQ(a.max_error_vs_reference, b.max_error_vs_reference);
+}
+
+TEST(MachineReliability, RunReportJsonCarriesReliabilityKeys) {
+  auto p = faulty_params(reliability::ReliabilityPolicy::kCorrectRetry, 1e-6,
+                         {13});
+  PsyncMachine m(p);
+  const auto rep = m.run_fft2d(random_matrix(32 * 64, 19));
+  const auto json = run_report_json(rep);
+  for (const char* key :
+       {"\"phases\"", "\"total_ns\"", "\"fault\"", "\"retry\"", "\"lanes\"",
+        "\"residual_errors\"", "\"dead_lanes\"",
+        "\"reliability_overhead_ns\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace psync::core

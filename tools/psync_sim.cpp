@@ -4,7 +4,7 @@
 // studies don't require recompiling. Supported experiment kinds:
 //
 //   [experiment]
-//   kind = fft2d | fft1d | transpose | pipeline
+//   kind = fft2d | fft1d | transpose | pipeline | sweep | reliability_sweep
 //
 //   [machine]          # P-sync side
 //   processors = 16
@@ -19,6 +19,21 @@
 //   elements_per_packet = 32
 //   virtual_channels = 1
 //
+//   [fault]            # optical fault injection (optional)
+//   dead_wavelengths = 5 17    # stuck-at-0 lanes
+//   random_ber = 1e-9          # or: margin_db = -1.5 (BER from Q model)
+//   seed = 1
+//
+//   [reliability]      # error handling above the PHY (optional)
+//   policy = correct   # off | detect | correct
+//   block_words = 64
+//   max_retries = 4
+//   backoff_slots = 8
+//   spare_lanes = 4
+//   training_words = 16
+//
+// `json = true` under [experiment] dumps the machine run report as JSON.
+//
 // Usage:
 //   psync_sim <config.ini>
 //   psync_sim --demo          # print a sample config and exit
@@ -32,6 +47,8 @@
 #include "psync/common/table.hpp"
 #include "psync/core/mesh_machine.hpp"
 #include "psync/core/psync_machine.hpp"
+#include "psync/core/trace.hpp"
+#include "psync/photonic/ber.hpp"
 
 namespace {
 
@@ -64,6 +81,34 @@ core::PsyncMachineParams machine_params(const IniConfig& cfg) {
   p.bus_length_cm = cfg.get_double("machine", "bus_length_cm", 8.0);
   p.head.dram.row_switch_cycles = static_cast<std::uint64_t>(
       cfg.get_int("machine", "dram_row_switch_cycles", 0));
+
+  if (cfg.has_section("fault")) {
+    if (cfg.has("fault", "margin_db")) {
+      p.fault = core::FaultModel::from_margin_db(
+          cfg.get_double("fault", "margin_db", 0.0));
+    }
+    p.fault.random_ber = cfg.get_double("fault", "random_ber", p.fault.random_ber);
+    p.fault.seed =
+        static_cast<std::uint64_t>(cfg.get_int("fault", "seed", 1));
+    std::istringstream lanes(cfg.get_string("fault", "dead_wavelengths", ""));
+    std::uint32_t lane = 0;
+    while (lanes >> lane) p.fault.dead_wavelengths.push_back(lane);
+  }
+  if (cfg.has_section("reliability")) {
+    auto& r = p.reliability;
+    r.policy = reliability::policy_from_string(
+        cfg.get_string("reliability", "policy", "off"));
+    r.block_words = static_cast<std::size_t>(
+        cfg.get_int("reliability", "block_words", 64));
+    r.max_retries = static_cast<std::size_t>(
+        cfg.get_int("reliability", "max_retries", 4));
+    r.retry_backoff_slots = static_cast<std::size_t>(
+        cfg.get_int("reliability", "backoff_slots", 8));
+    r.spare_lanes = static_cast<std::size_t>(
+        cfg.get_int("reliability", "spare_lanes", 4));
+    r.training_words = static_cast<std::size_t>(
+        cfg.get_int("reliability", "training_words", 16));
+  }
   return p;
 }
 
@@ -105,10 +150,37 @@ void print_psync(const core::PsyncRunReport& rep) {
   std::printf("%s", t.to_string().c_str());
   std::printf(
       "total %.2f us | efficiency %.1f%% | %.2f GFLOPS | energy %.1f nJ "
-      "(%.1f comm + %.1f compute) | err %.2e\n\n",
+      "(%.1f comm + %.1f compute) | err %.2e\n",
       rep.total_ns * 1e-3, rep.compute_efficiency * 100.0, rep.gflops,
       rep.total_energy_pj() * 1e-3, rep.comm_energy_pj * 1e-3,
       rep.compute_energy_pj * 1e-3, rep.max_error_vs_reference);
+  if (rep.fault.words_corrupted > 0 || rep.retry.blocks_total > 0 ||
+      !rep.lanes.dead_lanes.empty()) {
+    std::printf(
+        "faults: %llu/%llu words corrupted (%llu bits flipped, %llu "
+        "silenced)\n",
+        static_cast<unsigned long long>(rep.fault.words_corrupted),
+        static_cast<unsigned long long>(rep.fault.words_total),
+        static_cast<unsigned long long>(rep.fault.bits_flipped),
+        static_cast<unsigned long long>(rep.fault.bits_silenced));
+    std::printf(
+        "recovery: %llu/%llu blocks retried (%llu retries, %llu slots "
+        "replayed) | %llu bits corrected | %llu detected | %llu residual\n",
+        static_cast<unsigned long long>(rep.retry.blocks_retried),
+        static_cast<unsigned long long>(rep.retry.blocks_total),
+        static_cast<unsigned long long>(rep.retry.retries),
+        static_cast<unsigned long long>(rep.retry.slots_replayed),
+        static_cast<unsigned long long>(rep.retry.corrected_bits),
+        static_cast<unsigned long long>(rep.retry.detected_errors),
+        static_cast<unsigned long long>(rep.retry.residual_errors));
+    std::printf(
+        "lanes: %zu dead, %zu remapped to spares, %zu unrecovered "
+        "(%zu slots/word) | reliability overhead %.2f us\n",
+        rep.lanes.dead_lanes.size(), rep.lanes.spares_used,
+        rep.lanes.residual_dead, rep.lanes.slots_per_word,
+        rep.reliability_overhead_ns * 1e-3);
+  }
+  std::printf("\n");
 }
 
 int run_fft2d(const IniConfig& cfg) {
@@ -118,6 +190,10 @@ int run_fft2d(const IniConfig& cfg) {
   std::printf("== P-sync ==\n");
   core::PsyncMachine psm(mp);
   const auto pr = psm.run_fft2d(input);
+  if (cfg.get_bool("experiment", "json", false)) {
+    std::printf("%s\n", core::run_report_json(pr).c_str());
+    return 0;
+  }
   print_psync(pr);
 
   if (cfg.has_section("mesh")) {
@@ -146,7 +222,12 @@ int run_fft1d(const IniConfig& cfg) {
   std::printf("== P-sync four-step 1D FFT (N = %zu) ==\n",
               mp.matrix_rows * mp.matrix_cols);
   core::PsyncMachine psm(mp);
-  print_psync(psm.run_fft1d(input));
+  const auto pr = psm.run_fft1d(input);
+  if (cfg.get_bool("experiment", "json", false)) {
+    std::printf("%s\n", core::run_report_json(pr).c_str());
+    return 0;
+  }
+  print_psync(pr);
   return 0;
 }
 
@@ -211,6 +292,60 @@ int run_sweep(const IniConfig& cfg) {
   return 0;
 }
 
+// Reliability cliff: rerun the P-sync 2D FFT across link margins, comparing
+// what the configured policy pays (retries, slots, time, energy) against a
+// clean fault-free baseline.
+//
+//   [experiment]
+//   kind = reliability_sweep
+//   margins_db = 0 -1 -2 -2.5 -3
+int run_reliability_sweep(const IniConfig& cfg) {
+  const std::string margins = cfg.get_string("experiment", "margins_db", "");
+  if (margins.empty()) {
+    std::fprintf(stderr, "reliability_sweep: missing 'margins_db' list\n");
+    return 2;
+  }
+  auto base = machine_params(cfg);
+  const auto input = random_input(base.matrix_rows * base.matrix_cols);
+
+  auto clean = base;
+  clean.fault = core::FaultModel{};
+  clean.reliability.policy = reliability::ReliabilityPolicy::kOff;
+  const auto ref = core::PsyncMachine(clean).run_fft2d(input, false);
+
+  Table t({"margin (dB)", "BER", "retried", "residual", "max err",
+           "overhead (us)", "overhead (nJ)", "total (us)"});
+  t.set_title("P-sync 2D FFT reliability cliff (policy = " +
+              std::string(reliability::to_string(base.reliability.policy)) +
+              ", clean baseline " +
+              std::to_string(ref.total_ns * 1e-3).substr(0, 6) + " us)");
+  std::istringstream in(margins);
+  double margin = 0.0;
+  while (in >> margin) {
+    auto mp = base;
+    const auto dead = mp.fault.dead_wavelengths;  // keep configured lanes
+    mp.fault = core::FaultModel::from_margin_db(margin, mp.fault.seed);
+    mp.fault.dead_wavelengths = dead;
+    core::PsyncMachine m(mp);
+    const auto rep = m.run_fft2d(input);
+    char ber[32];
+    std::snprintf(ber, sizeof(ber), "%.1e", mp.fault.random_ber);
+    char err[32];
+    std::snprintf(err, sizeof(err), "%.1e", rep.max_error_vs_reference);
+    t.row()
+        .add(margin, 2)
+        .add(ber)
+        .add(rep.retry.blocks_retried)
+        .add(rep.retry.residual_errors)
+        .add(err)
+        .add(rep.reliability_overhead_ns * 1e-3, 2)
+        .add((rep.total_energy_pj() - ref.total_energy_pj()) * 1e-3, 2)
+        .add(rep.total_ns * 1e-3, 2);
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
 int run_pipeline(const IniConfig& cfg) {
   const auto mp = machine_params(cfg);
   const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
@@ -244,6 +379,7 @@ int main(int argc, char** argv) {
     if (kind == "transpose") return run_transpose(cfg);
     if (kind == "pipeline") return run_pipeline(cfg);
     if (kind == "sweep") return run_sweep(cfg);
+    if (kind == "reliability_sweep") return run_reliability_sweep(cfg);
     std::fprintf(stderr, "unknown experiment kind: %s\n", kind.c_str());
     return 2;
   } catch (const std::exception& e) {
