@@ -10,17 +10,38 @@
 #include "psync/analysis/mesh_model.hpp"
 #include "psync/common/csv.hpp"
 #include "psync/common/table.hpp"
+#include "psync/driver/runner.hpp"
 #include "psync/mesh/mesh.hpp"
 
 namespace {
+
+// Fig. 11 point as fetched from a driver RunRecord (workload "fig11").
+struct Fig11Pt {
+  std::uint64_t k = 0;
+  double psync = 0.0;
+  double mesh = 0.0;
+};
 
 int run() {
   using namespace psync;
   bench::ShapeChecks checks;
 
-  analysis::FftWorkload w;
-  analysis::MeshDeliveryParams mesh;
-  const auto pts = analysis::fig11(w, mesh, 64);
+  // The k sweep dispatches through the shared experiment driver: one axis,
+  // one registered workload, the pool free to run points in parallel.
+  driver::ExperimentSpec spec;
+  spec.workload = "fig11";
+  spec.threads = 2;
+  spec.axes.push_back({"k", {1, 2, 4, 8, 16, 32, 64}});
+  const auto result = driver::Runner::run(spec);
+
+  std::vector<Fig11Pt> pts;
+  for (const auto& rec : result.records) {
+    Fig11Pt p;
+    p.k = static_cast<std::uint64_t>(rec.knobs.front().second);
+    p.psync = driver::metric(rec, "psync_eta");
+    p.mesh = driver::metric(rec, "mesh_eta");
+    pts.push_back(p);
+  }
 
   Table t({"k", "P-sync eta (%)", "mesh eta (%)", "P-sync / mesh"});
   t.set_title(

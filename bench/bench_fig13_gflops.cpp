@@ -10,16 +10,44 @@
 #include "bench_util.hpp"
 #include "psync/common/csv.hpp"
 #include "psync/common/table.hpp"
+#include "psync/driver/runner.hpp"
 #include "psync/llmore/llmore.hpp"
 
 namespace {
+
+// Fig. 13 point as fetched from a driver RunRecord (workload "fig13").
+struct Fig13Pt {
+  std::uint64_t cores = 0;
+  double gflops_mesh = 0.0;
+  double gflops_psync = 0.0;
+  double gflops_ideal = 0.0;
+};
 
 int run() {
   using namespace psync;
   bench::ShapeChecks checks;
 
-  llmore::LlmoreParams p;  // 1024x1024, 4 ports x 80 Gb/s = 320 Gb/s
-  const auto pts = llmore::sweep(p, 4, 4096);
+  // Core-count sweep through the shared experiment driver (default LLMORE
+  // params: 1024x1024, 4 ports x 80 Gb/s = 320 Gb/s aggregate).
+  driver::ExperimentSpec spec;
+  spec.workload = "fig13";
+  spec.threads = 2;
+  // Paper sweep: 4 to 4096 cores in powers of 4 (mesh dim 2..64).
+  for (double c = 4; c <= 4096; c *= 4) {
+    if (spec.axes.empty()) spec.axes.push_back({"cores", {}});
+    spec.axes.front().values.push_back(c);
+  }
+  const auto result = driver::Runner::run(spec);
+
+  std::vector<Fig13Pt> pts;
+  for (const auto& rec : result.records) {
+    Fig13Pt pt;
+    pt.cores = static_cast<std::uint64_t>(rec.knobs.front().second);
+    pt.gflops_mesh = driver::metric(rec, "gflops_mesh");
+    pt.gflops_psync = driver::metric(rec, "gflops_psync");
+    pt.gflops_ideal = driver::metric(rec, "gflops_ideal");
+    pts.push_back(pt);
+  }
 
   Table t({"cores", "mesh GFLOPS", "P-sync GFLOPS", "ideal GFLOPS",
            "P-sync/mesh"});

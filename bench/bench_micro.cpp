@@ -11,6 +11,7 @@
 #include "psync/core/sca.hpp"
 #include "psync/dram/controller.hpp"
 #include "psync/fft/fft.hpp"
+#include "psync/fft/plan_cache.hpp"
 #include "psync/mesh/mesh.hpp"
 #include "psync/mesh/traffic.hpp"
 
@@ -31,6 +32,27 @@ void BM_FftForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FftForward)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// The cost the shared plan cache saves: constructing an FftPlan (twiddle
+// tables + bit-reversal) per pass vs one mutex-guarded map lookup. The
+// machines used to pay the former on every row/column pass.
+void BM_FftPlanConstruct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    fft::FftPlan plan(n);
+    benchmark::DoNotOptimize(plan.size());
+  }
+}
+BENCHMARK(BM_FftPlanConstruct)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FftPlanCacheHit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  (void)fft::shared_plan(n);  // warm: all iterations below are hits
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&fft::shared_plan(n));
+  }
+}
+BENCHMARK(BM_FftPlanCacheHit)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_ScaGatherInterleaved(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));

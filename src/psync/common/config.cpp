@@ -161,4 +161,171 @@ bool IniConfig::get_bool(const std::string& section, const std::string& key,
                         "' is not a boolean: " + *v);
 }
 
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Nearest candidate within an edit distance small enough to be a typo.
+template <typename Range>
+std::string suggest(const std::string& name, const Range& candidates) {
+  std::string best;
+  std::size_t best_d = name.size() / 2 + 2;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+bool parses_as(ConfigSchema::Type type, const std::string& value) {
+  const auto is_int = [](const std::string& tok) {
+    try {
+      std::size_t used = 0;
+      (void)std::stoll(tok, &used, 0);
+      return used == tok.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  const auto is_double = [](const std::string& tok) {
+    try {
+      std::size_t used = 0;
+      (void)std::stod(tok, &used);
+      return used == tok.size();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  switch (type) {
+    case ConfigSchema::Type::kString:
+      return true;
+    case ConfigSchema::Type::kInt:
+      return is_int(value);
+    case ConfigSchema::Type::kDouble:
+      return is_double(value);
+    case ConfigSchema::Type::kBool: {
+      const std::string low = lower(value);
+      return low == "true" || low == "yes" || low == "on" || low == "1" ||
+             low == "false" || low == "no" || low == "off" || low == "0";
+    }
+    case ConfigSchema::Type::kIntList:
+    case ConfigSchema::Type::kDoubleList: {
+      std::istringstream in(value);
+      std::string tok;
+      bool any = false;
+      while (in >> tok) {
+        any = true;
+        if (type == ConfigSchema::Type::kIntList ? !is_int(tok)
+                                                 : !is_double(tok)) {
+          return false;
+        }
+      }
+      return any;
+    }
+  }
+  return false;
+}
+
+const char* type_name(ConfigSchema::Type type) {
+  switch (type) {
+    case ConfigSchema::Type::kString: return "string";
+    case ConfigSchema::Type::kInt: return "integer";
+    case ConfigSchema::Type::kDouble: return "number";
+    case ConfigSchema::Type::kBool: return "boolean";
+    case ConfigSchema::Type::kIntList: return "integer list";
+    case ConfigSchema::Type::kDoubleList: return "number list";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ConfigDiagnostic::to_string() const {
+  switch (kind) {
+    case Kind::kUnknownSection:
+      return "unknown section [" + section + "]: " + message;
+    case Kind::kUnknownKey:
+      return "unknown key '" + section + "." + key + "': " + message;
+    case Kind::kBadValue:
+      return "bad value for '" + section + "." + key + "': " + message;
+  }
+  return message;
+}
+
+ConfigSchema& ConfigSchema::section(const std::string& name) {
+  schema_[name];
+  return *this;
+}
+
+ConfigSchema& ConfigSchema::key(const std::string& section,
+                                const std::string& name, Type type) {
+  schema_[section][name] = type;
+  return *this;
+}
+
+std::vector<ConfigDiagnostic> ConfigSchema::validate(
+    const IniConfig& cfg) const {
+  std::vector<ConfigDiagnostic> out;
+  std::vector<std::string> section_names;
+  for (const auto& [name, keys] : schema_) section_names.push_back(name);
+
+  for (const auto& sec : cfg.sections()) {
+    const auto sit = schema_.find(sec);
+    if (sit == schema_.end()) {
+      ConfigDiagnostic d;
+      d.kind = ConfigDiagnostic::Kind::kUnknownSection;
+      d.section = sec;
+      const auto near = suggest(sec, section_names);
+      d.message = near.empty() ? "not recognized"
+                               : "not recognized; did you mean [" + near + "]?";
+      out.push_back(std::move(d));
+      continue;
+    }
+    std::vector<std::string> key_names;
+    for (const auto& [name, type] : sit->second) key_names.push_back(name);
+    for (const auto& key : cfg.keys(sec)) {
+      const auto kit = sit->second.find(key);
+      if (kit == sit->second.end()) {
+        ConfigDiagnostic d;
+        d.kind = ConfigDiagnostic::Kind::kUnknownKey;
+        d.section = sec;
+        d.key = key;
+        const auto near = suggest(key, key_names);
+        d.message = near.empty()
+                        ? "not recognized"
+                        : "not recognized; did you mean '" + near + "'?";
+        out.push_back(std::move(d));
+        continue;
+      }
+      const auto value = cfg.get(sec, key);
+      if (value && !parses_as(kit->second, *value)) {
+        ConfigDiagnostic d;
+        d.kind = ConfigDiagnostic::Kind::kBadValue;
+        d.section = sec;
+        d.key = key;
+        d.message = "expected " + std::string(type_name(kit->second)) +
+                    ", got '" + *value + "'";
+        out.push_back(std::move(d));
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace psync

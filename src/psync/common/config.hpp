@@ -47,4 +47,38 @@ class IniConfig {
   std::map<std::string, std::vector<std::string>> key_order_;
 };
 
+/// One problem found while validating a config against a ConfigSchema.
+struct ConfigDiagnostic {
+  enum class Kind { kUnknownSection, kUnknownKey, kBadValue };
+  Kind kind = Kind::kUnknownKey;
+  std::string section;
+  std::string key;      // empty for kUnknownSection
+  std::string message;  // human-readable, includes did-you-mean suggestions
+
+  std::string to_string() const;
+};
+
+/// Declarative description of every section/key a tool understands, with
+/// value types, so typos stop silently falling back to defaults: validate()
+/// reports unknown sections, unknown keys (with a nearest-name suggestion)
+/// and type-mismatched values as a diagnostics list instead of throwing.
+/// Tools decide the severity (psync_sim warns by default, fails under
+/// --strict).
+class ConfigSchema {
+ public:
+  enum class Type { kString, kInt, kDouble, kBool, kIntList, kDoubleList };
+
+  /// Declare a section with no keys yet (also implied by key()).
+  ConfigSchema& section(const std::string& name);
+  /// Declare a key and its value type.
+  ConfigSchema& key(const std::string& section, const std::string& name,
+                    Type type);
+
+  /// Every problem in `cfg`, in section/key insertion order.
+  std::vector<ConfigDiagnostic> validate(const IniConfig& cfg) const;
+
+ private:
+  std::map<std::string, std::map<std::string, Type>> schema_;
+};
+
 }  // namespace psync

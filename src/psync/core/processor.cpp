@@ -5,6 +5,7 @@
 
 #include "psync/common/check.hpp"
 #include "psync/fft/four_step.hpp"
+#include "psync/fft/plan_cache.hpp"
 
 namespace psync::core {
 
@@ -27,7 +28,7 @@ Processor::Processor(std::uint32_t id, ExecCostParams exec)
 
 double Processor::fft_rows(std::size_t rows, std::size_t cols) {
   PSYNC_CHECK(data_.size() >= rows * cols);
-  fft::FftPlan plan(cols);
+  const fft::FftPlan& plan = fft::shared_plan(cols);
   fft::OpCount total;
   for (std::size_t r = 0; r < rows; ++r) {
     total += plan.forward(

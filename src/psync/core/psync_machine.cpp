@@ -6,6 +6,7 @@
 #include "psync/common/check.hpp"
 #include "psync/fft/fft2d.hpp"
 #include "psync/fft/four_step.hpp"
+#include "psync/fft/plan_cache.hpp"
 
 namespace psync::core {
 namespace {
@@ -194,7 +195,7 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
                  start_ns + static_cast<double>(d.arrival_ps) * 1e-3 + tail_ns);
   }
 
-  const fft::FftPlan plan(cols);
+  const fft::FftPlan& plan = fft::shared_plan(cols);
   out.compute_begin_ns = block_done[0][0];
   out.compute_end_ns = start_ns;
   for (std::size_t i = 0; i < P; ++i) {
@@ -446,7 +447,7 @@ PsyncRunReport PsyncMachine::run_fft1d(
 
   if (verify) {
     std::vector<std::complex<double>> ref(input);
-    fft::FftPlan plan(N);
+    const fft::FftPlan& plan = fft::shared_plan(N);
     plan.forward(ref);
     report.max_error_vs_reference = normalized_max_error(result_1d(), ref);
   }

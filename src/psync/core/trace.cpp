@@ -156,30 +156,112 @@ std::string to_json(const reliability::LaneReport& rep) {
   return os.str();
 }
 
-std::string run_report_json(const PsyncRunReport& rep) {
+RunSummary summarize(const PsyncRunReport& rep) {
+  RunSummary s;
+  s.machine = "psync";
+  s.phases = rep.phases;
+  s.total_ns = rep.total_ns;
+  s.reorg_ns = rep.reorg_ns;
+  s.flops = rep.flops;
+  s.gflops = rep.gflops;
+  s.compute_efficiency = rep.compute_efficiency;
+  s.max_error_vs_reference = rep.max_error_vs_reference;
+  s.comm_energy_pj = rep.comm_energy_pj;
+  s.compute_energy_pj = rep.compute_energy_pj;
+  s.has_sca = true;
+  s.sca_gap_free = rep.sca_gap_free;
+  s.sca_collisions = rep.sca_collisions;
+  s.has_reliability = true;
+  s.fault = rep.fault;
+  s.retry = rep.retry;
+  s.lanes = rep.lanes;
+  s.reliability_overhead_ns = rep.reliability_overhead_ns;
+  s.reliability_overhead_slots = rep.reliability_overhead_slots;
+  return s;
+}
+
+RunSummary summarize(const MeshRunReport& rep) {
+  RunSummary s;
+  s.machine = "mesh";
+  s.phases = rep.phases;
+  s.total_ns = rep.total_ns;
+  s.reorg_ns = rep.reorg_ns;
+  s.flops = rep.flops;
+  s.gflops = rep.gflops;
+  s.compute_efficiency = rep.compute_efficiency;
+  s.max_error_vs_reference = rep.max_error_vs_reference;
+  s.comm_energy_pj = rep.comm_energy_pj;
+  s.compute_energy_pj = rep.compute_energy_pj;
+  return s;
+}
+
+std::string run_summary_json(const RunSummary& s) {
   std::ostringstream os;
   os.precision(12);
-  os << "{\"phases\":[";
-  for (std::size_t i = 0; i < rep.phases.size(); ++i) {
-    const auto& ph = rep.phases[i];
+  os << "{\"schema_version\":" << kRunReportSchemaVersion << ",\"machine\":\""
+     << s.machine << "\",\"phases\":[";
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    const auto& ph = s.phases[i];
     if (i > 0) os << ',';
     os << "{\"name\":\"" << ph.name << "\",\"start_ns\":" << ph.start_ns
        << ",\"end_ns\":" << ph.end_ns << '}';
   }
-  os << "],\"total_ns\":" << rep.total_ns << ",\"reorg_ns\":" << rep.reorg_ns
-     << ",\"flops\":" << rep.flops << ",\"gflops\":" << rep.gflops
-     << ",\"compute_efficiency\":" << rep.compute_efficiency
-     << ",\"sca_gap_free\":" << (rep.sca_gap_free ? "true" : "false")
-     << ",\"sca_collisions\":" << rep.sca_collisions
-     << ",\"max_error_vs_reference\":" << rep.max_error_vs_reference
-     << ",\"comm_energy_pj\":" << rep.comm_energy_pj
-     << ",\"compute_energy_pj\":" << rep.compute_energy_pj
-     << ",\"reliability_overhead_ns\":" << rep.reliability_overhead_ns
-     << ",\"reliability_overhead_slots\":" << rep.reliability_overhead_slots
-     << ",\"fault\":" << to_json(rep.fault)
-     << ",\"retry\":" << to_json(rep.retry)
-     << ",\"lanes\":" << to_json(rep.lanes) << '}';
+  os << "],\"total_ns\":" << s.total_ns << ",\"reorg_ns\":" << s.reorg_ns
+     << ",\"flops\":" << s.flops << ",\"gflops\":" << s.gflops
+     << ",\"compute_efficiency\":" << s.compute_efficiency
+     << ",\"max_error_vs_reference\":" << s.max_error_vs_reference
+     << ",\"comm_energy_pj\":" << s.comm_energy_pj
+     << ",\"compute_energy_pj\":" << s.compute_energy_pj;
+  if (s.has_sca) {
+    os << ",\"sca_gap_free\":" << (s.sca_gap_free ? "true" : "false")
+       << ",\"sca_collisions\":" << s.sca_collisions;
+  }
+  if (s.has_reliability) {
+    os << ",\"reliability_overhead_ns\":" << s.reliability_overhead_ns
+       << ",\"reliability_overhead_slots\":" << s.reliability_overhead_slots
+       << ",\"fault\":" << to_json(s.fault)
+       << ",\"retry\":" << to_json(s.retry)
+       << ",\"lanes\":" << to_json(s.lanes);
+  }
+  os << '}';
   return os.str();
+}
+
+std::string run_summary_csv_header() {
+  return "schema_version,machine,total_ns,reorg_ns,flops,gflops,"
+         "compute_efficiency,max_error_vs_reference,comm_energy_pj,"
+         "compute_energy_pj,sca_gap_free,sca_collisions,words_corrupted,"
+         "blocks_retried,residual_errors,reliability_overhead_ns\n";
+}
+
+std::string run_summary_csv_row(const RunSummary& s) {
+  std::ostringstream os;
+  os.precision(12);
+  os << kRunReportSchemaVersion << ',' << s.machine << ',' << s.total_ns
+     << ',' << s.reorg_ns << ',' << s.flops << ',' << s.gflops << ','
+     << s.compute_efficiency << ',' << s.max_error_vs_reference << ','
+     << s.comm_energy_pj << ',' << s.compute_energy_pj << ','
+     << (s.has_sca ? (s.sca_gap_free ? 1 : 0) : 0) << ','
+     << s.sca_collisions << ',' << s.fault.words_corrupted << ','
+     << s.retry.blocks_retried << ',' << s.retry.residual_errors << ','
+     << s.reliability_overhead_ns << '\n';
+  return os.str();
+}
+
+std::string run_report_json(const PsyncRunReport& rep) {
+  return run_summary_json(summarize(rep));
+}
+
+std::string run_report_json(const MeshRunReport& rep) {
+  return run_summary_json(summarize(rep));
+}
+
+std::string run_report_csv(const PsyncRunReport& rep) {
+  return run_summary_csv_header() + run_summary_csv_row(summarize(rep));
+}
+
+std::string run_report_csv(const MeshRunReport& rep) {
+  return run_summary_csv_header() + run_summary_csv_row(summarize(rep));
 }
 
 }  // namespace psync::core

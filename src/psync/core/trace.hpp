@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "psync/core/mesh_machine.hpp"
 #include "psync/core/psync_machine.hpp"
 #include "psync/core/sca.hpp"
 
@@ -55,8 +56,59 @@ std::string to_json(const FaultReport& rep);
 std::string to_json(const reliability::RetryReport& rep);
 std::string to_json(const reliability::LaneReport& rep);
 
-/// Full machine-run report as JSON: phases, throughput/efficiency/energy
-/// metrics, and the fault/retry/lane counters.
+/// Version stamp carried by every serialized run report so downstream
+/// tooling can detect layout changes. History:
+///   1 — PsyncRunReport-only JSON, no version field (pre-driver).
+///   2 — unified schema: "schema_version" + "machine" discriminator, one
+///       field layout for both the P-sync and mesh machines, CSV form.
+inline constexpr int kRunReportSchemaVersion = 2;
+
+/// The normalized run summary both machine reports lower into: one field
+/// set, one serializer, so every tool emits the same schema. PSCAN-side
+/// observables (SCA accounting, reliability counters) are flagged by
+/// `has_sca`/`has_reliability` and serialized as null-ish defaults for the
+/// mesh machine.
+struct RunSummary {
+  std::string machine;  // "psync" | "mesh"
+  std::vector<Phase> phases;
+  double total_ns = 0.0;
+  double reorg_ns = 0.0;
+  std::uint64_t flops = 0;
+  double gflops = 0.0;
+  double compute_efficiency = 0.0;
+  double max_error_vs_reference = 0.0;
+  double comm_energy_pj = 0.0;
+  double compute_energy_pj = 0.0;
+
+  bool has_sca = false;
+  bool sca_gap_free = false;
+  std::uint64_t sca_collisions = 0;
+
+  bool has_reliability = false;
+  FaultReport fault;
+  reliability::RetryReport retry;
+  reliability::LaneReport lanes;
+  double reliability_overhead_ns = 0.0;
+  std::uint64_t reliability_overhead_slots = 0;
+};
+
+RunSummary summarize(const PsyncRunReport& rep);
+RunSummary summarize(const MeshRunReport& rep);
+
+/// The single serializer behind every run-report dump: JSON object with
+/// "schema_version" first, or one CSV row matching run_summary_csv_header().
+std::string run_summary_json(const RunSummary& s);
+std::string run_summary_csv_header();
+std::string run_summary_csv_row(const RunSummary& s);
+
+/// Full machine-run report as JSON (schema v2): phases, throughput/
+/// efficiency/energy metrics, and — on the P-sync side — the SCA and
+/// fault/retry/lane counters. Both overloads share one serializer.
 std::string run_report_json(const PsyncRunReport& rep);
+std::string run_report_json(const MeshRunReport& rep);
+
+/// Same reports as CSV (header line + one data row).
+std::string run_report_csv(const PsyncRunReport& rep);
+std::string run_report_csv(const MeshRunReport& rep);
 
 }  // namespace psync::core

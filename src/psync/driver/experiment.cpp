@@ -1,0 +1,226 @@
+#include "psync/driver/experiment.hpp"
+
+#include <sstream>
+
+#include "psync/common/check.hpp"
+
+namespace psync::driver {
+
+bool apply_knob(const std::string& knob, double value,
+                core::PsyncMachineParams* machine,
+                core::MeshMachineParams* mesh) {
+  if (knob == "processors") {
+    machine->processors = static_cast<std::size_t>(value);
+  } else if (knob == "blocks" || knob == "k") {
+    machine->delivery_blocks = static_cast<std::size_t>(value);
+  } else if (knob == "rows") {
+    machine->matrix_rows = static_cast<std::size_t>(value);
+    mesh->matrix_rows = static_cast<std::size_t>(value);
+  } else if (knob == "cols") {
+    machine->matrix_cols = static_cast<std::size_t>(value);
+    mesh->matrix_cols = static_cast<std::size_t>(value);
+  } else if (knob == "waveguide_gbps") {
+    machine->waveguide_gbps = value;
+  } else if (knob == "bus_length_cm") {
+    machine->bus_length_cm = value;
+  } else if (knob == "margin_db") {
+    // Rebuild the fault model from optical margin; keep the configured
+    // dead lanes and injection seed so only the BER moves with the axis.
+    const auto dead = machine->fault.dead_wavelengths;
+    machine->fault =
+        core::FaultModel::from_margin_db(value, machine->fault.seed);
+    machine->fault.dead_wavelengths = dead;
+  } else if (knob == "grid") {
+    mesh->grid = static_cast<std::size_t>(value);
+  } else if (knob == "t_p") {
+    mesh->mi.reorder_cycles_per_element = static_cast<std::uint32_t>(value);
+  } else if (knob == "elements_per_packet") {
+    mesh->elements_per_packet = static_cast<std::uint32_t>(value);
+  } else if (knob == "virtual_channels") {
+    mesh->net.virtual_channels = static_cast<std::uint32_t>(value);
+  } else if (knob == "cores") {
+    // Consumed by the fig13 workload straight from the knob list; nothing
+    // to write into the machine blocks.
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> known_knobs() {
+  return {"processors",     "blocks",        "k",
+          "rows",           "cols",          "waveguide_gbps",
+          "bus_length_cm",  "margin_db",     "grid",
+          "t_p",            "elements_per_packet", "virtual_channels",
+          "cores"};
+}
+
+namespace {
+
+std::vector<double> parse_values(const std::string& list) {
+  std::vector<double> out;
+  std::istringstream in(list);
+  double v = 0.0;
+  while (in >> v) out.push_back(v);
+  return out;
+}
+
+core::PsyncMachineParams machine_from_config(const IniConfig& cfg) {
+  core::PsyncMachineParams p;
+  p.processors =
+      static_cast<std::size_t>(cfg.get_int("machine", "processors", 16));
+  p.matrix_rows = static_cast<std::size_t>(cfg.get_int("machine", "rows", 64));
+  p.matrix_cols = static_cast<std::size_t>(cfg.get_int("machine", "cols", 64));
+  p.delivery_blocks =
+      static_cast<std::size_t>(cfg.get_int("machine", "blocks", 1));
+  p.waveguide_gbps = cfg.get_double("machine", "waveguide_gbps", 320.0);
+  p.bus_length_cm = cfg.get_double("machine", "bus_length_cm", 8.0);
+  p.head.dram.row_switch_cycles = static_cast<std::uint64_t>(
+      cfg.get_int("machine", "dram_row_switch_cycles", 0));
+
+  if (cfg.has_section("fault")) {
+    if (cfg.has("fault", "margin_db")) {
+      p.fault = core::FaultModel::from_margin_db(
+          cfg.get_double("fault", "margin_db", 0.0));
+    }
+    p.fault.random_ber = cfg.get_double("fault", "random_ber", p.fault.random_ber);
+    p.fault.seed = static_cast<std::uint64_t>(cfg.get_int("fault", "seed", 1));
+    std::istringstream lanes(cfg.get_string("fault", "dead_wavelengths", ""));
+    std::uint32_t lane = 0;
+    while (lanes >> lane) p.fault.dead_wavelengths.push_back(lane);
+  }
+  if (cfg.has_section("reliability")) {
+    auto& r = p.reliability;
+    r.policy = reliability::policy_from_string(
+        cfg.get_string("reliability", "policy", "off"));
+    r.block_words =
+        static_cast<std::size_t>(cfg.get_int("reliability", "block_words", 64));
+    r.max_retries =
+        static_cast<std::size_t>(cfg.get_int("reliability", "max_retries", 4));
+    r.retry_backoff_slots = static_cast<std::size_t>(
+        cfg.get_int("reliability", "backoff_slots", 8));
+    r.spare_lanes =
+        static_cast<std::size_t>(cfg.get_int("reliability", "spare_lanes", 4));
+    r.training_words = static_cast<std::size_t>(
+        cfg.get_int("reliability", "training_words", 16));
+  }
+  return p;
+}
+
+core::MeshMachineParams mesh_from_config(const IniConfig& cfg,
+                                         const core::PsyncMachineParams& mp) {
+  core::MeshMachineParams m;
+  m.grid = static_cast<std::size_t>(cfg.get_int("mesh", "grid", 4));
+  m.matrix_rows = mp.matrix_rows;
+  m.matrix_cols = mp.matrix_cols;
+  m.elements_per_packet =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "elements_per_packet", 32));
+  m.mi.reorder_cycles_per_element =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "t_p", 1));
+  m.mi.overlap_stages = cfg.get_bool("mesh", "overlap_stages", false);
+  m.net.buffer_depth =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "buffer_depth", 2));
+  m.net.virtual_channels =
+      static_cast<std::uint32_t>(cfg.get_int("mesh", "virtual_channels", 1));
+  m.mi.dram.row_switch_cycles = static_cast<std::uint64_t>(
+      cfg.get_int("mesh", "dram_row_switch_cycles", 0));
+  return m;
+}
+
+}  // namespace
+
+ExperimentSpec spec_from_config(const IniConfig& cfg) {
+  ExperimentSpec spec;
+  spec.machine = machine_from_config(cfg);
+  spec.mesh = mesh_from_config(cfg, spec.machine);
+  spec.with_mesh = cfg.has_section("mesh");
+  spec.verify = cfg.get_bool("experiment", "verify", true);
+  spec.transpose_elements =
+      static_cast<std::uint32_t>(cfg.get_int("experiment", "elements", 256));
+  spec.input_seed =
+      static_cast<std::uint64_t>(cfg.get_int("experiment", "input_seed", 2026));
+  spec.threads =
+      static_cast<std::size_t>(cfg.get_int("experiment", "threads", 1));
+  if (spec.threads == 0) spec.threads = 1;
+
+  const std::string kind = cfg.get_string("experiment", "kind", "fft2d");
+  if (kind == "sweep") {
+    // Legacy single-knob sweep of the 2D FFT machine.
+    spec.workload = cfg.get_string("experiment", "workload", "fft2d");
+    spec.verify = cfg.get_bool("experiment", "verify", false);
+    const std::string vary =
+        cfg.get_string("experiment", "vary", "processors");
+    const auto values =
+        parse_values(cfg.get_string("experiment", "values", ""));
+    if (!values.empty()) spec.axes.push_back({vary, values});
+  } else if (kind == "reliability_sweep") {
+    spec.workload = "reliability";
+    const auto margins =
+        parse_values(cfg.get_string("experiment", "margins_db", ""));
+    if (margins.empty()) {
+      throw SimulationError("reliability_sweep: missing 'margins_db' list");
+    }
+    spec.axes.push_back({"margin_db", margins});
+  } else {
+    spec.workload = kind;
+  }
+
+  // Multi-knob grid: every key in [sweep] is an axis, in file order.
+  if (cfg.has_section("sweep")) {
+    for (const auto& knob : cfg.keys("sweep")) {
+      const auto values = parse_values(cfg.get_string("sweep", knob, ""));
+      if (values.empty()) {
+        throw SimulationError("sweep axis '" + knob + "' has no values");
+      }
+      spec.axes.push_back({knob, values});
+    }
+  }
+  return spec;
+}
+
+ConfigSchema sim_config_schema() {
+  using Type = ConfigSchema::Type;
+  ConfigSchema s;
+  s.key("experiment", "kind", Type::kString)
+      .key("experiment", "workload", Type::kString)
+      .key("experiment", "json", Type::kBool)
+      .key("experiment", "csv", Type::kBool)
+      .key("experiment", "verify", Type::kBool)
+      .key("experiment", "strict", Type::kBool)
+      .key("experiment", "elements", Type::kInt)
+      .key("experiment", "input_seed", Type::kInt)
+      .key("experiment", "threads", Type::kInt)
+      .key("experiment", "vary", Type::kString)
+      .key("experiment", "values", Type::kDoubleList)
+      .key("experiment", "margins_db", Type::kDoubleList);
+  s.key("machine", "processors", Type::kInt)
+      .key("machine", "rows", Type::kInt)
+      .key("machine", "cols", Type::kInt)
+      .key("machine", "blocks", Type::kInt)
+      .key("machine", "waveguide_gbps", Type::kDouble)
+      .key("machine", "bus_length_cm", Type::kDouble)
+      .key("machine", "dram_row_switch_cycles", Type::kInt);
+  s.key("mesh", "grid", Type::kInt)
+      .key("mesh", "t_p", Type::kInt)
+      .key("mesh", "elements_per_packet", Type::kInt)
+      .key("mesh", "overlap_stages", Type::kBool)
+      .key("mesh", "buffer_depth", Type::kInt)
+      .key("mesh", "virtual_channels", Type::kInt)
+      .key("mesh", "dram_row_switch_cycles", Type::kInt);
+  s.key("fault", "margin_db", Type::kDouble)
+      .key("fault", "random_ber", Type::kDouble)
+      .key("fault", "seed", Type::kInt)
+      .key("fault", "dead_wavelengths", Type::kIntList);
+  s.key("reliability", "policy", Type::kString)
+      .key("reliability", "block_words", Type::kInt)
+      .key("reliability", "max_retries", Type::kInt)
+      .key("reliability", "backoff_slots", Type::kInt)
+      .key("reliability", "spare_lanes", Type::kInt)
+      .key("reliability", "training_words", Type::kInt);
+  for (const auto& knob : known_knobs()) {
+    s.key("sweep", knob, Type::kDoubleList);
+  }
+  return s;
+}
+
+}  // namespace psync::driver

@@ -1,0 +1,96 @@
+// ExperimentSpec: the one description every experiment in the repository
+// runs from — a workload kind (dispatched through the driver's Workload
+// registry), the machine/mesh parameter blocks, and zero or more sweep
+// axes that the SweepEngine expands into a grid of independent run points.
+//
+// This is the system's front door: tools/psync_sim parses an INI file into
+// a spec, the bench binaries build specs programmatically, and both hand
+// them to Runner::run. Before the driver existed each of those call sites
+// grew its own serial loop; now an N-point sweep is one spec with
+// `threads = M`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psync/common/config.hpp"
+#include "psync/core/mesh_machine.hpp"
+#include "psync/core/psync_machine.hpp"
+
+namespace psync::driver {
+
+/// One sweep knob and the values it takes. Multiple axes form a cartesian
+/// grid (first axis slowest, row-major).
+struct SweepAxis {
+  std::string knob;
+  std::vector<double> values;
+};
+
+struct ExperimentSpec {
+  /// Workload registry key: fft2d | fft1d | transpose | pipeline | mesh |
+  /// reliability | fig11 | fig13 (see workload.hpp).
+  std::string workload = "fft2d";
+
+  core::PsyncMachineParams machine;
+  core::MeshMachineParams mesh;
+  /// Run the electronic-mesh comparison alongside the P-sync machine
+  /// (fft2d workload only).
+  bool with_mesh = false;
+  /// Verify transforms against the monolithic reference (slower).
+  bool verify = true;
+  /// Elements per node for the transpose workload.
+  std::uint32_t transpose_elements = 256;
+
+  /// Base seed for the per-point input generators. Every run point derives
+  /// its own RNG stream from (input_seed, point index), so results do not
+  /// depend on which thread executes which point.
+  std::uint64_t input_seed = 2026;
+
+  /// Sweep axes; empty = a single run point.
+  std::vector<SweepAxis> axes;
+  /// SweepEngine pool size (1 = serial; results are identical either way).
+  std::size_t threads = 1;
+};
+
+/// One expanded point of the sweep grid: knob values already applied to
+/// copies of the parameter blocks, plus the point's deterministic seed.
+struct RunPoint {
+  std::size_t index = 0;
+  std::vector<std::pair<std::string, double>> knobs;
+
+  core::PsyncMachineParams machine;
+  core::MeshMachineParams mesh;
+  bool with_mesh = false;
+  bool verify = true;
+  std::uint32_t transpose_elements = 256;
+  std::uint64_t seed = 0;
+};
+
+/// Apply one sweep knob to the parameter blocks. Returns false for an
+/// unknown knob name. Knobs: processors, blocks, rows, cols,
+/// waveguide_gbps, bus_length_cm, margin_db (rebuilds machine.fault from
+/// optical margin, preserving configured dead lanes and seed), grid, t_p,
+/// elements_per_packet, virtual_channels, k, cores (the last two are
+/// aliases used by the fig11/fig13 analysis workloads: k = blocks).
+bool apply_knob(const std::string& knob, double value,
+                core::PsyncMachineParams* machine,
+                core::MeshMachineParams* mesh);
+
+/// Every knob name apply_knob accepts.
+std::vector<std::string> known_knobs();
+
+/// Build a spec from a psync_sim INI config (see tools/psync_sim.cpp for
+/// the format). Legacy kinds map onto the registry: `kind = sweep` becomes
+/// the fft2d workload with a [experiment] vary/values axis, and
+/// `kind = reliability_sweep` becomes the reliability workload with a
+/// margin_db axis from margins_db. A [sweep] section declares multi-knob
+/// grids: every `knob = v0 v1 ...` line is one axis.
+ExperimentSpec spec_from_config(const IniConfig& cfg);
+
+/// The full section/key schema psync_sim configs are validated against
+/// (strict-mode diagnostics).
+ConfigSchema sim_config_schema();
+
+}  // namespace psync::driver

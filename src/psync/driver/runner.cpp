@@ -1,0 +1,138 @@
+#include "psync/driver/runner.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "psync/common/check.hpp"
+#include "psync/common/table.hpp"
+#include "psync/core/trace.hpp"
+
+namespace psync::driver {
+
+RunRecord Runner::run_point(const std::string& workload, const RunPoint& pt) {
+  const Workload& w = find_workload(workload);
+  RunRecord rec = w.run(pt);
+  rec.index = pt.index;
+  rec.workload = workload;
+  rec.knobs = pt.knobs;
+  return rec;
+}
+
+SweepResult Runner::run(const ExperimentSpec& spec) {
+  SweepResult result;
+  result.spec = spec;
+  // Resolve the workload up front so an unknown kind fails before any
+  // threads spawn (and with a message naming the known kinds).
+  (void)find_workload(spec.workload);
+  const auto points = SweepEngine::expand(spec);
+  SweepEngine engine(spec.threads);
+  result.records = engine.map(
+      points, [&](const RunPoint& pt) { return run_point(spec.workload, pt); });
+  return result;
+}
+
+namespace {
+
+std::string format_knob(double v) {
+  // Whole-valued knobs (processor counts, k, cores) print bare; fractional
+  // ones (margins, rates) keep two decimals.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return format_double(v, 2);
+}
+
+std::string format_metric(const Metric& m) {
+  if (m.decimals < 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1e", m.value);
+    return buf;
+  }
+  return format_double(m.value, m.decimals);
+}
+
+}  // namespace
+
+std::string sweep_table(const SweepResult& result, const std::string& title) {
+  PSYNC_CHECK(!result.records.empty());
+  const auto& first = result.records.front();
+  std::vector<std::string> header;
+  for (const auto& [knob, value] : first.knobs) header.push_back(knob);
+  for (const auto& m : first.metrics) header.push_back(m.name);
+  if (header.empty()) header.push_back("workload");
+
+  Table t(header);
+  if (!title.empty()) t.set_title(title);
+  for (const auto& rec : result.records) {
+    auto& row = t.row();
+    for (const auto& [knob, value] : rec.knobs) row.add(format_knob(value));
+    for (const auto& m : rec.metrics) row.add(format_metric(m));
+    if (rec.knobs.empty() && rec.metrics.empty()) row.add(rec.workload);
+  }
+  return t.to_string();
+}
+
+std::string sweep_json(const SweepResult& result) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"schema_version\":" << core::kRunReportSchemaVersion
+     << ",\"workload\":\"" << result.spec.workload << "\",\"points\":[";
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const auto& rec = result.records[i];
+    if (i > 0) os << ',';
+    os << "{\"index\":" << rec.index << ",\"knobs\":{";
+    for (std::size_t k = 0; k < rec.knobs.size(); ++k) {
+      if (k > 0) os << ',';
+      os << '"' << rec.knobs[k].first << "\":" << rec.knobs[k].second;
+    }
+    os << "},\"metrics\":{";
+    for (std::size_t m = 0; m < rec.metrics.size(); ++m) {
+      if (m > 0) os << ',';
+      os << '"' << rec.metrics[m].name << "\":" << rec.metrics[m].value;
+    }
+    os << '}';
+    if (rec.psync) os << ",\"report\":" << core::run_report_json(*rec.psync);
+    if (rec.mesh) {
+      os << ",\"mesh_report\":" << core::run_report_json(*rec.mesh);
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string sweep_csv(const SweepResult& result) {
+  PSYNC_CHECK(!result.records.empty());
+  std::ostringstream os;
+  os.precision(12);
+  const auto& first = result.records.front();
+  bool col0 = true;
+  for (const auto& [knob, value] : first.knobs) {
+    if (!col0) os << ',';
+    os << knob;
+    col0 = false;
+  }
+  for (const auto& m : first.metrics) {
+    if (!col0) os << ',';
+    os << m.name;
+    col0 = false;
+  }
+  os << '\n';
+  for (const auto& rec : result.records) {
+    col0 = true;
+    for (const auto& [knob, value] : rec.knobs) {
+      if (!col0) os << ',';
+      os << value;
+      col0 = false;
+    }
+    for (const auto& m : rec.metrics) {
+      if (!col0) os << ',';
+      os << m.value;
+      col0 = false;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace psync::driver

@@ -1,0 +1,50 @@
+// Runner: the single entry point every experiment goes through.
+//
+//   ExperimentSpec  ->  Runner::run  ->  Workload registry dispatch
+//                         |                    (one RunRecord per point)
+//                         +--> SweepEngine (thread pool, deterministic
+//                              seeding, order-preserving collection)
+//
+// Rendering helpers turn a SweepResult into the three formats the tools
+// and benches share: an ASCII table, a JSON document (points serialized
+// through the unified core/trace run-report schema), and CSV.
+#pragma once
+
+#include <string>
+
+#include "psync/driver/experiment.hpp"
+#include "psync/driver/sweep.hpp"
+#include "psync/driver/workload.hpp"
+
+namespace psync::driver {
+
+struct SweepResult {
+  ExperimentSpec spec;
+  /// One record per grid point, in grid order (independent of threads).
+  std::vector<RunRecord> records;
+};
+
+class Runner {
+ public:
+  /// Expand the spec's sweep grid and execute every point through the
+  /// workload registry on `spec.threads` pool threads. Deterministic: the
+  /// records come back in grid order and each point's seed depends only on
+  /// (spec.input_seed, index), so serial and parallel runs are
+  /// byte-identical once rendered.
+  static SweepResult run(const ExperimentSpec& spec);
+
+  /// Execute one already-expanded point.
+  static RunRecord run_point(const std::string& workload, const RunPoint& pt);
+};
+
+/// ASCII table over the sweep grid: knob columns then metric columns.
+std::string sweep_table(const SweepResult& result, const std::string& title);
+
+/// JSON: {"schema_version":..,"workload":..,"points":[{knobs, metrics,
+/// report?, mesh_report?}, ...]} — reports via core::run_summary_json.
+std::string sweep_json(const SweepResult& result);
+
+/// CSV: knob columns + metric columns, one row per point.
+std::string sweep_csv(const SweepResult& result);
+
+}  // namespace psync::driver

@@ -1,0 +1,73 @@
+// The Workload registry: every experiment kind the repository knows how to
+// run, behind one interface. A Workload turns a RunPoint (parameter blocks
+// + deterministic seed) into a RunRecord (ordered scalar metrics for sweep
+// tables/CSV, plus the full machine report when one ran). Workloads must be
+// const and thread-safe: the SweepEngine calls run() concurrently from the
+// pool, so all mutable state lives in locals or in the machines a run
+// constructs for itself.
+//
+// Built-ins: fft2d, fft1d, transpose, pipeline, mesh, reliability (machine
+// workloads), and fig11 / fig13 (closed-form/LLMORE analysis points the
+// bench sweeps dispatch through the same driver).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "psync/core/mesh_machine.hpp"
+#include "psync/core/psync_machine.hpp"
+#include "psync/driver/experiment.hpp"
+
+namespace psync::driver {
+
+/// One scalar result column. `decimals` controls table rendering: >= 0 is
+/// fixed precision, -1 renders scientific (%.1e) for error/BER magnitudes.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  int decimals = 2;
+};
+
+/// Result of one run point, in sweep-grid order when part of a sweep.
+struct RunRecord {
+  std::size_t index = 0;
+  std::string workload;
+  std::vector<std::pair<std::string, double>> knobs;
+  std::vector<Metric> metrics;
+
+  /// Full reports when a machine actually ran (absent for analysis
+  /// workloads); serialized via the unified core/trace schema.
+  std::optional<core::PsyncRunReport> psync;
+  std::optional<core::MeshRunReport> mesh;
+  std::optional<core::PsyncMachine::PipelineReport> pipeline;
+  std::optional<core::TransposeRunReport> transpose;
+};
+
+/// Value of a named metric; throws SimulationError if absent.
+double metric(const RunRecord& rec, const std::string& name);
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  virtual RunRecord run(const RunPoint& pt) const = 0;
+};
+
+/// Register (or replace) a workload under its name(). Thread-safe.
+void register_workload(std::unique_ptr<Workload> w);
+
+/// Look up a workload; throws SimulationError naming the known kinds when
+/// `name` is not registered. Built-ins are registered on first use.
+const Workload& find_workload(const std::string& name);
+
+/// All registered workload names, sorted.
+std::vector<std::string> workload_names();
+
+/// Deterministic input matrix shared by the machine workloads: `n` complex
+/// samples in [-1,1)^2 from the point's seed.
+std::vector<std::complex<double>> random_input(std::size_t n,
+                                               std::uint64_t seed);
+
+}  // namespace psync::driver

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "psync/common/check.hpp"
+#include "psync/fft/plan_cache.hpp"
 #include "psync/fft/transpose.hpp"
 
 namespace psync::fft {
@@ -13,7 +14,7 @@ Fft2dOps fft2d(std::span<Complex> data, std::size_t rows, std::size_t cols,
   PSYNC_CHECK(data.size() == rows * cols);
   Fft2dOps ops;
 
-  FftPlan row_plan(cols);
+  const FftPlan& row_plan = shared_plan(cols);
   for (std::size_t r = 0; r < rows; ++r) {
     ops.row_pass += row_plan.forward(data.subspan(r * cols, cols));
   }
@@ -21,7 +22,7 @@ Fft2dOps fft2d(std::span<Complex> data, std::size_t rows, std::size_t cols,
   std::vector<Complex> scratch(data.size());
   transpose(data, scratch, rows, cols);  // scratch is cols x rows
 
-  FftPlan col_plan(rows);
+  const FftPlan& col_plan = shared_plan(rows);
   for (std::size_t c = 0; c < cols; ++c) {
     ops.col_pass += col_plan.forward(
         std::span<Complex>(scratch).subspan(c * rows, rows));

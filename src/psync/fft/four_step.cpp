@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "psync/common/check.hpp"
+#include "psync/fft/plan_cache.hpp"
 #include "psync/fft/transpose.hpp"
 
 namespace psync::fft {
@@ -50,7 +51,7 @@ std::vector<Complex> four_step_load(std::span<const Complex> x,
 OpCount four_step_pass1(std::span<Complex> matrix, std::size_t rows,
                         std::size_t cols) {
   PSYNC_CHECK(matrix.size() == rows * cols);
-  FftPlan plan(cols);
+  const FftPlan& plan = shared_plan(cols);
   OpCount ops;
   for (std::size_t r = 0; r < rows; ++r) {
     ops += plan.forward(matrix.subspan(r * cols, cols));
@@ -78,7 +79,7 @@ OpCount four_step_twiddle_rows(std::span<Complex> matrix, std::size_t rows,
 OpCount four_step_pass2(std::span<Complex> matrix_t, std::size_t rows,
                         std::size_t cols) {
   PSYNC_CHECK(matrix_t.size() == rows * cols);
-  FftPlan plan(rows);
+  const FftPlan& plan = shared_plan(rows);
   OpCount ops;
   for (std::size_t q = 0; q < cols; ++q) {
     ops += plan.forward(matrix_t.subspan(q * rows, rows));

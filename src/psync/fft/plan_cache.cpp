@@ -1,0 +1,42 @@
+#include "psync/fft/plan_cache.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace psync::fft {
+namespace {
+
+struct PlanCache {
+  std::mutex mu;
+  // unique_ptr keeps plan addresses stable across map rehash/rebalance.
+  std::map<std::size_t, std::unique_ptr<const FftPlan>> plans;
+};
+
+PlanCache& cache() {
+  // Leaked intentionally: sweep worker threads may outlive static
+  // destruction order, and plans must stay valid until process exit.
+  static PlanCache* c = new PlanCache();
+  return *c;
+}
+
+}  // namespace
+
+const FftPlan& shared_plan(std::size_t n) {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = c.plans.find(n);
+  if (it == c.plans.end()) {
+    auto plan = std::make_unique<const FftPlan>(n);  // may throw; map untouched
+    it = c.plans.emplace(n, std::move(plan)).first;
+  }
+  return *it->second;
+}
+
+std::size_t shared_plan_cache_size() {
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.plans.size();
+}
+
+}  // namespace psync::fft

@@ -1,0 +1,27 @@
+// Process-wide cache of immutable FFT plans, keyed by transform size.
+//
+// An FftPlan is read-only after construction (bit-reversal table + twiddle
+// factors), so one instance can serve any number of concurrent transforms.
+// Before this cache existed every Processor row/column pass rebuilt the
+// twiddle tables from scratch — O(N) trig per pass — which both wasted time
+// and made parallel sweep runs allocate identical tables per thread.
+//
+// Plans are built once under a mutex, never evicted, and never moved: the
+// returned reference is stable for the life of the process, so callers may
+// hold it across phases and threads may share it freely.
+#pragma once
+
+#include <cstddef>
+
+#include "psync/fft/fft.hpp"
+
+namespace psync::fft {
+
+/// The shared plan for N-point transforms (N a power of two; throws
+/// SimulationError otherwise, same as the FftPlan constructor). Thread-safe.
+const FftPlan& shared_plan(std::size_t n);
+
+/// Number of distinct sizes currently cached (for tests/benchmarks).
+std::size_t shared_plan_cache_size();
+
+}  // namespace psync::fft

@@ -77,5 +77,71 @@ TEST(IniConfig, EmptyAndCommentOnlyInputs) {
   EXPECT_TRUE(cfg.sections().empty());
 }
 
+ConfigSchema tiny_schema() {
+  ConfigSchema s;
+  s.key("machine", "processors", ConfigSchema::Type::kInt)
+      .key("machine", "waveguide_gbps", ConfigSchema::Type::kDouble)
+      .key("machine", "verify", ConfigSchema::Type::kBool)
+      .key("sweep", "values", ConfigSchema::Type::kDoubleList)
+      .section("fault");
+  return s;
+}
+
+TEST(ConfigSchema, CleanConfigHasNoDiagnostics) {
+  const auto cfg = IniConfig::parse(
+      "[machine]\nprocessors = 16\nwaveguide_gbps = 320.5\nverify = yes\n"
+      "[sweep]\nvalues = 1 2.5 4\n[fault]\n");
+  EXPECT_TRUE(tiny_schema().validate(cfg).empty());
+}
+
+TEST(ConfigSchema, UnknownSectionSuggestsNearestName) {
+  const auto cfg = IniConfig::parse("[machin]\nprocessors = 16\n");
+  const auto diags = tiny_schema().validate(cfg);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].kind, ConfigDiagnostic::Kind::kUnknownSection);
+  EXPECT_EQ(diags[0].section, "machin");
+  EXPECT_NE(diags[0].to_string().find("did you mean [machine]"),
+            std::string::npos);
+}
+
+TEST(ConfigSchema, UnknownKeySuggestsNearestName) {
+  const auto cfg = IniConfig::parse("[machine]\nproccessors = 16\n");
+  const auto diags = tiny_schema().validate(cfg);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].kind, ConfigDiagnostic::Kind::kUnknownKey);
+  EXPECT_EQ(diags[0].key, "proccessors");
+  EXPECT_NE(diags[0].to_string().find("did you mean 'processors'"),
+            std::string::npos);
+}
+
+TEST(ConfigSchema, TypeMismatchesReported) {
+  const auto cfg = IniConfig::parse(
+      "[machine]\nprocessors = sixteen\nwaveguide_gbps = fast\n"
+      "verify = maybe\n[sweep]\nvalues = 1 two 3\n");
+  const auto diags = tiny_schema().validate(cfg);
+  ASSERT_EQ(diags.size(), 4u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.kind, ConfigDiagnostic::Kind::kBadValue);
+    EXPECT_NE(d.to_string().find("expected"), std::string::npos);
+  }
+}
+
+TEST(ConfigSchema, FarFetchedNamesGetNoSuggestion) {
+  const auto cfg = IniConfig::parse("[zzzzqqqq]\nk = 1\n");
+  const auto diags = tiny_schema().validate(cfg);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].to_string().find("did you mean"), std::string::npos);
+}
+
+TEST(ConfigSchema, ValidatesMultipleProblemsInOrder) {
+  const auto cfg = IniConfig::parse(
+      "[machine]\nproccessors = 16\nprocessors = ok\n[bogus]\nx = 1\n");
+  const auto diags = tiny_schema().validate(cfg);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].kind, ConfigDiagnostic::Kind::kUnknownKey);
+  EXPECT_EQ(diags[1].kind, ConfigDiagnostic::Kind::kBadValue);
+  EXPECT_EQ(diags[2].kind, ConfigDiagnostic::Kind::kUnknownSection);
+}
+
 }  // namespace
 }  // namespace psync

@@ -1,10 +1,16 @@
-// psync_sim — config-driven experiment runner.
+// psync_sim — config-driven experiment runner over the driver subsystem.
 //
-// Runs P-sync / mesh experiments described by an INI file, so parameter
-// studies don't require recompiling. Supported experiment kinds:
+// An INI file describes one ExperimentSpec (workload kind + machine params
+// + sweep axes); the driver expands the sweep grid and executes it on a
+// thread pool (`threads` under [experiment], or --threads). Results are
+// identical regardless of thread count. Supported workload kinds:
 //
 //   [experiment]
-//   kind = fft2d | fft1d | transpose | pipeline | sweep | reliability_sweep
+//   kind = fft2d | fft1d | transpose | pipeline | mesh | sweep |
+//          reliability_sweep          # legacy sweep spellings
+//   threads = 8        # sweep pool size (results identical to threads = 1)
+//   json = true        # dump via the unified run-report schema (v2)
+//   csv = true         # ... or as CSV
 //
 //   [machine]          # P-sync side
 //   processors = 16
@@ -13,7 +19,7 @@
 //   blocks = 4         # Model II delivery blocks
 //   waveguide_gbps = 320
 //
-//   [mesh]             # mesh side (fft2d/transpose)
+//   [mesh]             # mesh side (fft2d/transpose/mesh)
 //   grid = 4
 //   t_p = 1
 //   elements_per_packet = 32
@@ -26,29 +32,29 @@
 //
 //   [reliability]      # error handling above the PHY (optional)
 //   policy = correct   # off | detect | correct
-//   block_words = 64
-//   max_retries = 4
-//   backoff_slots = 8
-//   spare_lanes = 4
-//   training_words = 16
 //
-// `json = true` under [experiment] dumps the machine run report as JSON.
+//   [sweep]            # multi-knob grid: each line is one axis (cartesian)
+//   processors = 8 16 32 64
+//   blocks = 1 2 4 8
+//
+// Configs are validated against the full key schema: unknown sections or
+// keys and type-mismatched values are reported (with did-you-mean
+// suggestions) as warnings, or as hard errors under --strict /
+// `strict = true`.
 //
 // Usage:
-//   psync_sim <config.ini>
+//   psync_sim [--strict] [--threads N] [--json | --csv] <config.ini>
 //   psync_sim --demo          # print a sample config and exit
+//   psync_sim --list          # list registered workload kinds
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <sstream>
-#include <vector>
+#include <string>
 
 #include "psync/common/config.hpp"
-#include "psync/common/rng.hpp"
 #include "psync/common/table.hpp"
-#include "psync/core/mesh_machine.hpp"
-#include "psync/core/psync_machine.hpp"
 #include "psync/core/trace.hpp"
-#include "psync/photonic/ber.hpp"
+#include "psync/driver/runner.hpp"
 
 namespace {
 
@@ -56,6 +62,7 @@ using namespace psync;
 
 constexpr const char* kDemo = R"([experiment]
 kind = fft2d
+threads = 1
 
 [machine]
 processors = 16
@@ -71,83 +78,17 @@ elements_per_packet = 32
 virtual_channels = 1
 )";
 
-core::PsyncMachineParams machine_params(const IniConfig& cfg) {
-  core::PsyncMachineParams p;
-  p.processors = static_cast<std::size_t>(cfg.get_int("machine", "processors", 16));
-  p.matrix_rows = static_cast<std::size_t>(cfg.get_int("machine", "rows", 64));
-  p.matrix_cols = static_cast<std::size_t>(cfg.get_int("machine", "cols", 64));
-  p.delivery_blocks = static_cast<std::size_t>(cfg.get_int("machine", "blocks", 1));
-  p.waveguide_gbps = cfg.get_double("machine", "waveguide_gbps", 320.0);
-  p.bus_length_cm = cfg.get_double("machine", "bus_length_cm", 8.0);
-  p.head.dram.row_switch_cycles = static_cast<std::uint64_t>(
-      cfg.get_int("machine", "dram_row_switch_cycles", 0));
-
-  if (cfg.has_section("fault")) {
-    if (cfg.has("fault", "margin_db")) {
-      p.fault = core::FaultModel::from_margin_db(
-          cfg.get_double("fault", "margin_db", 0.0));
-    }
-    p.fault.random_ber = cfg.get_double("fault", "random_ber", p.fault.random_ber);
-    p.fault.seed =
-        static_cast<std::uint64_t>(cfg.get_int("fault", "seed", 1));
-    std::istringstream lanes(cfg.get_string("fault", "dead_wavelengths", ""));
-    std::uint32_t lane = 0;
-    while (lanes >> lane) p.fault.dead_wavelengths.push_back(lane);
+void print_phase_table(const std::vector<core::Phase>& phases) {
+  Table t({"phase", "start (us)", "duration (us)"});
+  for (const auto& ph : phases) {
+    t.row().add(ph.name).add(ph.start_ns * 1e-3, 2).add(ph.duration_ns() * 1e-3,
+                                                        2);
   }
-  if (cfg.has_section("reliability")) {
-    auto& r = p.reliability;
-    r.policy = reliability::policy_from_string(
-        cfg.get_string("reliability", "policy", "off"));
-    r.block_words = static_cast<std::size_t>(
-        cfg.get_int("reliability", "block_words", 64));
-    r.max_retries = static_cast<std::size_t>(
-        cfg.get_int("reliability", "max_retries", 4));
-    r.retry_backoff_slots = static_cast<std::size_t>(
-        cfg.get_int("reliability", "backoff_slots", 8));
-    r.spare_lanes = static_cast<std::size_t>(
-        cfg.get_int("reliability", "spare_lanes", 4));
-    r.training_words = static_cast<std::size_t>(
-        cfg.get_int("reliability", "training_words", 16));
-  }
-  return p;
-}
-
-core::MeshMachineParams mesh_params(const IniConfig& cfg,
-                                    const core::PsyncMachineParams& mp) {
-  core::MeshMachineParams m;
-  m.grid = static_cast<std::size_t>(cfg.get_int("mesh", "grid", 4));
-  m.matrix_rows = mp.matrix_rows;
-  m.matrix_cols = mp.matrix_cols;
-  m.elements_per_packet = static_cast<std::uint32_t>(
-      cfg.get_int("mesh", "elements_per_packet", 32));
-  m.mi.reorder_cycles_per_element =
-      static_cast<std::uint32_t>(cfg.get_int("mesh", "t_p", 1));
-  m.mi.overlap_stages = cfg.get_bool("mesh", "overlap_stages", false);
-  m.net.buffer_depth =
-      static_cast<std::uint32_t>(cfg.get_int("mesh", "buffer_depth", 2));
-  m.net.virtual_channels =
-      static_cast<std::uint32_t>(cfg.get_int("mesh", "virtual_channels", 1));
-  m.mi.dram.row_switch_cycles = static_cast<std::uint64_t>(
-      cfg.get_int("mesh", "dram_row_switch_cycles", 0));
-  return m;
-}
-
-std::vector<std::complex<double>> random_input(std::size_t n) {
-  Rng rng(2026);
-  std::vector<std::complex<double>> v(n);
-  for (auto& x : v) {
-    x = {rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0};
-  }
-  return v;
+  std::printf("%s", t.to_string().c_str());
 }
 
 void print_psync(const core::PsyncRunReport& rep) {
-  Table t({"phase", "start (us)", "duration (us)"});
-  for (const auto& ph : rep.phases) {
-    t.row().add(ph.name).add(ph.start_ns * 1e-3, 2).add(
-        ph.duration_ns() * 1e-3, 2);
-  }
-  std::printf("%s", t.to_string().c_str());
+  print_phase_table(rep.phases);
   std::printf(
       "total %.2f us | efficiency %.1f%% | %.2f GFLOPS | energy %.1f nJ "
       "(%.1f comm + %.1f compute) | err %.2e\n",
@@ -183,205 +124,148 @@ void print_psync(const core::PsyncRunReport& rep) {
   std::printf("\n");
 }
 
-int run_fft2d(const IniConfig& cfg) {
-  const auto mp = machine_params(cfg);
-  const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
-
-  std::printf("== P-sync ==\n");
-  core::PsyncMachine psm(mp);
-  const auto pr = psm.run_fft2d(input);
-  if (cfg.get_bool("experiment", "json", false)) {
-    std::printf("%s\n", core::run_report_json(pr).c_str());
-    return 0;
+void print_single(const driver::RunRecord& rec) {
+  if (rec.workload == "fft2d" || rec.workload == "fft1d" ||
+      rec.workload == "reliability") {
+    std::printf("== P-sync ==\n");
+    if (rec.psync) print_psync(*rec.psync);
+    if (rec.mesh) {
+      std::printf("== electronic mesh ==\n");
+      print_phase_table(rec.mesh->phases);
+      std::printf("total %.2f us | %.2f GFLOPS | energy %.1f nJ | err %.2e\n\n",
+                  rec.mesh->total_ns * 1e-3, rec.mesh->gflops,
+                  rec.mesh->total_energy_pj() * 1e-3,
+                  rec.mesh->max_error_vs_reference);
+      std::printf("P-sync speedup: %.2fx, energy advantage: %.2fx\n",
+                  rec.mesh->total_ns / rec.psync->total_ns,
+                  rec.mesh->total_energy_pj() / rec.psync->total_energy_pj());
+    }
+    return;
   }
-  print_psync(pr);
-
-  if (cfg.has_section("mesh")) {
+  if (rec.workload == "mesh" && rec.mesh) {
     std::printf("== electronic mesh ==\n");
-    core::MeshMachine msm(mesh_params(cfg, mp));
-    const auto mr = msm.run_fft2d(input);
-    Table t({"phase", "start (us)", "duration (us)"});
-    for (const auto& ph : mr.phases) {
-      t.row().add(ph.name).add(ph.start_ns * 1e-3, 2).add(
-          ph.duration_ns() * 1e-3, 2);
-    }
-    std::printf("%s", t.to_string().c_str());
-    std::printf("total %.2f us | %.2f GFLOPS | energy %.1f nJ | err %.2e\n\n",
-                mr.total_ns * 1e-3, mr.gflops, mr.total_energy_pj() * 1e-3,
-                mr.max_error_vs_reference);
-    std::printf("P-sync speedup: %.2fx, energy advantage: %.2fx\n",
-                mr.total_ns / pr.total_ns,
-                mr.total_energy_pj() / pr.total_energy_pj());
+    print_phase_table(rec.mesh->phases);
+    std::printf("total %.2f us | %.2f GFLOPS | energy %.1f nJ | err %.2e\n",
+                rec.mesh->total_ns * 1e-3, rec.mesh->gflops,
+                rec.mesh->total_energy_pj() * 1e-3,
+                rec.mesh->max_error_vs_reference);
+    return;
   }
-  return 0;
+  if (rec.workload == "transpose" && rec.transpose) {
+    std::printf(
+        "mesh transpose: %lld cycles (%.2f cycles/element), %llu elements\n",
+        static_cast<long long>(rec.transpose->completion_cycle),
+        rec.transpose->cycles_per_element,
+        static_cast<unsigned long long>(rec.transpose->elements));
+    return;
+  }
+  if (rec.workload == "pipeline" && rec.pipeline) {
+    std::printf(
+        "frame latency %.2f us | initiation interval %.2f us | "
+        "%.0f frames/s | bound by %s\n",
+        rec.pipeline->latency_ns * 1e-3, rec.pipeline->interval_ns * 1e-3,
+        rec.pipeline->frames_per_sec,
+        rec.pipeline->bus_bound ? "waveguide" : "compute");
+    return;
+  }
+  // Generic fall-back: one-row metrics table.
+  driver::SweepResult one;
+  one.records.push_back(rec);
+  std::printf("%s", driver::sweep_table(one, rec.workload).c_str());
 }
 
-int run_fft1d(const IniConfig& cfg) {
-  const auto mp = machine_params(cfg);
-  const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
-  std::printf("== P-sync four-step 1D FFT (N = %zu) ==\n",
-              mp.matrix_rows * mp.matrix_cols);
-  core::PsyncMachine psm(mp);
-  const auto pr = psm.run_fft1d(input);
-  if (cfg.get_bool("experiment", "json", false)) {
-    std::printf("%s\n", core::run_report_json(pr).c_str());
-    return 0;
+std::string sweep_title(const driver::ExperimentSpec& spec) {
+  std::string axes;
+  for (const auto& axis : spec.axes) {
+    if (!axes.empty()) axes += " x ";
+    axes += axis.knob;
   }
-  print_psync(pr);
-  return 0;
+  return "P-sync " + spec.workload + " sweep over " + axes;
 }
 
-int run_transpose(const IniConfig& cfg) {
-  const auto mp = machine_params(cfg);
-  auto mep = mesh_params(cfg, mp);
-  const auto elements =
-      static_cast<std::uint32_t>(cfg.get_int("experiment", "elements", 256));
-  core::MeshMachine mesh(mep);
-  const auto rep = mesh.run_transpose_writeback(elements);
-  std::printf("mesh transpose: %lld cycles (%.2f cycles/element), "
-              "%llu elements\n",
-              static_cast<long long>(rep.completion_cycle),
-              rep.cycles_per_element,
-              static_cast<unsigned long long>(rep.elements));
-  return 0;
-}
-
-// Parameter sweep: rerun the P-sync 2D FFT while varying one machine knob.
-//
-//   [experiment]
-//   kind = sweep
-//   vary = processors | blocks | waveguide_gbps
-//   values = 8 16 32 64
-int run_sweep(const IniConfig& cfg) {
-  const std::string vary = cfg.get_string("experiment", "vary", "processors");
-  const std::string values = cfg.get_string("experiment", "values", "");
-  if (values.empty()) {
-    std::fprintf(stderr, "sweep: missing 'values' list\n");
-    return 2;
-  }
-  Table t({vary, "total (us)", "efficiency (%)", "GFLOPS", "energy (nJ)",
-           "frames/s"});
-  t.set_title("P-sync 2D FFT sweep over " + vary);
-  std::istringstream in(values);
-  double v = 0.0;
-  while (in >> v) {
-    auto mp = machine_params(cfg);
-    if (vary == "processors") {
-      mp.processors = static_cast<std::size_t>(v);
-    } else if (vary == "blocks") {
-      mp.delivery_blocks = static_cast<std::size_t>(v);
-    } else if (vary == "waveguide_gbps") {
-      mp.waveguide_gbps = v;
-    } else {
-      std::fprintf(stderr, "sweep: unknown knob '%s'\n", vary.c_str());
-      return 2;
-    }
-    core::PsyncMachine m(mp);
-    const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
-    const auto rep = m.run_fft2d(input, false);
-    const auto pipe = core::PsyncMachine::pipeline_estimate(rep);
-    t.row()
-        .add(v, 0)
-        .add(rep.total_ns * 1e-3, 2)
-        .add(rep.compute_efficiency * 100.0, 1)
-        .add(rep.gflops, 2)
-        .add(rep.total_energy_pj() * 1e-3, 1)
-        .add(pipe.frames_per_sec, 0);
-  }
-  std::printf("%s", t.to_string().c_str());
-  return 0;
-}
-
-// Reliability cliff: rerun the P-sync 2D FFT across link margins, comparing
-// what the configured policy pays (retries, slots, time, energy) against a
-// clean fault-free baseline.
-//
-//   [experiment]
-//   kind = reliability_sweep
-//   margins_db = 0 -1 -2 -2.5 -3
-int run_reliability_sweep(const IniConfig& cfg) {
-  const std::string margins = cfg.get_string("experiment", "margins_db", "");
-  if (margins.empty()) {
-    std::fprintf(stderr, "reliability_sweep: missing 'margins_db' list\n");
-    return 2;
-  }
-  auto base = machine_params(cfg);
-  const auto input = random_input(base.matrix_rows * base.matrix_cols);
-
-  auto clean = base;
-  clean.fault = core::FaultModel{};
-  clean.reliability.policy = reliability::ReliabilityPolicy::kOff;
-  const auto ref = core::PsyncMachine(clean).run_fft2d(input, false);
-
-  Table t({"margin (dB)", "BER", "retried", "residual", "max err",
-           "overhead (us)", "overhead (nJ)", "total (us)"});
-  t.set_title("P-sync 2D FFT reliability cliff (policy = " +
-              std::string(reliability::to_string(base.reliability.policy)) +
-              ", clean baseline " +
-              std::to_string(ref.total_ns * 1e-3).substr(0, 6) + " us)");
-  std::istringstream in(margins);
-  double margin = 0.0;
-  while (in >> margin) {
-    auto mp = base;
-    const auto dead = mp.fault.dead_wavelengths;  // keep configured lanes
-    mp.fault = core::FaultModel::from_margin_db(margin, mp.fault.seed);
-    mp.fault.dead_wavelengths = dead;
-    core::PsyncMachine m(mp);
-    const auto rep = m.run_fft2d(input);
-    char ber[32];
-    std::snprintf(ber, sizeof(ber), "%.1e", mp.fault.random_ber);
-    char err[32];
-    std::snprintf(err, sizeof(err), "%.1e", rep.max_error_vs_reference);
-    t.row()
-        .add(margin, 2)
-        .add(ber)
-        .add(rep.retry.blocks_retried)
-        .add(rep.retry.residual_errors)
-        .add(err)
-        .add(rep.reliability_overhead_ns * 1e-3, 2)
-        .add((rep.total_energy_pj() - ref.total_energy_pj()) * 1e-3, 2)
-        .add(rep.total_ns * 1e-3, 2);
-  }
-  std::printf("%s", t.to_string().c_str());
-  return 0;
-}
-
-int run_pipeline(const IniConfig& cfg) {
-  const auto mp = machine_params(cfg);
-  const auto input = random_input(mp.matrix_rows * mp.matrix_cols);
-  core::PsyncMachine psm(mp);
-  const auto rep = psm.run_fft2d(input, false);
-  const auto pipe = core::PsyncMachine::pipeline_estimate(rep);
-  std::printf("frame latency %.2f us | initiation interval %.2f us | "
-              "%.0f frames/s | bound by %s\n",
-              pipe.latency_ns * 1e-3, pipe.interval_ns * 1e-3,
-              pipe.frames_per_sec, pipe.bus_bound ? "waveguide" : "compute");
-  return 0;
+int usage() {
+  std::fprintf(stderr,
+               "usage: psync_sim [--strict] [--threads N] [--json | --csv] "
+               "<config.ini>\n"
+               "       psync_sim --demo | --list\n");
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--demo") == 0) {
-    std::printf("%s", kDemo);
-    return 0;
+  bool strict = false;
+  bool json = false;
+  bool csv = false;
+  long threads_override = -1;
+  std::string config_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      std::printf("%s", kDemo);
+      return 0;
+    }
+    if (arg == "--list") {
+      for (const auto& name : driver::workload_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return usage();
+      threads_override = std::atol(argv[++i]);
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      return usage();
+    }
   }
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: psync_sim <config.ini>  (or --demo for a sample)\n");
-    return 2;
-  }
+  if (config_path.empty()) return usage();
+
   try {
-    const IniConfig cfg = IniConfig::load(argv[1]);
-    const std::string kind = cfg.get_string("experiment", "kind", "fft2d");
-    if (kind == "fft2d") return run_fft2d(cfg);
-    if (kind == "fft1d") return run_fft1d(cfg);
-    if (kind == "transpose") return run_transpose(cfg);
-    if (kind == "pipeline") return run_pipeline(cfg);
-    if (kind == "sweep") return run_sweep(cfg);
-    if (kind == "reliability_sweep") return run_reliability_sweep(cfg);
-    std::fprintf(stderr, "unknown experiment kind: %s\n", kind.c_str());
-    return 2;
+    const IniConfig cfg = IniConfig::load(config_path);
+
+    // Schema validation: typos stop silently meaning "use the default".
+    const auto diags = driver::sim_config_schema().validate(cfg);
+    strict = strict || cfg.get_bool("experiment", "strict", false);
+    for (const auto& d : diags) {
+      std::fprintf(stderr, "psync_sim: %s: %s\n",
+                   strict ? "error" : "warning", d.to_string().c_str());
+    }
+    if (strict && !diags.empty()) {
+      std::fprintf(stderr, "psync_sim: %zu config problem(s) (--strict)\n",
+                   diags.size());
+      return 2;
+    }
+
+    auto spec = driver::spec_from_config(cfg);
+    if (threads_override > 0) {
+      spec.threads = static_cast<std::size_t>(threads_override);
+    }
+    json = json || cfg.get_bool("experiment", "json", false);
+    csv = csv || cfg.get_bool("experiment", "csv", false);
+
+    const auto result = driver::Runner::run(spec);
+
+    if (json) {
+      std::printf("%s\n", driver::sweep_json(result).c_str());
+    } else if (csv) {
+      std::printf("%s", driver::sweep_csv(result).c_str());
+    } else if (!spec.axes.empty()) {
+      std::printf("%s", driver::sweep_table(result, sweep_title(spec)).c_str());
+    } else {
+      print_single(result.records.front());
+    }
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psync_sim: %s\n", e.what());
     return 1;
