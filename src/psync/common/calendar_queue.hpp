@@ -1,0 +1,165 @@
+// Bucketed calendar queue for cycle-keyed future events.
+//
+// The mesh NoC used to keep future packet releases in a std::priority_queue,
+// paying O(log n) comparisons and a heap shuffle per push/pop on a structure
+// that is consumed almost entirely in key order. A calendar queue exploits
+// that access pattern: events inside a `kWindow`-cycle horizon live in one
+// bucket per cycle (push and pop are O(1) vector appends), and events outside
+// the horizon — beyond it, or pushed for a cycle that is already due — wait
+// in an overflow list that is folded back in one pass when a pop reaches it.
+//
+// Determinism contract (matches the old priority queue with an id tiebreak):
+// events pop in key order, and events with equal keys pop in push order.
+// Every entry carries a push sequence number, so the contract holds even for
+// events that detour through the overflow list. Keys must be non-negative and
+// pops must be issued with non-decreasing `key` arguments (simulation time
+// only moves forward).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "psync/common/check.hpp"
+
+namespace psync {
+
+template <typename T>
+class CalendarQueue {
+ public:
+  static constexpr std::int64_t kWindow = 1024;  // cycles per horizon
+
+  CalendarQueue() : buckets_(static_cast<std::size_t>(kWindow)) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Reserve bucket capacity so steady-state pushes never reallocate.
+  void reserve_buckets(std::size_t per_bucket) {
+    for (auto& b : buckets_) b.reserve(per_bucket);
+  }
+
+  void push(std::int64_t key, T value) {
+    PSYNC_CHECK(key >= 0);
+    ++size_;
+    const std::uint64_t seq = seq_++;
+    if (key >= base_ && key < base_ + kWindow) {
+      buckets_[index_of(key)].push_back(Entry{key, seq, std::move(value)});
+      return;
+    }
+    // Outside the horizon: beyond it, or already due (key < base_ happens
+    // when a packet is injected with a release cycle at or before the
+    // current cycle). Either way it parks in overflow until a pop reaches
+    // its key.
+    if (key < far_min_) far_min_ = key;
+    far_.push_back(Entry{key, seq, std::move(value)});
+  }
+
+  /// Smallest key still queued at or after `key` — or an even smaller one if
+  /// an already-due event is parked in overflow. Returns -1 when empty.
+  /// `key` must be >= every previously popped key.
+  std::int64_t next_key(std::int64_t key) const {
+    if (size_ == 0) return -1;
+    std::int64_t cand = far_min_;
+    const std::int64_t lo = key > base_ ? key : base_;
+    for (std::int64_t c = lo; c < base_ + kWindow; ++c) {
+      if (!buckets_[index_of(c)].empty()) {
+        if (c < cand) cand = c;
+        break;
+      }
+    }
+    return cand;
+  }
+
+  /// Move every event with key <= `key` into `out` (appended), in key order
+  /// with push order preserved within a key. Keys passed to successive
+  /// pop_due calls must be non-decreasing.
+  void pop_due(std::int64_t key, std::vector<T>* out) {
+    if (size_ == 0) return;
+    if (far_min_ <= key || key >= base_ + kWindow) {
+      pop_slow(key, out);
+      return;
+    }
+    for (std::int64_t c = base_; c <= key; ++c) {
+      drain_bucket(buckets_[index_of(c)], out);
+    }
+    if (key >= base_) base_ = key + 1;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t key;
+    std::uint64_t seq;  // global push order, the equal-key tiebreak
+    T value;
+  };
+
+  std::size_t index_of(std::int64_t key) const {
+    return static_cast<std::size_t>(key & (kWindow - 1));
+  }
+
+  /// Empty one bucket into `out` in push order. All entries in a bucket
+  /// share one key (the horizon spans kWindow consecutive keys, so indices
+  /// are unique per key), but overflow migration can append out of push
+  /// order — restore it by seq.
+  void drain_bucket(std::vector<Entry>& b, std::vector<T>* out) {
+    if (b.empty()) return;
+    if (b.size() > 1) {
+      std::sort(b.begin(), b.end(),
+                [](const Entry& x, const Entry& y) { return x.seq < y.seq; });
+    }
+    for (auto& e : b) out->push_back(std::move(e.value));
+    size_ -= b.size();
+    b.clear();
+  }
+
+  /// Cold path: the pop reaches into overflow or jumps past the horizon.
+  /// Gathers every due entry (buckets and overflow), emits them sorted by
+  /// (key, seq), then re-homes the surviving overflow into the new horizon.
+  void pop_slow(std::int64_t key, std::vector<T>* out) {
+    std::vector<Entry> due;
+    const std::int64_t bucket_end =
+        key < base_ + kWindow ? key : base_ + kWindow - 1;
+    for (std::int64_t c = base_; c <= bucket_end; ++c) {
+      auto& b = buckets_[index_of(c)];
+      for (auto& e : b) due.push_back(std::move(e));
+      b.clear();
+    }
+    std::vector<Entry> keep;
+    keep.reserve(far_.size());
+    for (auto& e : far_) {
+      (e.key <= key ? due : keep).push_back(std::move(e));
+    }
+    far_ = std::move(keep);
+
+    std::sort(due.begin(), due.end(), [](const Entry& x, const Entry& y) {
+      return x.key != y.key ? x.key < y.key : x.seq < y.seq;
+    });
+    for (auto& e : due) out->push_back(std::move(e.value));
+    size_ -= due.size();
+    if (key >= base_) base_ = key + 1;
+
+    // Fold overflow entries that now fit the horizon into their buckets.
+    // drain_bucket re-sorts by seq, so append order here is irrelevant.
+    far_min_ = std::numeric_limits<std::int64_t>::max();
+    std::vector<Entry> still_far;
+    for (auto& e : far_) {
+      if (e.key >= base_ && e.key < base_ + kWindow) {
+        buckets_[index_of(e.key)].push_back(std::move(e));
+      } else {
+        if (e.key < far_min_) far_min_ = e.key;
+        still_far.push_back(std::move(e));
+      }
+    }
+    far_ = std::move(still_far);
+  }
+
+  std::vector<std::vector<Entry>> buckets_;  // horizon [base_, base_+kWindow)
+  std::vector<Entry> far_;                   // events outside the horizon
+  std::int64_t far_min_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t base_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace psync

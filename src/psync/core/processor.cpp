@@ -45,11 +45,19 @@ double Processor::apply_four_step_twiddles(std::size_t rows, std::size_t cols,
                                            std::size_t total_rows) {
   PSYNC_CHECK(data_.size() >= rows * cols);
   const std::size_t n = total_rows * cols;
+  // Index the shared root table directly: (global_row0 + r) * q < n for all
+  // in-range rows, and one fetch per call avoids the cache lock per element.
+  const auto& roots = fft::shared_roots(n);
   fft::OpCount ops;
   for (std::size_t r = 0; r < rows; ++r) {
-    auto row = std::span<fft::Complex>(data_).subspan(r * cols, cols);
+    fft::Complex* row = data_.data() + r * cols;
+    const std::size_t gr = global_row0 + r;
     for (std::size_t q = 0; q < cols; ++q) {
-      row[q] *= fft::four_step_twiddle(n, global_row0 + r, q);
+      const fft::Complex w = roots[gr * q];
+      const double xr = row[q].real();
+      const double xi = row[q].imag();
+      row[q] = fft::Complex(xr * w.real() - xi * w.imag(),
+                            xr * w.imag() + xi * w.real());
     }
   }
   ops.real_mults += 4 * rows * cols;

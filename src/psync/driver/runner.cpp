@@ -6,12 +6,15 @@
 #include "psync/common/check.hpp"
 #include "psync/common/table.hpp"
 #include "psync/core/trace.hpp"
+#include "psync/perf/stopwatch.hpp"
 
 namespace psync::driver {
 
 RunRecord Runner::run_point(const std::string& workload, const RunPoint& pt) {
   const Workload& w = find_workload(workload);
+  perf::Stopwatch watch;
   RunRecord rec = w.run(pt);
+  rec.wall_ns = watch.elapsed_ns();
   rec.index = pt.index;
   rec.workload = workload;
   rec.knobs = pt.knobs;

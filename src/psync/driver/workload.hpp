@@ -37,6 +37,11 @@ struct RunRecord {
   std::vector<std::pair<std::string, double>> knobs;
   std::vector<Metric> metrics;
 
+  /// Host wall time Runner::run_point spent on this point. Deliberately
+  /// excluded from every serializer (tables, JSON, CSV): reports stay
+  /// byte-identical run to run; `psync_sim --profile` is what surfaces it.
+  double wall_ns = 0.0;
+
   /// Full reports when a machine actually ran (absent for analysis
   /// workloads); serialized via the unified core/trace schema.
   std::optional<core::PsyncRunReport> psync;

@@ -42,6 +42,15 @@ std::uint64_t final_phase_mults(std::size_t n, std::size_t k);
 /// Expected multiplies for a full N-point FFT: 2N * log2(N).
 std::uint64_t full_fft_mults(std::size_t n);
 
+/// Select the FFT stage kernel globally (default: fast). The fast kernel is
+/// a two-stage-fused (radix-4 style) cache-blocked loop over contiguous
+/// per-stage twiddle tables; it performs the exact same real multiplies and
+/// adds as the reference radix-2 loop, in the same order per element, so
+/// results are bit-identical for finite data. The toggle exists so
+/// equivalence tests and benchmarks can pin either path.
+void set_fast_kernel(bool on);
+bool fast_kernel();
+
 /// Precomputed plan for N-point transforms (N a power of two, N >= 1).
 class FftPlan {
  public:
@@ -72,6 +81,16 @@ class FftPlan {
                      std::size_t last_stage, std::size_t block_offset = 0,
                      std::size_t block_size = 0) const;
 
+  /// The original strided radix-2 stage loop, kept as the ground truth the
+  /// fast kernel is tested against (and as the slow side of before/after
+  /// benchmark pairs). run_stages() dispatches here when fast_kernel() is
+  /// off.
+  OpCount run_stages_reference(std::span<Complex> data,
+                               std::size_t first_stage,
+                               std::size_t last_stage,
+                               std::size_t block_offset = 0,
+                               std::size_t block_size = 0) const;
+
   /// Bit-reversal permutation of `data` (size N).
   void bit_reverse(std::span<Complex> data) const;
 
@@ -79,10 +98,22 @@ class FftPlan {
   std::size_t bit_reversed_index(std::size_t i) const { return rev_[i]; }
 
  private:
+  OpCount run_stages_fast(std::span<Complex> data, std::size_t first_stage,
+                          std::size_t last_stage, std::size_t block_offset,
+                          std::size_t block_size) const;
+
   std::size_t n_;
   std::size_t log2n_;
   std::vector<std::size_t> rev_;
   std::vector<Complex> twiddle_;  // twiddle_[j] = exp(-2*pi*i*j/N), j < N/2
+  // Stage-major twiddles for the fast kernel: stage s's 2^s factors start at
+  // stage_off_[s], stored as split real/imag arrays so the inner loops read
+  // contiguous doubles (SIMD-friendly) instead of striding through twiddle_.
+  // Values are copied verbatim from twiddle_, so both kernels multiply by
+  // bit-identical factors.
+  std::vector<std::size_t> stage_off_;
+  std::vector<double> stage_tw_re_;
+  std::vector<double> stage_tw_im_;
 };
 
 /// O(N^2) reference DFT used to validate the fast paths.

@@ -30,10 +30,13 @@ void four_step_factor(std::size_t n, std::size_t* rows, std::size_t* cols) {
 }
 
 Complex four_step_twiddle(std::size_t n, std::size_t r, std::size_t q) {
-  const double ang = -2.0 * std::numbers::pi *
-                     static_cast<double>(r) * static_cast<double>(q) /
-                     static_cast<double>(n);
-  return {std::cos(ang), std::sin(ang)};
+  // Table lookup with the exponent reduced mod N. Reducing before the trig
+  // call (instead of evaluating cos/sin at the full angle -2*pi*r*q/N) is
+  // both faster and at least as accurate; every consumer of W_N^{rq} —
+  // scalar calls, row batches, kernel-VM programs — reads the same shared
+  // table, so all paths stay mutually consistent.
+  const auto& roots = shared_roots(n);
+  return roots[((r % n) * (q % n)) % n];
 }
 
 std::vector<Complex> four_step_load(std::span<const Complex> x,
@@ -65,10 +68,18 @@ OpCount four_step_twiddle_rows(std::span<Complex> matrix, std::size_t rows,
   PSYNC_CHECK(matrix.size() == rows * cols);
   PSYNC_CHECK(row0 + row_count <= rows);
   const std::size_t n = rows * cols;
+  // r*q < rows*cols for r < rows, q < cols, so the table index needs no
+  // reduction; one shared_roots fetch amortizes the cache lock per call.
+  const auto& roots = shared_roots(n);
   OpCount ops;
   for (std::size_t r = row0; r < row0 + row_count; ++r) {
+    Complex* row = matrix.data() + r * cols;
     for (std::size_t q = 0; q < cols; ++q) {
-      matrix[r * cols + q] *= four_step_twiddle(n, r, q);
+      const Complex w = roots[r * q];
+      const double xr = row[q].real();
+      const double xi = row[q].imag();
+      row[q] = Complex(xr * w.real() - xi * w.imag(),
+                       xr * w.imag() + xi * w.real());
     }
   }
   ops.real_mults += 4 * row_count * cols;

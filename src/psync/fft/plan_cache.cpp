@@ -1,8 +1,12 @@
 #include "psync/fft/plan_cache.hpp"
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <numbers>
+
+#include "psync/common/check.hpp"
 
 namespace psync::fft {
 namespace {
@@ -11,6 +15,7 @@ struct PlanCache {
   std::mutex mu;
   // unique_ptr keeps plan addresses stable across map rehash/rebalance.
   std::map<std::size_t, std::unique_ptr<const FftPlan>> plans;
+  std::map<std::size_t, std::unique_ptr<const std::vector<Complex>>> roots;
 };
 
 PlanCache& cache() {
@@ -37,6 +42,23 @@ std::size_t shared_plan_cache_size() {
   auto& c = cache();
   std::lock_guard<std::mutex> lock(c.mu);
   return c.plans.size();
+}
+
+const std::vector<Complex>& shared_roots(std::size_t n) {
+  if (n == 0) throw SimulationError("shared_roots: size must be positive");
+  auto& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = c.roots.find(n);
+  if (it == c.roots.end()) {
+    auto table = std::make_unique<std::vector<Complex>>(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(n);
+      (*table)[j] = Complex(std::cos(ang), std::sin(ang));
+    }
+    it = c.roots.emplace(n, std::move(table)).first;
+  }
+  return *it->second;
 }
 
 }  // namespace psync::fft

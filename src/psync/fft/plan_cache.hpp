@@ -24,4 +24,11 @@ const FftPlan& shared_plan(std::size_t n);
 /// Number of distinct sizes currently cached (for tests/benchmarks).
 std::size_t shared_plan_cache_size();
 
+/// The shared table of all N complex roots of unity for size N:
+/// roots[j] = exp(-2*pi*i*j/N). Built once per size, never evicted; the
+/// returned reference is stable for the life of the process. Thread-safe.
+/// Backing store for four_step_twiddle and the machine twiddle phases,
+/// which index this table instead of calling cos/sin per element.
+const std::vector<Complex>& shared_roots(std::size_t n);
+
 }  // namespace psync::fft

@@ -1,7 +1,7 @@
 #include "psync/mesh/mesh.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <bit>
 
 #include "psync/common/check.hpp"
 
@@ -47,6 +47,8 @@ Mesh::Mesh(MeshParams params) : params_(params) {
   }
   const auto n = nodes();
   const int v = vcs();
+  const std::uint32_t fifo_cap = std::bit_ceil(params_.buffer_depth);
+  fifo_mask_ = fifo_cap - 1;
   routers_.resize(n);
   sinks_.resize(n, nullptr);
   default_sinks_.resize(n);
@@ -64,8 +66,7 @@ Mesh::Mesh(MeshParams params) : params_(params) {
       NodeId dummy;
       const bool has_neighbor = p < kPortLocal && neighbor(i, p, &dummy) >= 0;
       for (int c = 0; c < v; ++c) {
-        r.in[static_cast<std::size_t>(ivc(p, c))].fifo.resize(
-            params_.buffer_depth);
+        r.in[static_cast<std::size_t>(ivc(p, c))].fifo.resize(fifo_cap);
         // Credits exist only toward real neighbors; eject has none.
         if (has_neighbor) {
           r.credits[static_cast<std::size_t>(ivc(p, c))] =
@@ -76,6 +77,10 @@ Mesh::Mesh(MeshParams params) : params_(params) {
     default_sinks_[i] = std::make_unique<ConsumeSink>();
     sinks_[i] = default_sinks_[i].get();
   }
+  staged_.reserve(n);
+  credit_returns_.reserve(n);
+  cur_active_.reserve(n);
+  next_active_.reserve(n);
 }
 
 NodeId Mesh::node_at(std::uint32_t x, std::uint32_t y) const {
@@ -98,7 +103,7 @@ void Mesh::set_sink(NodeId node, Sink* sink) {
 
 void Mesh::fifo_push(InputVc& p, const Flit& f) {
   PSYNC_CHECK_MSG(p.count < params_.buffer_depth, "input FIFO overflow");
-  p.fifo[(p.head + p.count) % params_.buffer_depth] = f;
+  p.fifo[fifo_index(p.head + p.count)] = f;
   ++p.count;
   ++activity_.buffer_writes;
 }
@@ -106,7 +111,7 @@ void Mesh::fifo_push(InputVc& p, const Flit& f) {
 Flit Mesh::fifo_pop(InputVc& p) {
   PSYNC_CHECK(p.count > 0);
   Flit f = p.fifo[p.head];
-  p.head = (p.head + 1) % params_.buffer_depth;
+  p.head = fifo_index(p.head + 1);
   --p.count;
   ++activity_.buffer_reads;
   return f;
@@ -200,13 +205,15 @@ void Mesh::update_routing(Router& r, NodeId n) {
       const int limit = o == kPortLocal ? 1 : vcs();
       const int start = o == kPortLocal ? 0 : r.vc_rr[o];
       for (int k = 0; k < limit; ++k) {
-        const int cand = (start + k) % limit;
+        int cand = start + k;
+        if (cand >= limit) cand -= limit;
         auto& owner = r.out_owner[static_cast<std::size_t>(ivc(o, cand))];
         if (owner == kFree) {
           owner = static_cast<std::int16_t>(i);
           ip.out_vc = cand;
           if (o != kPortLocal) {
-            r.vc_rr[o] = static_cast<std::uint8_t>((cand + 1) % limit);
+            const int nxt = cand + 1;
+            r.vc_rr[o] = static_cast<std::uint8_t>(nxt >= limit ? 0 : nxt);
           }
           ++activity_.arbitrations;
           break;
@@ -224,7 +231,8 @@ bool Mesh::serve_outputs(NodeId n, Router& r) {
     // input VCs holding an allocated out-VC toward this output.
     int chosen = -1;
     for (int k = 0; k < total; ++k) {
-      const int i = (r.rr_next[o] + k) % total;
+      int i = r.rr_next[o] + k;
+      if (i >= total) i -= total;
       const InputVc& ip = r.in[static_cast<std::size_t>(i)];
       if (ip.count == 0 || ip.route_out != o || ip.out_vc == kNoVc) continue;
       if (o == kPortLocal) {
@@ -244,7 +252,8 @@ bool Mesh::serve_outputs(NodeId n, Router& r) {
       if (!sinks_[n]->accept(front, cycle_)) continue;
       const Flit f = fifo_pop(ip);
       progress = true;
-      r.rr_next[o] = static_cast<std::uint8_t>((chosen + 1) % total);
+      const int next_rr = chosen + 1;
+      r.rr_next[o] = static_cast<std::uint8_t>(next_rr >= total ? 0 : next_rr);
       ++activity_.ejected_flits;
       const int in_port = chosen / vcs();
       if (in_port < kPortLocal) {
@@ -271,7 +280,8 @@ bool Mesh::serve_outputs(NodeId n, Router& r) {
       const int out_vc = ip.out_vc;
       const Flit f = fifo_pop(ip);
       progress = true;
-      r.rr_next[o] = static_cast<std::uint8_t>((chosen + 1) % total);
+      const int next_rr = chosen + 1;
+      r.rr_next[o] = static_cast<std::uint8_t>(next_rr >= total ? 0 : next_rr);
       --r.credits[static_cast<std::size_t>(ivc(o, out_vc))];
       ++activity_.crossbar_traversals;
       ++activity_.link_traversals;
@@ -294,7 +304,8 @@ bool Mesh::serve_injection(NodeId n) {
   // One flit per cycle total across the node's local VCs, round-robin.
   Router& r = routers_[n];
   for (int k = 0; k < vcs(); ++k) {
-    const int vc = (inject_vc_rr_[n] + k) % vcs();
+    int vc = inject_vc_rr_[n] + k;
+    if (vc >= vcs()) vc -= vcs();
     auto& q = inject_queues_[static_cast<std::size_t>(n) * vcs() + vc];
     if (q.empty()) continue;
     InputVc& ip = r.in[static_cast<std::size_t>(ivc(kPortLocal, vc))];
@@ -307,7 +318,8 @@ bool Mesh::serve_injection(NodeId n) {
     fifo_push(ip, f);
     ++activity_.injected_flits;
     ++in_flight_flits_;
-    inject_vc_rr_[n] = static_cast<std::uint8_t>((vc + 1) % vcs());
+    const int next_vc = vc + 1;
+    inject_vc_rr_[n] = static_cast<std::uint8_t>(next_vc >= vcs() ? 0 : next_vc);
     return true;
   }
   return false;
@@ -331,7 +343,7 @@ void Mesh::inject(const PacketDesc& desc) {
     expand_packet(id, desc);
     activate(desc.src);
   } else {
-    releases_.push(Release{desc.release_cycle, id, desc});
+    releases_.push(desc.release_cycle, Release{desc.release_cycle, id, desc});
   }
 }
 
@@ -361,12 +373,15 @@ void Mesh::step() {
   // budgets reset (default sinks are self-clocked).
   for (NodeId n : stepped_sinks_) sinks_[n]->step(cycle_);
 
-  // Release due packets.
-  while (!releases_.empty() && releases_.top().cycle <= cycle_) {
-    const Release rel = releases_.top();
-    releases_.pop();
-    expand_packet(rel.id, rel.desc);
-    activate(rel.desc.src);
+  // Release due packets (in cycle order; push order within a cycle is id
+  // order, matching the old priority queue's tiebreak).
+  if (!releases_.empty()) {
+    release_buf_.clear();
+    releases_.pop_due(cycle_, &release_buf_);
+    for (const Release& rel : release_buf_) {
+      expand_packet(rel.id, rel.desc);
+      activate(rel.desc.src);
+    }
   }
 
   // Process the active set.
@@ -439,7 +454,22 @@ bool Mesh::drained() const {
 
 bool Mesh::run_until_drained(std::int64_t max_cycles) {
   const std::int64_t limit = cycle_ + max_cycles;
-  while (!drained() && cycle_ < limit) step();
+  while (!drained() && cycle_ < limit) {
+    // Idle fast-forward: with no flit buffered, nothing queued for
+    // injection, and no router scheduled to wake, the network state cannot
+    // change until the next release fires — every intervening step() would
+    // be a no-op (sinks are quiescent when nothing is in flight). Jump
+    // straight to that cycle.
+    if (idle_skip_ && in_flight_flits_ == 0 && queued_flits_ == 0 &&
+        next_active_.empty() && !releases_.empty()) {
+      const std::int64_t next_release = releases_.next_key(cycle_);
+      if (next_release > cycle_) {
+        cycle_ = next_release < limit ? next_release : limit;
+        continue;
+      }
+    }
+    step();
+  }
   return drained();
 }
 

@@ -18,9 +18,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "psync/common/calendar_queue.hpp"
 #include "psync/common/stats.hpp"
 #include "psync/mesh/flit.hpp"
 
@@ -64,7 +64,21 @@ class ConsumeSink final : public Sink {
   const std::vector<Flit>& log() const { return log_; }
   /// Arrival cycle of log()[i] (kept alongside the flit log).
   const std::vector<std::int64_t>& log_cycles() const { return log_cycles_; }
-  void keep_log(bool on) { keep_log_ = on; }
+  /// Enable flit logging; `expected_flits` pre-reserves both log vectors so
+  /// long traffic runs never reallocate mid-measurement.
+  void keep_log(bool on, std::size_t expected_flits = 0) {
+    keep_log_ = on;
+    if (on && expected_flits > 0) {
+      log_.reserve(expected_flits);
+      log_cycles_.reserve(expected_flits);
+    }
+  }
+  /// Drop logged flits (capacity is kept) so a sink can be reused across
+  /// measurement windows without accumulating unbounded history.
+  void clear_log() {
+    log_.clear();
+    log_cycles_.clear();
+  }
 
  private:
   std::uint32_t rate_;
@@ -116,6 +130,15 @@ class Mesh {
   /// Run until all injected packets are fully ejected or `max_cycles`
   /// elapse. Returns true when drained.
   bool run_until_drained(std::int64_t max_cycles);
+
+  /// Idle-cycle fast-forward (on by default): when nothing is buffered,
+  /// queued, or active, run_until_drained() jumps `cycle_` straight to the
+  /// next scheduled release instead of stepping empty cycles one at a time.
+  /// Skipped cycles are observationally idle — no counter, stat, or sink
+  /// callback would have fired — so results are identical either way; the
+  /// toggle exists so equivalence tests can force the naive loop.
+  void set_idle_skip(bool on) { idle_skip_ = on; }
+  bool idle_skip() const { return idle_skip_; }
 
   /// True when no flit is buffered anywhere and no injection is pending.
   bool drained() const;
@@ -176,18 +199,13 @@ class Mesh {
     std::int64_t cycle;
     PacketId id;
     PacketDesc desc;
-    bool operator<(const Release& o) const {
-      // std::priority_queue is a max-heap; invert for earliest-first, with
-      // packet id as a deterministic tiebreak.
-      if (cycle != o.cycle) return cycle > o.cycle;
-      return id > o.id;
-    }
   };
 
   int vcs() const { return static_cast<int>(params_.virtual_channels); }
   int ivc(int port, int vc) const { return port * vcs() + vc; }
 
   bool fifo_full(const InputVc& p) const { return p.count >= params_.buffer_depth; }
+  std::uint32_t fifo_index(std::uint32_t slot) const { return slot & fifo_mask_; }
   const Flit& fifo_front(const InputVc& p) const { return p.fifo[p.head]; }
   void fifo_push(InputVc& p, const Flit& f);
   Flit fifo_pop(InputVc& p);
@@ -210,7 +228,11 @@ class Mesh {
   std::vector<std::deque<Flit>> inject_queues_;  // nodes * V
   std::vector<std::uint8_t> inject_vc_rr_;       // per node
   std::uint64_t queued_flits_ = 0;
-  std::priority_queue<Release> releases_;        // future-release packets
+  // Future-release packets, keyed by release cycle. Packet ids are assigned
+  // in inject() order, so push order doubles as the id tiebreak the old
+  // priority queue used.
+  CalendarQueue<Release> releases_;
+  std::vector<Release> release_buf_;  // scratch for pop_due, reused
   std::vector<Staged> staged_;
   struct CreditReturn {
     NodeId node;
@@ -233,6 +255,10 @@ class Mesh {
   std::int64_t cycle_ = 0;
   std::uint64_t in_flight_flits_ = 0;
   std::uint64_t in_flight_packets_ = 0;
+  // FIFO rings are sized to bit_ceil(buffer_depth) so ring indices wrap with
+  // a mask instead of an integer divide; logical capacity is unchanged.
+  std::uint32_t fifo_mask_ = 0;
+  bool idle_skip_ = true;
   MeshActivity activity_;
 };
 

@@ -1,0 +1,50 @@
+#include "psync/perf/stopwatch.hpp"
+
+#include <cstdio>
+
+namespace psync::perf {
+
+std::string format_rate(double events_per_sec, const std::string& unit) {
+  const char* scale = "";
+  double v = events_per_sec;
+  if (v >= 1e9) {
+    v *= 1e-9;
+    scale = "G";
+  } else if (v >= 1e6) {
+    v *= 1e-6;
+    scale = "M";
+  } else if (v >= 1e3) {
+    v *= 1e-3;
+    scale = "k";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s%s/s", v, scale,
+                unit.empty() ? "events" : unit.c_str());
+  return buf;
+}
+
+std::string PhaseProfiler::table() const {
+  const double total = total_ns();
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-24s %12s %7s  %s\n", "phase", "wall_ms",
+                "share", "throughput");
+  out += buf;
+  for (const auto& s : samples_) {
+    const double share = total > 0.0 ? 100.0 * s.wall_ns / total : 0.0;
+    std::string rate = "-";
+    if (s.events > 0 && s.wall_ns > 0.0) {
+      rate = format_rate(static_cast<double>(s.events) / (s.wall_ns * 1e-9),
+                         s.event_unit);
+    }
+    std::snprintf(buf, sizeof(buf), "%-24s %12.3f %6.1f%%  %s\n",
+                  s.name.c_str(), s.wall_ns * 1e-6, share, rate.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-24s %12.3f %6.1f%%\n", "total",
+                total * 1e-6, total > 0.0 ? 100.0 : 0.0);
+  out += buf;
+  return out;
+}
+
+}  // namespace psync::perf

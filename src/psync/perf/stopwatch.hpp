@@ -1,0 +1,84 @@
+// Wall-clock timing primitives for the perf harness.
+//
+// Everything else in the repository measures *simulated* time; this header
+// is the one place that reads the host clock. Stopwatch is a steady-clock
+// interval timer; PhaseProfiler accumulates named (wall time, event count)
+// phases and renders the per-phase breakdown `psync_sim --profile` prints.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psync::perf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_)
+        .count();
+  }
+  double elapsed_ms() const { return elapsed_ns() * 1e-6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// One named phase of a profiled run: how long it took on the wall and how
+/// many domain events (cycles, words, sweep points...) it processed.
+struct PhaseSample {
+  std::string name;
+  double wall_ns = 0.0;
+  std::uint64_t events = 0;
+  std::string event_unit;  // what `events` counts, for display
+};
+
+/// Accumulates phases begin()/end() style (or pre-timed via add) and
+/// renders them as a table with wall share and events/sec columns.
+class PhaseProfiler {
+ public:
+  /// Open a phase; the matching end() closes it. Phases do not nest.
+  void begin(const std::string& name) {
+    open_ = name;
+    watch_.reset();
+  }
+
+  /// Close the phase begin() opened, attributing `events` to it.
+  void end(std::uint64_t events = 0, const std::string& event_unit = {}) {
+    add(open_, watch_.elapsed_ns(), events, event_unit);
+    open_.clear();
+  }
+
+  /// Record an externally timed phase.
+  void add(const std::string& name, double wall_ns, std::uint64_t events = 0,
+           const std::string& event_unit = {}) {
+    samples_.push_back(PhaseSample{name, wall_ns, events, event_unit});
+  }
+
+  const std::vector<PhaseSample>& samples() const { return samples_; }
+
+  double total_ns() const {
+    double t = 0.0;
+    for (const auto& s : samples_) t += s.wall_ns;
+    return t;
+  }
+
+  /// Multi-line breakdown: phase | wall ms | share | events | events/sec.
+  std::string table() const;
+
+ private:
+  std::vector<PhaseSample> samples_;
+  std::string open_;
+  Stopwatch watch_;
+};
+
+/// Human-readable rate: "123.4 M<unit>/s" style, empty unit -> "events".
+std::string format_rate(double events_per_sec, const std::string& unit);
+
+}  // namespace psync::perf

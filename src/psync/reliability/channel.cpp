@@ -100,9 +100,9 @@ ProtectedChannel::Transmission ProtectedChannel::transmit(
   tx.words.reserve(payload.size());
 
   if (params_.policy == ReliabilityPolicy::kOff) {
-    for (const std::uint64_t w : payload) {
-      tx.words.push_back(stream_.corrupt(w, &tx.fault));
-    }
+    tx.words.resize(payload.size());
+    stream_.corrupt_words(payload.data(), tx.words.data(), payload.size(),
+                          &tx.fault);
     tx.wire_slots = tx.wire_words = payload.size();
     for (std::size_t i = 0; i < payload.size(); ++i) {
       if (tx.words[i] != payload[i]) ++tx.retry.residual_errors;
@@ -121,6 +121,7 @@ ProtectedChannel::Transmission ProtectedChannel::transmit(
 
   std::vector<std::uint64_t> wire;
   std::vector<std::uint64_t> received;
+  BlockDecode dec;  // payload buffer reused across blocks and attempts
   for (std::size_t off = 0; off < payload.size(); off += B) {
     const std::size_t n = std::min(B, payload.size() - off);
     ++tx.retry.blocks_total;
@@ -142,13 +143,10 @@ ProtectedChannel::Transmission ProtectedChannel::transmit(
     const bool correct =
         params_.policy == ReliabilityPolicy::kCorrectRetry;
     const std::size_t max_retries = correct ? params_.max_retries : 0;
-    BlockDecode dec;
     for (std::size_t attempt = 0;; ++attempt) {
-      received.clear();
-      received.reserve(wire.size());
-      for (const std::uint64_t w : wire) {
-        received.push_back(stream_.corrupt(w, &tx.fault));
-      }
+      received.resize(wire.size());
+      stream_.corrupt_words(wire.data(), received.data(), wire.size(),
+                            &tx.fault);
       tx.wire_words += wire.size();
       tx.wire_slots += wire.size() * spw;
       if (attempt > 0) {
@@ -158,7 +156,7 @@ ProtectedChannel::Transmission ProtectedChannel::transmit(
         ++tx.retry.retries;
       }
 
-      dec = decode_block(received.data(), n, correct);
+      decode_block_into(received.data(), n, correct, &dec);
       tx.retry.corrected_bits += dec.corrected_bits;
       tx.retry.double_errors += dec.double_errors;
       tx.retry.detected_errors += dec.flagged_words;

@@ -92,6 +92,30 @@ std::uint64_t FaultStream::corrupt(std::uint64_t w, FaultReport* report) {
   return w;
 }
 
+void FaultStream::corrupt_words(const std::uint64_t* in, std::uint64_t* out,
+                                std::size_t count, FaultReport* report) {
+  constexpr auto kNever = std::numeric_limits<std::uint64_t>::max();
+  std::size_t i = 0;
+  while (i < count) {
+    // Bulk path: no stuck-at lanes and the next random flip lies at least a
+    // whole word away — every word up to the flip passes through untouched,
+    // and per-word corrupt() would only have decremented gap_ by 64 and
+    // bumped words_total. Replicate that in one step.
+    if (mask_ == 0 && gap_ >= 64) {
+      const std::uint64_t clean_words =
+          gap_ == kNever ? static_cast<std::uint64_t>(count - i)
+                         : std::min<std::uint64_t>(count - i, gap_ / 64);
+      if (out != in) std::copy(in + i, in + i + clean_words, out + i);
+      if (gap_ != kNever) gap_ -= clean_words * 64;
+      if (report != nullptr) report->words_total += clean_words;
+      i += static_cast<std::size_t>(clean_words);
+      if (i == count) return;
+    }
+    out[i] = corrupt(in[i], report);
+    ++i;
+  }
+}
+
 std::uint64_t apply_fault(const FaultModel& fault, std::uint64_t w, Rng& rng,
                           FaultReport* report) {
   const std::uint64_t mask = fault.silenced_mask();

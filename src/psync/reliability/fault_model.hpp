@@ -15,6 +15,7 @@
 // a handful of RNG draws instead of 64M.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,14 @@ class FaultStream {
 
   /// Corrupt the next word of the stream.
   std::uint64_t corrupt(std::uint64_t w, FaultReport* report = nullptr);
+
+  /// Corrupt `count` consecutive stream words in one call: out[i] is what
+  /// corrupt(in[i]) would have returned, with identical RNG draw order and
+  /// report counters. Whole clean stretches (no dead lanes, next flip
+  /// beyond the burst) are bulk-copied instead of stepped word by word.
+  /// `out` may alias `in`.
+  void corrupt_words(const std::uint64_t* in, std::uint64_t* out,
+                     std::size_t count, FaultReport* report = nullptr);
 
   /// Override the stuck-at mask (lane failover reroutes traffic off dead
   /// lanes; random BER still applies).

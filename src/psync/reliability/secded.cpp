@@ -68,6 +68,40 @@ std::uint8_t secded_encode(std::uint64_t data) {
   return static_cast<std::uint8_t>(syn | (overall << 7));
 }
 
+void secded_encode_words(const std::uint64_t* data, std::size_t count,
+                         std::uint8_t* checks) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t d = data[i];
+    const unsigned syn = data_syndrome(d);
+    const unsigned overall =
+        static_cast<unsigned>((std::popcount(d) + std::popcount(syn)) & 1);
+    checks[i] = static_cast<std::uint8_t>(syn | (overall << 7));
+  }
+}
+
+void secded_decode_words(const std::uint64_t* data, const std::uint8_t* checks,
+                         std::size_t count, bool correct, std::uint64_t* out,
+                         SecdedWordStats* stats) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t d = data[i];
+    const std::uint8_t check = checks[i];
+    const unsigned syn = data_syndrome(d) ^ (check & 0x7FU);
+    const unsigned parity = static_cast<unsigned>(
+        (std::popcount(d) + std::popcount(static_cast<unsigned>(check))) & 1);
+    if (syn == 0 && parity == 0) {  // clean: no classification needed
+      out[i] = d;
+      continue;
+    }
+    const SecdedResult dec = secded_decode(d, check);
+    ++stats->flagged_words;
+    if (correct && dec.status == SecdedStatus::kCorrectedData) {
+      ++stats->corrected_bits;
+    }
+    if (dec.double_error()) ++stats->double_errors;
+    out[i] = correct ? dec.data : d;
+  }
+}
+
 SecdedResult secded_decode(std::uint64_t data, std::uint8_t check) {
   SecdedResult out;
   out.data = data;

@@ -15,6 +15,7 @@
 // syndrome and corrected; any two flips are detected but not correctable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace psync::reliability {
@@ -46,5 +47,29 @@ struct SecdedResult {
 
 /// Decode a received (data, check) pair, correcting at most one flipped bit.
 SecdedResult secded_decode(std::uint64_t data, std::uint8_t check);
+
+/// Word-batched encode: checks[i] = secded_encode(data[i]) for i < count.
+/// One call per burst instead of one per word.
+void secded_encode_words(const std::uint64_t* data, std::size_t count,
+                         std::uint8_t* checks);
+
+/// Counters accumulated by secded_decode_words, with the same semantics as
+/// classifying each word via secded_decode (corrected_bits counts only
+/// repairs that are applied, i.e. when `correct` is set).
+struct SecdedWordStats {
+  std::uint64_t corrected_bits = 0;
+  std::uint64_t double_errors = 0;
+  std::uint64_t flagged_words = 0;  // words with any nonzero syndrome/parity
+};
+
+/// Word-batched decode of `count` (data[i], checks[i]) pairs. out[i]
+/// receives the corrected word when `correct` is set, the raw word
+/// otherwise (`out` may alias `data`). Clean words — the overwhelmingly
+/// common case — take a branch-light fast path; flagged words fall back to
+/// the full secded_decode classification, so results and counters are
+/// identical to the per-word API.
+void secded_decode_words(const std::uint64_t* data, const std::uint8_t* checks,
+                         std::size_t count, bool correct, std::uint64_t* out,
+                         SecdedWordStats* stats);
 
 }  // namespace psync::reliability

@@ -1,0 +1,159 @@
+// CalendarQueue: the bucketed release queue behind the mesh's packet
+// release schedule. The contract under test is the one the old
+// std::priority_queue provided: pops come out in key order, push order
+// preserved within a key — including the awkward cases (events pushed for
+// keys at or before the current pop cursor, jumps far past the bucket
+// horizon) that a naive calendar implementation gets wrong.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "psync/common/calendar_queue.hpp"
+#include "psync/common/rng.hpp"
+
+namespace psync {
+namespace {
+
+using Queue = CalendarQueue<int>;
+
+std::vector<int> pop_all_due(Queue& q, std::int64_t key) {
+  std::vector<int> out;
+  q.pop_due(key, &out);
+  return out;
+}
+
+TEST(CalendarQueue, PopsInKeyOrder) {
+  Queue q;
+  q.push(30, 3);
+  q.push(10, 1);
+  q.push(20, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(pop_all_due(q, 100), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, EqualKeysPopInPushOrder) {
+  Queue q;
+  for (int i = 0; i < 8; ++i) q.push(5, i);
+  EXPECT_EQ(pop_all_due(q, 5), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(CalendarQueue, PopDueTakesOnlyDueEvents) {
+  Queue q;
+  q.push(1, 1);
+  q.push(2, 2);
+  q.push(3, 3);
+  EXPECT_EQ(pop_all_due(q, 2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(pop_all_due(q, 3), (std::vector<int>{3}));
+}
+
+TEST(CalendarQueue, NextKeyReportsEarliestPending) {
+  Queue q;
+  EXPECT_EQ(q.next_key(0), -1);
+  q.push(500, 1);
+  q.push(90, 2);
+  EXPECT_EQ(q.next_key(0), 90);
+  EXPECT_EQ(pop_all_due(q, 90), (std::vector<int>{2}));
+  EXPECT_EQ(q.next_key(91), 500);
+}
+
+TEST(CalendarQueue, EventsBeyondWindowHorizon) {
+  Queue q;
+  q.push(3, 1);
+  q.push(Queue::kWindow * 5 + 7, 2);   // far beyond the horizon
+  q.push(Queue::kWindow * 20 + 1, 3);  // much further
+  EXPECT_EQ(pop_all_due(q, 10), (std::vector<int>{1}));
+  EXPECT_EQ(q.next_key(11), Queue::kWindow * 5 + 7);
+  EXPECT_EQ(pop_all_due(q, Queue::kWindow * 5 + 7), (std::vector<int>{2}));
+  EXPECT_EQ(pop_all_due(q, Queue::kWindow * 30), (std::vector<int>{3}));
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: a pop that jumps several windows forward while events sit
+// between the old and new horizon must still deliver them (and must not
+// hang re-rolling the window).
+TEST(CalendarQueue, JumpPastWindowWithPendingEventsInBetween) {
+  Queue q;
+  q.push(500, 1);
+  q.push(Queue::kWindow * 3, 2);
+  EXPECT_EQ(pop_all_due(q, Queue::kWindow * 4), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: pushing an event at or before the current pop cursor (a
+// packet injected with release_cycle <= the mesh's current cycle) must pop
+// on the next drain, not hang or vanish.
+TEST(CalendarQueue, LatePushPopsOnNextDrain) {
+  Queue q;
+  q.push(100, 1);
+  EXPECT_EQ(pop_all_due(q, 100), (std::vector<int>{1}));
+  q.push(100, 2);  // at the cursor
+  q.push(40, 3);   // before the cursor
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_key(100), 40);
+  EXPECT_EQ(pop_all_due(q, 100), (std::vector<int>{3, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, InterleavedPushPopMatchesReference) {
+  // Randomized differential test against a (key, push-seq) ordered map.
+  Rng rng(99);
+  Queue q;
+  std::multimap<std::int64_t, int> ref;
+  std::int64_t cursor = 0;
+  int next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const int pushes = static_cast<int>(rng.next_u64() % 4);
+    for (int p = 0; p < pushes; ++p) {
+      // Mix of near-future, far-future, and already-due keys.
+      const std::uint64_t r = rng.next_u64() % 100;
+      std::int64_t key;
+      if (r < 70) {
+        key = cursor + static_cast<std::int64_t>(rng.next_u64() % 64);
+      } else if (r < 90) {
+        key = cursor + static_cast<std::int64_t>(rng.next_u64() % 8192);
+      } else {
+        key = std::max<std::int64_t>(
+            0, cursor - static_cast<std::int64_t>(rng.next_u64() % 32));
+      }
+      q.push(key, next_id);
+      ref.emplace(key, next_id);
+      ++next_id;
+    }
+    // Advance: usually small steps, occasionally a large idle-skip jump.
+    cursor += rng.next_u64() % 100 < 90
+                  ? static_cast<std::int64_t>(rng.next_u64() % 4)
+                  : static_cast<std::int64_t>(rng.next_u64() % 5000);
+    std::vector<int> got;
+    q.pop_due(cursor, &got);
+    std::vector<int> want;
+    for (auto it = ref.begin(); it != ref.end() && it->first <= cursor;) {
+      want.push_back(it->second);
+      it = ref.erase(it);
+    }
+    // multimap iteration is key order with insertion order within a key —
+    // exactly the queue's contract (ids are pushed in increasing order).
+    ASSERT_EQ(got, want) << "round " << round << " cursor " << cursor;
+  }
+  EXPECT_EQ(q.size(), ref.size());
+}
+
+TEST(CalendarQueue, SizeAndEmptyTrackPushesAndPops) {
+  Queue q;
+  EXPECT_TRUE(q.empty());
+  q.reserve_buckets(4);
+  for (int i = 0; i < 100; ++i) q.push(i * 3, i);
+  EXPECT_EQ(q.size(), 100u);
+  std::vector<int> out;
+  q.pop_due(150, &out);
+  EXPECT_EQ(q.size(), 100u - out.size());
+  q.pop_due(300, &out);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace psync

@@ -43,9 +43,14 @@
 // `strict = true`.
 //
 // Usage:
-//   psync_sim [--strict] [--threads N] [--json | --csv] <config.ini>
+//   psync_sim [--strict] [--threads N] [--json | --csv] [--profile]
+//             <config.ini>
 //   psync_sim --demo          # print a sample config and exit
 //   psync_sim --list          # list registered workload kinds
+//
+// --profile prints a host wall-clock breakdown (config parse / sweep run /
+// render, plus per-sweep-point cost) to stderr; simulation results are
+// unaffected.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +60,7 @@
 #include "psync/common/table.hpp"
 #include "psync/core/trace.hpp"
 #include "psync/driver/runner.hpp"
+#include "psync/perf/stopwatch.hpp"
 
 namespace {
 
@@ -186,9 +192,44 @@ std::string sweep_title(const driver::ExperimentSpec& spec) {
 int usage() {
   std::fprintf(stderr,
                "usage: psync_sim [--strict] [--threads N] [--json | --csv] "
-               "<config.ini>\n"
+               "[--profile] <config.ini>\n"
                "       psync_sim --demo | --list\n");
   return 2;
+}
+
+/// --profile: wall-clock breakdown of the tool's own phases plus the
+/// per-point cost of the sweep. Goes to stderr so piped --json/--csv
+/// output stays parseable. Host timing only — simulated time is in the
+/// reports themselves.
+void print_profile(const perf::PhaseProfiler& prof,
+                   const driver::SweepResult& result) {
+  std::fprintf(stderr, "\n-- profile (host wall clock) --\n%s",
+               prof.table().c_str());
+  double sweep_ns = 0.0;
+  for (const auto& rec : result.records) sweep_ns += rec.wall_ns;
+  if (result.records.size() > 1) {
+    std::fprintf(stderr, "\nper sweep point:\n");
+    perf::PhaseProfiler points;
+    for (const auto& rec : result.records) {
+      std::string label = rec.workload + "#" + std::to_string(rec.index);
+      for (const auto& [knob, value] : rec.knobs) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " %s=%g", knob.c_str(), value);
+        label += buf;
+      }
+      points.add(label, rec.wall_ns);
+    }
+    std::fprintf(stderr, "%s", points.table().c_str());
+  }
+  if (sweep_ns > 0.0) {
+    std::fprintf(
+        stderr, "sweep: %zu point(s) in %.3f ms of point work (%s)\n",
+        result.records.size(), sweep_ns * 1e-6,
+        perf::format_rate(
+            static_cast<double>(result.records.size()) / (sweep_ns * 1e-9),
+            "points")
+            .c_str());
+  }
 }
 
 }  // namespace
@@ -197,6 +238,7 @@ int main(int argc, char** argv) {
   bool strict = false;
   bool json = false;
   bool csv = false;
+  bool profile = false;
   long threads_override = -1;
   std::string config_path;
 
@@ -218,6 +260,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--threads") {
       if (i + 1 >= argc) return usage();
       threads_override = std::atol(argv[++i]);
@@ -232,6 +276,8 @@ int main(int argc, char** argv) {
   if (config_path.empty()) return usage();
 
   try {
+    perf::PhaseProfiler prof;
+    prof.begin("parse + validate config");
     const IniConfig cfg = IniConfig::load(config_path);
 
     // Schema validation: typos stop silently meaning "use the default".
@@ -253,9 +299,13 @@ int main(int argc, char** argv) {
     }
     json = json || cfg.get_bool("experiment", "json", false);
     csv = csv || cfg.get_bool("experiment", "csv", false);
+    prof.end();
 
+    prof.begin("run sweep");
     const auto result = driver::Runner::run(spec);
+    prof.end(result.records.size(), "points");
 
+    prof.begin("render output");
     if (json) {
       std::printf("%s\n", driver::sweep_json(result).c_str());
     } else if (csv) {
@@ -265,6 +315,9 @@ int main(int argc, char** argv) {
     } else {
       print_single(result.records.front());
     }
+    prof.end();
+
+    if (profile) print_profile(prof, result);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psync_sim: %s\n", e.what());
