@@ -247,6 +247,29 @@ std::uint64_t run_fig13_fft2d(std::uint64_t iters, bool fast) {
   return elements;
 }
 
+// The checkpoint journal writes one fsync'd line per completed sweep point.
+// This pair times the same sweep with and without the journal so the
+// overhead of crash-safety stays visible — and gated — as a number.
+constexpr const char* kBenchJournalPath = "bench_journal.tmp.jsonl";
+
+std::uint64_t run_driver_sweep_fft2d(std::uint64_t iters, bool journal) {
+  std::uint64_t points = 0;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    psync::driver::ExperimentSpec spec;
+    spec.workload = "fft2d";
+    spec.machine.processors = 16;
+    spec.machine.matrix_rows = 256;
+    spec.machine.matrix_cols = 256;
+    spec.axes.push_back({"blocks", {1, 2, 4, 8}});
+    if (journal) spec.journal_path = kBenchJournalPath;
+    const auto result = psync::driver::Runner::run(spec);
+    if (!result.campaign.all_ok()) std::abort();
+    points += result.records.size();
+    if (journal) std::remove(kBenchJournalPath);
+  }
+  return points;
+}
+
 // --- harness ------------------------------------------------------------
 
 std::vector<BenchCase> make_cases() {
@@ -298,6 +321,14 @@ std::vector<BenchCase> make_cases() {
                    "same machine sim on the strided radix-2 reference kernel",
                    4, 1,
                    [](std::uint64_t n) { return run_fig13_fft2d(n, false); }});
+  cases.push_back({"driver_sweep_no_journal",
+                   "4-point 256x256 fft2d sweep, no checkpoint journal",
+                   6, 2,
+                   [](std::uint64_t n) { return run_driver_sweep_fft2d(n, false); }});
+  cases.push_back({"driver_sweep_journal",
+                   "same sweep with a per-point fsync'd checkpoint journal",
+                   6, 2,
+                   [](std::uint64_t n) { return run_driver_sweep_fft2d(n, true); }});
   return cases;
 }
 
@@ -392,6 +423,30 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(e.iters), e.wall_ms,
                 e.per_iter_ms(),
                 psync::perf::format_rate(e.events_per_sec(), "ev").c_str());
+  }
+
+  // Checkpoint-journal overhead gate: crash-safety must stay in the noise
+  // next to the simulation itself. Fail only when the journaled sweep is
+  // both >5% slower AND >5 ms/iter slower than the plain one — the absolute
+  // floor keeps millisecond-level fsync jitter from flaking CI.
+  {
+    const BenchEntry* plain = nullptr;
+    const BenchEntry* journaled = nullptr;
+    for (const auto& e : report.entries) {
+      if (e.name == "driver_sweep_no_journal") plain = &e;
+      if (e.name == "driver_sweep_journal") journaled = &e;
+    }
+    if (plain != nullptr && journaled != nullptr &&
+        plain->min_iter_ms > 0.0) {
+      const double delta = journaled->min_iter_ms - plain->min_iter_ms;
+      const double pct = 100.0 * delta / plain->min_iter_ms;
+      std::printf("\njournal overhead: %+.3f ms/iter on %.3f ms/iter (%+.1f%%)\n",
+                  delta, plain->min_iter_ms, pct);
+      if (delta > 5.0 && pct > 5.0) {
+        std::printf("FAIL: checkpoint journal costs more than 5%% of sweep time\n");
+        return 1;
+      }
+    }
   }
 
   if (!json_path.empty()) {

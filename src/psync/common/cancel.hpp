@@ -1,0 +1,58 @@
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken carries an explicit cancel flag plus an optional wall-clock
+// deadline (the experiment driver's per-point watchdog). The machines never
+// block on it: their run loops call poll() at cycle-batch boundaries, which
+// throws CancelledError once the token has expired. Simulation results are
+// unaffected by the polls — a run either completes exactly as it would have
+// without the token, or aborts with CancelledError.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "psync/common/check.hpp"
+
+namespace psync {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Request cancellation explicitly. Thread-safe; poll() on any thread
+  /// observes it at its next cycle-batch boundary.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm the watchdog: expire `ms` milliseconds of host wall clock from
+  /// now. Call before handing the token to a run (not thread-safe against
+  /// concurrent poll()).
+  void set_deadline_ms(double ms) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(ms));
+    has_deadline_ = true;
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  bool expired() const {
+    if (cancelled()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Throw CancelledError if cancelled or past the deadline.
+  void poll() const {
+    if (cancelled()) throw CancelledError("run cancelled");
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      throw CancelledError("watchdog deadline exceeded");
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace psync

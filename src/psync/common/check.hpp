@@ -23,6 +23,39 @@ class SimulationError : public std::runtime_error {
   explicit SimulationError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Refinements of SimulationError that the experiment driver's per-point
+// isolation (driver/campaign.hpp) classifies into its failure taxonomy.
+// They all derive from SimulationError so existing catch sites and
+// EXPECT_THROW(…, SimulationError) assertions keep working.
+
+/// A configuration rejected before any simulation ran (bad machine
+/// parameters, out-of-range fault model). Taxonomy: config_invalid.
+class ConfigError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// The simulation stopped making forward progress (cycle caps tripped, a
+/// channel degraded past usability). Taxonomy: sim_diverged.
+class DivergenceError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// Cooperative cancellation observed via CancelToken::poll() — in practice
+/// the per-point watchdog deadline. Taxonomy: timeout.
+class CancelledError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// A resource estimate or limit was exceeded before committing to the run.
+/// Taxonomy: oom_estimate_exceeded.
+class ResourceLimitError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
 [[noreturn]] void check_failed(const char* expr, const char* msg,
                                const std::source_location& loc);
 

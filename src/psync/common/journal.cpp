@@ -1,0 +1,101 @@
+#include "psync/common/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "psync/common/check.hpp"
+
+namespace psync {
+
+JournalWriter::~JournalWriter() { close(); }
+
+void JournalWriter::open(const std::string& path, bool keep_existing) {
+  close();
+  int flags = O_RDWR | O_CREAT;
+  if (!keep_existing) flags |= O_TRUNC;
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    throw SimulationError("journal: cannot open '" + path +
+                          "': " + std::strerror(errno));
+  }
+
+  // Resume after a crash: the file may end in a torn (unterminated) tail
+  // from a write the kill interrupted. Appending after it would fuse the
+  // fragment with the next record into one corrupt line, so truncate back
+  // to the end of the last complete line before writing anything new.
+  off_t keep = 0;
+  if (keep_existing) {
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size > 0) {
+      std::ifstream in(path, std::ios::binary);
+      std::string content((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+      const auto last_nl = content.rfind('\n');
+      keep = last_nl == std::string::npos ? 0
+                                          : static_cast<off_t>(last_nl) + 1;
+    }
+  }
+  if (::ftruncate(fd, keep) != 0 || ::lseek(fd, keep, SEEK_SET) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw SimulationError("journal: cannot trim torn tail of '" + path +
+                          "': " + err);
+  }
+  fd_ = fd;
+  path_ = path;
+}
+
+void JournalWriter::append(const std::string& line) {
+  PSYNC_CHECK(is_open());
+  PSYNC_CHECK_MSG(line.find('\n') == std::string::npos,
+                  "journal lines must not contain newlines");
+  std::string buf = line;
+  buf.push_back('\n');
+  // One write(2) per line: '\n' is the last byte, so a crash mid-write can
+  // only leave an unterminated tail the reader drops.
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SimulationError("journal: write to '" + path_ +
+                            "' failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw SimulationError("journal: fsync of '" + path_ +
+                          "' failed: " + std::strerror(errno));
+  }
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<std::string> read_journal_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    // std::getline strips the delimiter; at EOF-without-'\n' it still
+    // returns the torn tail, which eof() before the delimiter flags.
+    if (in.eof()) break;  // torn final line: drop it
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace psync

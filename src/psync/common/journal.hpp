@@ -1,0 +1,46 @@
+// Append-only, fsync'd line journal — the crash-safety primitive under the
+// experiment driver's sweep checkpointing.
+//
+// Contract: append() returns only after the line (with its trailing
+// newline) has been handed to the kernel *and* fsync(2) succeeded, so a
+// journal read back after a kill -9 contains every acknowledged line plus
+// at most one torn tail. Each line is written with a single write(2) and
+// '\n' is its last byte, so a partially-applied write can only produce an
+// unterminated tail — which read_journal_lines() drops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psync {
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Open `path` for appending. With `keep_existing` the current content
+  /// survives (resume); otherwise the file is truncated. Throws
+  /// SimulationError when the file cannot be opened.
+  void open(const std::string& path, bool keep_existing);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Durably append one line (a trailing '\n' is added; `line` must not
+  /// contain one). Throws SimulationError on write or fsync failure.
+  void append(const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Every complete ('\n'-terminated) line of `path`, without the newline.
+/// A torn final line — the kill -9 signature — is dropped; a missing file
+/// reads as empty.
+std::vector<std::string> read_journal_lines(const std::string& path);
+
+}  // namespace psync

@@ -55,14 +55,14 @@ class ProcSink final : public mesh::Sink {
 }  // namespace
 
 MeshMachine::MeshMachine(MeshMachineParams params) : params_(params) {
-  if (params_.grid == 0) throw SimulationError("MeshMachine: zero grid");
+  if (params_.grid == 0) throw ConfigError("MeshMachine: zero grid");
   const std::size_t p = params_.grid * params_.grid;
   if (params_.matrix_rows % p != 0 || params_.matrix_cols % p != 0) {
-    throw SimulationError(
+    throw ConfigError(
         "MeshMachine: processor count must divide both matrix dimensions");
   }
   if (params_.memory_node >= p) {
-    throw SimulationError("MeshMachine: memory node outside the grid");
+    throw ConfigError("MeshMachine: memory node outside the grid");
   }
   params_.net.width = static_cast<std::uint32_t>(params_.grid);
   params_.net.height = static_cast<std::uint32_t>(params_.grid);
@@ -89,10 +89,12 @@ TransposeRunReport MeshMachine::run_transpose_writeback(
     }
   }
 
+  std::uint64_t steps = 0;
   while (!mi.done()) {
+    poll_cancel(&steps);
     net.step();
     if (net.cycle() > kMaxPhaseCycles) {
-      throw SimulationError("run_transpose_writeback: exceeded cycle cap");
+      throw DivergenceError("run_transpose_writeback: exceeded cycle cap");
     }
   }
 
@@ -153,10 +155,12 @@ TransposeRunReport MeshMachine::run_transpose_writeback_multiport(
     }
     return true;
   };
+  std::uint64_t steps = 0;
   while (!all_done()) {
+    poll_cancel(&steps);
     net.step();
     if (net.cycle() > kMaxPhaseCycles) {
-      throw SimulationError("multiport transpose: exceeded cycle cap");
+      throw DivergenceError("multiport transpose: exceeded cycle cap");
     }
   }
 
@@ -239,10 +243,12 @@ MeshRunReport MeshMachine::run_fft2d(
       }
       return true;
     };
+    std::uint64_t steps = 0;
     while (!all_done()) {
+      poll_cancel(&steps);
       net.step();
       if (net.cycle() > kMaxPhaseCycles) {
-        throw SimulationError("MeshMachine delivery: exceeded cycle cap");
+        throw DivergenceError("MeshMachine delivery: exceeded cycle cap");
       }
     }
     std::vector<double> done_ns(P);
@@ -296,10 +302,12 @@ MeshRunReport MeshMachine::run_fft2d(
         net.inject(d);
       }
     }
+    std::uint64_t steps = 0;
     while (!mi.done()) {
+      poll_cancel(&steps);
       net.step();
       if (net.cycle() > kMaxPhaseCycles) {
-        throw SimulationError("MeshMachine writeback: exceeded cycle cap");
+        throw DivergenceError("MeshMachine writeback: exceeded cycle cap");
       }
     }
     phase.start_ns = t0;

@@ -50,17 +50,17 @@ PsyncMachine::PsyncMachine(PsyncMachineParams params)
       engine_(topo_),
       head_(params.head) {
   const auto& p = params_;
-  if (p.processors == 0) throw SimulationError("PsyncMachine: no processors");
+  if (p.processors == 0) throw ConfigError("PsyncMachine: no processors");
   if (!is_pow2(p.matrix_rows) || !is_pow2(p.matrix_cols)) {
-    throw SimulationError("PsyncMachine: matrix dims must be powers of two");
+    throw ConfigError("PsyncMachine: matrix dims must be powers of two");
   }
   if (p.matrix_rows % p.processors != 0 || p.matrix_cols % p.processors != 0) {
-    throw SimulationError(
+    throw ConfigError(
         "PsyncMachine: processor count must divide both matrix dimensions");
   }
   if (!is_pow2(p.delivery_blocks) ||
       p.delivery_blocks > std::min(p.matrix_cols, p.matrix_rows)) {
-    throw SimulationError(
+    throw ConfigError(
         "PsyncMachine: delivery_blocks must be a power of two <= both dims");
   }
   procs_.reserve(p.processors);
@@ -74,6 +74,7 @@ double PsyncMachine::slot_period_ns() const {
 }
 
 double PsyncMachine::begin_run(std::vector<Phase>* phases) {
+  if (cancel_ != nullptr) cancel_->poll();
   collisions_ = 0;
   gap_free_ = true;
   waveguide_words_ = 0;
@@ -140,6 +141,7 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
   const std::size_t log2k = ilog2(k);
   const std::size_t log2bs = ilog2(bs);
   PSYNC_CHECK(image.size() == rows * cols);
+  if (cancel_ != nullptr) cancel_->poll();
 
   const CpSchedule sched = compile_scatter_round_robin(
       P, static_cast<Slot>(k), static_cast<Slot>(B));
@@ -199,6 +201,8 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
   out.compute_begin_ns = block_done[0][0];
   out.compute_end_ns = start_ns;
   for (std::size_t i = 0; i < P; ++i) {
+    // Cycle-batch boundary: one poll per processor's compute pass.
+    if (cancel_ != nullptr) cancel_->poll();
     double cursor = start_ns;
     for (std::size_t j = 0; j < k; ++j) {
       cursor = std::max(cursor, block_done[i][j]);
@@ -228,6 +232,7 @@ PsyncMachine::PassResult PsyncMachine::scatter_fft_pass(
 double PsyncMachine::gather_to_dram(
     const CpSchedule& sched, const std::vector<std::vector<Word>>& node_data,
     double start_ns, Phase& phase) {
+  if (cancel_ != nullptr) cancel_->poll();
   const GatherResult g = engine_.gather(sched, node_data);
   collisions_ += g.collisions.size();
   gap_free_ = gap_free_ && g.gap_free;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "psync/common/cancel.hpp"
 #include "psync/core/faults.hpp"
 #include "psync/core/head_node.hpp"
 #include "psync/core/processor.hpp"
@@ -162,6 +163,12 @@ class PsyncMachine {
   const std::vector<Processor>& processors() const { return procs_; }
   const HeadNode& head() const { return head_; }
 
+  /// Cooperative cancellation: the run loops poll `token` at phase and
+  /// per-processor batch boundaries and abort with CancelledError once it
+  /// expires (the driver's per-point watchdog). nullptr disarms. The token
+  /// must outlive the run; results are unaffected unless it fires.
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
+
  private:
   struct PassResult {
     double delivery_end_ns = 0.0;   // last word latched anywhere
@@ -221,6 +228,7 @@ class PsyncMachine {
   reliability::RetryReport retry_report_;
   std::uint64_t overhead_slots_ = 0;
   std::unique_ptr<reliability::ProtectedChannel> channel_;
+  const CancelToken* cancel_ = nullptr;
 
   PsyncMachineParams params_;
   PscanTopology topo_;

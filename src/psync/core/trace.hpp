@@ -61,7 +61,10 @@ std::string to_json(const reliability::LaneReport& rep);
 ///   1 — PsyncRunReport-only JSON, no version field (pre-driver).
 ///   2 — unified schema: "schema_version" + "machine" discriminator, one
 ///       field layout for both the P-sync and mesh machines, CSV form.
-inline constexpr int kRunReportSchemaVersion = 2;
+///   3 — campaign layer: sweep JSON gains a "campaign" counts object and
+///       per-point "status" (+ "failure" when a point was isolated);
+///       machine-run report layout unchanged.
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// The normalized run summary both machine reports lower into: one field
 /// set, one serializer, so every tool emits the same schema. PSCAN-side

@@ -1,0 +1,114 @@
+// The campaign layer: what turns a sweep into a crash-safe experiment
+// campaign. Three pieces, all beneath Runner::run:
+//
+//   * PointGuard — per-point isolation. Runs one grid point, converts
+//     whatever it throws into a structured PointFailure (the FailureKind
+//     taxonomy in workload.hpp), arms a cooperative watchdog deadline per
+//     attempt (CancelToken polled at machine cycle-batch boundaries),
+//     retries transient failures with linear backoff, and quarantines
+//     points that exhaust their budget. One bad point no longer takes the
+//     campaign down.
+//
+//   * Checkpoint journal codec — one JSONL line per completed point
+//     (grid index, point seed, scalar metrics, raw machine-report JSON,
+//     status/failure), written through common/journal.hpp's fsync-per-line
+//     writer. Doubles are stored as %.17g so a parse + re-render at the
+//     serializers' precision(12) reproduces the original bytes exactly:
+//     kill -9 mid-sweep + --resume yields byte-identical JSON/CSV to an
+//     uninterrupted run.
+//
+//   * CampaignReport — the failed/quarantined/retried accounting the
+//     serializers surface (schema_version 3) and psync_sim's --strict
+//     promotes to a nonzero exit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "psync/driver/experiment.hpp"
+#include "psync/driver/workload.hpp"
+
+namespace psync::driver {
+
+/// File an exception under the failure taxonomy: CancelledError ->
+/// timeout, ConfigError -> config_invalid, ResourceLimitError ->
+/// oom_estimate_exceeded, DivergenceError (incl. cycle caps and lane
+/// exhaustion) -> sim_diverged, everything else -> internal_error.
+FailureKind classify_failure(const std::exception& e);
+
+/// Only transient kinds are worth re-running: a timeout may have been host
+/// scheduling noise and an internal error may be a latent race;
+/// config/divergence/oom failures are deterministic in the point itself.
+bool failure_is_retryable(FailureKind kind);
+
+/// Rough peak-working-set estimate for a run point, bytes (input matrix +
+/// per-processor buffers + verification reference). Used by the guard's
+/// max_point_mb admission gate, which refuses obviously oversized points
+/// before they run the host out of memory.
+std::size_t estimate_point_bytes(const std::string& workload,
+                                 const RunPoint& pt);
+
+/// Per-point isolation wrapper (policy in GuardParams, experiment.hpp).
+class PointGuard {
+ public:
+  explicit PointGuard(GuardParams params) : params_(params) {}
+
+  using PointFn = std::function<RunRecord(const RunPoint&)>;
+
+  /// Run `fn(point)` under the configured policy. With isolation off this
+  /// is a plain call (exceptions propagate). With isolation on the result
+  /// always comes back as a RunRecord: status kOk (with `retries` spent),
+  /// kFailed (non-retryable failure), or kQuarantined (transient failure
+  /// that exhausted max_retries); failed records carry the point's index
+  /// and knobs plus a PointFailure, and no metrics.
+  RunRecord run(const std::string& workload, const RunPoint& point,
+                const PointFn& fn) const;
+
+  const GuardParams& params() const { return params_; }
+
+ private:
+  GuardParams params_;
+};
+
+/// Campaign-level accounting over a finished record set.
+struct CampaignReport {
+  std::size_t points = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t quarantined = 0;
+  /// Points reconstituted from the checkpoint journal instead of re-run.
+  /// Deliberately NOT serialized: resumed output must stay byte-identical
+  /// to an uninterrupted run.
+  std::size_t resumed = 0;
+  std::uint64_t retries = 0;        // total retry attempts consumed
+  std::vector<std::size_t> quarantine;  // quarantined grid indices
+
+  bool all_ok() const { return failed == 0 && quarantined == 0; }
+};
+
+/// Tally a record set (resumed is left at 0; Runner fills it in).
+CampaignReport summarize_campaign(const std::vector<RunRecord>& records);
+
+/// One parsed checkpoint-journal record.
+struct JournalEntry {
+  std::uint64_t seed = 0;  // the point's deterministic seed (resume check)
+  RunRecord rec;           // metrics + status + raw report fragments
+};
+
+/// Render one completed point as a single JSONL journal line (no trailing
+/// newline; JournalWriter::append adds it). Doubles as %.17g, machine
+/// reports embedded as raw core::run_report_json fragments.
+std::string journal_line(const RunRecord& rec, std::uint64_t seed);
+
+/// Parse one journal line. Returns false (out untouched beyond partial
+/// writes) on any malformed, truncated, or unknown-format input — every
+/// strict prefix of a valid line fails, which is what makes torn tails
+/// safe to drop.
+bool parse_journal_line(const std::string& line, JournalEntry* out);
+
+/// Minimal JSON string escaping (backslash, quote, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace psync::driver

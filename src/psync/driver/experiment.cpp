@@ -25,11 +25,20 @@ bool apply_knob(const std::string& knob, double value,
     machine->bus_length_cm = value;
   } else if (knob == "margin_db") {
     // Rebuild the fault model from optical margin; keep the configured
-    // dead lanes and injection seed so only the BER moves with the axis.
-    const auto dead = machine->fault.dead_wavelengths;
-    machine->fault =
+    // dead lanes, injection seed and time-varying profile so only the
+    // base BER moves with the axis.
+    core::FaultModel fault =
         core::FaultModel::from_margin_db(value, machine->fault.seed);
-    machine->fault.dead_wavelengths = dead;
+    fault.dead_wavelengths = machine->fault.dead_wavelengths;
+    fault.drift_ber_per_mword = machine->fault.drift_ber_per_mword;
+    fault.brownout_start_word = machine->fault.brownout_start_word;
+    fault.brownout_words = machine->fault.brownout_words;
+    fault.brownout_ber = machine->fault.brownout_ber;
+    machine->fault = fault;
+  } else if (knob == "drift_ber_per_mword") {
+    machine->fault.drift_ber_per_mword = value;
+  } else if (knob == "brownout_ber") {
+    machine->fault.brownout_ber = value;
   } else if (knob == "grid") {
     mesh->grid = static_cast<std::size_t>(value);
   } else if (knob == "t_p") {
@@ -50,7 +59,8 @@ bool apply_knob(const std::string& knob, double value,
 std::vector<std::string> known_knobs() {
   return {"processors",     "blocks",        "k",
           "rows",           "cols",          "waveguide_gbps",
-          "bus_length_cm",  "margin_db",     "grid",
+          "bus_length_cm",  "margin_db",     "drift_ber_per_mword",
+          "brownout_ber",   "grid",
           "t_p",            "elements_per_packet", "virtual_channels",
           "cores"};
 }
@@ -88,6 +98,13 @@ core::PsyncMachineParams machine_from_config(const IniConfig& cfg) {
     std::istringstream lanes(cfg.get_string("fault", "dead_wavelengths", ""));
     std::uint32_t lane = 0;
     while (lanes >> lane) p.fault.dead_wavelengths.push_back(lane);
+    p.fault.drift_ber_per_mword =
+        cfg.get_double("fault", "drift_ber_per_mword", 0.0);
+    p.fault.brownout_start_word = static_cast<std::uint64_t>(
+        cfg.get_int("fault", "brownout_start_word", 0));
+    p.fault.brownout_words =
+        static_cast<std::uint64_t>(cfg.get_int("fault", "brownout_words", 0));
+    p.fault.brownout_ber = cfg.get_double("fault", "brownout_ber", 0.0);
   }
   if (cfg.has_section("reliability")) {
     auto& r = p.reliability;
@@ -142,6 +159,18 @@ ExperimentSpec spec_from_config(const IniConfig& cfg) {
   spec.threads =
       static_cast<std::size_t>(cfg.get_int("experiment", "threads", 1));
   if (spec.threads == 0) spec.threads = 1;
+  spec.journal_path = cfg.get_string("experiment", "journal", "");
+
+  if (cfg.has_section("guard")) {
+    auto& g = spec.guard;
+    g.isolate = cfg.get_bool("guard", "isolate", g.isolate);
+    g.max_retries =
+        static_cast<std::size_t>(cfg.get_int("guard", "max_retries", 1));
+    g.point_timeout_ms = cfg.get_double("guard", "point_timeout_ms", 0.0);
+    g.retry_backoff_ms = cfg.get_double("guard", "retry_backoff_ms", 5.0);
+    g.max_point_mb =
+        static_cast<std::size_t>(cfg.get_int("guard", "max_point_mb", 0));
+  }
 
   const std::string kind = cfg.get_string("experiment", "kind", "fft2d");
   if (kind == "sweep") {
@@ -192,7 +221,13 @@ ConfigSchema sim_config_schema() {
       .key("experiment", "threads", Type::kInt)
       .key("experiment", "vary", Type::kString)
       .key("experiment", "values", Type::kDoubleList)
-      .key("experiment", "margins_db", Type::kDoubleList);
+      .key("experiment", "margins_db", Type::kDoubleList)
+      .key("experiment", "journal", Type::kString);
+  s.key("guard", "isolate", Type::kBool)
+      .key("guard", "max_retries", Type::kInt)
+      .key("guard", "point_timeout_ms", Type::kDouble)
+      .key("guard", "retry_backoff_ms", Type::kDouble)
+      .key("guard", "max_point_mb", Type::kInt);
   s.key("machine", "processors", Type::kInt)
       .key("machine", "rows", Type::kInt)
       .key("machine", "cols", Type::kInt)
@@ -210,7 +245,11 @@ ConfigSchema sim_config_schema() {
   s.key("fault", "margin_db", Type::kDouble)
       .key("fault", "random_ber", Type::kDouble)
       .key("fault", "seed", Type::kInt)
-      .key("fault", "dead_wavelengths", Type::kIntList);
+      .key("fault", "dead_wavelengths", Type::kIntList)
+      .key("fault", "drift_ber_per_mword", Type::kDouble)
+      .key("fault", "brownout_start_word", Type::kInt)
+      .key("fault", "brownout_words", Type::kInt)
+      .key("fault", "brownout_ber", Type::kDouble);
   s.key("reliability", "policy", Type::kString)
       .key("reliability", "block_words", Type::kInt)
       .key("reliability", "max_retries", Type::kInt)

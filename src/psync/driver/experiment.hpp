@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "psync/common/cancel.hpp"
 #include "psync/common/config.hpp"
 #include "psync/core/mesh_machine.hpp"
 #include "psync/core/psync_machine.hpp"
@@ -26,6 +27,29 @@ namespace psync::driver {
 struct SweepAxis {
   std::string knob;
   std::vector<double> values;
+};
+
+/// Per-point isolation policy (see driver/campaign.hpp): when `isolate` is
+/// on, each point runs under a PointGuard that converts exceptions into a
+/// structured PointFailure, arms a watchdog deadline per attempt, retries
+/// transient failures with backoff, and quarantines points that exhaust
+/// their retries — one bad point no longer aborts the campaign.
+struct GuardParams {
+  /// Convert per-point exceptions into failure records instead of
+  /// propagating them out of Runner::run.
+  bool isolate = true;
+  /// Re-runs allowed for transient failures (timeout, internal_error);
+  /// deterministic failures (config_invalid, sim_diverged,
+  /// oom_estimate_exceeded) never retry.
+  std::size_t max_retries = 1;
+  /// Watchdog deadline per attempt, ms of host wall clock (0 = none).
+  /// Checked cooperatively at machine cycle-batch boundaries.
+  double point_timeout_ms = 0.0;
+  /// Host sleep before retry attempt n is n * retry_backoff_ms.
+  double retry_backoff_ms = 5.0;
+  /// Refuse points whose estimated working set exceeds this many MiB
+  /// before running them (0 = no limit) -> oom_estimate_exceeded.
+  std::size_t max_point_mb = 0;
 };
 
 struct ExperimentSpec {
@@ -52,6 +76,16 @@ struct ExperimentSpec {
   std::vector<SweepAxis> axes;
   /// SweepEngine pool size (1 = serial; results are identical either way).
   std::size_t threads = 1;
+
+  /// Per-point isolation / watchdog / retry policy.
+  GuardParams guard;
+  /// Checkpoint journal path (empty = no journal): every finished point is
+  /// appended as one fsync'd JSONL line as it completes.
+  std::string journal_path;
+  /// Resume: skip points already recorded in `journal_path` and splice
+  /// their journaled results back into grid order, so a killed sweep plus
+  /// resume renders byte-identical output to an uninterrupted run.
+  bool resume = false;
 };
 
 /// One expanded point of the sweep grid: knob values already applied to
@@ -66,12 +100,18 @@ struct RunPoint {
   bool verify = true;
   std::uint32_t transpose_elements = 256;
   std::uint64_t seed = 0;
+
+  /// Cooperative watchdog token the PointGuard arms per attempt; workloads
+  /// thread it into the machines they construct (set_cancel). nullptr when
+  /// no deadline is armed.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Apply one sweep knob to the parameter blocks. Returns false for an
 /// unknown knob name. Knobs: processors, blocks, rows, cols,
 /// waveguide_gbps, bus_length_cm, margin_db (rebuilds machine.fault from
-/// optical margin, preserving configured dead lanes and seed), grid, t_p,
+/// optical margin, preserving configured dead lanes, seed and the
+/// time-varying profile), drift_ber_per_mword, brownout_ber, grid, t_p,
 /// elements_per_packet, virtual_channels, k, cores (the last two are
 /// aliases used by the fig11/fig13 analysis workloads: k = blocks).
 bool apply_knob(const std::string& knob, double value,

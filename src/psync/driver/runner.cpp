@@ -1,9 +1,11 @@
 #include "psync/driver/runner.hpp"
 
 #include <cstdio>
+#include <mutex>
 #include <sstream>
 
 #include "psync/common/check.hpp"
+#include "psync/common/journal.hpp"
 #include "psync/common/table.hpp"
 #include "psync/core/trace.hpp"
 #include "psync/perf/stopwatch.hpp"
@@ -28,9 +30,65 @@ SweepResult Runner::run(const ExperimentSpec& spec) {
   // threads spawn (and with a message naming the known kinds).
   (void)find_workload(spec.workload);
   const auto points = SweepEngine::expand(spec);
+  result.records.resize(points.size());
+
+  // Resume: reconstitute journaled points into their grid slots. Every
+  // entry must match this sweep (grid bounds, point seed, workload) or the
+  // journal belongs to a different campaign — fail loudly rather than mix
+  // results. read_journal_lines already dropped a torn final line (kill -9
+  // mid-append); a malformed line elsewhere means the file is not ours.
+  std::vector<char> done(points.size(), 0);
+  std::size_t resumed = 0;
+  if (spec.resume) {
+    if (spec.journal_path.empty()) {
+      throw SimulationError("resume requested without a journal path");
+    }
+    for (const auto& line : read_journal_lines(spec.journal_path)) {
+      JournalEntry entry;
+      if (!parse_journal_line(line, &entry)) {
+        throw SimulationError("corrupt checkpoint journal line in '" +
+                              spec.journal_path + "'");
+      }
+      const std::size_t idx = entry.rec.index;
+      if (idx >= points.size() || entry.seed != points[idx].seed ||
+          entry.rec.workload != spec.workload) {
+        throw SimulationError(
+            "checkpoint journal '" + spec.journal_path +
+            "' does not match this sweep (point " + std::to_string(idx) +
+            "); refusing to mix campaigns");
+      }
+      if (done[idx] == 0) ++resumed;
+      result.records[idx] = std::move(entry.rec);
+      done[idx] = 1;
+    }
+  }
+
+  JournalWriter journal;
+  if (!spec.journal_path.empty()) {
+    journal.open(spec.journal_path, /*keep_existing=*/spec.resume);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (done[i] == 0) pending.push_back(i);
+  }
+
+  const PointGuard guard(spec.guard);
+  std::mutex mu;  // serializes journal appends and record stores
   SweepEngine engine(spec.threads);
-  result.records = engine.map(
-      points, [&](const RunPoint& pt) { return run_point(spec.workload, pt); });
+  engine.map(pending, [&](const std::size_t i) {
+    RunRecord rec =
+        guard.run(spec.workload, points[i], [&](const RunPoint& pt) {
+          return run_point(spec.workload, pt);
+        });
+    std::lock_guard<std::mutex> lock(mu);
+    if (journal.is_open()) journal.append(journal_line(rec, points[i].seed));
+    result.records[i] = std::move(rec);
+    return 0;
+  });
+
+  result.campaign = summarize_campaign(result.records);
+  result.campaign.resumed = resumed;
   return result;
 }
 
@@ -54,14 +112,44 @@ std::string format_metric(const Metric& m) {
   return format_double(m.value, m.decimals);
 }
 
+// "ok" | "failed:<kind>" | "quarantined:<kind>" for status cells.
+std::string format_status(const RunRecord& rec) {
+  std::string s = to_string(rec.status);
+  if (rec.failure) {
+    s += ':';
+    s += to_string(rec.failure->kind);
+  }
+  return s;
+}
+
+// Header/metric-layout donor: the first OK record (failed points carry no
+// metrics). Falls back to the first record when every point failed.
+const RunRecord& header_record(const SweepResult& result) {
+  for (const auto& rec : result.records) {
+    if (rec.status == PointStatus::kOk) return rec;
+  }
+  return result.records.front();
+}
+
+bool any_not_ok(const SweepResult& result) {
+  for (const auto& rec : result.records) {
+    if (rec.status != PointStatus::kOk) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string sweep_table(const SweepResult& result, const std::string& title) {
   PSYNC_CHECK(!result.records.empty());
-  const auto& first = result.records.front();
+  // Layout comes from the first OK record; the status column only appears
+  // when some point failed, so all-ok sweeps render exactly as before.
+  const auto& first = header_record(result);
+  const bool with_status = any_not_ok(result);
   std::vector<std::string> header;
   for (const auto& [knob, value] : first.knobs) header.push_back(knob);
   for (const auto& m : first.metrics) header.push_back(m.name);
+  if (with_status) header.push_back("status");
   if (header.empty()) header.push_back("workload");
 
   Table t(header);
@@ -69,8 +157,15 @@ std::string sweep_table(const SweepResult& result, const std::string& title) {
   for (const auto& rec : result.records) {
     auto& row = t.row();
     for (const auto& [knob, value] : rec.knobs) row.add(format_knob(value));
-    for (const auto& m : rec.metrics) row.add(format_metric(m));
-    if (rec.knobs.empty() && rec.metrics.empty()) row.add(rec.workload);
+    if (rec.status == PointStatus::kOk) {
+      for (const auto& m : rec.metrics) row.add(format_metric(m));
+    } else {
+      for (std::size_t m = 0; m < first.metrics.size(); ++m) row.add("-");
+    }
+    if (with_status) row.add(format_status(rec));
+    if (rec.knobs.empty() && rec.metrics.empty() && !with_status) {
+      row.add(rec.workload);
+    }
   }
   return t.to_string();
 }
@@ -79,11 +174,17 @@ std::string sweep_json(const SweepResult& result) {
   std::ostringstream os;
   os.precision(12);
   os << "{\"schema_version\":" << core::kRunReportSchemaVersion
-     << ",\"workload\":\"" << result.spec.workload << "\",\"points\":[";
+     << ",\"workload\":\"" << result.spec.workload << "\",\"campaign\":{"
+     << "\"points\":" << result.campaign.points
+     << ",\"ok\":" << result.campaign.ok
+     << ",\"failed\":" << result.campaign.failed
+     << ",\"quarantined\":" << result.campaign.quarantined
+     << ",\"retried\":" << result.campaign.retries << "},\"points\":[";
   for (std::size_t i = 0; i < result.records.size(); ++i) {
     const auto& rec = result.records[i];
     if (i > 0) os << ',';
-    os << "{\"index\":" << rec.index << ",\"knobs\":{";
+    os << "{\"index\":" << rec.index << ",\"status\":\""
+       << to_string(rec.status) << "\",\"knobs\":{";
     for (std::size_t k = 0; k < rec.knobs.size(); ++k) {
       if (k > 0) os << ',';
       os << '"' << rec.knobs[k].first << "\":" << rec.knobs[k].second;
@@ -94,9 +195,23 @@ std::string sweep_json(const SweepResult& result) {
       os << '"' << rec.metrics[m].name << "\":" << rec.metrics[m].value;
     }
     os << '}';
-    if (rec.psync) os << ",\"report\":" << core::run_report_json(*rec.psync);
+    if (rec.failure) {
+      os << ",\"failure\":{\"kind\":\"" << to_string(rec.failure->kind)
+         << "\",\"message\":\"" << json_escape(rec.failure->message)
+         << "\",\"attempts\":" << rec.failure->attempts << '}';
+    }
+    // Reports: live typed reports when the point ran in this process, raw
+    // journal fragments (stored verbatim) when it was resumed — the bytes
+    // are identical either way.
+    if (rec.psync) {
+      os << ",\"report\":" << core::run_report_json(*rec.psync);
+    } else if (!rec.psync_json.empty()) {
+      os << ",\"report\":" << rec.psync_json;
+    }
     if (rec.mesh) {
       os << ",\"mesh_report\":" << core::run_report_json(*rec.mesh);
+    } else if (!rec.mesh_json.empty()) {
+      os << ",\"mesh_report\":" << rec.mesh_json;
     }
     os << '}';
   }
@@ -108,7 +223,10 @@ std::string sweep_csv(const SweepResult& result) {
   PSYNC_CHECK(!result.records.empty());
   std::ostringstream os;
   os.precision(12);
-  const auto& first = result.records.front();
+  // Same layout rule as the table: columns from the first OK record, and a
+  // status column only when some point failed (all-ok output is unchanged).
+  const auto& first = header_record(result);
+  const bool with_status = any_not_ok(result);
   bool col0 = true;
   for (const auto& [knob, value] : first.knobs) {
     if (!col0) os << ',';
@@ -120,6 +238,11 @@ std::string sweep_csv(const SweepResult& result) {
     os << m.name;
     col0 = false;
   }
+  if (with_status) {
+    if (!col0) os << ',';
+    os << "status";
+    col0 = false;
+  }
   os << '\n';
   for (const auto& rec : result.records) {
     col0 = true;
@@ -128,9 +251,21 @@ std::string sweep_csv(const SweepResult& result) {
       os << value;
       col0 = false;
     }
-    for (const auto& m : rec.metrics) {
+    if (rec.status == PointStatus::kOk) {
+      for (const auto& m : rec.metrics) {
+        if (!col0) os << ',';
+        os << m.value;
+        col0 = false;
+      }
+    } else {
+      for (std::size_t m = 0; m < first.metrics.size(); ++m) {
+        if (!col0) os << ',';
+        col0 = false;
+      }
+    }
+    if (with_status) {
       if (!col0) os << ',';
-      os << m.value;
+      os << format_status(rec);
       col0 = false;
     }
     os << '\n';

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "psync/driver/campaign.hpp"
 #include "psync/driver/experiment.hpp"
 #include "psync/driver/sweep.hpp"
 #include "psync/driver/workload.hpp"
@@ -22,6 +23,8 @@ struct SweepResult {
   ExperimentSpec spec;
   /// One record per grid point, in grid order (independent of threads).
   std::vector<RunRecord> records;
+  /// Campaign accounting: ok/failed/quarantined/retried/resumed tallies.
+  CampaignReport campaign;
 };
 
 class Runner {
@@ -31,6 +34,17 @@ class Runner {
   /// records come back in grid order and each point's seed depends only on
   /// (spec.input_seed, index), so serial and parallel runs are
   /// byte-identical once rendered.
+  ///
+  /// Campaign features (all opt-in via the spec):
+  ///   * spec.guard — each point runs under a PointGuard (isolation,
+  ///     watchdog, retry, quarantine; campaign.hpp);
+  ///   * spec.journal_path — every finished point is appended to a
+  ///     checkpoint journal as one fsync'd JSONL line;
+  ///   * spec.resume — points already in the journal are reconstituted
+  ///     instead of re-run (validated against this sweep's grid indices,
+  ///     seeds and workload; throws SimulationError on a mismatched or
+  ///     corrupt journal), and the rendered output is byte-identical to an
+  ///     uninterrupted run.
   static SweepResult run(const ExperimentSpec& spec);
 
   /// Execute one already-expanded point.

@@ -22,6 +22,42 @@ std::vector<std::complex<double>> random_input(std::size_t n,
   return v;
 }
 
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kConfigInvalid: return "config_invalid";
+    case FailureKind::kSimDiverged: return "sim_diverged";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kOomEstimateExceeded: return "oom_estimate_exceeded";
+    case FailureKind::kInternalError: return "internal_error";
+  }
+  return "?";
+}
+
+const char* to_string(PointStatus status) {
+  switch (status) {
+    case PointStatus::kOk: return "ok";
+    case PointStatus::kFailed: return "failed";
+    case PointStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+FailureKind failure_kind_from_string(const std::string& s) {
+  if (s == "config_invalid") return FailureKind::kConfigInvalid;
+  if (s == "sim_diverged") return FailureKind::kSimDiverged;
+  if (s == "timeout") return FailureKind::kTimeout;
+  if (s == "oom_estimate_exceeded") return FailureKind::kOomEstimateExceeded;
+  if (s == "internal_error") return FailureKind::kInternalError;
+  throw SimulationError("unknown failure kind: " + s);
+}
+
+PointStatus point_status_from_string(const std::string& s) {
+  if (s == "ok") return PointStatus::kOk;
+  if (s == "failed") return PointStatus::kFailed;
+  if (s == "quarantined") return PointStatus::kQuarantined;
+  throw SimulationError("unknown point status: " + s);
+}
+
 double metric(const RunRecord& rec, const std::string& name) {
   for (const auto& m : rec.metrics) {
     if (m.name == name) return m.value;
@@ -61,10 +97,12 @@ class Fft2dWorkload final : public Workload {
     const auto input = random_input(
         pt.machine.matrix_rows * pt.machine.matrix_cols, pt.seed);
     core::PsyncMachine m(pt.machine);
+    m.set_cancel(pt.cancel);
     rec.psync = m.run_fft2d(input, pt.verify);
     add_psync_metrics(&rec, *rec.psync, pt.verify);
     if (pt.with_mesh) {
       core::MeshMachine mm(pt.mesh);
+      mm.set_cancel(pt.cancel);
       rec.mesh = mm.run_fft2d(input, pt.verify);
       rec.metrics.push_back({"mesh_total_us", rec.mesh->total_ns * 1e-3, 2});
       rec.metrics.push_back({"mesh_gflops", rec.mesh->gflops, 2});
@@ -89,6 +127,7 @@ class Fft1dWorkload final : public Workload {
     const auto input = random_input(
         pt.machine.matrix_rows * pt.machine.matrix_cols, pt.seed);
     core::PsyncMachine m(pt.machine);
+    m.set_cancel(pt.cancel);
     rec.psync = m.run_fft1d(input, pt.verify);
     add_psync_metrics(&rec, *rec.psync, pt.verify);
     return rec;
@@ -101,6 +140,7 @@ class TransposeWorkload final : public Workload {
   RunRecord run(const RunPoint& pt) const override {
     RunRecord rec;
     core::MeshMachine m(pt.mesh);
+    m.set_cancel(pt.cancel);
     rec.transpose = m.run_transpose_writeback(pt.transpose_elements);
     rec.metrics.push_back(
         {"cycles", static_cast<double>(rec.transpose->completion_cycle), 0});
@@ -120,6 +160,7 @@ class PipelineWorkload final : public Workload {
     const auto input = random_input(
         pt.machine.matrix_rows * pt.machine.matrix_cols, pt.seed);
     core::PsyncMachine m(pt.machine);
+    m.set_cancel(pt.cancel);
     rec.psync = m.run_fft2d(input, false);
     rec.pipeline = core::PsyncMachine::pipeline_estimate(*rec.psync);
     rec.metrics.push_back({"latency_us", rec.pipeline->latency_ns * 1e-3, 2});
@@ -139,6 +180,7 @@ class MeshWorkload final : public Workload {
     const auto input =
         random_input(pt.mesh.matrix_rows * pt.mesh.matrix_cols, pt.seed);
     core::MeshMachine m(pt.mesh);
+    m.set_cancel(pt.cancel);
     rec.mesh = m.run_fft2d(input, pt.verify);
     rec.metrics.push_back({"total_us", rec.mesh->total_ns * 1e-3, 2});
     rec.metrics.push_back({"gflops", rec.mesh->gflops, 2});
@@ -166,9 +208,12 @@ class ReliabilityWorkload final : public Workload {
     auto clean = pt.machine;
     clean.fault = core::FaultModel{};
     clean.reliability.policy = reliability::ReliabilityPolicy::kOff;
-    const auto ref = core::PsyncMachine(clean).run_fft2d(input, false);
+    core::PsyncMachine refm(clean);
+    refm.set_cancel(pt.cancel);
+    const auto ref = refm.run_fft2d(input, false);
 
     core::PsyncMachine m(pt.machine);
+    m.set_cancel(pt.cancel);
     rec.psync = m.run_fft2d(input);
     const auto& rep = *rec.psync;
     rec.metrics.push_back({"ber", pt.machine.fault.random_ber, -1});
@@ -182,6 +227,49 @@ class ReliabilityWorkload final : public Workload {
     rec.metrics.push_back(
         {"overhead_nj",
          (rep.total_energy_pj() - ref.total_energy_pj()) * 1e-3, 2});
+    rec.metrics.push_back({"total_us", rep.total_ns * 1e-3, 2});
+    rec.metrics.push_back({"baseline_us", ref.total_ns * 1e-3, 2});
+    return rec;
+  }
+};
+
+// Degradation sweep point (satellite of the crash-safe-campaign PR): the
+// configured policy under a *time-varying* fault profile — a thermal-drift
+// BER ramp and/or a brownout window (FaultModel's profile fields) — costed
+// against a clean fault-free baseline of the same machine. The natural
+// sweep axis is drift_ber_per_mword or brownout_ber; a steep enough ramp
+// drives the channel past its retry budget, which is exactly the regime
+// the campaign layer's isolation exists for.
+class DegradationSweepWorkload final : public Workload {
+ public:
+  std::string name() const override { return "degradation_sweep"; }
+  RunRecord run(const RunPoint& pt) const override {
+    RunRecord rec;
+    const auto input = random_input(
+        pt.machine.matrix_rows * pt.machine.matrix_cols, pt.seed);
+
+    auto clean = pt.machine;
+    clean.fault = core::FaultModel{};
+    clean.reliability.policy = reliability::ReliabilityPolicy::kOff;
+    core::PsyncMachine refm(clean);
+    refm.set_cancel(pt.cancel);
+    const auto ref = refm.run_fft2d(input, false);
+
+    core::PsyncMachine m(pt.machine);
+    m.set_cancel(pt.cancel);
+    rec.psync = m.run_fft2d(input);
+    const auto& rep = *rec.psync;
+    rec.metrics.push_back(
+        {"drift_per_mword", pt.machine.fault.drift_ber_per_mword, -1});
+    rec.metrics.push_back(
+        {"corrupted", static_cast<double>(rep.fault.words_corrupted), 0});
+    rec.metrics.push_back(
+        {"retried", static_cast<double>(rep.retry.blocks_retried), 0});
+    rec.metrics.push_back(
+        {"residual", static_cast<double>(rep.retry.residual_errors), 0});
+    rec.metrics.push_back({"max_err", rep.max_error_vs_reference, -1});
+    rec.metrics.push_back(
+        {"overhead_us", rep.reliability_overhead_ns * 1e-3, 2});
     rec.metrics.push_back({"total_us", rep.total_ns * 1e-3, 2});
     rec.metrics.push_back({"baseline_us", ref.total_ns * 1e-3, 2});
     return rec;
@@ -243,6 +331,8 @@ Registry& registry() {
     reg->workloads["pipeline"] = std::make_unique<PipelineWorkload>();
     reg->workloads["mesh"] = std::make_unique<MeshWorkload>();
     reg->workloads["reliability"] = std::make_unique<ReliabilityWorkload>();
+    reg->workloads["degradation_sweep"] =
+        std::make_unique<DegradationSweepWorkload>();
     reg->workloads["fig11"] = std::make_unique<Fig11Workload>();
     reg->workloads["fig13"] = std::make_unique<Fig13Workload>();
     return reg;

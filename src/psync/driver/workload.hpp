@@ -30,6 +30,37 @@ struct Metric {
   int decimals = 2;
 };
 
+/// Failure taxonomy for isolated run points. The PointGuard
+/// (driver/campaign.hpp) classifies whatever a point throws into one of
+/// these buckets; only kTimeout and kInternalError are considered transient
+/// and eligible for retry.
+enum class FailureKind {
+  kConfigInvalid,        // ConfigError: the parameter block is nonsense
+  kSimDiverged,          // DivergenceError: cycle cap, lane exhaustion, ...
+  kTimeout,              // CancelledError: watchdog deadline exceeded
+  kOomEstimateExceeded,  // working-set estimate over guard.max_point_mb
+  kInternalError,        // anything else (bug, bad_alloc, unknown throw)
+};
+
+enum class PointStatus {
+  kOk,
+  kFailed,       // non-retryable failure, isolated
+  kQuarantined,  // retryable failure that exhausted its retries
+};
+
+const char* to_string(FailureKind kind);
+const char* to_string(PointStatus status);
+/// Parse the to_string forms back; throws SimulationError on unknown text.
+FailureKind failure_kind_from_string(const std::string& s);
+PointStatus point_status_from_string(const std::string& s);
+
+/// What an isolated point died of (attached to its RunRecord).
+struct PointFailure {
+  FailureKind kind = FailureKind::kInternalError;
+  std::string message;
+  std::size_t attempts = 1;  // tries spent, including the first
+};
+
 /// Result of one run point, in sweep-grid order when part of a sweep.
 struct RunRecord {
   std::size_t index = 0;
@@ -48,6 +79,19 @@ struct RunRecord {
   std::optional<core::MeshRunReport> mesh;
   std::optional<core::PsyncMachine::PipelineReport> pipeline;
   std::optional<core::TransposeRunReport> transpose;
+
+  /// Campaign layer (driver/campaign.hpp): how the point ended, what it
+  /// died of when isolated, and how many retries it consumed.
+  PointStatus status = PointStatus::kOk;
+  std::optional<PointFailure> failure;
+  std::size_t retries = 0;
+
+  /// Pre-rendered machine-report JSON fragments for points reconstituted
+  /// from a checkpoint journal (the typed reports above stay empty then);
+  /// the serializer splices these back verbatim so a resumed sweep renders
+  /// byte-identical output.
+  std::string psync_json;
+  std::string mesh_json;
 };
 
 /// Value of a named metric; throws SimulationError if absent.

@@ -28,10 +28,10 @@ ReliabilityPolicy policy_from_string(const std::string& s) {
 
 void ReliabilityParams::validate() const {
   if (block_words == 0) {
-    throw SimulationError("ReliabilityParams: block_words must be > 0");
+    throw ConfigError("ReliabilityParams: block_words must be > 0");
   }
   if (policy == ReliabilityPolicy::kCorrectRetry && training_words == 0) {
-    throw SimulationError(
+    throw ConfigError(
         "ReliabilityParams: correct+retry needs a training burst");
   }
 }
@@ -83,6 +83,17 @@ void ProtectedChannel::calibrate() {
   lanes_.spares_used = std::min(dead, params_.spare_lanes);
   lanes_.residual_dead = dead - lanes_.spares_used;
   const std::size_t usable = 64 - lanes_.residual_dead;
+  if (usable == 0) {
+    // Every lane is dead and the spare pool could not restore even one:
+    // there is no width left to serialize over. Before this check the
+    // degraded-width division below hit zero and the channel carried on as
+    // if traffic still flowed. Fail-stop with a typed error instead so the
+    // campaign layer can classify the point.
+    throw LaneExhaustionError(
+        "ProtectedChannel: all 64 lanes dead and spares exhausted (" +
+        std::to_string(params_.spare_lanes) +
+        " spare(s)); the channel cannot carry traffic");
+  }
   lanes_.slots_per_word = usable >= 64 ? 1 : (64 + usable - 1) / usable;
 
   std::uint64_t detected_mask = 0;

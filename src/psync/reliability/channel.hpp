@@ -25,9 +25,19 @@
 #include <string>
 #include <vector>
 
+#include "psync/common/check.hpp"
 #include "psync/reliability/fault_model.hpp"
 
 namespace psync::reliability {
+
+/// The lane scan found every wavelength dead and no spare can restore even
+/// one: the channel cannot carry traffic, so the collective must fail-stop
+/// rather than pretend to deliver. Derives from DivergenceError so the
+/// driver's failure taxonomy files it under sim_diverged.
+class LaneExhaustionError : public DivergenceError {
+ public:
+  using DivergenceError::DivergenceError;
+};
 
 enum class ReliabilityPolicy {
   kOff,

@@ -32,12 +32,49 @@ struct FaultModel {
   /// RNG seed for the random flips (deterministic injection).
   std::uint64_t seed = 1;
 
-  bool trivial() const {
-    return dead_wavelengths.empty() && random_ber <= 0.0;
+  // -- Time-varying BER profile (device-level degradation campaigns) --
+  //
+  // Real photonic links do not sit at one BER: ring resonators drift with
+  // temperature, and a laser/driver power sag ("brownout") steps the margin
+  // down for a window. Both are modeled on the stream-word axis:
+  //
+  //   ber(word) = min(1, random_ber + drift_ber_per_mword * word / 1e6)
+  //   ber(word) = max(ber(word), brownout_ber)   within the brownout window
+  //
+  // The drift term is quantized to kProfileStepWords-word steps so the
+  // profile stays piecewise-constant and the O(flips) geometric-gap sampler
+  // remains exact within each segment.
+
+  /// Additive BER per million stream words (thermal-drift ramp; 0 = off).
+  double drift_ber_per_mword = 0.0;
+  /// Brownout window: [brownout_start_word, brownout_start_word +
+  /// brownout_words) on the stream axis. brownout_ber overrides the base
+  /// BER within the window when it is worse.
+  std::uint64_t brownout_start_word = 0;
+  std::uint64_t brownout_words = 0;
+  double brownout_ber = 0.0;
+
+  /// Drift quantization step, words. Segments of this length see one BER.
+  static constexpr std::uint64_t kProfileStepWords = 4096;
+
+  bool time_varying() const {
+    return drift_ber_per_mword > 0.0 ||
+           (brownout_words > 0 && brownout_ber > 0.0);
   }
 
-  /// Throws SimulationError if any dead lane index is out of range or the
-  /// BER is not a probability.
+  /// Effective random BER for the word at stream position `word`.
+  double ber_at_word(std::uint64_t word) const;
+
+  /// First stream position after `word` where ber_at_word may change
+  /// (segment boundary); uint64 max when the profile is flat from here on.
+  std::uint64_t next_profile_change(std::uint64_t word) const;
+
+  bool trivial() const {
+    return dead_wavelengths.empty() && random_ber <= 0.0 && !time_varying();
+  }
+
+  /// Throws ConfigError if any dead lane index is out of range or a BER
+  /// field is not a probability (drift rate must be >= 0).
   void validate() const;
 
   /// Validates, then folds the dead lanes into a stuck-at-0 mask. Callers
@@ -83,10 +120,22 @@ class FaultStream {
  private:
   std::uint64_t draw_gap();
 
+  /// Entering a new profile segment: re-evaluate the BER at the current
+  /// stream position and redraw the flip horizon. The Bernoulli process is
+  /// memoryless, so redrawing at a rate change is distribution-exact for a
+  /// piecewise-constant BER. Only reached when the model is time-varying —
+  /// a static profile takes byte-identical draws to the pre-profile code.
+  void advance_segment();
+
   std::uint64_t mask_ = 0;
   double ber_ = 0.0;
   Rng rng_;
   std::uint64_t gap_ = 0;  // clean bits before the next random flip
+
+  bool time_varying_ = false;
+  FaultModel profile_;           // profile evaluation copy (time-varying only)
+  std::uint64_t word_index_ = 0; // stream position (words consumed so far)
+  std::uint64_t segment_end_ = 0; // first word of the next profile segment
 };
 
 /// Corrupt one word under the model (deterministic given rng state). Slow

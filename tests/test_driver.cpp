@@ -34,7 +34,8 @@ TEST(WorkloadRegistry, ListsEveryBuiltinKind) {
   const auto names = workload_names();
   const std::set<std::string> have(names.begin(), names.end());
   for (const char* kind : {"fft2d", "fft1d", "transpose", "pipeline", "mesh",
-                           "reliability", "fig11", "fig13"}) {
+                           "reliability", "degradation_sweep", "fig11",
+                           "fig13"}) {
     EXPECT_TRUE(have.count(kind)) << "missing builtin workload: " << kind;
   }
 }

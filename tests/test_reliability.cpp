@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -354,6 +355,169 @@ TEST(FaultStreamTest, ValidationRejectsBadModels) {
   EXPECT_THROW(faulty(1.5).validate(), SimulationError);
   EXPECT_THROW(faulty(-0.1).validate(), SimulationError);
   EXPECT_NO_THROW(faulty(1e-9, {0, 63}).validate());
+  // Time-varying profile fields validate too (and as ConfigError, so the
+  // campaign taxonomy files them under config_invalid).
+  FaultModel bad_drift = faulty(1e-9);
+  bad_drift.drift_ber_per_mword = -1e-6;
+  EXPECT_THROW(bad_drift.validate(), ConfigError);
+  FaultModel bad_brownout = faulty(1e-9);
+  bad_brownout.brownout_ber = 1.5;
+  EXPECT_THROW(bad_brownout.validate(), ConfigError);
+}
+
+// --- time-varying BER profile (thermal drift + brownout) ---------------
+
+FaultModel drifting(double base, double drift, std::uint64_t seed = 11) {
+  FaultModel f = faulty(base, {}, seed);
+  f.drift_ber_per_mword = drift;
+  return f;
+}
+
+TEST(TimeVaryingProfile, FlagsAndTrivial) {
+  EXPECT_FALSE(faulty(0.0).time_varying());
+  EXPECT_TRUE(faulty(0.0).trivial());
+  EXPECT_TRUE(drifting(0.0, 1e-3).time_varying());
+  EXPECT_FALSE(drifting(0.0, 1e-3).trivial());
+
+  // A brownout needs both a window and a rate to count.
+  FaultModel window_only = faulty(0.0);
+  window_only.brownout_words = 100;
+  EXPECT_FALSE(window_only.time_varying());
+  window_only.brownout_ber = 0.1;
+  EXPECT_TRUE(window_only.time_varying());
+  EXPECT_FALSE(window_only.trivial());
+}
+
+TEST(TimeVaryingProfile, BerAtWordQuantizesDriftAndClamps) {
+  const auto f = drifting(1e-6, 0.5);
+  constexpr auto kStep = FaultModel::kProfileStepWords;
+  // Constant within a quantization segment...
+  EXPECT_DOUBLE_EQ(f.ber_at_word(0), 1e-6);
+  EXPECT_DOUBLE_EQ(f.ber_at_word(kStep - 1), 1e-6);
+  // ...steps at the boundary by drift * step/1e6...
+  EXPECT_DOUBLE_EQ(f.ber_at_word(kStep),
+                   1e-6 + 0.5 * static_cast<double>(kStep) * 1e-6);
+  // ...and clamps at 1.
+  EXPECT_DOUBLE_EQ(f.ber_at_word(1u << 30), 1.0);
+}
+
+TEST(TimeVaryingProfile, BrownoutOverridesWhenWorse) {
+  FaultModel f = faulty(1e-6);
+  f.brownout_start_word = 1000;
+  f.brownout_words = 500;
+  f.brownout_ber = 0.25;
+  EXPECT_DOUBLE_EQ(f.ber_at_word(999), 1e-6);
+  EXPECT_DOUBLE_EQ(f.ber_at_word(1000), 0.25);
+  EXPECT_DOUBLE_EQ(f.ber_at_word(1499), 0.25);
+  EXPECT_DOUBLE_EQ(f.ber_at_word(1500), 1e-6);
+  EXPECT_EQ(f.next_profile_change(0), 1000u);
+  EXPECT_EQ(f.next_profile_change(1200), 1500u);
+  EXPECT_EQ(f.next_profile_change(2000),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(TimeVaryingProfile, BrownoutFlipsOnlyInsideTheWindow) {
+  FaultModel f = faulty(0.0);
+  f.brownout_start_word = 1000;
+  f.brownout_words = 500;
+  f.brownout_ber = 0.05;
+  FaultStream stream(f);
+  std::size_t first_flip = 0, last_flip = 0, flips = 0;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    if (stream.corrupt(~0ULL) != ~0ULL) {
+      if (flips == 0) first_flip = i;
+      last_flip = i;
+      ++flips;
+    }
+  }
+  ASSERT_GT(flips, 0u);  // 500 words * 64 bits * 5% can't all stay clean
+  EXPECT_GE(first_flip, 1000u);
+  EXPECT_LT(last_flip, 1500u);
+}
+
+TEST(TimeVaryingProfile, DriftRampsTheFlipRate) {
+  const std::uint64_t words = 1u << 16;
+  FaultReport flat_rep, drift_rep;
+  FaultStream flat(faulty(1e-6, {}, 3));
+  FaultStream drifted(drifting(1e-6, 10.0, 3));  // +10 BER/Mword ramp
+  for (std::uint64_t i = 0; i < words; ++i) {
+    flat.corrupt(~0ULL, &flat_rep);
+    drifted.corrupt(~0ULL, &drift_rep);
+  }
+  // By word 2^16 the drifted BER is ~0.65 vs 1e-6 flat: orders more flips.
+  EXPECT_GT(drift_rep.bits_flipped, 100 * (flat_rep.bits_flipped + 1));
+}
+
+TEST(TimeVaryingProfile, BulkCorruptWordsMatchesPerWord) {
+  FaultModel f = drifting(1e-5, 50.0, 17);
+  f.brownout_start_word = 3000;
+  f.brownout_words = 2000;
+  f.brownout_ber = 0.02;
+
+  Rng rng(23);
+  std::vector<std::uint64_t> in(10000);
+  for (auto& w : in) w = rng.next_u64();
+
+  FaultStream batch_stream(f);
+  FaultStream word_stream(f);
+  std::vector<std::uint64_t> batch_out(in.size());
+  std::vector<std::uint64_t> word_out(in.size());
+  FaultReport batch_rep, word_rep;
+
+  // Chunk sizes chosen to straddle segment boundaries (4096-word drift
+  // steps, brownout edges at 3000/5000) mid-call.
+  std::size_t off = 0;
+  for (std::size_t s : {1u, 100u, 2500u, 1399u, 3000u, 2000u, 1000u}) {
+    batch_stream.corrupt_words(in.data() + off, batch_out.data() + off, s,
+                               &batch_rep);
+    off += s;
+  }
+  ASSERT_EQ(off, in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    word_out[i] = word_stream.corrupt(in[i], &word_rep);
+  }
+
+  EXPECT_EQ(batch_out, word_out);
+  EXPECT_EQ(batch_rep.words_total, word_rep.words_total);
+  EXPECT_EQ(batch_rep.words_corrupted, word_rep.words_corrupted);
+  EXPECT_EQ(batch_rep.bits_flipped, word_rep.bits_flipped);
+  EXPECT_EQ(batch_rep.bits_silenced, word_rep.bits_silenced);
+}
+
+// --- lane exhaustion (all 64 lanes dead) -------------------------------
+
+std::vector<std::uint32_t> all_lanes() {
+  std::vector<std::uint32_t> lanes(64);
+  std::iota(lanes.begin(), lanes.end(), 0);
+  return lanes;
+}
+
+TEST(Channel, AllLanesDeadThrowsTypedError) {
+  ReliabilityParams p;
+  p.policy = ReliabilityPolicy::kCorrectRetry;
+  p.spare_lanes = 0;
+  // Before the typed error this divided by zero in the degraded-width
+  // computation (SIGFPE). Now the channel fail-stops with an error the
+  // campaign taxonomy files under sim_diverged.
+  EXPECT_THROW(ProtectedChannel(faulty(0.0, all_lanes()), p),
+               LaneExhaustionError);
+  EXPECT_THROW(ProtectedChannel(faulty(0.0, all_lanes()), p),
+               SimulationError);  // derived: existing handlers still catch
+}
+
+TEST(Channel, AllLanesDeadWithSparesStillDegrades) {
+  ReliabilityParams p;
+  p.policy = ReliabilityPolicy::kCorrectRetry;
+  p.spare_lanes = 4;
+  ProtectedChannel ch(faulty(0.0, all_lanes()), p);
+  EXPECT_EQ(ch.lanes().spares_used, 4u);
+  EXPECT_EQ(ch.lanes().residual_dead, 60u);
+  // 4 usable lanes -> ceil(64/4) = 16 slots per word; slow but alive.
+  EXPECT_EQ(ch.lanes().slots_per_word, 16u);
+  const auto payload = ramp(32);
+  const auto tx = ch.transmit(payload);
+  EXPECT_EQ(tx.words, payload);
+  EXPECT_EQ(tx.retry.residual_errors, 0u);
 }
 
 }  // namespace

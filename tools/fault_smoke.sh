@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# fault_smoke.sh — kill/resume equivalence smoke for the campaign layer.
+#
+# Runs the 16-point fault_smoke.ini sweep three ways:
+#   1. uninterrupted, as the byte-exact JSON + CSV reference;
+#   2. journaled, SIGKILL'd partway through (several kill delays so the
+#      journal is torn at different points);
+#   3. resumed from the surviving journal with --resume, twice — once
+#      rendering JSON (exercises the splice of live + journaled points) and
+#      once rendering CSV from the now-complete journal.
+# Every resumed rendering must be byte-identical to the reference.
+#
+# Usage: tools/fault_smoke.sh <psync_sim-binary> <config.ini> [workdir]
+# Exits nonzero (leaving the journal in the workdir for CI to upload) on
+# any mismatch.
+set -u
+
+SIM=${1:?usage: fault_smoke.sh <psync_sim> <config.ini> [workdir]}
+CONFIG=${2:?usage: fault_smoke.sh <psync_sim> <config.ini> [workdir]}
+WORK=${3:-fault-smoke-work}
+
+mkdir -p "$WORK"
+
+echo "fault-smoke: reference run"
+"$SIM" --json "$CONFIG" > "$WORK/ref.json" || exit 1
+"$SIM" --csv "$CONFIG" > "$WORK/ref.csv" || exit 1
+
+fail=0
+for delay in 0.10 0.25 0.40; do
+  journal="$WORK/journal-$delay.jsonl"
+  rm -f "$journal"
+
+  "$SIM" --journal "$journal" --json "$CONFIG" > /dev/null 2>&1 &
+  pid=$!
+  sleep "$delay"
+  if kill -9 "$pid" 2> /dev/null; then
+    echo "fault-smoke: delay ${delay}s: SIGKILL'd mid-sweep"
+  else
+    echo "fault-smoke: delay ${delay}s: run finished before the kill (ok)"
+  fi
+  wait "$pid" 2> /dev/null
+
+  done_points=$(wc -l < "$journal" 2> /dev/null || echo 0)
+  echo "fault-smoke: delay ${delay}s: $done_points point(s) in the journal"
+
+  if ! "$SIM" --resume "$journal" --json "$CONFIG" > "$WORK/resumed-$delay.json"; then
+    echo "fault-smoke: delay ${delay}s: resume (json) FAILED"
+    fail=1
+    continue
+  fi
+  if ! cmp -s "$WORK/ref.json" "$WORK/resumed-$delay.json"; then
+    echo "fault-smoke: delay ${delay}s: resumed JSON differs from reference"
+    fail=1
+  fi
+
+  # Second resume: the journal is complete now, so every point splices
+  # from it and nothing re-runs.
+  if ! "$SIM" --resume "$journal" --csv "$CONFIG" > "$WORK/resumed-$delay.csv"; then
+    echo "fault-smoke: delay ${delay}s: resume (csv) FAILED"
+    fail=1
+    continue
+  fi
+  if ! cmp -s "$WORK/ref.csv" "$WORK/resumed-$delay.csv"; then
+    echo "fault-smoke: delay ${delay}s: resumed CSV differs from reference"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "fault-smoke: FAILED (journals left in $WORK)"
+  exit 1
+fi
+echo "fault-smoke: OK — resumed output byte-identical to reference"

@@ -29,9 +29,20 @@
 //   dead_wavelengths = 5 17    # stuck-at-0 lanes
 //   random_ber = 1e-9          # or: margin_db = -1.5 (BER from Q model)
 //   seed = 1
+//   drift_ber_per_mword = 1e-4 # thermal-drift BER ramp (additive / Mword)
+//   brownout_start_word = 4096 # power-sag window on the stream-word axis
+//   brownout_words = 4096
+//   brownout_ber = 1e-4
 //
 //   [reliability]      # error handling above the PHY (optional)
 //   policy = correct   # off | detect | correct
+//
+//   [guard]            # per-point isolation policy (optional)
+//   isolate = true     # exceptions become structured point failures
+//   max_retries = 1    # retries for transient failures (timeout/internal)
+//   point_timeout_ms = 0       # cooperative watchdog deadline per attempt
+//   retry_backoff_ms = 5
+//   max_point_mb = 0   # refuse points estimated over this working set
 //
 //   [sweep]            # multi-knob grid: each line is one axis (cartesian)
 //   processors = 8 16 32 64
@@ -44,9 +55,21 @@
 //
 // Usage:
 //   psync_sim [--strict] [--threads N] [--json | --csv] [--profile]
-//             <config.ini>
+//             [--journal PATH | --resume PATH] [--timeout-ms X]
+//             [--retries N] <config.ini>
 //   psync_sim --demo          # print a sample config and exit
 //   psync_sim --list          # list registered workload kinds
+//
+// Crash-safe campaigns: --journal appends every finished point to an
+// fsync'd JSONL checkpoint (also `journal = PATH` under [experiment]);
+// --resume PATH skips the points already in that journal and reconstitutes
+// them, rendering byte-identical output to an uninterrupted run. Failed or
+// quarantined points are reported in the campaign summary (stderr) and in
+// the JSON/CSV status columns.
+//
+// Exit codes: 0 success; 1 config/journal error or every point failed;
+// 2 usage or strict-mode config problems; 3 --strict with any failed or
+// quarantined point.
 //
 // --profile prints a host wall-clock breakdown (config parse / sweep run /
 // render, plus per-sweep-point cost) to stderr; simulation results are
@@ -131,8 +154,15 @@ void print_psync(const core::PsyncRunReport& rep) {
 }
 
 void print_single(const driver::RunRecord& rec) {
+  if (rec.status != driver::PointStatus::kOk) {
+    const char* kind =
+        rec.failure ? to_string(rec.failure->kind) : "internal_error";
+    std::printf("point %zu %s (%s): %s\n", rec.index, to_string(rec.status),
+                kind, rec.failure ? rec.failure->message.c_str() : "");
+    return;
+  }
   if (rec.workload == "fft2d" || rec.workload == "fft1d" ||
-      rec.workload == "reliability") {
+      rec.workload == "reliability" || rec.workload == "degradation_sweep") {
     std::printf("== P-sync ==\n");
     if (rec.psync) print_psync(*rec.psync);
     if (rec.mesh) {
@@ -192,7 +222,10 @@ std::string sweep_title(const driver::ExperimentSpec& spec) {
 int usage() {
   std::fprintf(stderr,
                "usage: psync_sim [--strict] [--threads N] [--json | --csv] "
-               "[--profile] <config.ini>\n"
+               "[--profile]\n"
+               "                 [--journal PATH | --resume PATH] "
+               "[--timeout-ms X] [--retries N]\n"
+               "                 <config.ini>\n"
                "       psync_sim --demo | --list\n");
   return 2;
 }
@@ -240,6 +273,10 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool profile = false;
   long threads_override = -1;
+  std::string journal_path;
+  bool resume = false;
+  double timeout_ms = -1.0;
+  long retries_override = -1;
   std::string config_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -265,6 +302,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       if (i + 1 >= argc) return usage();
       threads_override = std::atol(argv[++i]);
+    } else if (arg == "--journal") {
+      if (i + 1 >= argc) return usage();
+      journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      if (i + 1 >= argc) return usage();
+      journal_path = argv[++i];
+      resume = true;
+    } else if (arg == "--timeout-ms") {
+      if (i + 1 >= argc) return usage();
+      timeout_ms = std::atof(argv[++i]);
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) return usage();
+      retries_override = std::atol(argv[++i]);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();
     } else if (config_path.empty()) {
@@ -297,6 +347,12 @@ int main(int argc, char** argv) {
     if (threads_override > 0) {
       spec.threads = static_cast<std::size_t>(threads_override);
     }
+    if (!journal_path.empty()) spec.journal_path = journal_path;
+    spec.resume = spec.resume || resume;
+    if (timeout_ms >= 0.0) spec.guard.point_timeout_ms = timeout_ms;
+    if (retries_override >= 0) {
+      spec.guard.max_retries = static_cast<std::size_t>(retries_override);
+    }
     json = json || cfg.get_bool("experiment", "json", false);
     csv = csv || cfg.get_bool("experiment", "csv", false);
     prof.end();
@@ -318,6 +374,29 @@ int main(int argc, char** argv) {
     prof.end();
 
     if (profile) print_profile(prof, result);
+
+    // Campaign accounting: surfaced whenever journaling/resume is active
+    // or some point did not finish clean (stderr, so piped --json/--csv
+    // output stays parseable).
+    const auto& camp = result.campaign;
+    if (!spec.journal_path.empty() || camp.resumed > 0 || !camp.all_ok()) {
+      std::fprintf(stderr,
+                   "psync_sim: campaign: %zu point(s): %zu ok, %zu failed, "
+                   "%zu quarantined, %llu retry(ies), %zu resumed from "
+                   "journal\n",
+                   camp.points, camp.ok, camp.failed, camp.quarantined,
+                   static_cast<unsigned long long>(camp.retries),
+                   camp.resumed);
+      for (const auto& rec : result.records) {
+        if (rec.status == driver::PointStatus::kOk || !rec.failure) continue;
+        std::fprintf(stderr, "psync_sim:   point %zu %s (%s): %s\n",
+                     rec.index, to_string(rec.status),
+                     to_string(rec.failure->kind),
+                     rec.failure->message.c_str());
+      }
+    }
+    if (camp.ok == 0 && camp.points > 0) return 1;  // nothing succeeded
+    if (strict && !camp.all_ok()) return 3;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psync_sim: %s\n", e.what());
