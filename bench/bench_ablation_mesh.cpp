@@ -57,7 +57,8 @@ int run() {
       mp.mi.reorder_cycles_per_element = t_p;
       MeshMachine m(mp);
       const auto rep = m.run_transpose_writeback(elements);
-      const double mult = rep.completion_cycle / pscan(mp);
+      const double mult =
+          static_cast<double>(rep.completion_cycle) / pscan(mp);
       if (t_p == 1) m1 = mult;
       if (t_p == 8) m8 = mult;
       t.row()
@@ -80,7 +81,8 @@ int run() {
       mp.mi.overlap_stages = ov;
       MeshMachine m(mp);
       const auto rep = m.run_transpose_writeback(elements);
-      const double mult = rep.completion_cycle / pscan(mp);
+      const double mult =
+          static_cast<double>(rep.completion_cycle) / pscan(mp);
       (ov ? overlap : serial) = mult;
       t.row()
           .add(ov ? "overlapped" : "serialized")
@@ -151,7 +153,8 @@ int run() {
       mp.elements_per_packet = epp;
       MeshMachine m(mp);
       const auto rep = m.run_transpose_writeback(elements);
-      const double mult = rep.completion_cycle / pscan(mp);
+      const double mult =
+          static_cast<double>(rep.completion_cycle) / pscan(mp);
       if (epp == 4) small_mult = mult;
       if (epp == 64) big_mult = mult;
       t.row()

@@ -71,7 +71,7 @@ int run() {
     photonic::PhotonicEnergyParams pp;
     // One 64-bit word per slot at 320 Gb/s aggregate -> 5 GHz slot clock.
     photonic::ClockParams clk;
-    clk.frequency_ghz = pp.wdm.aggregate_gbps() / 64.0;
+    clk.frequency_ghz = slot_clock(pp.wdm.aggregate_gbps(), 64.0);
     core::ScaEngine engine(core::straight_bus_topology(nodes, 8.0, clk));
     const auto sched = core::compile_gather_interleaved(nodes, elements);
     std::vector<std::vector<core::Word>> node_data(
@@ -112,9 +112,9 @@ int run() {
     const auto e = photonic::pscan_energy_per_bit(pp, 256);
     std::printf("PSCAN 256-node breakdown (fJ/bit): laser %.1f, modulator "
                 "%.1f, receiver %.1f, serdes %.1f, thermal %.1f\n\n",
-                e.laser_fj_per_bit, e.modulator_fj_per_bit,
-                e.receiver_fj_per_bit, e.serdes_fj_per_bit,
-                e.thermal_fj_per_bit);
+                e.laser_fj_per_bit.value(), e.modulator_fj_per_bit.value(),
+                e.receiver_fj_per_bit.value(), e.serdes_fj_per_bit.value(),
+                e.thermal_fj_per_bit.value());
   }
 
   checks.expect(min_ratio >= 5.2,

@@ -33,9 +33,9 @@ int run() {
     t.row()
         .add(static_cast<std::int64_t>(r.k))
         .add(static_cast<std::int64_t>(r.block_size))
-        .add(r.t_ck_ns, 0)
-        .add(r.t_cf_ns, 0)
-        .add(r.bandwidth_gbps, 1)
+        .add(r.t_ck_ns.value(), 0)
+        .add(r.t_cf_ns.value(), 0)
+        .add(r.bandwidth_gbps.value(), 1)
         .add(r.efficiency * 100.0, 2)
         .add(paper_eta[i], 2);
   }
@@ -44,7 +44,7 @@ int run() {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     checks.expect(std::abs(rows[i].efficiency * 100.0 - paper_eta[i]) < 0.01,
                   "eta matches paper at k=" + std::to_string(rows[i].k));
-    checks.expect(std::abs(rows[i].bandwidth_gbps - paper_wp[i]) < 0.05,
+    checks.expect(std::abs(rows[i].bandwidth_gbps.value() - paper_wp[i]) < 0.05,
                   "W_p matches paper at k=" + std::to_string(rows[i].k));
   }
 

@@ -16,8 +16,9 @@ int main() {
       "PSCAN link budget (Eq. 1-3): launch %.1f dBm, coupler %.1f dB,\n"
       "sensitivity %.1f dBm, ring through-loss %.2f dB, waveguide %.1f "
       "dB/cm\n\n",
-      base.laser.launch_power_dbm, base.laser.coupler_loss_db,
-      base.detector.sensitivity_dbm, base.ring.through_loss_off_db,
+      base.laser.launch_power_dbm.value(), base.laser.coupler_loss_db.value(),
+      base.detector.sensitivity_dbm.value(),
+      base.ring.through_loss_off_db.value(),
       base.waveguide.loss_straight_db_per_cm);
 
   {
@@ -30,7 +31,7 @@ int main() {
       const auto n = max_segments(p);
       t.row()
           .add(pitch, 2)
-          .add(segment_loss_db(p), 3)
+          .add(segment_loss_db(p).value(), 3)
           .add(static_cast<std::int64_t>(n))
           .add(static_cast<double>(n) * pitch, 1);
     }
@@ -64,8 +65,8 @@ int main() {
           .add(static_cast<std::int64_t>(gridd))
           .add(static_cast<std::int64_t>(nodes))
           .add(layout.total_length_um() * 1e-4, 1)
-          .add(rep.total_loss_db, 1)
-          .add(rep.residual_dbm, 1)
+          .add(rep.total_loss_db.value(), 1)
+          .add(rep.residual_dbm.value(), 1)
           .add(rep.closes ? "yes" : "no (repeaters)");
     }
     std::printf("%s\n", t.to_string().c_str());

@@ -22,7 +22,7 @@ int main() {
   // {0,1} and {4,5}; P1 drives {2,3}. Positions are far enough apart that
   // the waveguide pipeline holds multiple slots in flight.
   PscanTopology topo;
-  topo.clock.frequency_ghz = 10.0;           // 100 ps slots
+  topo.clock.frequency_ghz = psync::GigaHertz{10.0};  // 100 ps slots
   topo.node_pos_um = {10'000.0, 38'000.0};   // 1.0 cm and 3.8 cm: 400 ps apart
   topo.terminus_um = 66'000.0;               // 6.6 cm
   ScaEngine engine(topo);

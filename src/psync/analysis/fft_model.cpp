@@ -55,7 +55,7 @@ std::vector<FftBlockRow> table1(const FftWorkload& w, std::uint64_t max_k) {
 }
 
 double efficiency_at_bandwidth(const FftWorkload& w, std::uint64_t k,
-                               double bandwidth_gbps, double lambda_ns) {
+                               GigabitsPerSec bandwidth_gbps, Ns lambda_ns) {
   FftBlockRow row = table1_row(w, k);
   const double block_bits =
       static_cast<double>(row.block_size) * static_cast<double>(w.sample_bits);

@@ -17,7 +17,7 @@ namespace psync::analysis {
 struct FftWorkload {
   std::uint64_t fft_points = 1024;   // N, samples per processor row
   std::uint64_t processors = 256;    // P
-  double fp_mult_ns = 2.0;           // multiply latency
+  Ns fp_mult_ns{2.0};                // multiply latency
   std::uint32_t mults_per_butterfly = 4;
   std::uint64_t sample_bits = 64;    // S_s
 };
@@ -25,9 +25,9 @@ struct FftWorkload {
 struct FftBlockRow {
   std::uint64_t k = 1;          // delivery blocks
   std::uint64_t block_size = 0; // S_b = N/k samples
-  double t_ck_ns = 0.0;         // per-block compute time (Eq. 17 * mult cost)
-  double t_cf_ns = 0.0;         // final-phase compute time (Eq. 18 * cost)
-  double bandwidth_gbps = 0.0;  // W_p required for balance (Eq. 20)
+  Ns t_ck_ns{0.0};              // per-block compute time (Eq. 17 * mult cost)
+  Ns t_cf_ns{0.0};              // final-phase compute time (Eq. 18 * cost)
+  GigabitsPerSec bandwidth_gbps{0.0};  // W_p for balance (Eq. 20)
   double efficiency = 0.0;      // eta at zero network latency
 };
 
@@ -45,6 +45,7 @@ std::vector<FftBlockRow> table1(const FftWorkload& w, std::uint64_t max_k = 64);
 /// Zero-latency efficiency at block count k with *fixed* bandwidth
 /// `bandwidth_gbps` (instead of the balanced W_p); used for sweeps.
 double efficiency_at_bandwidth(const FftWorkload& w, std::uint64_t k,
-                               double bandwidth_gbps, double lambda_ns = 0.0);
+                               GigabitsPerSec bandwidth_gbps,
+                               Ns lambda_ns = Ns{0.0});
 
 }  // namespace psync::analysis

@@ -6,42 +6,42 @@
 
 namespace psync::analysis {
 
-double compute_time_ns(const ModelInputs& in) {
+Ns compute_time_ns(const ModelInputs& in) {
   return in.blocks * in.t_ck_ns + in.t_cf_ns;
 }
 
-double total_time_ns(const ModelInputs& in) {
+Ns total_time_ns(const ModelInputs& in) {
   PSYNC_CHECK(in.processors >= 1.0);
   PSYNC_CHECK(in.blocks >= 1.0);
-  const double pd = in.processors * in.t_dk_ns;
+  const Ns pd = in.processors * in.t_dk_ns;
   return pd + (in.blocks - 1.0) * std::max(in.t_ck_ns, pd) + in.t_ck_ns +
          in.t_cf_ns;
 }
 
 double efficiency(const ModelInputs& in) {
-  const double t = total_time_ns(in);
-  return t > 0.0 ? compute_time_ns(in) / t : 0.0;
+  const Ns t = total_time_ns(in);
+  return t > Ns(0.0) ? compute_time_ns(in) / t : 0.0;
 }
 
 bool compute_bound(const ModelInputs& in) {
   return in.processors * in.t_dk_ns <= in.t_ck_ns;
 }
 
-double model1_efficiency(double processors, double t_d_ns, double t_c_ns) {
-  const double t = processors * t_d_ns + t_c_ns;
-  return t > 0.0 ? t_c_ns / t : 0.0;
+double model1_efficiency(double processors, Ns t_d_ns, Ns t_c_ns) {
+  const Ns t = processors * t_d_ns + t_c_ns;
+  return t > Ns(0.0) ? t_c_ns / t : 0.0;
 }
 
-double delivery_time_ns(double lambda_ns, double block_bits,
-                        double bandwidth_gbps) {
-  PSYNC_CHECK(bandwidth_gbps > 0.0);
-  return lambda_ns + block_bits / bandwidth_gbps;
+Ns delivery_time_ns(Ns lambda_ns, double block_bits,
+                    GigabitsPerSec bandwidth_gbps) {
+  PSYNC_CHECK(bandwidth_gbps > GigabitsPerSec(0.0));
+  return lambda_ns + Ns(block_bits / bandwidth_gbps.value());
 }
 
-double balanced_bandwidth_gbps(double processors, double block_bits,
-                               double t_ck_ns) {
-  PSYNC_CHECK(t_ck_ns > 0.0);
-  return block_bits * processors / t_ck_ns;
+GigabitsPerSec balanced_bandwidth_gbps(double processors, double block_bits,
+                                       Ns t_ck_ns) {
+  PSYNC_CHECK(t_ck_ns > Ns(0.0));
+  return GigabitsPerSec(block_bits * processors / t_ck_ns.value());
 }
 
 }  // namespace psync::analysis

@@ -10,46 +10,54 @@
 //     case 1 (P*t_dk <= t_ck, compute bound):  eta = t_c / (P*t_dk + t_c)
 //     case 2 (communication bound):            eta = t_c / (P*k*t_dk + t_ck)
 //
-// All times in nanoseconds.
+// All times are strongly typed nanoseconds (`Ns`); mixing them with other
+// dimensions (rates, energies) is a compile error.
 #pragma once
 
 #include <cstdint>
 
+#include "psync/common/quantity.hpp"
+
 namespace psync::analysis {
+
+using psync::GigabitsPerSec;
+using psync::Ns;
 
 struct ModelInputs {
   double processors = 1;      // P
   double blocks = 1;          // k
-  double t_dk_ns = 0.0;       // time to deliver one block to one processor
-  double t_ck_ns = 0.0;       // time to compute on one block
+  Ns t_dk_ns{0.0};            // time to deliver one block to one processor
+  Ns t_ck_ns{0.0};            // time to compute on one block
   /// Extra compute after the last block that does not depend on delivery
   /// (the FFT's final log2(k) stages); 0 for perfectly divisible work.
-  double t_cf_ns = 0.0;
+  Ns t_cf_ns{0.0};
 };
 
 /// Total wall time T (Eq. 11 extended with the trailing t_cf term).
-double total_time_ns(const ModelInputs& in);
+[[nodiscard]] Ns total_time_ns(const ModelInputs& in);
 
 /// Total per-processor compute time t_c = k*t_ck + t_cf.
-double compute_time_ns(const ModelInputs& in);
+[[nodiscard]] Ns compute_time_ns(const ModelInputs& in);
 
 /// Efficiency eta = t_c / T (Eq. 14).
-double efficiency(const ModelInputs& in);
+[[nodiscard]] double efficiency(const ModelInputs& in);
 
 /// True when delivery keeps up with compute (Case 1, Eq. 15).
-bool compute_bound(const ModelInputs& in);
+[[nodiscard]] bool compute_bound(const ModelInputs& in);
 
 /// Model I special case (k = 1): eta = t_c / (P*t_d + t_c)  (Eq. 7).
-double model1_efficiency(double processors, double t_d_ns, double t_c_ns);
+[[nodiscard]] double model1_efficiency(double processors, Ns t_d_ns,
+                                       Ns t_c_ns);
 
 /// Eq. 9/10: delivery time of one block over a network with latency
 /// `lambda_ns` and bandwidth `bandwidth_gbps`, for `block_bits` bits.
-double delivery_time_ns(double lambda_ns, double block_bits,
-                        double bandwidth_gbps);
+[[nodiscard]] Ns delivery_time_ns(Ns lambda_ns, double block_bits,
+                                  GigabitsPerSec bandwidth_gbps);
 
 /// Eq. 19/20: bandwidth (Gb/s) required to balance delivery against compute
 /// (P * t_dk = t_ck) for blocks of `block_bits` bits.
-double balanced_bandwidth_gbps(double processors, double block_bits,
-                               double t_ck_ns);
+[[nodiscard]] GigabitsPerSec balanced_bandwidth_gbps(double processors,
+                                                     double block_bits,
+                                                     Ns t_ck_ns);
 
 }  // namespace psync::analysis

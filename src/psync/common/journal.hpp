@@ -25,7 +25,7 @@ class JournalWriter {
   /// survives (resume); otherwise the file is truncated. Throws
   /// SimulationError when the file cannot be opened.
   void open(const std::string& path, bool keep_existing);
-  bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
 
   /// Durably append one line (a trailing '\n' is added; `line` must not
   /// contain one). Throws SimulationError on write or fsync failure.
@@ -41,6 +41,7 @@ class JournalWriter {
 /// Every complete ('\n'-terminated) line of `path`, without the newline.
 /// A torn final line — the kill -9 signature — is dropped; a missing file
 /// reads as empty.
-std::vector<std::string> read_journal_lines(const std::string& path);
+[[nodiscard]] std::vector<std::string> read_journal_lines(
+    const std::string& path);
 
 }  // namespace psync

@@ -1,0 +1,338 @@
+// Dimensional strong types: the type system as a static analyzer.
+//
+// The simulators juggle at least seven physical dimensions as scalars —
+// dB, dBm, mW, fJ, pJ, Gb/s, GHz, ps — and the paper's Eq. 1-3 loss-budget
+// math is exactly the kind of code where a silently mixed dB <-> linear or
+// fJ <-> pJ operand produces a plausible-but-wrong figure. `Quantity<Tag>`
+// wraps a representation in a zero-overhead, constexpr strong type whose
+// arithmetic is tag-checked at compile time:
+//
+//   * same-dimension arithmetic (dB + dB, fJ + fJ, scaling by a plain
+//     count) works as usual;
+//   * mixing dimensions (dB + mW, fJ + pJ, GHz + Gb/s) does not compile;
+//   * dBm is an *affine level*, not a vector: level + level does not
+//     compile, level - level yields a dB ratio, and level +/- dB shifts
+//     the level — which is the entire link-budget algebra of Eq. 1-3;
+//   * crossing dimensions requires a named conversion (db_to_linear,
+//     dbm_to_mw, fj_to_pj, ...) whose formula is written exactly once.
+//
+// Strong index types (NodeId, LaneId, SlotId) apply the same idea to the
+// scheduling code's integer spaces, where a transposed (node, lane) or
+// (node, slot) argument pair is the classic silent bug.
+//
+// Everything here is a literal class over its representation: no virtuals,
+// no storage beyond the raw value, fully constexpr — the optimizer sees
+// through it and the generated code is identical to bare doubles.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "psync/common/check.hpp"
+#include "psync/common/units.hpp"
+
+namespace psync {
+
+// ---------------------------------------------------------------------------
+// Dimension tags.
+
+struct DbTag {};              ///< Relative power ratio, decibels.
+struct DbmTag {};             ///< Absolute power level, dB-milliwatts.
+struct MilliWattTag {};       ///< Absolute power, linear milliwatts.
+struct MicroWattTag {};       ///< Absolute power, linear microwatts.
+struct FemtoJouleTag {};      ///< Energy, femtojoules.
+struct PicoJouleTag {};       ///< Energy, picojoules.
+struct GigabitsPerSecTag {};  ///< Data rate, gigabits per second.
+struct GigaHertzTag {};       ///< Frequency, gigahertz.
+struct PsTag {};              ///< Duration, picoseconds (real-valued).
+struct NsTag {};              ///< Duration, nanoseconds (real-valued).
+
+/// Per-tag algebra. The default is a plain vector dimension: q + q and
+/// q - q stay in the dimension, scalar scaling is allowed, q / q is a
+/// dimensionless ratio.
+template <typename Tag>
+struct QuantityTraits {
+  static constexpr bool kAdditive = true;
+};
+
+/// dBm is an affine *level* over the dB delta dimension: adding two
+/// absolute levels is physically meaningless (3 dBm + 3 dBm is not 6 dBm),
+/// so only level - level -> dB and level +/- dB -> level exist.
+template <>
+struct QuantityTraits<DbmTag> {
+  static constexpr bool kAdditive = false;
+  using DeltaTag = DbTag;
+};
+
+// ---------------------------------------------------------------------------
+// Quantity.
+
+template <typename Tag, typename Rep = double>
+class Quantity {
+ public:
+  using TagType = Tag;
+  using RepType = Rep;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep value) : value_(value) {}
+
+  /// The raw representation, for serialization and for formulas whose
+  /// dimensional bookkeeping ends here (always grep-able, never implicit).
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator-() const
+    requires QuantityTraits<Tag>::kAdditive
+  {
+    return Quantity(-value_);
+  }
+
+  constexpr Quantity& operator+=(Quantity other)
+    requires QuantityTraits<Tag>::kAdditive
+  {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other)
+    requires QuantityTraits<Tag>::kAdditive
+  {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(Rep scale)
+    requires QuantityTraits<Tag>::kAdditive
+  {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep scale)
+    requires QuantityTraits<Tag>::kAdditive
+  {
+    value_ /= scale;
+    return *this;
+  }
+
+ private:
+  Rep value_ = Rep{};
+};
+
+// Same-dimension arithmetic (vector dimensions only). Free functions with
+// requires-clauses so a rejected mix is a substitution failure — detectable
+// by the static negative-test suite — rather than a hard error inside a
+// member body.
+
+template <typename Tag, typename Rep>
+  requires QuantityTraits<Tag>::kAdditive
+constexpr Quantity<Tag, Rep> operator+(Quantity<Tag, Rep> a,
+                                       Quantity<Tag, Rep> b) {
+  return Quantity<Tag, Rep>(a.value() + b.value());
+}
+
+template <typename Tag, typename Rep>
+  requires QuantityTraits<Tag>::kAdditive
+constexpr Quantity<Tag, Rep> operator-(Quantity<Tag, Rep> a,
+                                       Quantity<Tag, Rep> b) {
+  return Quantity<Tag, Rep>(a.value() - b.value());
+}
+
+template <typename Tag, typename Rep>
+  requires QuantityTraits<Tag>::kAdditive
+constexpr Quantity<Tag, Rep> operator*(Quantity<Tag, Rep> q, Rep scale) {
+  return Quantity<Tag, Rep>(q.value() * scale);
+}
+
+template <typename Tag, typename Rep>
+  requires QuantityTraits<Tag>::kAdditive
+constexpr Quantity<Tag, Rep> operator*(Rep scale, Quantity<Tag, Rep> q) {
+  return Quantity<Tag, Rep>(scale * q.value());
+}
+
+template <typename Tag, typename Rep>
+  requires QuantityTraits<Tag>::kAdditive
+constexpr Quantity<Tag, Rep> operator/(Quantity<Tag, Rep> q, Rep scale) {
+  return Quantity<Tag, Rep>(q.value() / scale);
+}
+
+/// Dimensionless ratio of two like quantities.
+template <typename Tag, typename Rep>
+  requires QuantityTraits<Tag>::kAdditive
+constexpr Rep operator/(Quantity<Tag, Rep> a, Quantity<Tag, Rep> b) {
+  return a.value() / b.value();
+}
+
+// Affine-level algebra (dBm over dB).
+
+template <typename Tag, typename Rep>
+  requires (!QuantityTraits<Tag>::kAdditive)
+constexpr Quantity<typename QuantityTraits<Tag>::DeltaTag, Rep> operator-(
+    Quantity<Tag, Rep> a, Quantity<Tag, Rep> b) {
+  return Quantity<typename QuantityTraits<Tag>::DeltaTag, Rep>(a.value() -
+                                                               b.value());
+}
+
+template <typename Tag, typename Rep>
+  requires (!QuantityTraits<Tag>::kAdditive)
+constexpr Quantity<Tag, Rep> operator+(
+    Quantity<Tag, Rep> level,
+    Quantity<typename QuantityTraits<Tag>::DeltaTag, Rep> delta) {
+  return Quantity<Tag, Rep>(level.value() + delta.value());
+}
+
+template <typename Tag, typename Rep>
+  requires (!QuantityTraits<Tag>::kAdditive)
+constexpr Quantity<Tag, Rep> operator+(
+    Quantity<typename QuantityTraits<Tag>::DeltaTag, Rep> delta,
+    Quantity<Tag, Rep> level) {
+  return Quantity<Tag, Rep>(delta.value() + level.value());
+}
+
+template <typename Tag, typename Rep>
+  requires (!QuantityTraits<Tag>::kAdditive)
+constexpr Quantity<Tag, Rep> operator-(
+    Quantity<Tag, Rep> level,
+    Quantity<typename QuantityTraits<Tag>::DeltaTag, Rep> delta) {
+  return Quantity<Tag, Rep>(level.value() - delta.value());
+}
+
+// ---------------------------------------------------------------------------
+// The seven working dimensions (plus helpers the models need).
+
+using DecibelsDb = Quantity<DbTag>;
+using DbmPower = Quantity<DbmTag>;
+using MilliWatts = Quantity<MilliWattTag>;
+using MicroWatts = Quantity<MicroWattTag>;
+using FemtoJoules = Quantity<FemtoJouleTag>;
+using PicoJoules = Quantity<PicoJouleTag>;
+using GigabitsPerSec = Quantity<GigabitsPerSecTag>;
+using GigaHertz = Quantity<GigaHertzTag>;
+using Ps = Quantity<PsTag>;
+using Ns = Quantity<NsTag>;
+
+// ---------------------------------------------------------------------------
+// Named conversions. Each formula is written once, here, with exactly the
+// floating-point expression the pre-Quantity code used — serialized outputs
+// must stay byte-identical across the migration.
+
+/// dB ratio -> linear power ratio: 10^(dB/10).
+inline double db_to_linear(DecibelsDb db) {
+  return std::pow(10.0, db.value() / 10.0);
+}
+
+/// Linear power ratio -> dB. Throws SimulationError on ratio <= 0.
+inline DecibelsDb linear_to_db(double ratio) {
+  if (ratio <= 0.0) {
+    throw SimulationError("ratio must be positive");
+  }
+  return DecibelsDb(10.0 * std::log10(ratio));
+}
+
+/// Absolute dBm level -> linear milliwatts: 10^(dBm/10).
+inline MilliWatts dbm_to_mw(DbmPower p) {
+  return MilliWatts(std::pow(10.0, p.value() / 10.0));
+}
+
+/// Linear milliwatts -> dBm level. Throws SimulationError on mW <= 0.
+inline DbmPower mw_to_dbm(MilliWatts p) {
+  if (p.value() <= 0.0) {
+    throw SimulationError("power must be positive to express in dBm");
+  }
+  return DbmPower(10.0 * std::log10(p.value()));
+}
+
+constexpr PicoJoules fj_to_pj(FemtoJoules e) {
+  return PicoJoules(e.value() * 1e-3);
+}
+constexpr FemtoJoules pj_to_fj(PicoJoules e) {
+  return FemtoJoules(e.value() * 1e3);
+}
+constexpr MilliWatts uw_to_mw(MicroWatts p) {
+  return MilliWatts(p.value() * 1e-3);
+}
+
+constexpr Ns ps_to_ns(Ps t) { return Ns(t.value() * 1e-3); }
+constexpr Ps ns_to_ps(Ns t) { return Ps(t.value() * 1e3); }
+
+/// Interop with the integer simulation clock (TimePs).
+constexpr Ps ps_from(TimePs t) { return Ps(static_cast<double>(t)); }
+/// Round-to-nearest conversion back onto the integer clock.
+constexpr TimePs to_time_ps(Ps t) {
+  return static_cast<TimePs>(t.value() + (t.value() >= 0 ? 0.5 : -0.5));
+}
+
+/// Period of one cycle at `f`, real-valued picoseconds.
+constexpr Ps period(GigaHertz f) { return Ps(1000.0 / f.value()); }
+/// Duration of one bit at rate `r`, real-valued picoseconds.
+constexpr Ps bit_period(GigabitsPerSec r) { return Ps(1000.0 / r.value()); }
+/// Slot-clock frequency when each slot carries `bits_per_slot` bits of an
+/// aggregate stream: Gb/s over bit/slot is Gslot/s, i.e. GHz.
+constexpr GigaHertz slot_clock(GigabitsPerSec aggregate,
+                               double bits_per_slot) {
+  return GigaHertz(aggregate.value() / bits_per_slot);
+}
+
+// Compound conversions for the energy models. mW / (Gb/s) is pJ/bit
+// (1e-3 J/s over 1e9 bit/s = 1e-12 J/bit), mW * ps is fJ; the factor in
+// each formula is that dimensional bridge, written once.
+
+/// Energy charged to each bit when `power` is drawn continuously while
+/// moving data at `rate`: mW / Gbps = pJ/bit -> fJ/bit.
+constexpr FemtoJoules energy_per_bit(MilliWatts power, GigabitsPerSec rate) {
+  return FemtoJoules(power.value() / rate.value() * 1e3);
+}
+
+/// Continuous power equivalent of spending `per_bit` on every bit at
+/// `rate`: fJ/bit * Gbps = uW -> mW.
+constexpr MilliWatts power_of(FemtoJoules per_bit, GigabitsPerSec rate) {
+  return MilliWatts(per_bit.value() * rate.value() * 1e-3);
+}
+
+/// Energy of `power` integrated over `span`: mW * ps = fJ -> pJ.
+constexpr PicoJoules energy_over(MilliWatts power, Ps span) {
+  return PicoJoules(power.value() * span.value() * 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Strong index types for the scheduling code. A NodeId is not a LaneId is
+// not a SlotId: passing one where another is expected does not compile,
+// which retires the transposed-argument class of scheduling bugs.
+
+template <typename Tag, typename Rep>
+class StrongIndex {
+ public:
+  using TagType = Tag;
+  using RepType = Rep;
+
+  constexpr StrongIndex() = default;
+  constexpr explicit StrongIndex(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongIndex&) const = default;
+
+  constexpr StrongIndex& operator++() {
+    ++value_;
+    return *this;
+  }
+
+ private:
+  Rep value_ = Rep{};
+};
+
+/// A node's position index along the bus / in the processor array.
+using NodeId = StrongIndex<struct NodeIdTag, std::int32_t>;
+/// A WDM wavelength (lane) index.
+using LaneId = StrongIndex<struct LaneIdTag, std::uint32_t>;
+/// A bit-slot index in a PSCAN schedule.
+using SlotId = StrongIndex<struct SlotIdTag, std::int64_t>;
+
+}  // namespace psync
+
+template <typename Tag, typename Rep>
+struct std::hash<psync::StrongIndex<Tag, Rep>> {
+  std::size_t operator()(const psync::StrongIndex<Tag, Rep>& id) const {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "psync/common/check.hpp"
+
 namespace psync {
 
 /// Simulation time in integer picoseconds.
@@ -27,15 +29,44 @@ inline constexpr TimePs kNanosecond = 1'000;
 inline constexpr TimePs kMicrosecond = 1'000'000;
 inline constexpr TimePs kMillisecond = 1'000'000'000;
 
-/// Picoseconds for one bit at `gbps` gigabits per second (must divide evenly
-/// for the paper's rates: 10 Gb/s -> 100 ps, 2.5 GHz -> 400 ps).
+/// Picoseconds for one bit at `gbps` gigabits per second. The rate must be
+/// exactly representable on the integer picosecond clock (10 Gb/s -> 100 ps,
+/// 2.5 GHz -> 400 ps, 3.125 GHz -> 320 ps); a rate whose period would have
+/// to round (3 GHz -> 333.3 ps) throws ConfigError, because silently rounded
+/// periods accumulate drift over a multi-million-slot SCA burst. In a
+/// constexpr context the throw is a compile error instead.
 constexpr TimePs bit_period_ps(double gbps) {
-  return static_cast<TimePs>(1000.0 / gbps + 0.5);
+  if (!(gbps > 0.0)) {
+    throw ConfigError("bit_period_ps: rate must be positive");
+  }
+  const auto period = static_cast<TimePs>(1000.0 / gbps + 0.5);
+  // Tolerance covers only the binary representation error of a decimally
+  // exact rate (0.1 GHz -> 10000 ps has |err| ~ 1e-13); a genuinely rounded
+  // period (3 GHz -> 333 ps) misses 1000 by >= 0.1 and is rejected.
+  const double err = static_cast<double>(period) * gbps - 1000.0;
+  if (period <= 0 || err > 1e-9 || err < -1e-9) {
+    throw ConfigError(
+        "bit_period_ps: rate does not divide 1000 ps exactly; the integer "
+        "picosecond clock cannot represent its period without drift");
+  }
+  return period;
 }
 
-/// Period of a clock at `ghz` gigahertz, in picoseconds.
+/// Period of a clock at `ghz` gigahertz, in picoseconds. Same exactness
+/// contract as bit_period_ps: a frequency whose period is not a whole
+/// number of picoseconds throws ConfigError.
 constexpr TimePs clock_period_ps(double ghz) {
-  return static_cast<TimePs>(1000.0 / ghz + 0.5);
+  if (!(ghz > 0.0)) {
+    throw ConfigError("clock_period_ps: frequency must be positive");
+  }
+  const auto period = static_cast<TimePs>(1000.0 / ghz + 0.5);
+  const double err = static_cast<double>(period) * ghz - 1000.0;
+  if (period <= 0 || err > 1e-9 || err < -1e-9) {
+    throw ConfigError(
+        "clock_period_ps: frequency does not divide 1000 ps exactly; the "
+        "integer picosecond clock cannot represent its period without drift");
+  }
+  return period;
 }
 
 constexpr double ps_to_ns(TimePs t) { return static_cast<double>(t) * 1e-3; }

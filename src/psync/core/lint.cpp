@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "psync/common/check.hpp"
+#include "psync/common/quantity.hpp"
 #include "psync/photonic/ber.hpp"
 
 namespace psync::core {
@@ -60,11 +61,16 @@ LintReport lint_transaction(const PscanTopology& topology,
   }
 
   // Per-node programs: self-overlap, bounds, encodability, data sizes.
-  std::vector<std::int32_t> owner(
-      static_cast<std::size_t>(std::max<Slot>(schedule.total_slots, 0)), -1);
+  // Slot ownership is tracked with the strong NodeId index so a slot number
+  // can never be mistaken for a node number in this bookkeeping.
+  constexpr NodeId kUnclaimed{-1};
+  std::vector<NodeId> owner(
+      static_cast<std::size_t>(std::max<Slot>(schedule.total_slots, 0)),
+      kUnclaimed);
   Slot claimed = 0;
   for (std::size_t i = 0; i < schedule.nodes(); ++i) {
-    const auto node = static_cast<std::int32_t>(i);
+    const NodeId node_id{static_cast<std::int32_t>(i)};
+    const std::int32_t node = node_id.value();
     std::vector<CpEntry> entries;
     try {
       entries = schedule.node_cps[i].entries();
@@ -90,12 +96,12 @@ LintReport lint_transaction(const PscanTopology& topology,
           continue;
         }
         auto& o = owner[static_cast<std::size_t>(s)];
-        if (o != -1) {
+        if (o != kUnclaimed) {
           issue(LintSeverity::kError, node,
                 "slot " + std::to_string(s) + " already claimed by node " +
-                    std::to_string(o));
+                    std::to_string(o.value()));
         } else {
-          o = node;
+          o = node_id;
           ++claimed;
         }
       }
@@ -130,10 +136,11 @@ LintReport lint_transaction(const PscanTopology& topology,
         units::um_to_cm(topology.terminus_um - topology.head_um);
     const double n = static_cast<double>(topology.nodes());
     p.modulator_pitch_cm = n > 0 ? length_cm / n : length_cm;
-    rep.worst_margin_db =
+    const DecibelsDb margin =
         photonic::worst_case_margin_db(p, topology.nodes());
+    rep.worst_margin_db = margin.value();
     rep.has_margin = true;
-    if (rep.worst_margin_db < 0.0) {
+    if (margin < DecibelsDb(0.0)) {
       issue(LintSeverity::kError, -1,
             "link budget does not close: worst-case margin " +
                 std::to_string(rep.worst_margin_db) + " dB");
@@ -141,7 +148,7 @@ LintReport lint_transaction(const PscanTopology& topology,
       const double bits =
           static_cast<double>(schedule.total_slots) * 64.0;
       const double errors = photonic::expected_bit_errors(
-          rep.worst_margin_db, static_cast<std::uint64_t>(bits));
+          margin, static_cast<std::uint64_t>(bits));
       if (errors > 1e-3) {
         issue(LintSeverity::kWarning, -1,
               "thin optical margin (" + std::to_string(rep.worst_margin_db) +

@@ -37,16 +37,16 @@ struct LintReport {
   double worst_margin_db = 0.0;
   bool has_margin = false;
 
-  std::size_t errors() const;
-  std::size_t warnings() const;
-  std::string to_string() const;
+  [[nodiscard]] std::size_t errors() const;
+  [[nodiscard]] std::size_t warnings() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 /// Lint a gather (kDrive) or scatter (kListen) transaction. `data_sizes`
 /// (optional) are the per-node word counts that will be supplied; pass an
 /// empty vector to skip that check.
-LintReport lint_transaction(const PscanTopology& topology,
-                            const CpSchedule& schedule, CpAction action,
-                            const std::vector<std::size_t>& data_sizes = {});
+[[nodiscard]] LintReport lint_transaction(
+    const PscanTopology& topology, const CpSchedule& schedule, CpAction action,
+    const std::vector<std::size_t>& data_sizes = {});
 
 }  // namespace psync::core

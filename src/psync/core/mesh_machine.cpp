@@ -398,7 +398,7 @@ MeshRunReport MeshMachine::run_fft2d(
       activity.ejected_flits * params_.sample_bits;
   const mesh::OrionReport orion =
       mesh::evaluate(params_.orion, activity, params_.grid, payload_bits);
-  rep.comm_energy_pj = orion.total_pj;
+  rep.comm_energy_pj = orion.total_pj.value();
   rep.compute_energy_pj = params_.exec.compute_energy_pj(total_ops);
 
   if (verify) {

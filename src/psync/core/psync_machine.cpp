@@ -30,7 +30,8 @@ std::size_t reverse_bits(std::size_t v, std::size_t bits) {
 photonic::ClockParams clock_of(const PsyncMachineParams& p) {
   photonic::ClockParams c;
   // One slot carries one sample word across the WDM group.
-  c.frequency_ghz = p.waveguide_gbps / static_cast<double>(p.sample_bits);
+  c.frequency_ghz = slot_clock(GigabitsPerSec(p.waveguide_gbps),
+                               static_cast<double>(p.sample_bits));
   return c;
 }
 
@@ -350,7 +351,7 @@ void PsyncMachine::apply_energy(PsyncRunReport* report) const {
       params_.photonics, params_.processors);
   const double bits = static_cast<double>(waveguide_words_) *
                       static_cast<double>(params_.sample_bits);
-  report->comm_energy_pj = bits * e.total_pj_per_bit();
+  report->comm_energy_pj = (bits * e.total_pj_per_bit()).value();
   fft::OpCount ops;
   for (const auto& proc : procs_) ops += proc.ops();
   report->compute_energy_pj = params_.exec.compute_energy_pj(ops);

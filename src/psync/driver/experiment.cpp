@@ -1,24 +1,44 @@
 #include "psync/driver/experiment.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "psync/common/check.hpp"
 
 namespace psync::driver {
 
+namespace {
+
+// Count-valued knobs arrive as doubles from the sweep parser. Casting a
+// negative value straight to an unsigned type is undefined behavior (and in
+// practice wraps to a huge count), and a fractional value would silently
+// truncate — the sweep would then report an axis value that was never
+// actually simulated. Reject both up front, naming the knob.
+template <typename UInt>
+UInt count_knob(const std::string& knob, double value) {
+  const double rounded = std::floor(value);
+  if (!(value >= 0.0) || rounded != value) {
+    throw ConfigError("knob '" + knob + "' must be a non-negative integer; " +
+                      "got " + std::to_string(value));
+  }
+  return static_cast<UInt>(value);
+}
+
+}  // namespace
+
 bool apply_knob(const std::string& knob, double value,
                 core::PsyncMachineParams* machine,
                 core::MeshMachineParams* mesh) {
   if (knob == "processors") {
-    machine->processors = static_cast<std::size_t>(value);
+    machine->processors = count_knob<std::size_t>(knob, value);
   } else if (knob == "blocks" || knob == "k") {
-    machine->delivery_blocks = static_cast<std::size_t>(value);
+    machine->delivery_blocks = count_knob<std::size_t>(knob, value);
   } else if (knob == "rows") {
-    machine->matrix_rows = static_cast<std::size_t>(value);
-    mesh->matrix_rows = static_cast<std::size_t>(value);
+    machine->matrix_rows = count_knob<std::size_t>(knob, value);
+    mesh->matrix_rows = machine->matrix_rows;
   } else if (knob == "cols") {
-    machine->matrix_cols = static_cast<std::size_t>(value);
-    mesh->matrix_cols = static_cast<std::size_t>(value);
+    machine->matrix_cols = count_knob<std::size_t>(knob, value);
+    mesh->matrix_cols = machine->matrix_cols;
   } else if (knob == "waveguide_gbps") {
     machine->waveguide_gbps = value;
   } else if (knob == "bus_length_cm") {
@@ -40,13 +60,13 @@ bool apply_knob(const std::string& knob, double value,
   } else if (knob == "brownout_ber") {
     machine->fault.brownout_ber = value;
   } else if (knob == "grid") {
-    mesh->grid = static_cast<std::size_t>(value);
+    mesh->grid = count_knob<std::size_t>(knob, value);
   } else if (knob == "t_p") {
-    mesh->mi.reorder_cycles_per_element = static_cast<std::uint32_t>(value);
+    mesh->mi.reorder_cycles_per_element = count_knob<std::uint32_t>(knob, value);
   } else if (knob == "elements_per_packet") {
-    mesh->elements_per_packet = static_cast<std::uint32_t>(value);
+    mesh->elements_per_packet = count_knob<std::uint32_t>(knob, value);
   } else if (knob == "virtual_channels") {
-    mesh->net.virtual_channels = static_cast<std::uint32_t>(value);
+    mesh->net.virtual_channels = count_knob<std::uint32_t>(knob, value);
   } else if (knob == "cores") {
     // Consumed by the fig13 workload straight from the knob list; nothing
     // to write into the machine blocks.

@@ -32,19 +32,20 @@ OrionReport evaluate(const OrionParams& p, const MeshActivity& a,
   rep.repeaters_per_link = repeaters_per_link(p, mesh_dim);
 
   const double fb = p.flit_bits;
-  rep.router_pj =
+  rep.router_pj = PicoJoules(
       static_cast<double>(a.buffer_writes) * p.buffer_write_pj_per_bit * fb +
       static_cast<double>(a.buffer_reads) * p.buffer_read_pj_per_bit * fb +
       static_cast<double>(a.crossbar_traversals) * p.crossbar_pj_per_bit * fb +
       static_cast<double>(a.crossbar_traversals) *
           p.pipeline_pj_per_bit_per_stage * p.router_stages * fb +
-      static_cast<double>(a.arbitrations) * p.arbiter_pj_per_flit;
-  rep.link_pj = static_cast<double>(a.link_traversals) *
-                p.link_pj_per_bit_per_mm * rep.link_mm_per_hop * fb;
+      static_cast<double>(a.arbitrations) * p.arbiter_pj_per_flit);
+  rep.link_pj = PicoJoules(static_cast<double>(a.link_traversals) *
+                           p.link_pj_per_bit_per_mm * rep.link_mm_per_hop * fb);
   rep.total_pj = rep.router_pj + rep.link_pj;
-  rep.pj_per_bit = payload_bits_moved > 0
-                       ? rep.total_pj / static_cast<double>(payload_bits_moved)
-                       : 0.0;
+  rep.pj_per_bit =
+      payload_bits_moved > 0
+          ? rep.total_pj.value() / static_cast<double>(payload_bits_moved)
+          : 0.0;
   return rep;
 }
 

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "psync/common/quantity.hpp"
 #include "psync/mesh/mesh.hpp"
 
 namespace psync::mesh {
@@ -40,12 +41,12 @@ struct OrionParams {
 };
 
 struct OrionReport {
-  double total_pj = 0.0;
+  PicoJoules total_pj{0.0};
   double pj_per_bit = 0.0;        // per *delivered payload* bit
   double link_mm_per_hop = 0.0;
   std::size_t repeaters_per_link = 0;
-  double router_pj = 0.0;
-  double link_pj = 0.0;
+  PicoJoules router_pj{0.0};
+  PicoJoules link_pj{0.0};
 };
 
 /// Per-hop wire length for a `dim x dim` mesh on the configured die.

@@ -3,12 +3,13 @@
 #include <cmath>
 
 #include "psync/common/check.hpp"
+#include "psync/common/quantity.hpp"
 
 namespace psync::photonic {
 
-double q_factor(double margin_db, double q_at_sensitivity) {
+double q_factor(DecibelsDb margin, double q_at_sensitivity) {
   PSYNC_CHECK(q_at_sensitivity > 0.0);
-  return q_at_sensitivity * std::pow(10.0, margin_db / 10.0);
+  return q_at_sensitivity * db_to_linear(margin);
 }
 
 double ber_from_q(double q) {
@@ -16,19 +17,19 @@ double ber_from_q(double q) {
   return 0.5 * std::erfc(q / std::sqrt(2.0));
 }
 
-double ber_at_margin(double margin_db, double q_at_sensitivity) {
-  return ber_from_q(q_factor(margin_db, q_at_sensitivity));
+double ber_at_margin(DecibelsDb margin, double q_at_sensitivity) {
+  return ber_from_q(q_factor(margin, q_at_sensitivity));
 }
 
-double worst_case_margin_db(const LinkBudgetParams& p, std::size_t segments) {
-  return power_after_segments(p, segments).dbm() -
+DecibelsDb worst_case_margin_db(const LinkBudgetParams& p,
+                                std::size_t segments) {
+  return power_after_segments(p, segments).level() -
          (p.detector.sensitivity_dbm + p.margin_db);
 }
 
-double expected_bit_errors(double margin_db, std::uint64_t bits,
+double expected_bit_errors(DecibelsDb margin, std::uint64_t bits,
                            double q_at_sensitivity) {
-  return ber_at_margin(margin_db, q_at_sensitivity) *
-         static_cast<double>(bits);
+  return ber_at_margin(margin, q_at_sensitivity) * static_cast<double>(bits);
 }
 
 }  // namespace psync::photonic

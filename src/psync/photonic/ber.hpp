@@ -22,24 +22,25 @@ namespace psync::photonic {
 /// Q at the reference sensitivity (Q = 6 -> BER ~ 1e-9).
 inline constexpr double kQAtSensitivity = 6.0;
 
-/// Q-factor for a received power `margin_db` above sensitivity (negative
+/// Q-factor for a received power `margin` above sensitivity (negative
 /// margin degrades Q below the reference).
-double q_factor(double margin_db, double q_at_sensitivity = kQAtSensitivity);
+double q_factor(DecibelsDb margin, double q_at_sensitivity = kQAtSensitivity);
 
 /// BER for a given Q: 0.5 * erfc(Q / sqrt(2)).
 double ber_from_q(double q);
 
 /// BER at a given margin above sensitivity.
-double ber_at_margin(double margin_db,
+double ber_at_margin(DecibelsDb margin,
                      double q_at_sensitivity = kQAtSensitivity);
 
-/// Margin (dB) of the farthest tap of a `segments`-segment PSCAN span under
+/// Margin of the farthest tap of a `segments`-segment PSCAN span under
 /// budget `p` (negative when the link does not close).
-double worst_case_margin_db(const LinkBudgetParams& p, std::size_t segments);
+DecibelsDb worst_case_margin_db(const LinkBudgetParams& p,
+                                std::size_t segments);
 
 /// Expected bit errors for a transaction of `bits` bits received at
-/// `margin_db` above sensitivity.
-double expected_bit_errors(double margin_db, std::uint64_t bits,
+/// `margin` above sensitivity.
+double expected_bit_errors(DecibelsDb margin, std::uint64_t bits,
                            double q_at_sensitivity = kQAtSensitivity);
 
 }  // namespace psync::photonic

@@ -7,10 +7,10 @@
 namespace psync::photonic {
 
 PhotonicClock::PhotonicClock(ClockParams params) : params_(params) {
-  PSYNC_CHECK(params.frequency_ghz > 0.0);
+  PSYNC_CHECK(params.frequency_ghz > GigaHertz(0.0));
   PSYNC_CHECK(params.group_velocity_cm_per_ns > 0.0);
   PSYNC_CHECK(params.detect_latency_ps >= 0);
-  period_ps_ = units::clock_period_ps(params.frequency_ghz);
+  period_ps_ = units::clock_period_ps(params.frequency_ghz.value());
 }
 
 TimePs PhotonicClock::flight_ps(double x_um) const {

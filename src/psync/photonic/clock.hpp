@@ -15,13 +15,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "psync/common/quantity.hpp"
 #include "psync/common/units.hpp"
 
 namespace psync::photonic {
 
 struct ClockParams {
-  /// Photonic clock / bit-slot frequency, GHz (paper: 10 Gb/s slots).
-  double frequency_ghz = 10.0;
+  /// Photonic clock / bit-slot frequency (paper: 10 Gb/s slots).
+  GigaHertz frequency_ghz{10.0};
   /// Group velocity along the distribution waveguide, cm/ns.
   double group_velocity_cm_per_ns = 7.0;
   /// Time for a node to sense the clock edge and respond (the "short delay

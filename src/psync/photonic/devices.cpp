@@ -5,22 +5,25 @@
 namespace psync::photonic {
 
 void validate(const RingResonator& r) {
-  if (r.through_loss_off_db < 0.0 || r.insertion_loss_on_db < 0.0) {
+  if (r.through_loss_off_db < DecibelsDb(0.0) ||
+      r.insertion_loss_on_db < DecibelsDb(0.0)) {
     throw SimulationError("RingResonator: losses must be non-negative");
   }
-  if (r.extinction_ratio_db <= 0.0) {
+  if (r.extinction_ratio_db <= DecibelsDb(0.0)) {
     throw SimulationError("RingResonator: extinction ratio must be positive");
   }
-  if (r.modulation_energy_fj_per_bit < 0.0 || r.thermal_tuning_uw < 0.0) {
+  if (r.modulation_energy_fj_per_bit < FemtoJoules(0.0) ||
+      r.thermal_tuning_uw < MicroWatts(0.0)) {
     throw SimulationError("RingResonator: energies must be non-negative");
   }
-  if (r.max_rate_gbps <= 0.0) {
+  if (r.max_rate_gbps <= GigabitsPerSec(0.0)) {
     throw SimulationError("RingResonator: max rate must be positive");
   }
 }
 
 void validate(const Photodetector& p) {
-  if (p.receive_energy_fj_per_bit < 0.0 || p.tap_loss_db < 0.0) {
+  if (p.receive_energy_fj_per_bit < FemtoJoules(0.0) ||
+      p.tap_loss_db < DecibelsDb(0.0)) {
     throw SimulationError("Photodetector: energies/losses must be non-negative");
   }
 }
@@ -29,7 +32,7 @@ void validate(const Laser& l) {
   if (l.wall_plug_efficiency <= 0.0 || l.wall_plug_efficiency > 1.0) {
     throw SimulationError("Laser: wall-plug efficiency must be in (0, 1]");
   }
-  if (l.coupler_loss_db < 0.0) {
+  if (l.coupler_loss_db < DecibelsDb(0.0)) {
     throw SimulationError("Laser: coupler loss must be non-negative");
   }
 }
@@ -38,7 +41,7 @@ void validate(const WdmPlan& w) {
   if (w.wavelength_count == 0) {
     throw SimulationError("WdmPlan: need at least one wavelength");
   }
-  if (w.rate_gbps_per_wavelength <= 0.0) {
+  if (w.rate_gbps_per_wavelength <= GigabitsPerSec(0.0)) {
     throw SimulationError("WdmPlan: per-wavelength rate must be positive");
   }
 }

@@ -2,59 +2,65 @@
 // photodetectors, lasers. Values are first-order constants of the 2010-2013
 // silicon-photonics literature the paper builds on (PhoenixSim-era devices);
 // every parameter is overridable for sensitivity studies.
+//
+// All dimensional parameters are strong types from quantity.hpp: a dB loss
+// cannot be assigned to a dBm level, an fJ energy cannot silently mix with
+// pJ, and every boundary to plain arithmetic is an explicit .value().
 #pragma once
 
 #include <cstddef>
+
+#include "psync/common/quantity.hpp"
 
 namespace psync::photonic {
 
 /// Ring resonator used as a modulator or drop filter.
 struct RingResonator {
-  /// Through-port loss when the ring is OFF-resonance (detuned), dB.
+  /// Through-port loss when the ring is OFF-resonance (detuned).
   /// This is the paper's L_r-off in Eq. 2: every detuned ring a signal
   /// passes still costs a little power.
-  double through_loss_off_db = 0.01;
-  /// Insertion loss when actively modulating / on-resonance drop, dB.
-  double insertion_loss_on_db = 0.5;
-  /// Extinction ratio between '1' and '0' levels, dB.
-  double extinction_ratio_db = 10.0;
-  /// Dynamic modulation energy, fJ/bit.
-  double modulation_energy_fj_per_bit = 50.0;
-  /// Static thermal tuning power to hold resonance, microwatts per ring
+  DecibelsDb through_loss_off_db{0.01};
+  /// Insertion loss when actively modulating / on-resonance drop.
+  DecibelsDb insertion_loss_on_db{0.5};
+  /// Extinction ratio between '1' and '0' levels.
+  DecibelsDb extinction_ratio_db{10.0};
+  /// Dynamic modulation energy per bit.
+  FemtoJoules modulation_energy_fj_per_bit{50.0};
+  /// Static thermal tuning power to hold resonance, per ring
   /// (assumes fabrication trimming; untrimmed rings run 10-100 uW).
-  double thermal_tuning_uw = 5.0;
-  /// Maximum modulation rate, Gb/s.
-  double max_rate_gbps = 10.0;
+  MicroWatts thermal_tuning_uw{5.0};
+  /// Maximum modulation rate.
+  GigabitsPerSec max_rate_gbps{10.0};
 };
 
 /// Receiver: photodiode + TIA.
 struct Photodetector {
-  /// Minimum detectable optical power (sensitivity), dBm. Paper's P_min-pd.
-  double sensitivity_dbm = -22.0;
-  /// Receiver energy, fJ/bit (photodiode + TIA + clocked sense).
-  double receive_energy_fj_per_bit = 100.0;
-  /// Drop loss seen by the through path at a detector tap, dB.
-  double tap_loss_db = 0.5;
+  /// Minimum detectable optical power (sensitivity). Paper's P_min-pd.
+  DbmPower sensitivity_dbm{-22.0};
+  /// Receiver energy per bit (photodiode + TIA + clocked sense).
+  FemtoJoules receive_energy_fj_per_bit{100.0};
+  /// Drop loss seen by the through path at a detector tap.
+  DecibelsDb tap_loss_db{0.5};
 };
 
 /// Off- or on-chip laser source for one wavelength.
 struct Laser {
-  /// Optical power launched into the waveguide per wavelength, dBm.
+  /// Optical power launched into the waveguide per wavelength.
   /// Paper's P_i in Eq. 1 (a couple of mW is typical).
-  double launch_power_dbm = 3.0;  // ~2 mW
+  DbmPower launch_power_dbm{3.0};  // ~2 mW
   /// Wall-plug efficiency: electrical-to-coupled-optical, fraction.
   double wall_plug_efficiency = 0.10;
-  /// Coupler loss from laser to waveguide, dB.
-  double coupler_loss_db = 1.0;
+  /// Coupler loss from laser to waveguide.
+  DecibelsDb coupler_loss_db{1.0};
 };
 
 /// A WDM channel plan: `wavelength_count` channels at `rate_gbps` each.
 /// The paper's PSCAN link: 32 wavelengths x 10 Gb/s = 320 Gb/s.
 struct WdmPlan {
   std::size_t wavelength_count = 32;
-  double rate_gbps_per_wavelength = 10.0;
+  GigabitsPerSec rate_gbps_per_wavelength{10.0};
 
-  double aggregate_gbps() const {
+  [[nodiscard]] GigabitsPerSec aggregate_gbps() const {
     return static_cast<double>(wavelength_count) * rate_gbps_per_wavelength;
   }
 };

@@ -28,18 +28,18 @@ PhotonicEnergyBreakdown pscan_energy_per_bit(const PhotonicEnergyParams& p,
 
   // Total path loss end to end: waveguide + every detuned ring + terminus
   // tap + laser coupler (per span the coupler/tap recur, handled below).
-  const double wg_and_ring_loss_db =
+  const DecibelsDb wg_and_ring_loss =
       wg.total_loss_db() +
       static_cast<double>(nodes) * p.ring.through_loss_off_db;
-  const double per_span_fixed_db =
+  const DecibelsDb per_span_fixed =
       p.detector.tap_loss_db + p.laser.coupler_loss_db;
 
   // Split into the minimum number of equal spans whose launch power fits
   // within max_launch_dbm.
-  const double span_budget_db = p.max_launch_dbm - p.detector.sensitivity_dbm;
+  const DecibelsDb span_budget = p.max_launch_dbm - p.detector.sensitivity_dbm;
   std::size_t spans = 1;
-  while (wg_and_ring_loss_db / static_cast<double>(spans) + per_span_fixed_db >
-         span_budget_db) {
+  while (wg_and_ring_loss / static_cast<double>(spans) + per_span_fixed >
+         span_budget) {
     ++spans;
     if (spans > 1024) {
       throw SimulationError(
@@ -47,20 +47,19 @@ PhotonicEnergyBreakdown pscan_energy_per_bit(const PhotonicEnergyParams& p,
           "check device parameters");
     }
   }
-  const double span_loss_db =
-      wg_and_ring_loss_db / static_cast<double>(spans) + per_span_fixed_db;
-  const double launch_dbm = p.detector.sensitivity_dbm + span_loss_db;
-  const double launch_mw = dbm_to_mw(launch_dbm);
-  const double laser_electrical_mw =
+  const DecibelsDb span_loss =
+      wg_and_ring_loss / static_cast<double>(spans) + per_span_fixed;
+  const DbmPower launch = p.detector.sensitivity_dbm + span_loss;
+  const MilliWatts launch_mw = dbm_to_mw(launch);
+  const MilliWatts laser_electrical =
       launch_mw / p.laser.wall_plug_efficiency *
       static_cast<double>(p.wdm.wavelength_count) * static_cast<double>(spans);
 
-  const double aggregate_gbps = p.wdm.aggregate_gbps() * utilization;
+  const GigabitsPerSec aggregate = p.wdm.aggregate_gbps() * utilization;
 
   PhotonicEnergyBreakdown out;
   out.spans = spans;
-  // mW / Gb/s = pJ/bit -> fJ/bit.
-  out.laser_fj_per_bit = laser_electrical_mw / aggregate_gbps * 1e3;
+  out.laser_fj_per_bit = energy_per_bit(laser_electrical, aggregate);
   out.modulator_fj_per_bit = p.ring.modulation_energy_fj_per_bit;
   out.receiver_fj_per_bit = p.detector.receive_energy_fj_per_bit;
   out.serdes_fj_per_bit = p.serdes_energy_fj_per_bit;
@@ -75,8 +74,8 @@ PhotonicEnergyBreakdown pscan_energy_per_bit(const PhotonicEnergyParams& p,
   // thermally tuned whether or not they are currently driving.
   const double rings =
       static_cast<double>(nodes) * static_cast<double>(p.wdm.wavelength_count);
-  const double thermal_mw = rings * p.ring.thermal_tuning_uw * 1e-3;
-  out.thermal_fj_per_bit = thermal_mw / aggregate_gbps * 1e3;
+  const MilliWatts thermal = uw_to_mw(rings * p.ring.thermal_tuning_uw);
+  out.thermal_fj_per_bit = energy_per_bit(thermal, aggregate);
   return out;
 }
 
@@ -92,18 +91,17 @@ PhotonicTransactionEnergy transaction_energy(const PhotonicEnergyParams& p,
   // span: the per-bit breakdown at utilization 1 amortizes static power
   // over aggregate_rate * 1s, so static power (mW) = fJ/bit * Gb/s * 1e-3.
   const PhotonicEnergyBreakdown e = pscan_energy_per_bit(p, nodes, die_cm);
-  const double rate_gbps = p.wdm.aggregate_gbps();
-  const double static_mw =
-      (e.laser_fj_per_bit + e.thermal_fj_per_bit) * rate_gbps * 1e-3;
+  const MilliWatts static_power =
+      power_of(e.laser_fj_per_bit + e.thermal_fj_per_bit,
+               p.wdm.aggregate_gbps());
 
   PhotonicTransactionEnergy out;
-  // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = fJ -> pJ via 1e-3.
-  out.static_pj = static_mw * static_cast<double>(span_ps) * 1e-3;
-  out.dynamic_pj = static_cast<double>(payload_bits) *
-                   (e.modulator_fj_per_bit + e.receiver_fj_per_bit +
-                    e.serdes_fj_per_bit + e.repeater_fj_per_bit) *
-                   1e-3;
-  out.pj_per_bit = out.total_pj() / static_cast<double>(payload_bits);
+  out.static_pj = energy_over(static_power, ps_from(span_ps));
+  out.dynamic_pj =
+      fj_to_pj(static_cast<double>(payload_bits) *
+               (e.modulator_fj_per_bit + e.receiver_fj_per_bit +
+                e.serdes_fj_per_bit + e.repeater_fj_per_bit));
+  out.pj_per_bit = out.total_pj().value() / static_cast<double>(payload_bits);
   return out;
 }
 

@@ -29,27 +29,29 @@ struct PhotonicEnergyParams {
   Photodetector detector;
   WaveguideParams waveguide;
   WdmPlan wdm;
-  /// Serializer/deserializer energy at each end, fJ/bit.
-  double serdes_energy_fj_per_bit = 100.0;
-  /// Maximum optical power one span's laser can launch per wavelength, dBm;
+  /// Serializer/deserializer energy at each end, per bit.
+  FemtoJoules serdes_energy_fj_per_bit{100.0};
+  /// Maximum optical power one span's laser can launch per wavelength;
   /// beyond this, O-E-O repeaters split the bus into spans.
-  double max_launch_dbm = 10.0;
+  DbmPower max_launch_dbm{10.0};
 };
 
 struct PhotonicEnergyBreakdown {
-  double laser_fj_per_bit = 0.0;
-  double modulator_fj_per_bit = 0.0;
-  double receiver_fj_per_bit = 0.0;
-  double thermal_fj_per_bit = 0.0;
-  double serdes_fj_per_bit = 0.0;
-  double repeater_fj_per_bit = 0.0;
+  FemtoJoules laser_fj_per_bit{0.0};
+  FemtoJoules modulator_fj_per_bit{0.0};
+  FemtoJoules receiver_fj_per_bit{0.0};
+  FemtoJoules thermal_fj_per_bit{0.0};
+  FemtoJoules serdes_fj_per_bit{0.0};
+  FemtoJoules repeater_fj_per_bit{0.0};
   std::size_t spans = 1;
 
-  double total_fj_per_bit() const {
+  [[nodiscard]] FemtoJoules total_fj_per_bit() const {
     return laser_fj_per_bit + modulator_fj_per_bit + receiver_fj_per_bit +
            thermal_fj_per_bit + serdes_fj_per_bit + repeater_fj_per_bit;
   }
-  double total_pj_per_bit() const { return total_fj_per_bit() * 1e-3; }
+  [[nodiscard]] PicoJoules total_pj_per_bit() const {
+    return fj_to_pj(total_fj_per_bit());
+  }
 };
 
 /// Energy per bit for a PSCAN bus with `nodes` taps on a serpentine covering
@@ -67,10 +69,10 @@ PhotonicEnergyBreakdown pscan_energy_per_bit(const PhotonicEnergyParams& p,
 /// integrates over the transaction's wall-clock `span_ps`; dynamic energy
 /// (modulator, receiver, SerDes, repeaters) charges per bit actually moved.
 struct PhotonicTransactionEnergy {
-  double static_pj = 0.0;    // laser + thermal over the span
-  double dynamic_pj = 0.0;   // per-bit device energy
-  double total_pj() const { return static_pj + dynamic_pj; }
-  double pj_per_bit = 0.0;   // total / payload bits
+  PicoJoules static_pj{0.0};   // laser + thermal over the span
+  PicoJoules dynamic_pj{0.0};  // per-bit device energy
+  [[nodiscard]] PicoJoules total_pj() const { return static_pj + dynamic_pj; }
+  double pj_per_bit = 0.0;     // total / payload bits
 };
 PhotonicTransactionEnergy transaction_energy(const PhotonicEnergyParams& p,
                                              std::size_t nodes,

@@ -6,16 +6,16 @@
 
 namespace psync::photonic {
 
-double segment_loss_db(const LinkBudgetParams& p) {
+DecibelsDb segment_loss_db(const LinkBudgetParams& p) {
   return p.ring.through_loss_off_db +
-         p.modulator_pitch_cm * p.waveguide.loss_straight_db_per_cm;
+         DecibelsDb(p.modulator_pitch_cm * p.waveguide.loss_straight_db_per_cm);
 }
 
-double launch_power_dbm(const LinkBudgetParams& p) {
+DbmPower launch_power_dbm(const LinkBudgetParams& p) {
   return p.laser.launch_power_dbm - p.laser.coupler_loss_db;
 }
 
-double budget_db(const LinkBudgetParams& p) {
+DecibelsDb budget_db(const LinkBudgetParams& p) {
   return launch_power_dbm(p) - (p.detector.sensitivity_dbm + p.margin_db);
 }
 
@@ -23,17 +23,20 @@ std::size_t max_segments(const LinkBudgetParams& p) {
   validate(p.laser);
   validate(p.ring);
   validate(p.detector);
-  const double budget = budget_db(p) - p.detector.tap_loss_db;
-  const double per_segment = segment_loss_db(p);
-  if (budget <= 0.0) return 0;
-  if (per_segment <= 0.0) throw SimulationError("segment loss must be positive");
+  const DecibelsDb budget = budget_db(p) - p.detector.tap_loss_db;
+  const DecibelsDb per_segment = segment_loss_db(p);
+  if (budget <= DecibelsDb(0.0)) return 0;
+  if (per_segment <= DecibelsDb(0.0)) {
+    throw SimulationError("segment loss must be positive");
+  }
   return static_cast<std::size_t>(budget / per_segment);
 }
 
 PowerDbm power_after_segments(const LinkBudgetParams& p,
                               std::size_t segments) {
-  const double loss = static_cast<double>(segments) * segment_loss_db(p) +
-                      p.detector.tap_loss_db;
+  const DecibelsDb loss =
+      static_cast<double>(segments) * segment_loss_db(p) +
+      p.detector.tap_loss_db;
   return PowerDbm(launch_power_dbm(p)).attenuated(loss);
 }
 
@@ -66,7 +69,7 @@ SerpentineBudget evaluate_serpentine(const LinkBudgetParams& p,
                       static_cast<double>(nodes) * p.ring.through_loss_off_db +
                       p.detector.tap_loss_db;
   out.residual_dbm =
-      PowerDbm(launch_power_dbm(p)).attenuated(out.total_loss_db).dbm();
+      PowerDbm(launch_power_dbm(p)).attenuated(out.total_loss_db).level();
   out.closes = out.residual_dbm >= p.detector.sensitivity_dbm + p.margin_db;
   out.max_nodes_eq3 = max_segments(p);
   return out;

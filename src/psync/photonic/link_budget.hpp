@@ -24,25 +24,25 @@ struct LinkBudgetParams {
   WaveguideParams waveguide;
   /// Modulator pitch D_m along the bus, centimetres.
   double modulator_pitch_cm = 0.05;
-  /// Extra margin demanded above sensitivity, dB (engineering headroom).
-  double margin_db = 0.0;
+  /// Extra margin demanded above sensitivity (engineering headroom).
+  DecibelsDb margin_db{0.0};
 };
 
-/// Loss of one PSCAN segment, dB (Eq. 2). Uses the straight-waveguide loss;
+/// Loss of one PSCAN segment (Eq. 2). Uses the straight-waveguide loss;
 /// bends are accounted separately by callers that know the layout.
-double segment_loss_db(const LinkBudgetParams& p);
+DecibelsDb segment_loss_db(const LinkBudgetParams& p);
 
-/// Launch power available after the laser-to-waveguide coupler, dBm.
-double launch_power_dbm(const LinkBudgetParams& p);
+/// Launch power available after the laser-to-waveguide coupler.
+DbmPower launch_power_dbm(const LinkBudgetParams& p);
 
-/// Optical budget: launch power minus (sensitivity + margin), dB.
-double budget_db(const LinkBudgetParams& p);
+/// Optical budget: launch power minus (sensitivity + margin).
+DecibelsDb budget_db(const LinkBudgetParams& p);
 
 /// Maximum number of segments on a single optical span (Eq. 3); zero when
 /// even one segment cannot close the link.
 std::size_t max_segments(const LinkBudgetParams& p);
 
-/// Residual power at the detector after `segments` segments, dBm.
+/// Residual power at the detector after `segments` segments.
 PowerDbm power_after_segments(const LinkBudgetParams& p, std::size_t segments);
 
 /// True when a span of `segments` closes the link budget (Eq. 1).
@@ -57,10 +57,10 @@ std::size_t repeaters_required(const LinkBudgetParams& p,
 /// pitched taps across a square die. Includes bend losses, which Eq. 3
 /// ignores ("for simplicity"); exposing both lets tests quantify the gap.
 struct SerpentineBudget {
-  double total_loss_db = 0.0;       // waveguide + bends + detuned rings
-  double residual_dbm = 0.0;        // at the terminus detector
+  DecibelsDb total_loss_db{0.0};  // waveguide + bends + detuned rings
+  DbmPower residual_dbm{0.0};     // at the terminus detector
   bool closes = false;
-  std::size_t max_nodes_eq3 = 0;    // paper's bend-free bound
+  std::size_t max_nodes_eq3 = 0;  // paper's bend-free bound
 };
 SerpentineBudget evaluate_serpentine(const LinkBudgetParams& p,
                                      const SerpentineLayout& layout,

@@ -1,27 +1,21 @@
 #include "psync/photonic/power.hpp"
 
-#include <cmath>
-
-#include "psync/common/check.hpp"
+#include "psync/common/quantity.hpp"
 
 namespace psync::photonic {
 
 double mw_to_dbm(double mw) {
-  if (mw <= 0.0) {
-    throw SimulationError("power must be positive to express in dBm");
-  }
-  return 10.0 * std::log10(mw);
+  return ::psync::mw_to_dbm(MilliWatts(mw)).value();
 }
 
-double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double dbm_to_mw(double dbm) {
+  return ::psync::dbm_to_mw(DbmPower(dbm)).value();
+}
 
 double ratio_to_db(double ratio) {
-  if (ratio <= 0.0) {
-    throw SimulationError("ratio must be positive");
-  }
-  return 10.0 * std::log10(ratio);
+  return ::psync::linear_to_db(ratio).value();
 }
 
-double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+double db_to_ratio(double db) { return ::psync::db_to_linear(DecibelsDb(db)); }
 
 }  // namespace psync::photonic

@@ -2,12 +2,18 @@
 //
 // The PSCAN scalability analysis (paper Section III-B, Eq. 1-3) is entirely
 // a link-budget computation: launch power minus accumulated losses must stay
-// above the photodetector sensitivity. Powers are dBm, losses/gains dB.
+// above the photodetector sensitivity. Powers are dBm (psync::DbmPower),
+// losses/gains dB (psync::DecibelsDb); the affine-level algebra of
+// quantity.hpp makes level+level or a raw double loss a compile error.
 #pragma once
+
+#include "psync/common/quantity.hpp"
 
 namespace psync::photonic {
 
-/// Convert absolute power between milliwatts and dBm.
+/// Convert absolute power between milliwatts and dBm. The double forms are
+/// the legacy scalar API; the typed forms live in psync/common/quantity.hpp
+/// (psync::mw_to_dbm / psync::dbm_to_mw) and are preferred in new code.
 double mw_to_dbm(double mw);
 double dbm_to_mw(double dbm);
 
@@ -15,30 +21,33 @@ double dbm_to_mw(double dbm);
 double ratio_to_db(double ratio);
 double db_to_ratio(double db);
 
-/// Optical power level in dBm with explicit loss/gain application.
+/// Optical power level in dBm with explicit loss/gain application. Wraps
+/// the DbmPower level type; attenuation/gain take typed dB quantities.
 class PowerDbm {
  public:
   constexpr PowerDbm() = default;
-  constexpr explicit PowerDbm(double dbm) : dbm_(dbm) {}
+  constexpr explicit PowerDbm(DbmPower level) : level_(level) {}
+  constexpr explicit PowerDbm(double dbm) : level_(dbm) {}
 
-  constexpr double dbm() const { return dbm_; }
-  double mw() const { return dbm_to_mw(dbm_); }
+  [[nodiscard]] constexpr DbmPower level() const { return level_; }
+  [[nodiscard]] constexpr double dbm() const { return level_.value(); }
+  [[nodiscard]] double mw() const { return ::psync::dbm_to_mw(level_).value(); }
 
-  /// Attenuate by `loss_db` (>= 0).
-  constexpr PowerDbm attenuated(double loss_db) const {
-    return PowerDbm(dbm_ - loss_db);
+  /// Attenuate by `loss` (>= 0 dB).
+  [[nodiscard]] constexpr PowerDbm attenuated(DecibelsDb loss) const {
+    return PowerDbm(level_ - loss);
   }
-  /// Amplify by `gain_db` (>= 0), e.g. at an O-E-O repeater relaunch.
-  constexpr PowerDbm amplified(double gain_db) const {
-    return PowerDbm(dbm_ + gain_db);
+  /// Amplify by `gain` (>= 0 dB), e.g. at an O-E-O repeater relaunch.
+  [[nodiscard]] constexpr PowerDbm amplified(DecibelsDb gain) const {
+    return PowerDbm(level_ + gain);
   }
 
-  constexpr bool detectable_by(double sensitivity_dbm) const {
-    return dbm_ >= sensitivity_dbm;
+  [[nodiscard]] constexpr bool detectable_by(DbmPower sensitivity) const {
+    return level_ >= sensitivity;
   }
 
  private:
-  double dbm_ = 0.0;
+  DbmPower level_{0.0};
 };
 
 }  // namespace psync::photonic

@@ -15,25 +15,24 @@ Waveguide::Waveguide(WaveguideParams params, double straight_um,
   PSYNC_CHECK(params.group_velocity_cm_per_ns > 0.0);
 }
 
-double Waveguide::total_loss_db() const {
-  return units::um_to_cm(straight_um_) * params_.loss_straight_db_per_cm +
-         units::um_to_cm(curved_um_) * params_.loss_curved_db_per_cm +
-         static_cast<double>(bends_) * params_.loss_per_bend_db;
+DecibelsDb Waveguide::total_loss_db() const {
+  return DecibelsDb(
+      units::um_to_cm(straight_um_) * params_.loss_straight_db_per_cm +
+      units::um_to_cm(curved_um_) * params_.loss_curved_db_per_cm +
+      static_cast<double>(bends_) * params_.loss_per_bend_db);
 }
 
-double Waveguide::flight_time_ps() const {
-  return flight_time_to_ps(length_um());
-}
+Ps Waveguide::flight_time_ps() const { return flight_time_to_ps(length_um()); }
 
-double Waveguide::flight_time_to_ps(double at_um) const {
+Ps Waveguide::flight_time_to_ps(double at_um) const {
   PSYNC_CHECK(at_um >= 0.0);
   // cm / (cm/ns) = ns; convert to ps.
-  return units::um_to_cm(at_um) / params_.group_velocity_cm_per_ns * 1e3;
+  return Ps(units::um_to_cm(at_um) / params_.group_velocity_cm_per_ns * 1e3);
 }
 
-double Waveguide::loss_to_db(double at_um) const {
+DecibelsDb Waveguide::loss_to_db(double at_um) const {
   const double len = length_um();
-  if (len <= 0.0) return 0.0;
+  if (len <= 0.0) return DecibelsDb(0.0);
   const double frac = at_um / len;
   return total_loss_db() * frac;
 }

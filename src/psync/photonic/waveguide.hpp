@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "psync/common/quantity.hpp"
 #include "psync/common/units.hpp"
 
 namespace psync::photonic {
@@ -40,18 +41,18 @@ class Waveguide {
   std::size_t bends() const { return bends_; }
   double length_um() const { return straight_um_ + curved_um_; }
 
-  /// Total propagation (insertion) loss of the run, dB.
-  double total_loss_db() const;
+  /// Total propagation (insertion) loss of the run.
+  [[nodiscard]] DecibelsDb total_loss_db() const;
 
-  /// One-way flight time over the full run, picoseconds (real-valued).
-  double flight_time_ps() const;
+  /// One-way flight time over the full run (real-valued picoseconds).
+  [[nodiscard]] Ps flight_time_ps() const;
 
   /// Flight time from the launch point to a position `at_um` along the run.
-  double flight_time_to_ps(double at_um) const;
+  [[nodiscard]] Ps flight_time_to_ps(double at_um) const;
 
   /// Loss accumulated from launch to `at_um`, assuming straight/curved
   /// sections are uniformly interleaved (adequate for budget estimates).
-  double loss_to_db(double at_um) const;
+  [[nodiscard]] DecibelsDb loss_to_db(double at_um) const;
 
  private:
   WaveguideParams params_;

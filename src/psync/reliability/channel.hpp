@@ -92,7 +92,7 @@ struct LaneReport {
   /// serialized over the surviving lanes because spares ran out).
   std::size_t slots_per_word = 1;
 
-  bool degraded() const { return slots_per_word > 1; }
+  [[nodiscard]] bool degraded() const { return slots_per_word > 1; }
 };
 
 class ProtectedChannel {
@@ -102,9 +102,11 @@ class ProtectedChannel {
   /// should account once per session (calibration_slots()).
   ProtectedChannel(FaultModel fault, ReliabilityParams params);
 
-  const ReliabilityParams& params() const { return params_; }
-  const LaneReport& lanes() const { return lanes_; }
-  std::uint64_t calibration_slots() const { return calibration_slots_; }
+  [[nodiscard]] const ReliabilityParams& params() const { return params_; }
+  [[nodiscard]] const LaneReport& lanes() const { return lanes_; }
+  [[nodiscard]] std::uint64_t calibration_slots() const {
+    return calibration_slots_;
+  }
 
   struct Transmission {
     /// Delivered payload words (post-policy; same length as the input).
@@ -120,7 +122,7 @@ class ProtectedChannel {
     FaultReport fault;
 
     /// Extra bus time beyond the raw payload burst, in slots.
-    std::uint64_t overhead_slots() const {
+    [[nodiscard]] std::uint64_t overhead_slots() const {
       return wire_slots + backoff_slots - payload_slots;
     }
   };
@@ -128,8 +130,9 @@ class ProtectedChannel {
   /// Push `payload` through the faulty link under the configured policy.
   /// `corrupted_slots` (optional) lists payload slot indices the caller's
   /// collision checker flagged; blocks containing them are re-driven even
-  /// if the coding checks pass.
-  Transmission transmit(const std::vector<std::uint64_t>& payload,
+  /// if the coding checks pass. Discarding the result discards the
+  /// delivered words *and* the retry/energy accounting, so it is flagged.
+  [[nodiscard]] Transmission transmit(const std::vector<std::uint64_t>& payload,
                         const std::vector<std::int64_t>* corrupted_slots =
                             nullptr);
 

@@ -79,7 +79,7 @@ std::uint64_t FaultModel::silenced_mask() const {
 
 FaultModel FaultModel::from_margin_db(double margin_db, std::uint64_t seed) {
   FaultModel f;
-  f.random_ber = photonic::ber_at_margin(margin_db);
+  f.random_ber = photonic::ber_at_margin(DecibelsDb(margin_db));
   f.seed = seed;
   return f;
 }

@@ -7,18 +7,18 @@ namespace {
 
 TEST(PerfModel, Model1SpecialCase) {
   // eta = t_c / (P*t_d + t_c): equal t_c and P*t_d -> 50%.
-  EXPECT_DOUBLE_EQ(model1_efficiency(4, 25.0, 100.0), 0.5);
-  EXPECT_DOUBLE_EQ(model1_efficiency(1, 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(model1_efficiency(4, Ns{25.0}, Ns{100.0}), 0.5);
+  EXPECT_DOUBLE_EQ(model1_efficiency(1, Ns{0.0}, Ns{100.0}), 1.0);
 }
 
 TEST(PerfModel, ModelIIReducesToModelIAtK1) {
   ModelInputs in;
   in.processors = 16;
   in.blocks = 1;
-  in.t_dk_ns = 10.0;
-  in.t_ck_ns = 200.0;
+  in.t_dk_ns = Ns{10.0};
+  in.t_ck_ns = Ns{200.0};
   EXPECT_DOUBLE_EQ(efficiency(in),
-                   model1_efficiency(16, 10.0, 200.0));
+                   model1_efficiency(16, Ns{10.0}, Ns{200.0}));
 }
 
 TEST(PerfModel, BalancedCaseTotalTime) {
@@ -26,10 +26,10 @@ TEST(PerfModel, BalancedCaseTotalTime) {
   ModelInputs in;
   in.processors = 8;
   in.blocks = 4;
-  in.t_ck_ns = 80.0;
-  in.t_dk_ns = 10.0;  // P*t_dk = 80 = t_ck
-  in.t_cf_ns = 40.0;
-  EXPECT_DOUBLE_EQ(total_time_ns(in), 5 * 80.0 + 40.0);
+  in.t_ck_ns = Ns{80.0};
+  in.t_dk_ns = Ns{10.0};  // P*t_dk = 80 = t_ck
+  in.t_cf_ns = Ns{40.0};
+  EXPECT_DOUBLE_EQ(total_time_ns(in).value(), 5 * 80.0 + 40.0);
   EXPECT_TRUE(compute_bound(in));
 }
 
@@ -38,9 +38,9 @@ TEST(PerfModel, ComputeBoundCase1Efficiency) {
   ModelInputs in;
   in.processors = 4;
   in.blocks = 8;
-  in.t_ck_ns = 100.0;
-  in.t_dk_ns = 20.0;  // P*t_dk = 80 < 100
-  const double t_c = compute_time_ns(in);
+  in.t_ck_ns = Ns{100.0};
+  in.t_dk_ns = Ns{20.0};  // P*t_dk = 80 < 100
+  const double t_c = compute_time_ns(in).value();
   EXPECT_DOUBLE_EQ(efficiency(in), t_c / (4 * 20.0 + t_c));
 }
 
@@ -49,10 +49,10 @@ TEST(PerfModel, CommunicationBoundCase2Efficiency) {
   ModelInputs in;
   in.processors = 4;
   in.blocks = 8;
-  in.t_ck_ns = 50.0;
-  in.t_dk_ns = 20.0;  // P*t_dk = 80 > 50
+  in.t_ck_ns = Ns{50.0};
+  in.t_dk_ns = Ns{20.0};  // P*t_dk = 80 > 50
   EXPECT_FALSE(compute_bound(in));
-  const double t_c = compute_time_ns(in);
+  const double t_c = compute_time_ns(in).value();
   EXPECT_DOUBLE_EQ(efficiency(in), t_c / (4 * 8 * 20.0 + 50.0));
 }
 
@@ -62,11 +62,11 @@ TEST(PerfModel, EfficiencyMaximizedAtBalance) {
   ModelInputs in;
   in.processors = 8;
   in.blocks = 16;
-  in.t_ck_ns = 80.0;
+  in.t_ck_ns = Ns{80.0};
   double best = 0.0;
   double best_tdk = 0.0;
   for (double tdk = 1.0; tdk <= 30.0; tdk += 0.5) {
-    in.t_dk_ns = tdk;
+    in.t_dk_ns = Ns{tdk};
     if (efficiency(in) > best) {
       best = efficiency(in);
       best_tdk = tdk;
@@ -77,23 +77,29 @@ TEST(PerfModel, EfficiencyMaximizedAtBalance) {
   // t_dk -> 0 approaches t_c/(t_c) = 1 but through P*t_dk only. Peak must
   // be the smallest t_dk in Case 1 -- confirm balance is the Case-2/Case-1
   // boundary for fixed bandwidth-style tradeoffs instead:
-  in.t_dk_ns = 10.0;  // balanced
+  in.t_dk_ns = Ns{10.0};  // balanced
   EXPECT_TRUE(compute_bound(in));
-  in.t_dk_ns = 10.5;  // just over
+  in.t_dk_ns = Ns{10.5};  // just over
   EXPECT_FALSE(compute_bound(in));
 }
 
 TEST(PerfModel, DeliveryTimeEq9) {
   // t_d = lambda + S_b*S_s/W_p: 1024 samples * 64 bits at 409.6 Gb/s.
-  EXPECT_NEAR(delivery_time_ns(0.0, 1024 * 64, 409.6), 160.0, 1e-9);
-  EXPECT_NEAR(delivery_time_ns(5.0, 1024 * 64, 409.6), 165.0, 1e-9);
+  EXPECT_NEAR(
+      delivery_time_ns(Ns{0.0}, 1024 * 64, GigabitsPerSec{409.6}).value(),
+      160.0, 1e-9);
+  EXPECT_NEAR(
+      delivery_time_ns(Ns{5.0}, 1024 * 64, GigabitsPerSec{409.6}).value(),
+      165.0, 1e-9);
 }
 
 TEST(PerfModel, BalancedBandwidthEq20) {
   // Table I, k=1: W_p = S_b*S_s*P/t_ck = 1024*64*256/40960 = 409.6 Gb/s.
-  EXPECT_NEAR(balanced_bandwidth_gbps(256, 1024 * 64, 40960.0), 409.6, 1e-9);
+  EXPECT_NEAR(balanced_bandwidth_gbps(256, 1024 * 64, Ns{40960.0}).value(),
+              409.6, 1e-9);
   // k=64: 16*64*256/256 = 1024.
-  EXPECT_NEAR(balanced_bandwidth_gbps(256, 16 * 64, 256.0), 1024.0, 1e-9);
+  EXPECT_NEAR(balanced_bandwidth_gbps(256, 16 * 64, Ns{256.0}).value(), 1024.0,
+              1e-9);
 }
 
 TEST(PerfModel, MoreBlocksNeverHurtWhenBalanced) {
@@ -104,7 +110,7 @@ TEST(PerfModel, MoreBlocksNeverHurtWhenBalanced) {
     ModelInputs in;
     in.processors = 256;
     in.blocks = k;
-    in.t_ck_ns = 1000.0 / k;
+    in.t_ck_ns = Ns{1000.0 / k};
     in.t_dk_ns = in.t_ck_ns / 256.0;
     const double eta = efficiency(in);
     EXPECT_GT(eta, prev);

@@ -30,9 +30,9 @@ TEST(Table1, ReproducesEveryPaperRow) {
     SCOPED_TRACE("k=" + std::to_string(paper[i].k));
     EXPECT_EQ(rows[i].k, paper[i].k);
     EXPECT_EQ(rows[i].block_size, paper[i].s_b);
-    EXPECT_DOUBLE_EQ(rows[i].t_ck_ns, paper[i].t_ck);
-    EXPECT_DOUBLE_EQ(rows[i].t_cf_ns, paper[i].t_cf);
-    EXPECT_NEAR(rows[i].bandwidth_gbps, paper[i].w_p, 0.05);
+    EXPECT_DOUBLE_EQ(rows[i].t_ck_ns.value(), paper[i].t_ck);
+    EXPECT_DOUBLE_EQ(rows[i].t_cf_ns.value(), paper[i].t_cf);
+    EXPECT_NEAR(rows[i].bandwidth_gbps.value(), paper[i].w_p, 0.05);
     EXPECT_NEAR(rows[i].efficiency * 100.0, paper[i].eta_pct, 0.005);
   }
 }

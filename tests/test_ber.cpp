@@ -7,19 +7,19 @@ namespace {
 
 TEST(Ber, ReferencePointIs1e9AtSensitivity) {
   // Q = 6 -> BER ~ 1e-9 (the classic OOK reference).
-  EXPECT_NEAR(ber_at_margin(0.0), 1e-9, 5e-10);
+  EXPECT_NEAR(ber_at_margin(DecibelsDb{0.0}), 1e-9, 5e-10);
 }
 
 TEST(Ber, QScalesWithPowerMargin) {
-  EXPECT_DOUBLE_EQ(q_factor(0.0), 6.0);
-  EXPECT_NEAR(q_factor(3.0103), 12.0, 1e-3);   // +3 dB doubles Q
-  EXPECT_NEAR(q_factor(-3.0103), 3.0, 1e-3);
+  EXPECT_DOUBLE_EQ(q_factor(DecibelsDb{0.0}), 6.0);
+  EXPECT_NEAR(q_factor(DecibelsDb{3.0103}), 12.0, 1e-3);   // +3 dB doubles Q
+  EXPECT_NEAR(q_factor(DecibelsDb{-3.0103}), 3.0, 1e-3);
 }
 
 TEST(Ber, MonotoneInMargin) {
   double prev = 1.0;
   for (double m = -6.0; m <= 4.0; m += 0.5) {
-    const double b = ber_at_margin(m);
+    const double b = ber_at_margin(DecibelsDb{m});
     EXPECT_LT(b, prev);
     prev = b;
   }
@@ -35,9 +35,10 @@ TEST(Ber, WorstCaseMarginTracksLinkBudget) {
   const std::size_t n_max = max_segments(p);
   // At the Eq. 3 bound the margin is tiny but non-negative; one segment
   // past it goes negative.
-  EXPECT_GE(worst_case_margin_db(p, n_max), 0.0);
-  EXPECT_LT(worst_case_margin_db(p, n_max), segment_loss_db(p) + 1e-9);
-  EXPECT_LT(worst_case_margin_db(p, n_max + 1), 0.0);
+  EXPECT_GE(worst_case_margin_db(p, n_max).value(), 0.0);
+  EXPECT_LT(worst_case_margin_db(p, n_max).value(),
+            segment_loss_db(p).value() + 1e-9);
+  EXPECT_LT(worst_case_margin_db(p, n_max + 1).value(), 0.0);
 }
 
 TEST(Ber, ReliabilityCliffAtScalingBound) {
@@ -45,15 +46,15 @@ TEST(Ber, ReliabilityCliffAtScalingBound) {
   // catastrophic 3 dB past the bound.
   LinkBudgetParams p;
   const std::size_t n_max = max_segments(p);
-  const double margin_ok = worst_case_margin_db(p, n_max / 2);
-  const double margin_bad = -3.0;
+  const DecibelsDb margin_ok = worst_case_margin_db(p, n_max / 2);
+  const DecibelsDb margin_bad{-3.0};
   EXPECT_LT(expected_bit_errors(margin_ok, 1ULL << 20), 1e-3);
   EXPECT_GT(expected_bit_errors(margin_bad, 1ULL << 20), 100.0);
 }
 
 TEST(Ber, ExpectedErrorsScaleLinearlyInBits) {
-  const double one = expected_bit_errors(-2.0, 1'000'000);
-  const double two = expected_bit_errors(-2.0, 2'000'000);
+  const double one = expected_bit_errors(DecibelsDb{-2.0}, 1'000'000);
+  const double two = expected_bit_errors(DecibelsDb{-2.0}, 2'000'000);
   EXPECT_NEAR(two, 2.0 * one, 1e-12 * two);
 }
 

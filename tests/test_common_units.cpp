@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "psync/common/quantity.hpp"
+
 namespace psync::units {
 namespace {
 
@@ -10,6 +12,23 @@ TEST(Units, BitPeriodExactForPaperRates) {
   EXPECT_EQ(bit_period_ps(10.0), 100);
   EXPECT_EQ(clock_period_ps(2.5), 400);
   EXPECT_EQ(bit_period_ps(320.0 / 64.0), 200);  // one 64-bit sample slot
+  EXPECT_EQ(bit_period_ps(3.125), 320);         // divides exactly
+  EXPECT_EQ(clock_period_ps(0.1), 10000);       // decimally exact rate
+  // Accepted rates are usable in constant expressions.
+  static_assert(bit_period_ps(10.0) == 100);
+  static_assert(clock_period_ps(2.5) == 400);
+}
+
+TEST(Units, NonRepresentableRatesRejected) {
+  // 3 GHz would need a 333.3 ps period; on the integer picosecond clock
+  // that drifts by a full slot every ~3000 slots, so it must be refused
+  // rather than silently rounded.
+  EXPECT_THROW(bit_period_ps(3.0), ConfigError);
+  EXPECT_THROW(clock_period_ps(3.0), ConfigError);
+  EXPECT_THROW(bit_period_ps(7.0), ConfigError);
+  EXPECT_THROW(bit_period_ps(0.0), ConfigError);
+  EXPECT_THROW(bit_period_ps(-10.0), ConfigError);
+  EXPECT_THROW(clock_period_ps(1e9), ConfigError);  // period < 1 ps
 }
 
 TEST(Units, TimeConversionsRoundTrip) {
@@ -43,6 +62,76 @@ TEST(Units, LengthConversions) {
   EXPECT_DOUBLE_EQ(cm_to_um(2.0), 20000.0);
   EXPECT_DOUBLE_EQ(um_to_cm(20000.0), 2.0);
   EXPECT_DOUBLE_EQ(mm_to_um(1.0), 1000.0);
+}
+
+TEST(Quantity, DbLinearRoundTrip) {
+  EXPECT_DOUBLE_EQ(db_to_linear(DecibelsDb{10.0}), 10.0);
+  EXPECT_DOUBLE_EQ(db_to_linear(DecibelsDb{0.0}), 1.0);
+  EXPECT_NEAR(db_to_linear(DecibelsDb{3.0103}), 2.0, 1e-4);
+  for (double db : {-20.0, -3.0, 0.0, 0.5, 13.7}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(DecibelsDb{db})).value(), db, 1e-12);
+  }
+  EXPECT_THROW(linear_to_db(0.0), SimulationError);
+  EXPECT_THROW(linear_to_db(-1.0), SimulationError);
+}
+
+TEST(Quantity, DbmMilliwattRoundTrip) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(DbmPower{0.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(DbmPower{10.0}).value(), 10.0);
+  for (double mw : {0.01, 0.5, 1.0, 3.7, 100.0}) {
+    EXPECT_NEAR(dbm_to_mw(mw_to_dbm(MilliWatts{mw})).value(), mw, 1e-12);
+  }
+  EXPECT_THROW(mw_to_dbm(MilliWatts{0.0}), SimulationError);
+  EXPECT_THROW(mw_to_dbm(MilliWatts{-1.0}), SimulationError);
+}
+
+TEST(Quantity, EnergyRoundTrip) {
+  static_assert(fj_to_pj(FemtoJoules{1500.0}).value() == 1.5);
+  static_assert(pj_to_fj(PicoJoules{1.5}).value() == 1500.0);
+  for (double fj : {0.0, 1.0, 50.0, 1234.5}) {
+    EXPECT_DOUBLE_EQ(pj_to_fj(fj_to_pj(FemtoJoules{fj})).value(), fj);
+  }
+}
+
+TEST(Quantity, AffineDbmAlgebraMatchesLinkBudgetEquations) {
+  // Eq. 1-3 shapes: level - level = dB; level +/- dB = level.
+  const DbmPower launch{3.0};
+  const DbmPower sensitivity{-20.0};
+  const DecibelsDb budget = launch - sensitivity;
+  EXPECT_DOUBLE_EQ(budget.value(), 23.0);
+  EXPECT_DOUBLE_EQ((launch - DecibelsDb{1.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ((sensitivity + budget).value(), launch.value());
+}
+
+TEST(Quantity, PeriodAndRateBridges) {
+  static_assert(period(GigaHertz{10.0}).value() == 100.0);
+  static_assert(bit_period(GigabitsPerSec{2.5}).value() == 400.0);
+  static_assert(slot_clock(GigabitsPerSec{320.0}, 64.0).value() == 5.0);
+  // Energy/power/rate bridges used by the Fig. 5 models.
+  static_assert(energy_per_bit(MilliWatts{1.0}, GigabitsPerSec{10.0}).value() ==
+                100.0);
+  static_assert(power_of(FemtoJoules{100.0}, GigabitsPerSec{10.0}).value() ==
+                1.0);
+  static_assert(energy_over(MilliWatts{1.0}, Ps{1000.0}).value() == 1.0);
+}
+
+TEST(Quantity, TimePsInterop) {
+  static_assert(ps_from(TimePs{1500}).value() == 1500.0);
+  static_assert(to_time_ps(Ps{1499.6}) == 1500);
+  static_assert(to_time_ps(Ps{-1499.6}) == -1500);
+  EXPECT_DOUBLE_EQ(ps_to_ns(Ps{1500.0}).value(), 1.5);
+  EXPECT_DOUBLE_EQ(ns_to_ps(Ns{1.5}).value(), 1500.0);
+}
+
+TEST(StrongIndexTypes, BehaveLikeIndices) {
+  NodeId n{3};
+  EXPECT_EQ(n.value(), 3);
+  EXPECT_EQ((++n).value(), 4);
+  EXPECT_TRUE(NodeId{1} < NodeId{2});
+  EXPECT_EQ(LaneId{7u}.value(), 7u);
+  EXPECT_EQ(SlotId{1'000'000'000'000}.value(), 1'000'000'000'000);
+  std::hash<NodeId> h;
+  EXPECT_EQ(h(NodeId{3}), h(NodeId{3}));
 }
 
 }  // namespace

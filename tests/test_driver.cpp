@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <thread>
 
@@ -122,6 +123,25 @@ TEST(SweepEngine, ApplyKnobRejectsUnknownNames) {
     EXPECT_TRUE(apply_knob(knob, 2.0, &m, &mm)) << knob;
   }
   EXPECT_FALSE(apply_knob("warp_factor", 9.0, &m, &mm));
+}
+
+// Regression: count-valued knobs used to be cast straight from double to an
+// unsigned type — UB for negative values, silent truncation for fractional
+// ones (a sweep would record processors = 16.5 but simulate 16).
+TEST(SweepEngine, ApplyKnobRejectsNonIntegerCounts) {
+  core::PsyncMachineParams m;
+  core::MeshMachineParams mm;
+  EXPECT_THROW((void)apply_knob("processors", -1.0, &m, &mm), ConfigError);
+  EXPECT_THROW((void)apply_knob("processors", 16.5, &m, &mm), ConfigError);
+  EXPECT_THROW((void)apply_knob("t_p", -4.0, &m, &mm), ConfigError);
+  EXPECT_THROW((void)apply_knob("virtual_channels", 2.25, &m, &mm),
+               ConfigError);
+  EXPECT_THROW((void)apply_knob("k", std::nan(""), &m, &mm), ConfigError);
+  // Exact integral values still apply.
+  EXPECT_TRUE(apply_knob("processors", 16.0, &m, &mm));
+  EXPECT_EQ(m.processors, 16u);
+  EXPECT_TRUE(apply_knob("t_p", 4.0, &m, &mm));
+  EXPECT_EQ(mm.mi.reorder_cycles_per_element, 4u);
 }
 
 TEST(SweepEngine, MapUsesThePoolAndPreservesOrder) {

@@ -55,7 +55,7 @@ TEST_P(ScaFuzz, RandomPartitionGathersGapFree) {
 
   // Random (strictly increasing) node placement on a random-length bus.
   core::PscanTopology topo;
-  topo.clock.frequency_ghz = 10.0;
+  topo.clock.frequency_ghz = psync::GigaHertz{10.0};
   double at = 0.0;
   for (std::size_t i = 0; i < nodes; ++i) {
     at += 500.0 + rng.next_double() * 15000.0;

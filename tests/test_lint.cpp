@@ -97,7 +97,7 @@ TEST(Lint, ThinMarginWarnsWithProjectedErrors) {
   // Engineer the launch power so the margin is barely positive.
   budget.laser.launch_power_dbm =
       budget.detector.sensitivity_dbm + budget.laser.coupler_loss_db +
-      budget.detector.tap_loss_db + 16 * 0.01 + 8.0 * 0.3 + 0.05;
+      budget.detector.tap_loss_db + DecibelsDb{16 * 0.01 + 8.0 * 0.3 + 0.05};
   topo.budget = budget;
   const auto sched = compile_gather_blocks(16, 4096);  // ~4.2 Mbit moved
   const auto rep = lint_transaction(topo, sched, CpAction::kDrive);

@@ -56,11 +56,12 @@ TEST(Orion, EvaluateFromSimulatedActivity) {
   OrionParams p;
   p.flit_bits = 64;
   const auto rep = evaluate(p, m.activity(), 4, payload_bits);
-  EXPECT_GT(rep.total_pj, 0.0);
+  EXPECT_GT(rep.total_pj.value(), 0.0);
   EXPECT_GT(rep.pj_per_bit, 0.0);
-  EXPECT_NEAR(rep.total_pj, rep.router_pj + rep.link_pj, 1e-9);
+  EXPECT_NEAR(rep.total_pj.value(), (rep.router_pj + rep.link_pj).value(),
+              1e-9);
   // Links dominate at this die size with repeated global wires.
-  EXPECT_GT(rep.link_pj, 0.0);
+  EXPECT_GT(rep.link_pj.value(), 0.0);
 }
 
 TEST(Orion, EnergyPerBitGrowsWithMeshSizeForGatherTraffic) {

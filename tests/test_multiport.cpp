@@ -47,8 +47,10 @@ TEST(Multiport, MorePortsCutCompletionNearLinearly) {
   }
   // Port-bound workload: 2 ports ~2x, 4 ports ~4x (within 35% for network
   // effects — the corners also get closer to their sources).
-  EXPECT_GT(static_cast<double>(cycles[0]) / cycles[1], 1.6);
-  EXPECT_GT(static_cast<double>(cycles[1]) / cycles[2], 1.6);
+  EXPECT_GT(static_cast<double>(cycles[0]) / static_cast<double>(cycles[1]),
+            1.6);
+  EXPECT_GT(static_cast<double>(cycles[1]) / static_cast<double>(cycles[2]),
+            1.6);
 }
 
 TEST(Multiport, StillSlowerThanPscanAtEqualAggregateBandwidth) {

@@ -9,7 +9,7 @@ namespace {
 
 ClockParams nominal() {
   ClockParams c;
-  c.frequency_ghz = 10.0;
+  c.frequency_ghz = GigaHertz{10.0};
   c.group_velocity_cm_per_ns = 7.0;
   c.detect_latency_ps = 20;
   return c;

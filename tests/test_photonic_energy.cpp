@@ -14,15 +14,16 @@ PhotonicEnergyParams nominal() {
 
 TEST(PhotonicEnergy, BreakdownComponentsPositive) {
   const auto e = pscan_energy_per_bit(nominal(), 16);
-  EXPECT_GT(e.laser_fj_per_bit, 0.0);
-  EXPECT_GT(e.modulator_fj_per_bit, 0.0);
-  EXPECT_GT(e.receiver_fj_per_bit, 0.0);
-  EXPECT_GT(e.thermal_fj_per_bit, 0.0);
-  EXPECT_GT(e.serdes_fj_per_bit, 0.0);
-  EXPECT_NEAR(e.total_fj_per_bit(),
-              e.laser_fj_per_bit + e.modulator_fj_per_bit +
-                  e.receiver_fj_per_bit + e.thermal_fj_per_bit +
-                  e.serdes_fj_per_bit + e.repeater_fj_per_bit,
+  EXPECT_GT(e.laser_fj_per_bit.value(), 0.0);
+  EXPECT_GT(e.modulator_fj_per_bit.value(), 0.0);
+  EXPECT_GT(e.receiver_fj_per_bit.value(), 0.0);
+  EXPECT_GT(e.thermal_fj_per_bit.value(), 0.0);
+  EXPECT_GT(e.serdes_fj_per_bit.value(), 0.0);
+  EXPECT_NEAR(e.total_fj_per_bit().value(),
+              (e.laser_fj_per_bit + e.modulator_fj_per_bit +
+               e.receiver_fj_per_bit + e.thermal_fj_per_bit +
+               e.serdes_fj_per_bit + e.repeater_fj_per_bit)
+                  .value(),
               1e-12);
 }
 
@@ -44,10 +45,13 @@ TEST(PhotonicEnergy, LowUtilizationCostsMorePerBit) {
   const auto full = pscan_energy_per_bit(nominal(), 64, 2.0, 1.0);
   const auto half = pscan_energy_per_bit(nominal(), 64, 2.0, 0.5);
   // Static power (laser, thermal) amortizes over fewer bits.
-  EXPECT_GT(half.laser_fj_per_bit, full.laser_fj_per_bit * 1.9);
-  EXPECT_GT(half.thermal_fj_per_bit, full.thermal_fj_per_bit * 1.9);
+  EXPECT_GT(half.laser_fj_per_bit.value(),
+            (full.laser_fj_per_bit * 1.9).value());
+  EXPECT_GT(half.thermal_fj_per_bit.value(),
+            (full.thermal_fj_per_bit * 1.9).value());
   // Dynamic per-bit terms unchanged.
-  EXPECT_DOUBLE_EQ(half.modulator_fj_per_bit, full.modulator_fj_per_bit);
+  EXPECT_DOUBLE_EQ(half.modulator_fj_per_bit.value(),
+                   full.modulator_fj_per_bit.value());
 }
 
 TEST(PhotonicEnergy, RepeatersAppearOnLossyBuses) {
@@ -56,13 +60,13 @@ TEST(PhotonicEnergy, RepeatersAppearOnLossyBuses) {
   const auto e = pscan_energy_per_bit(p, 1024, 2.0);
   // 32 serpentine rows x 2 cm x 3 dB/cm cannot be closed by one span.
   EXPECT_GT(e.spans, 1u);
-  EXPECT_GT(e.repeater_fj_per_bit, 0.0);
+  EXPECT_GT(e.repeater_fj_per_bit.value(), 0.0);
 }
 
 TEST(PhotonicEnergy, SingleSpanOnShortBus) {
   const auto e = pscan_energy_per_bit(nominal(), 16, 2.0);
   EXPECT_EQ(e.spans, 1u);
-  EXPECT_DOUBLE_EQ(e.repeater_fj_per_bit, 0.0);
+  EXPECT_DOUBLE_EQ(e.repeater_fj_per_bit.value(), 0.0);
 }
 
 TEST(PhotonicEnergy, RejectsBadUtilization) {
@@ -82,8 +86,8 @@ TEST(PhotonicEnergy, TransactionEnergyMatchesPerBitAtFullUtilization) {
   const std::int64_t span_ps = 3'125'000;
   const auto txn = transaction_energy(p, nodes, span_ps, bits);
   const auto per_bit = pscan_energy_per_bit(p, nodes);
-  EXPECT_NEAR(txn.pj_per_bit, per_bit.total_pj_per_bit(),
-              per_bit.total_pj_per_bit() * 1e-6);
+  EXPECT_NEAR(txn.pj_per_bit, per_bit.total_pj_per_bit().value(),
+              per_bit.total_pj_per_bit().value() * 1e-6);
 }
 
 TEST(PhotonicEnergy, IdleSpanCostsStaticPowerOnly) {
@@ -91,14 +95,15 @@ TEST(PhotonicEnergy, IdleSpanCostsStaticPowerOnly) {
   const auto p = nominal();
   const auto tight = transaction_energy(p, 64, 3'125'000, 1'000'000);
   const auto slack = transaction_energy(p, 64, 6'250'000, 1'000'000);
-  EXPECT_NEAR(slack.dynamic_pj, tight.dynamic_pj, 1e-9);
-  EXPECT_NEAR(slack.static_pj, 2.0 * tight.static_pj, 1e-6 * slack.static_pj);
+  EXPECT_NEAR(slack.dynamic_pj.value(), tight.dynamic_pj.value(), 1e-9);
+  EXPECT_NEAR(slack.static_pj.value(), (2.0 * tight.static_pj).value(),
+              1e-6 * slack.static_pj.value());
   EXPECT_GT(slack.pj_per_bit, tight.pj_per_bit);
 }
 
 TEST(PhotonicEnergy, WdmAggregateRate) {
   WdmPlan w;  // 32 x 10 Gb/s
-  EXPECT_DOUBLE_EQ(w.aggregate_gbps(), 320.0);
+  EXPECT_DOUBLE_EQ(w.aggregate_gbps().value(), 320.0);
 }
 
 }  // namespace

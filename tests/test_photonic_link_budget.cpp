@@ -9,11 +9,11 @@ namespace {
 
 LinkBudgetParams nominal() {
   LinkBudgetParams p;
-  p.laser.launch_power_dbm = 3.0;
-  p.laser.coupler_loss_db = 1.0;
-  p.detector.sensitivity_dbm = -20.0;
-  p.detector.tap_loss_db = 0.5;
-  p.ring.through_loss_off_db = 0.01;
+  p.laser.launch_power_dbm = DbmPower{3.0};
+  p.laser.coupler_loss_db = DecibelsDb{1.0};
+  p.detector.sensitivity_dbm = DbmPower{-20.0};
+  p.detector.tap_loss_db = DecibelsDb{0.5};
+  p.ring.through_loss_off_db = DecibelsDb{0.01};
   p.waveguide.loss_straight_db_per_cm = 1.0;
   p.modulator_pitch_cm = 0.05;
   return p;
@@ -22,7 +22,7 @@ LinkBudgetParams nominal() {
 TEST(LinkBudget, SegmentLossIsEq2) {
   const auto p = nominal();
   // L_ws = L_r-off + D_m * L_w = 0.01 + 0.05 * 1.0.
-  EXPECT_NEAR(segment_loss_db(p), 0.06, 1e-12);
+  EXPECT_NEAR(segment_loss_db(p).value(), 0.06, 1e-12);
 }
 
 TEST(LinkBudget, MaxSegmentsIsEq3) {
@@ -51,7 +51,7 @@ TEST(LinkBudget, PowerAfterSegmentsMonotone) {
 TEST(LinkBudget, HigherLaunchPowerExtendsReach) {
   auto p = nominal();
   const auto base = max_segments(p);
-  p.laser.launch_power_dbm += 6.0;  // 4x the power
+  p.laser.launch_power_dbm = p.laser.launch_power_dbm + DecibelsDb{6.0};  // 4x
   EXPECT_GT(max_segments(p), base);
   // +6 dB over 0.06 dB/segment = +100 segments.
   EXPECT_EQ(max_segments(p), base + 100);
@@ -60,13 +60,13 @@ TEST(LinkBudget, HigherLaunchPowerExtendsReach) {
 TEST(LinkBudget, MarginReducesReach) {
   auto p = nominal();
   const auto base = max_segments(p);
-  p.margin_db = 3.0;
+  p.margin_db = DecibelsDb{3.0};
   EXPECT_LT(max_segments(p), base);
 }
 
 TEST(LinkBudget, ZeroWhenBudgetCannotClose) {
   auto p = nominal();
-  p.laser.launch_power_dbm = -25.0;  // below sensitivity after coupler
+  p.laser.launch_power_dbm = DbmPower{-25.0};  // below sensitivity after coupler
   EXPECT_EQ(max_segments(p), 0u);
 }
 
@@ -81,7 +81,7 @@ TEST(LinkBudget, RepeatersPartitionLongBuses) {
 
 TEST(LinkBudget, RepeatersImpossibleWhenSegmentTooLossy) {
   auto p = nominal();
-  p.laser.launch_power_dbm = -25.0;
+  p.laser.launch_power_dbm = DbmPower{-25.0};
   EXPECT_THROW(repeaters_required(p, 10), SimulationError);
 }
 
@@ -92,7 +92,7 @@ TEST(LinkBudget, SerpentineEvaluationIncludesBends) {
   // Loss must exceed the pure straight-line loss of the same length.
   const double straight_only =
       layout.total_length_um() * 1e-4 * p.waveguide.loss_straight_db_per_cm;
-  EXPECT_GT(rep.total_loss_db, straight_only);
+  EXPECT_GT(rep.total_loss_db.value(), straight_only);
   EXPECT_TRUE(rep.closes);
   EXPECT_GT(rep.max_nodes_eq3, 0u);
 }
@@ -107,7 +107,7 @@ TEST(LinkBudget, SerpentineFailsWhenTooLossy) {
 
 TEST(LinkBudget, InvalidDevicesRejected) {
   auto p = nominal();
-  p.ring.extinction_ratio_db = -1.0;
+  p.ring.extinction_ratio_db = DecibelsDb{-1.0};
   EXPECT_THROW(max_segments(p), SimulationError);
 }
 

@@ -11,8 +11,9 @@ TEST(Waveguide, FlightTimeMatchesPaperVelocity) {
   // Paper: light travels ~7 cm/ns in silicon; 7 cm of waveguide = 1 ns.
   WaveguideParams wp;
   Waveguide wg(wp, units::cm_to_um(7.0), 0.0, 0);
-  EXPECT_NEAR(wg.flight_time_ps(), 1000.0, 1e-9);
-  EXPECT_NEAR(wg.flight_time_to_ps(units::cm_to_um(3.5)), 500.0, 1e-9);
+  EXPECT_NEAR(wg.flight_time_ps().value(), 1000.0, 1e-9);
+  EXPECT_NEAR(wg.flight_time_to_ps(units::cm_to_um(3.5)).value(), 500.0,
+              1e-9);
 }
 
 TEST(Waveguide, LossComposition) {
@@ -21,15 +22,17 @@ TEST(Waveguide, LossComposition) {
   wp.loss_curved_db_per_cm = 3.0;
   wp.loss_per_bend_db = 0.05;
   Waveguide wg(wp, units::cm_to_um(2.0), units::cm_to_um(0.5), 4);
-  EXPECT_NEAR(wg.total_loss_db(), 2.0 * 1.0 + 0.5 * 3.0 + 4 * 0.05, 1e-12);
+  EXPECT_NEAR(wg.total_loss_db().value(), 2.0 * 1.0 + 0.5 * 3.0 + 4 * 0.05,
+              1e-12);
 }
 
 TEST(Waveguide, LossToIsProportional) {
   WaveguideParams wp;
   Waveguide wg(wp, units::cm_to_um(4.0), 0.0, 0);
-  EXPECT_NEAR(wg.loss_to_db(units::cm_to_um(2.0)), wg.total_loss_db() / 2.0,
+  EXPECT_NEAR(wg.loss_to_db(units::cm_to_um(2.0)).value(),
+              wg.total_loss_db().value() / 2.0,
               1e-12);
-  EXPECT_NEAR(wg.loss_to_db(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wg.loss_to_db(0.0).value(), 0.0, 1e-12);
 }
 
 TEST(Serpentine, GeometryForSingleRow) {
@@ -57,7 +60,7 @@ TEST(Serpentine, TapPositionsEvenAndOrdered) {
   ASSERT_EQ(taps.size(), 8u);
   const double pitch = s.total_length_um() / 8.0;
   for (std::size_t i = 0; i < taps.size(); ++i) {
-    EXPECT_NEAR(taps[i], pitch * (i + 0.5), 1e-9);
+    EXPECT_NEAR(taps[i], pitch * (static_cast<double>(i) + 0.5), 1e-9);
     if (i > 0) {
       EXPECT_GT(taps[i], taps[i - 1]);
     }
@@ -79,7 +82,8 @@ TEST(Waveguide, LongerBusSameVelocity) {
   WaveguideParams wp;
   Waveguide a(wp, units::cm_to_um(4.0), 0.0, 0);
   Waveguide b(wp, units::cm_to_um(8.0), 0.0, 0);
-  EXPECT_NEAR(b.flight_time_ps(), 2.0 * a.flight_time_ps(), 1e-9);
+  EXPECT_NEAR(b.flight_time_ps().value(), 2.0 * a.flight_time_ps().value(),
+              1e-9);
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Static negative suite for the Quantity layer: proves at compile time that
+// the dimension-mixing expressions the strong types exist to prevent are in
+// fact substitution failures, not merely "happen not to be used". Every
+// static_assert here is evaluated when this translation unit compiles; the
+// runtime test body only records that the file built.
+#include "psync/common/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+namespace psync {
+namespace {
+
+// Detection idiom: can_add<A, B> is true iff `A{} + B{}` is well-formed
+// (and similarly for the other operators). Because the Quantity operators
+// are constrained free templates, an illegal mix is SFINAE-detectable.
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanSub : std::false_type {};
+template <typename A, typename B>
+struct CanSub<A, B,
+              std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B, typename = void>
+struct CanDiv : std::false_type {};
+template <typename A, typename B>
+struct CanDiv<A, B,
+              std::void_t<decltype(std::declval<A>() / std::declval<B>())>>
+    : std::true_type {};
+
+template <typename A, typename B>
+inline constexpr bool can_add = CanAdd<A, B>::value;
+template <typename A, typename B>
+inline constexpr bool can_sub = CanSub<A, B>::value;
+template <typename A, typename B>
+inline constexpr bool can_div = CanDiv<A, B>::value;
+
+// --- Positive controls: the algebra the models rely on does compile. ---
+static_assert(can_add<DecibelsDb, DecibelsDb>);
+static_assert(can_add<FemtoJoules, FemtoJoules>);
+static_assert(can_add<Ns, Ns>);
+static_assert(can_sub<MilliWatts, MilliWatts>);
+static_assert(can_div<DecibelsDb, DecibelsDb>);  // ratio -> double
+static_assert(can_div<DecibelsDb, double>);      // scaling
+static_assert(can_add<DbmPower, DecibelsDb>);    // level + delta -> level
+static_assert(can_add<DecibelsDb, DbmPower>);
+static_assert(can_sub<DbmPower, DecibelsDb>);    // level - delta -> level
+static_assert(can_sub<DbmPower, DbmPower>);      // level - level -> delta
+static_assert(
+    std::is_same_v<decltype(std::declval<DbmPower>() - std::declval<DbmPower>()),
+                   DecibelsDb>);
+static_assert(
+    std::is_same_v<decltype(std::declval<DbmPower>() + std::declval<DecibelsDb>()),
+                   DbmPower>);
+static_assert(
+    std::is_same_v<decltype(std::declval<Ns>() / std::declval<Ns>()), double>);
+
+// --- Negative suite: mixed-dimension arithmetic must not compile. ---
+
+// dB (ratio) and mW (linear power) are different spaces entirely.
+static_assert(!can_add<DecibelsDb, MilliWatts>);
+static_assert(!can_sub<DecibelsDb, MilliWatts>);
+
+// fJ and pJ are the same dimension at different scales — the classic 1000x
+// bug. Crossing requires the named fj_to_pj / pj_to_fj conversions.
+static_assert(!can_add<FemtoJoules, PicoJoules>);
+static_assert(!can_sub<PicoJoules, FemtoJoules>);
+static_assert(!can_div<FemtoJoules, PicoJoules>);
+
+// A data rate is not a frequency (they differ by bits-per-slot).
+static_assert(!can_add<GigabitsPerSec, GigaHertz>);
+static_assert(!can_sub<GigaHertz, GigabitsPerSec>);
+
+// dBm is affine: summing two absolute power levels is meaningless.
+static_assert(!can_add<DbmPower, DbmPower>);
+
+// ps and ns are distinct duration scales; crossing goes through
+// ps_to_ns / ns_to_ps.
+static_assert(!can_add<Ps, Ns>);
+static_assert(!can_sub<Ns, Ps>);
+static_assert(!can_div<Ps, Ns>);
+
+// Power levels don't mix with energies or durations.
+static_assert(!can_add<MilliWatts, FemtoJoules>);
+static_assert(!can_add<MilliWatts, MicroWatts>);  // scales differ: uw_to_mw
+static_assert(!can_sub<Ns, GigaHertz>);
+
+// Quantities don't silently combine with raw doubles either (scalar * and /
+// are allowed for scaling, + and - are not).
+static_assert(!can_add<DecibelsDb, double>);
+static_assert(!can_sub<double, FemtoJoules>);
+
+// --- Strong indices: a NodeId is not a LaneId is not a SlotId. ---
+static_assert(!std::is_convertible_v<NodeId, LaneId>);
+static_assert(!std::is_convertible_v<LaneId, SlotId>);
+static_assert(!std::is_convertible_v<SlotId, NodeId>);
+static_assert(!std::is_convertible_v<NodeId, std::int32_t>);
+static_assert(!std::is_convertible_v<std::int32_t, NodeId>);
+static_assert(!can_add<NodeId, NodeId>);  // indices are not arithmetic
+
+// --- Zero-overhead claims. ---
+static_assert(sizeof(DecibelsDb) == sizeof(double));
+static_assert(sizeof(NodeId) == sizeof(std::int32_t));
+static_assert(std::is_trivially_copyable_v<FemtoJoules>);
+static_assert(std::is_trivially_copyable_v<SlotId>);
+
+TEST(QuantityStatic, NegativeSuiteCompiles) {
+  // All the proof obligations above are static_asserts; reaching this line
+  // means the type system rejected every forbidden mix.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace psync

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Static-analysis driver: runs clang-tidy (configured by .clang-tidy at the
+# repo root) over every first-party translation unit in the compilation
+# database.
+#
+# Usage:
+#   tools/lint.sh [build-dir]
+#
+# The build directory must contain compile_commands.json (the top-level
+# CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS, so any configured build
+# tree works). Defaults to ./build.
+#
+# Environment:
+#   CLANG_TIDY   explicit clang-tidy binary to use
+#   LINT_JOBS    parallel clang-tidy processes (default: nproc)
+#
+# Exits 0 when clang-tidy is clean or not installed (the CI static-analysis
+# job installs it; local machines without clang are not blocked), non-zero
+# on findings.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+find_clang_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    echo "${CLANG_TIDY}"
+    return
+  fi
+  local candidate
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      echo "${candidate}"
+      return
+    fi
+  done
+  echo ""
+}
+
+clang_tidy="$(find_clang_tidy)"
+if [[ -z "${clang_tidy}" ]]; then
+  echo "lint.sh: clang-tidy not found; skipping (install clang-tidy or set" \
+       "CLANG_TIDY to enable)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint.sh: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure first:  cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 1
+fi
+
+# First-party translation units only: everything the compilation database
+# knows about under src/, tests/, tools/, bench/ and examples/.
+mapfile -t files < <(
+  python3 - "${build_dir}/compile_commands.json" <<'PY'
+import json
+import os
+import sys
+
+db = json.load(open(sys.argv[1]))
+roots = ("src/", "tests/", "tools/", "bench/", "examples/")
+seen = set()
+for entry in db:
+    path = os.path.normpath(
+        os.path.join(entry["directory"], entry["file"])
+        if not os.path.isabs(entry["file"]) else entry["file"])
+    rel = os.path.relpath(path, os.path.dirname(sys.argv[1]) + "/..")
+    if rel.startswith(roots) and path not in seen:
+        seen.add(path)
+        print(path)
+PY
+)
+
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "lint.sh: no first-party files found in the compilation database" >&2
+  exit 1
+fi
+
+jobs="${LINT_JOBS:-$(nproc)}"
+echo "lint.sh: ${clang_tidy} over ${#files[@]} files (${jobs} jobs)"
+
+status=0
+printf '%s\n' "${files[@]}" |
+  xargs -P "${jobs}" -n 1 \
+    "${clang_tidy}" -p "${build_dir}" --quiet --warnings-as-errors='*' ||
+  status=$?
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "lint.sh: clang-tidy reported findings" >&2
+  exit 1
+fi
+echo "lint.sh: clean"
