@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "psync/common/rng.hpp"
+#include "psync/dist/shard.hpp"
+#include "psync/dist/supervisor.hpp"
 #include "psync/driver/runner.hpp"
 #include "psync/fft/fft.hpp"
 #include "psync/fft/four_step.hpp"
@@ -270,6 +272,32 @@ std::uint64_t run_driver_sweep_fft2d(std::uint64_t iters, bool journal) {
   return points;
 }
 
+// The distributed leader adds fork/exec, heartbeat supervision, and a
+// final journal merge around the same sweep. With a single worker that
+// wrapper is pure overhead, so timing it against the in-process journaled
+// sweep isolates the cost of distribution itself.
+constexpr const char* kBenchDistBase = "bench_dist.tmp";
+
+std::uint64_t run_driver_sweep_dist(std::uint64_t iters) {
+  std::uint64_t points = 0;
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    psync::driver::ExperimentSpec spec;
+    spec.workload = "fft2d";
+    spec.machine.processors = 16;
+    spec.machine.matrix_rows = 256;
+    spec.machine.matrix_cols = 256;
+    spec.axes.push_back({"blocks", {1, 2, 4, 8}});
+    psync::dist::SupervisorOptions opts;
+    opts.workers = 1;
+    opts.journal_base = kBenchDistBase;
+    const auto result = psync::dist::run_distributed(spec, opts);
+    if (!result.campaign.all_ok()) std::abort();
+    points += result.records.size();
+    std::remove(psync::dist::shard_journal_path(kBenchDistBase, 0).c_str());
+  }
+  return points;
+}
+
 // --- harness ------------------------------------------------------------
 
 std::vector<BenchCase> make_cases() {
@@ -329,6 +357,9 @@ std::vector<BenchCase> make_cases() {
                    "same sweep with a per-point fsync'd checkpoint journal",
                    6, 2,
                    [](std::uint64_t n) { return run_driver_sweep_fft2d(n, true); }});
+  cases.push_back({"driver_sweep_dist_1worker",
+                   "same sweep through the distributed leader (1 worker)",
+                   6, 2, run_driver_sweep_dist});
   return cases;
 }
 
@@ -444,6 +475,32 @@ int main(int argc, char** argv) {
                   delta, plain->min_iter_ms, pct);
       if (delta > 5.0 && pct > 5.0) {
         std::printf("FAIL: checkpoint journal costs more than 5%% of sweep time\n");
+        return 1;
+      }
+    }
+  }
+
+  // Distributed-leader overhead gate: fork/exec, heartbeat supervision,
+  // and the final shard merge must stay cheap next to the sweep itself.
+  // Compared against the *journaled* in-process sweep — the worker also
+  // journals, so the difference is distribution alone. Same dual
+  // threshold shape: >10% AND >10 ms/iter, so process-spawn jitter on
+  // loaded CI hosts can't flake the gate.
+  {
+    const BenchEntry* inproc = nullptr;
+    const BenchEntry* dist = nullptr;
+    for (const auto& e : report.entries) {
+      if (e.name == "driver_sweep_journal") inproc = &e;
+      if (e.name == "driver_sweep_dist_1worker") dist = &e;
+    }
+    if (inproc != nullptr && dist != nullptr && inproc->min_iter_ms > 0.0) {
+      const double delta = dist->min_iter_ms - inproc->min_iter_ms;
+      const double pct = 100.0 * delta / inproc->min_iter_ms;
+      std::printf("dist overhead: %+.3f ms/iter on %.3f ms/iter (%+.1f%%)\n",
+                  delta, inproc->min_iter_ms, pct);
+      if (delta > 10.0 && pct > 10.0) {
+        std::printf(
+            "FAIL: distributed leader costs more than 10%% of sweep time\n");
         return 1;
       }
     }

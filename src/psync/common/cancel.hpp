@@ -20,8 +20,25 @@ class CancelToken {
   CancelToken() = default;
 
   /// Request cancellation explicitly. Thread-safe; poll() on any thread
-  /// observes it at its next cycle-batch boundary.
+  /// observes it at its next cycle-batch boundary. Async-signal-safe (a
+  /// relaxed atomic store), so SIGTERM/SIGINT handlers may call it.
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Disarm: clear the cancel flag and any deadline. For long-lived tokens
+  /// reused across runs (e.g. a worker process's signal-handler token).
+  /// Not thread-safe against concurrent poll().
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_ = false;
+    parent_ = nullptr;
+  }
+
+  /// Chain to a parent token: this token reads as cancelled once the
+  /// parent is, in addition to its own flag/deadline. Lets the per-point
+  /// watchdog token also observe a process-wide shutdown token. Only the
+  /// parent's explicit cancel flag propagates, not its deadline. Set
+  /// before handing the token to a run (not thread-safe against poll()).
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
 
   /// Arm the watchdog: expire `ms` milliseconds of host wall clock from
   /// now. Call before handing the token to a run (not thread-safe against
@@ -32,7 +49,10 @@ class CancelToken {
     has_deadline_ = true;
   }
 
-  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
 
   bool expired() const {
     if (cancelled()) return true;
@@ -53,6 +73,7 @@ class CancelToken {
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
 };
 
 }  // namespace psync

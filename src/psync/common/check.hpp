@@ -56,6 +56,35 @@ class ResourceLimitError : public SimulationError {
   using SimulationError::SimulationError;
 };
 
+// Journal-layer refinements (common/journal, driver/campaign, dist/merge).
+// Typed so the distributed leader and the tests can distinguish "someone
+// else owns this file" from "this file is damaged" from "these files
+// disagree" without string matching.
+
+/// A checkpoint journal is already open for append in another process (or
+/// another writer in this one): the flock(2) advisory lock was held.
+/// Retryable by the caller once the owner exits; never silently ignored.
+class JournalBusyError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// A journal line that should have parsed did not: mid-file garbage,
+/// truncation somewhere other than the final torn tail, or an unknown
+/// record format.
+class JournalCorruptError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// Journal content that parses but contradicts the sweep being assembled:
+/// an out-of-grid index, a seed or workload mismatch, or two shard
+/// journals carrying conflicting records for the same point.
+class JournalConflictError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
 [[noreturn]] void check_failed(const char* expr, const char* msg,
                                const std::source_location& loc);
 

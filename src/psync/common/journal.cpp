@@ -1,6 +1,7 @@
 #include "psync/common/journal.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,15 +17,38 @@ JournalWriter::~JournalWriter() { close(); }
 
 void JournalWriter::open(const std::string& path, bool keep_existing) {
   close();
-  int flags = O_RDWR | O_CREAT;
-  if (!keep_existing) flags |= O_TRUNC;
+  // Deliberately no O_TRUNC: truncation must wait until the flock below is
+  // held, or opening a journal another process owns would wipe it before
+  // the lock check could refuse. The ftruncate(fd, keep) path truncates
+  // (keep stays 0 when !keep_existing) once ownership is established.
   int fd = -1;
   do {
-    fd = ::open(path.c_str(), flags, 0644);
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     throw SimulationError("journal: cannot open '" + path +
                           "': " + std::strerror(errno));
+  }
+
+  // Exclusive append ownership: a second opener fails fast instead of the
+  // two writers interleaving partial lines into one file. flock is
+  // advisory and per open-file-description, so it also catches two
+  // JournalWriters inside one process, and it evaporates when a SIGKILLed
+  // owner's descriptors are closed by the kernel.
+  int locked = -1;
+  do {
+    locked = ::flock(fd, LOCK_EX | LOCK_NB);
+  } while (locked != 0 && errno == EINTR);
+  if (locked != 0) {
+    const bool busy = errno == EWOULDBLOCK || errno == EAGAIN;
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    if (busy) {
+      throw JournalBusyError("journal: '" + path +
+                             "' is already open for append in another "
+                             "process (flock held)");
+    }
+    throw SimulationError("journal: cannot lock '" + path + "': " + err);
   }
 
   // Resume after a crash: the file may end in a torn (unterminated) tail

@@ -24,6 +24,13 @@ class JournalWriter {
   /// Open `path` for appending. With `keep_existing` the current content
   /// survives (resume); otherwise the file is truncated. Throws
   /// SimulationError when the file cannot be opened.
+  ///
+  /// Ownership: the writer takes an exclusive flock(2) advisory lock on the
+  /// file for as long as it is open, so two processes (or two writers in
+  /// one process) can never interleave appends into the same journal — the
+  /// second opener gets a JournalBusyError instead of silent corruption.
+  /// The lock dies with the holder, so a SIGKILLed worker's journal is
+  /// immediately reopenable by its replacement.
   void open(const std::string& path, bool keep_existing);
   [[nodiscard]] bool is_open() const { return fd_ >= 0; }
 

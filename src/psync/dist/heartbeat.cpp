@@ -1,0 +1,150 @@
+#include "psync/dist/heartbeat.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+
+namespace psync::dist {
+
+namespace {
+
+char kind_char(Heartbeat::Kind kind) {
+  switch (kind) {
+    case Heartbeat::Kind::kProgress: return 'p';
+    case Heartbeat::Kind::kPointStart: return 's';
+    case Heartbeat::Kind::kPointDone: return 'd';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string heartbeat_line(const Heartbeat& hb) {
+  std::string line = "hb ";
+  line += std::to_string(hb.shard);
+  line += ' ';
+  line += kind_char(hb.kind);
+  line += ' ';
+  line += std::to_string(hb.points_done);
+  line += ' ';
+  line += hb.inflight < 0 ? std::string("-") : std::to_string(hb.inflight);
+  return line;
+}
+
+bool parse_heartbeat_line(const std::string& line, Heartbeat* out) {
+  // "hb <shard> <kind> <done> <inflight>" — strict: exactly five fields,
+  // single spaces, decimal numbers. Anything else is noise off the pipe.
+  const char* p = line.c_str();
+  if (line.size() < 3 || p[0] != 'h' || p[1] != 'b' || p[2] != ' ') {
+    return false;
+  }
+  p += 3;
+  Heartbeat hb;
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long shard = std::strtoull(p, &endp, 10);
+  if (endp == p || errno != 0 || *endp != ' ') return false;
+  hb.shard = static_cast<std::size_t>(shard);
+  p = endp + 1;
+  switch (*p) {
+    case 'p': hb.kind = Heartbeat::Kind::kProgress; break;
+    case 's': hb.kind = Heartbeat::Kind::kPointStart; break;
+    case 'd': hb.kind = Heartbeat::Kind::kPointDone; break;
+    default: return false;
+  }
+  if (p[1] != ' ') return false;
+  p += 2;
+  errno = 0;
+  const unsigned long long done = std::strtoull(p, &endp, 10);
+  if (endp == p || errno != 0 || *endp != ' ') return false;
+  hb.points_done = done;
+  p = endp + 1;
+  if (p[0] == '-' && p[1] == '\0') {
+    hb.inflight = -1;
+  } else {
+    errno = 0;
+    const unsigned long long inflight = std::strtoull(p, &endp, 10);
+    if (endp == p || errno != 0 || *endp != '\0') return false;
+    hb.inflight = static_cast<std::int64_t>(inflight);
+  }
+  *out = hb;
+  return true;
+}
+
+HeartbeatEmitter::HeartbeatEmitter(int fd, std::size_t shard,
+                                   double interval_ms,
+                                   CancelToken* on_broken_pipe)
+    : fd_(fd),
+      shard_(shard),
+      interval_ms_(interval_ms),
+      on_broken_pipe_(on_broken_pipe) {
+  if (fd_ >= 0 && interval_ms_ > 0.0) {
+    timer_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+HeartbeatEmitter::~HeartbeatEmitter() { stop(); }
+
+void HeartbeatEmitter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+std::uint64_t HeartbeatEmitter::points_done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void HeartbeatEmitter::on_point_start(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_ = static_cast<std::int64_t>(index);
+  emit_locked(Heartbeat::Kind::kPointStart);
+}
+
+void HeartbeatEmitter::on_point_done(std::size_t index,
+                                     driver::PointStatus /*status*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ == static_cast<std::int64_t>(index)) inflight_ = -1;
+  ++done_;
+  emit_locked(Heartbeat::Kind::kPointDone);
+}
+
+void HeartbeatEmitter::timer_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(interval_ms_);
+  while (!stopped_) {
+    cv_.wait_for(lock, interval);
+    if (stopped_) return;
+    emit_locked(Heartbeat::Kind::kProgress);
+  }
+}
+
+void HeartbeatEmitter::emit_locked(Heartbeat::Kind kind) {
+  if (fd_ < 0 || pipe_broken_) return;
+  Heartbeat hb;
+  hb.shard = shard_;
+  hb.kind = kind;
+  hb.points_done = done_;
+  hb.inflight = inflight_;
+  std::string line = heartbeat_line(hb);
+  line.push_back('\n');
+  // One write(2) per line, far below PIPE_BUF: atomic against the other
+  // writer thread. EPIPE means the leader is gone — stop beating and ask
+  // the worker to wind down (SIGPIPE is ignored in worker processes).
+  ssize_t n = -1;
+  do {
+    n = ::write(fd_, line.data(), line.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    pipe_broken_ = true;
+    if (on_broken_pipe_ != nullptr) on_broken_pipe_->cancel();
+  }
+}
+
+}  // namespace psync::dist

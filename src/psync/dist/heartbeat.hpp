@@ -1,0 +1,94 @@
+// Heartbeat protocol between shard workers and the sweep leader.
+//
+// Wire format: one short text line per message over an inherited pipe,
+//
+//   hb <shard> <kind> <points_done> <inflight>\n
+//
+// where <kind> is p (periodic progress), s (point start), or d (point
+// done) and <inflight> is the global grid index of the point currently
+// executing, or "-" when none is. Lines are written with a single
+// write(2) well under PIPE_BUF, so they never interleave even though the
+// emitter's timer thread and the sweep thread both write.
+//
+// Liveness is "any traffic at all": the worker-side emitter runs a timer
+// thread that sends a progress line every interval even while one point
+// computes for a long time, so a silent pipe means the *process* is
+// wedged (deadlocked, stopped, or looping outside the sim), not merely
+// busy — exactly the condition the leader answers with SIGKILL + restart.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <condition_variable>
+
+#include "psync/common/cancel.hpp"
+#include "psync/driver/workload.hpp"
+
+namespace psync::dist {
+
+struct Heartbeat {
+  enum class Kind { kProgress, kPointStart, kPointDone };
+
+  std::size_t shard = 0;
+  Kind kind = Kind::kProgress;
+  /// Points this worker has completed (journaled) so far this launch.
+  std::uint64_t points_done = 0;
+  /// Global grid index currently executing, or -1 when idle.
+  std::int64_t inflight = -1;
+};
+
+/// Render one wire line (no trailing newline).
+std::string heartbeat_line(const Heartbeat& hb);
+
+/// Parse one wire line; returns false (out untouched) on anything
+/// malformed — a torn or garbled pipe read is dropped, never trusted.
+bool parse_heartbeat_line(const std::string& line, Heartbeat* out);
+
+/// Worker-side emitter: implements the driver's PointObserver so the
+/// Runner announces point starts/completions, plus a timer thread that
+/// keeps beating while a single point runs long.
+///
+/// A broken pipe (the leader died) cancels `on_broken_pipe` so the worker
+/// winds down instead of computing for nobody. With fd < 0 every write is
+/// a no-op (single-process use, tests).
+class HeartbeatEmitter final : public driver::PointObserver {
+ public:
+  /// Does not own `fd`. `on_broken_pipe` may be nullptr.
+  HeartbeatEmitter(int fd, std::size_t shard, double interval_ms,
+                   CancelToken* on_broken_pipe);
+  ~HeartbeatEmitter() override;
+  HeartbeatEmitter(const HeartbeatEmitter&) = delete;
+  HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
+
+  void on_point_start(std::size_t index) override;
+  void on_point_done(std::size_t index, driver::PointStatus status) override;
+
+  /// Stop the timer thread (idempotent). Exposed so the wedge-injection
+  /// test hook can silence a worker the way a real deadlock would.
+  void stop();
+
+  std::uint64_t points_done() const;
+
+ private:
+  void timer_loop();
+  /// Write one line; requires mu_ held.
+  void emit_locked(Heartbeat::Kind kind);
+
+  const int fd_;
+  const std::size_t shard_;
+  const double interval_ms_;
+  CancelToken* const on_broken_pipe_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  bool pipe_broken_ = false;
+  std::uint64_t done_ = 0;
+  std::int64_t inflight_ = -1;
+  std::thread timer_;
+};
+
+}  // namespace psync::dist

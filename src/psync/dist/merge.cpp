@@ -1,0 +1,69 @@
+#include "psync/dist/merge.hpp"
+
+#include <algorithm>
+
+#include "psync/common/check.hpp"
+#include "psync/common/journal.hpp"
+
+namespace psync::dist {
+
+MergedJournal merge_journals(const std::vector<driver::RunPoint>& points,
+                             const std::string& workload,
+                             std::vector<std::string> paths) {
+  // Sorted paths make "first record wins" a deterministic rule rather than
+  // an accident of supervisor scheduling.
+  std::sort(paths.begin(), paths.end());
+
+  MergedJournal merged;
+  merged.records.resize(points.size());
+  merged.present.assign(points.size(), 0);
+
+  for (const auto& path : paths) {
+    for (const auto& line : read_journal_lines(path)) {
+      driver::JournalEntry entry;
+      if (!driver::parse_journal_line(line, &entry)) {
+        throw JournalCorruptError("journal merge: corrupt line in '" + path +
+                                  "'");
+      }
+      const std::size_t idx = entry.rec.index;
+      if (idx >= points.size()) {
+        throw JournalConflictError(
+            "journal merge: '" + path + "' records point " +
+            std::to_string(idx) + " outside this sweep's grid of " +
+            std::to_string(points.size()) + " point(s)");
+      }
+      if (entry.seed != points[idx].seed || entry.rec.workload != workload) {
+        throw JournalConflictError(
+            "journal merge: '" + path + "' point " + std::to_string(idx) +
+            " does not match this sweep (seed/workload differ); refusing to "
+            "mix campaigns");
+      }
+      if (merged.present[idx] != 0) {
+        // Legitimate duplicate: a straggler finished a point after its
+        // remaining range was stolen, so the thief's journal re-records it.
+        // Both are re-derivations of the same deterministic point, so their
+        // verdicts must agree; wall-clock and retry counts may differ and
+        // are not output-bearing.
+        if (entry.rec.status != merged.records[idx].status) {
+          throw JournalConflictError(
+              "journal merge: point " + std::to_string(idx) +
+              " recorded with conflicting status ('" +
+              driver::to_string(entry.rec.status) + "' in '" + path +
+              "' vs '" + driver::to_string(merged.records[idx].status) +
+              "' seen earlier)");
+        }
+        ++merged.duplicates;
+        continue;
+      }
+      merged.records[idx] = std::move(entry.rec);
+      merged.present[idx] = 1;
+    }
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (merged.present[i] == 0) merged.missing.push_back(i);
+  }
+  return merged;
+}
+
+}  // namespace psync::dist

@@ -1,0 +1,55 @@
+// Crash-identical journal merge: fold every shard journal a distributed
+// sweep produced — including journals left by SIGKILLed workers and the
+// .steal<k> fragments of re-partitioned ranges — back into one
+// grid-ordered record set.
+//
+// Determinism contract: a merged record is exactly the journaled record
+// (PR 4's %.17g round-trip plus verbatim raw report fragments), placed by
+// its *global* grid index, so sweep_json/sweep_csv over the merged set are
+// byte-identical to a single-process serial run. Which worker ran a point,
+// in which generation, through which journal file — none of it can leak
+// into the output.
+//
+// Trust model: the journals are ours but the run that wrote them may have
+// died at any instruction. Torn tails were already dropped by
+// read_journal_lines; everything else must either parse cleanly or raise a
+// typed error (JournalCorruptError / JournalConflictError) — never UB,
+// never a silently dropped point.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "psync/driver/campaign.hpp"
+#include "psync/driver/experiment.hpp"
+#include "psync/driver/workload.hpp"
+
+namespace psync::dist {
+
+struct MergedJournal {
+  /// Grid-ordered records; slots listed in `missing` are default-empty.
+  std::vector<driver::RunRecord> records;
+  /// records[i] holds a journaled record (1) or is an empty slot (0).
+  std::vector<char> present;
+  /// Grid indices no journal covered, ascending.
+  std::vector<std::size_t> missing;
+  /// Lines dropped as agreeing duplicates (a point journaled by both a
+  /// straggler and the thief that took over its range).
+  std::size_t duplicates = 0;
+};
+
+/// Merge the journals at `paths` against the expanded grid `points` of a
+/// `workload` sweep. Paths are read in sorted order and the first record
+/// seen for an index wins; later duplicates must agree on status (the
+/// records are re-derivations of the same deterministic point) and are
+/// counted, a disagreement is a JournalConflictError. Other typed errors:
+/// JournalCorruptError for an unparseable non-tail line, and
+/// JournalConflictError for an out-of-grid index, a seed mismatch, or a
+/// workload mismatch — signs the file belongs to a different campaign.
+/// Missing files read as empty (a worker may die before its first append).
+MergedJournal merge_journals(const std::vector<driver::RunPoint>& points,
+                             const std::string& workload,
+                             std::vector<std::string> paths);
+
+}  // namespace psync::dist

@@ -1,0 +1,35 @@
+#include "psync/dist/shard.hpp"
+
+#include <algorithm>
+
+namespace psync::dist {
+
+std::vector<ShardRange> plan_shards(std::size_t points, std::size_t workers) {
+  return split_range(ShardRange{0, points}, std::max<std::size_t>(workers, 1));
+}
+
+std::vector<ShardRange> split_range(const ShardRange& range,
+                                    std::size_t pieces) {
+  std::vector<ShardRange> out;
+  const std::size_t n = range.size();
+  if (n == 0) return out;
+  pieces = std::clamp<std::size_t>(pieces, 1, n);
+  const std::size_t base = n / pieces;
+  const std::size_t extra = n % pieces;
+  std::size_t at = range.begin;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.push_back({at, at + len});
+    at += len;
+  }
+  return out;
+}
+
+std::string shard_journal_path(const std::string& base, std::size_t shard,
+                               std::size_t steal_chunk) {
+  std::string path = base + ".shard" + std::to_string(shard);
+  if (steal_chunk > 0) path += ".steal" + std::to_string(steal_chunk);
+  return path + ".jsonl";
+}
+
+}  // namespace psync::dist

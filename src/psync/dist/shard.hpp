@@ -1,0 +1,49 @@
+// Shard planning for distributed sweeps: how one sweep grid is cut into
+// contiguous per-worker ranges, and how shard checkpoint journals are
+// named. Pure functions — the supervisor owns all runtime state.
+//
+// Ranges are contiguous because workers execute their window in ascending
+// grid order (threads = 1 per worker by default), which makes "the
+// unfinished remainder of a shard" a suffix — the property the
+// work-stealing re-partitioner leans on. Correctness never depends on it:
+// the journal merger dedupes and validates by global index.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psync::dist {
+
+/// Half-open window [begin, end) of global sweep-grid indices.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool contains(std::size_t index) const {
+    return index >= begin && index < end;
+  }
+};
+
+/// Partition `points` grid indices into at most `workers` contiguous,
+/// non-empty, gap-free ranges covering [0, points). The first
+/// `points % workers` shards get the extra point, so sizes differ by at
+/// most one. `workers` == 0 is treated as 1; more workers than points
+/// yields `points` single-point shards.
+std::vector<ShardRange> plan_shards(std::size_t points, std::size_t workers);
+
+/// Split `range` into at most `pieces` contiguous non-empty sub-ranges
+/// (same balancing rule). Used when a straggler's or dead worker's
+/// remaining window is re-partitioned across idle slots.
+std::vector<ShardRange> split_range(const ShardRange& range,
+                                    std::size_t pieces);
+
+/// Canonical shard-journal filename: "<base>.shard<i>.jsonl" for a
+/// first-generation shard, "<base>.shard<i>.steal<k>.jsonl" (k >= 1) for
+/// the k-th range stolen off shard i. Keeping every generation's file
+/// distinct means the merger can always read the union.
+std::string shard_journal_path(const std::string& base, std::size_t shard,
+                               std::size_t steal_chunk = 0);
+
+}  // namespace psync::dist

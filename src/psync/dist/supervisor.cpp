@@ -1,0 +1,646 @@
+#include "psync/dist/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psync/common/check.hpp"
+#include "psync/common/journal.hpp"
+#include "psync/dist/heartbeat.hpp"
+#include "psync/dist/merge.hpp"
+#include "psync/driver/campaign.hpp"
+#include "psync/driver/sweep.hpp"
+
+namespace psync::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+Clock::time_point after_ms(Clock::time_point t, double ms) {
+  return t + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(ms));
+}
+
+/// One unit of schedulable work: a contiguous grid range bound to its own
+/// checkpoint journal. Assignments outlive the workers that execute them —
+/// a crashed worker's assignment is relaunched, a straggler's is split.
+struct Assignment {
+  std::size_t shard = 0;        // original shard id (journal naming)
+  ShardRange range;
+  std::string journal;
+  std::size_t launches = 0;     // processes started for this assignment
+};
+
+enum class SeatState {
+  kIdle,     // no assignment; may pull from the queue or steal
+  kRunning,  // child executing
+  kBackoff,  // child crashed; relaunch at backoff_until
+  kTerming,  // SIGTERM sent (steal reclaim or shutdown); awaiting exit
+};
+
+/// A worker process seat. Seats are fixed (opts.workers of them);
+/// assignments flow through them.
+struct Seat {
+  SeatState state = SeatState::kIdle;
+  Assignment asg;
+  pid_t pid = -1;
+  int pipe_fd = -1;  // heartbeat read end
+  std::string rdbuf;
+  Clock::time_point last_beat{};
+  Clock::time_point backoff_until{};
+  Clock::time_point term_deadline{};
+  std::int64_t inflight = -1;      // grid index last reported in flight
+  std::uint64_t reported_done = 0; // points finished this launch (heartbeat)
+  bool wedge_killed = false;  // liveness SIGKILL sent; incident recorded
+  bool stealing = false;      // kTerming is a steal reclaim, not shutdown
+};
+
+class Supervisor {
+ public:
+  Supervisor(const driver::ExperimentSpec& spec, const SupervisorOptions& opts,
+             const WorkerBody& body, const LaunchHook& hook)
+      : spec_(spec), opts_(opts), body_(body), hook_(hook) {
+    if (opts_.journal_base.empty()) {
+      throw ConfigError(
+          "distributed sweep requires a journal base path (the shard "
+          "journals are the crash-safety mechanism, not an option)");
+    }
+    if (opts_.workers == 0) opts_.workers = 1;
+    worker_spec_ = spec;
+    worker_spec_.threads = std::max<std::size_t>(opts_.worker_threads, 1);
+    worker_spec_.journal_path.clear();
+    worker_spec_.cancel = nullptr;     // workers install their own token
+    worker_spec_.observer = nullptr;   // workers attach their own emitter
+    worker_spec_.quarantine_indices.clear();
+    worker_spec_.shard_begin = 0;
+    worker_spec_.shard_end = static_cast<std::size_t>(-1);
+    points_ = driver::SweepEngine::expand(spec);
+  }
+
+  driver::SweepResult run() {
+    for (const auto& range : plan_shards(points_.size(), opts_.workers)) {
+      Assignment asg;
+      asg.shard = next_shard_id_++;
+      asg.range = range;
+      asg.journal = shard_journal_path(opts_.journal_base, asg.shard);
+      journal_paths_.push_back(asg.journal);
+      queue_.push_back(std::move(asg));
+    }
+    seats_.resize(opts_.workers);
+
+    while (work_remains()) {
+      const auto now = Clock::now();
+      check_cancel(now);
+      schedule(now);
+      wait_for_events(now);
+      reap();
+      enforce_deadlines(Clock::now());
+    }
+    if (shutdown_) {
+      throw CancelledError(
+          "distributed sweep cancelled; shard journal tails are durable");
+    }
+    return assemble();
+  }
+
+ private:
+  bool work_remains() const {
+    if (!queue_.empty() && !shutdown_) return true;
+    for (const auto& seat : seats_) {
+      if (seat.state != SeatState::kIdle) return true;
+    }
+    return false;
+  }
+
+  // --- cancellation ----------------------------------------------------
+
+  void check_cancel(Clock::time_point now) {
+    if (shutdown_) return;
+    const CancelToken* token =
+        opts_.cancel != nullptr ? opts_.cancel : spec_.cancel;
+    if (token == nullptr || !token->cancelled()) return;
+    shutdown_ = true;
+    queue_.clear();
+    for (auto& seat : seats_) {
+      switch (seat.state) {
+        case SeatState::kRunning:
+          ::kill(seat.pid, SIGTERM);
+          seat.state = SeatState::kTerming;
+          seat.stealing = false;
+          seat.term_deadline = after_ms(now, opts_.term_grace_ms);
+          break;
+        case SeatState::kBackoff:
+          seat.state = SeatState::kIdle;  // never relaunched
+          break;
+        case SeatState::kTerming:
+          seat.stealing = false;  // the exit now just winds down
+          break;
+        case SeatState::kIdle:
+          break;
+      }
+    }
+  }
+
+  // --- scheduling ------------------------------------------------------
+
+  void schedule(Clock::time_point now) {
+    if (shutdown_) return;
+    for (auto& seat : seats_) {
+      if (seat.state == SeatState::kBackoff && now >= seat.backoff_until) {
+        launch(seat);
+      }
+    }
+    for (auto& seat : seats_) {
+      if (queue_.empty()) break;
+      if (seat.state != SeatState::kIdle) continue;
+      seat.asg = std::move(queue_.front());
+      queue_.pop_front();
+      launch(seat);
+    }
+    maybe_steal(now);
+  }
+
+  void maybe_steal(Clock::time_point now) {
+    if (!opts_.steal || !queue_.empty()) return;
+    // One reclaim in flight at a time keeps the bookkeeping linear; further
+    // idle seats wait for the re-partitioned chunks to hit the queue.
+    std::size_t idle = 0;
+    for (const auto& seat : seats_) {
+      if (seat.state == SeatState::kIdle) ++idle;
+      if (seat.state == SeatState::kTerming) return;
+      if (seat.state == SeatState::kBackoff) return;  // restart first
+    }
+    if (idle == 0) return;
+    Seat* victim = nullptr;
+    std::size_t victim_remaining = 0;
+    for (auto& seat : seats_) {
+      if (seat.state != SeatState::kRunning) continue;
+      const std::size_t remaining = remaining_estimate(seat);
+      if (remaining >= opts_.min_steal_points && remaining > victim_remaining) {
+        victim = &seat;
+        victim_remaining = remaining;
+      }
+    }
+    if (victim == nullptr) return;
+    ::kill(victim->pid, SIGTERM);
+    victim->state = SeatState::kTerming;
+    victim->stealing = true;
+    victim->term_deadline = after_ms(now, opts_.term_grace_ms);
+  }
+
+  /// How many points a running seat still has, from heartbeat state. With
+  /// ascending single-thread execution the in-flight index is exact even
+  /// across a resume; the per-launch done count is the fallback before the
+  /// first point starts.
+  std::size_t remaining_estimate(const Seat& seat) const {
+    const auto idx = seat.inflight;
+    if (idx >= 0 && seat.asg.range.contains(static_cast<std::size_t>(idx))) {
+      return seat.asg.range.end - static_cast<std::size_t>(idx);
+    }
+    const auto done = static_cast<std::size_t>(seat.reported_done);
+    return seat.asg.range.size() - std::min(seat.asg.range.size(), done);
+  }
+
+  // --- process lifecycle -----------------------------------------------
+
+  void launch(Seat& seat) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+      throw SimulationError("distributed sweep: pipe(2) failed: " +
+                            std::string(std::strerror(errno)));
+    }
+
+    WorkerConfig cfg;
+    cfg.shard = seat.asg.shard;
+    cfg.generation = seat.asg.launches;
+    cfg.range = seat.asg.range;
+    cfg.journal_path = seat.asg.journal;
+    cfg.quarantine.assign(quarantine_.begin(), quarantine_.end());
+    cfg.heartbeat_fd = fds[1];
+    cfg.heartbeat_ms = opts_.heartbeat_ms;
+    if (hook_) hook_(cfg);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw SimulationError("distributed sweep: fork(2) failed: " + err);
+    }
+    if (pid == 0) {
+      // Child: keep only our heartbeat write end. Inherited read ends of
+      // other seats' pipes would otherwise keep those pipes from ever
+      // reporting EOF to the leader.
+      ::close(fds[0]);
+      for (const auto& other : seats_) {
+        if (other.pipe_fd >= 0) ::close(other.pipe_fd);
+      }
+      const int rc = body_ ? body_(worker_spec_, cfg)
+                           : run_worker(worker_spec_, cfg);
+      ::_exit(rc);
+    }
+    ::close(fds[1]);
+    const int fl = ::fcntl(fds[0], F_GETFL);
+    ::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK);
+
+    seat.pid = pid;
+    seat.pipe_fd = fds[0];
+    seat.rdbuf.clear();
+    seat.state = SeatState::kRunning;
+    seat.last_beat = Clock::now();
+    seat.inflight = -1;
+    seat.reported_done = 0;
+    seat.wedge_killed = false;
+    seat.stealing = false;
+    ++seat.asg.launches;
+  }
+
+  void wait_for_events(Clock::time_point now) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t s = 0; s < seats_.size(); ++s) {
+      if (seats_[s].pipe_fd >= 0) {
+        fds.push_back({seats_[s].pipe_fd, POLLIN, 0});
+        owner.push_back(s);
+      }
+    }
+    const int timeout = poll_timeout_ms(now);
+    const int n = ::poll(fds.empty() ? nullptr : fds.data(),
+                         static_cast<nfds_t>(fds.size()), timeout);
+    if (n <= 0) return;  // timeout or EINTR: deadlines handled by caller
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        drain_pipe(seats_[owner[i]]);
+      }
+    }
+  }
+
+  /// Sleep until the nearest deadline: a backoff expiry, a liveness
+  /// timeout, or a SIGTERM grace cutoff — capped so child exits (reaped
+  /// with WNOHANG) are noticed promptly even when no deadline is near.
+  int poll_timeout_ms(Clock::time_point now) const {
+    double next = 250.0;
+    const double liveness = liveness_ms();
+    for (const auto& seat : seats_) {
+      if (seat.pid > 0 && seat.pipe_fd < 0) {
+        // Heartbeat EOF seen but the exit not yet reaped: the process is
+        // mid-_exit — fds close before the zombie becomes waitable — so
+        // there is nothing to poll. Tick fast until waitpid catches it
+        // instead of sleeping out a full deadline (a worker that closed
+        // its pipe but lives on stops beating and hits the liveness kill,
+        // so this fast path is bounded).
+        return 2;
+      }
+      switch (seat.state) {
+        case SeatState::kBackoff:
+          next = std::min(next, ms_between(now, seat.backoff_until));
+          break;
+        case SeatState::kRunning:
+          if (liveness > 0.0) {
+            next = std::min(
+                next, ms_between(now, after_ms(seat.last_beat, liveness)));
+          }
+          break;
+        case SeatState::kTerming:
+          next = std::min(next, ms_between(now, seat.term_deadline));
+          break;
+        case SeatState::kIdle:
+          break;
+      }
+    }
+    return std::max(10, static_cast<int>(std::ceil(next)));
+  }
+
+  double liveness_ms() const {
+    if (opts_.heartbeat_ms <= 0.0) return 0.0;  // liveness disabled
+    return opts_.heartbeat_ms * opts_.liveness_factor;
+  }
+
+  void drain_pipe(Seat& seat) {
+    char buf[4096];
+    bool got_bytes = false;
+    for (;;) {
+      const ssize_t n = ::read(seat.pipe_fd, buf, sizeof(buf));
+      if (n > 0) {
+        got_bytes = true;
+        seat.rdbuf.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF (or a read error): the write end is gone. The exit itself is
+      // observed via waitpid; here we only retire the fd.
+      ::close(seat.pipe_fd);
+      seat.pipe_fd = -1;
+      break;
+    }
+    // Any traffic at all proves the process is scheduling — that is the
+    // liveness signal. Parsed lines additionally update progress state.
+    if (got_bytes) seat.last_beat = Clock::now();
+    std::size_t nl = 0;
+    while ((nl = seat.rdbuf.find('\n')) != std::string::npos) {
+      const std::string line = seat.rdbuf.substr(0, nl);
+      seat.rdbuf.erase(0, nl + 1);
+      Heartbeat hb;
+      if (!parse_heartbeat_line(line, &hb)) continue;  // torn/garbled: drop
+      seat.reported_done = hb.points_done;
+      seat.inflight = hb.kind == Heartbeat::Kind::kPointStart ? hb.inflight
+                      : hb.kind == Heartbeat::Kind::kPointDone ? -1
+                                                               : seat.inflight;
+    }
+  }
+
+  void reap() {
+    // Wait on our own pids only: a host process (test binary, CLI) may have
+    // children of its own, and waitpid(-1) would swallow their statuses.
+    for (auto& seat : seats_) {
+      if (seat.pid <= 0) continue;
+      int wstatus = 0;
+      const pid_t pid = ::waitpid(seat.pid, &wstatus, WNOHANG);
+      if (pid == seat.pid) handle_exit(seat, wstatus);
+    }
+  }
+
+  void enforce_deadlines(Clock::time_point now) {
+    const double liveness = liveness_ms();
+    for (auto& seat : seats_) {
+      if (seat.state == SeatState::kRunning && liveness > 0.0 &&
+          ms_between(seat.last_beat, now) > liveness) {
+        // Wedged: the pipe has been silent past the liveness timeout even
+        // though the worker-side timer thread beats through long points.
+        // SIGKILL is the only safe answer to a process we can't trust to
+        // unwind; its journal is fsync'd line-by-line so nothing durable
+        // is lost.
+        record_incident(
+            driver::FailureKind::kTimeout,
+            "shard " + std::to_string(seat.asg.shard) + " worker (pid " +
+                std::to_string(seat.pid) + ") heartbeat silent for " +
+                std::to_string(static_cast<long>(ms_between(seat.last_beat,
+                                                            now))) +
+                " ms (liveness timeout " +
+                std::to_string(static_cast<long>(liveness)) +
+                " ms); killing",
+            seat.asg.launches);
+        seat.wedge_killed = true;
+        ::kill(seat.pid, SIGKILL);
+        // Exit flows through the normal reap path; stay out of kRunning so
+        // the incident isn't re-recorded next tick.
+        seat.state = SeatState::kTerming;
+        seat.term_deadline = after_ms(now, opts_.term_grace_ms);
+      } else if (seat.state == SeatState::kTerming &&
+                 now >= seat.term_deadline && seat.pid > 0) {
+        ::kill(seat.pid, SIGKILL);
+        seat.term_deadline = after_ms(now, opts_.term_grace_ms);
+      }
+    }
+  }
+
+  void handle_exit(Seat& seat, int wstatus) {
+    if (seat.pipe_fd >= 0) {
+      drain_pipe(seat);  // salvage the final heartbeats
+      if (seat.pipe_fd >= 0) {
+        ::close(seat.pipe_fd);
+        seat.pipe_fd = -1;
+      }
+    }
+    seat.pid = -1;
+
+    if (shutdown_) {
+      seat.state = SeatState::kIdle;
+      return;
+    }
+
+    const bool graceful = WIFEXITED(wstatus) &&
+                          (WEXITSTATUS(wstatus) == kWorkerExitOk ||
+                           WEXITSTATUS(wstatus) == kWorkerExitCancelled);
+    const std::vector<std::size_t> undone = undone_in(seat.asg);
+
+    if (seat.stealing) {
+      // Steal reclaim: however the victim died (graceful exit 4, or a
+      // crash racing the SIGTERM), its journal says what is left; split
+      // that across the idle capacity. An ungraceful end is still an
+      // incident worth recording.
+      if (!graceful) {
+        record_incident(driver::FailureKind::kInternalError,
+                        exit_description(seat, wstatus), seat.asg.launches);
+        note_crash_point(seat, undone);
+      }
+      repartition(seat, undone);
+      seat.state = SeatState::kIdle;
+      seat.stealing = false;
+      return;
+    }
+
+    if (undone.empty()) {
+      // Assignment complete. The journal, not the exit code, is the truth:
+      // a worker that crashed after durably recording its last point owes
+      // us nothing.
+      seat.state = SeatState::kIdle;
+      return;
+    }
+
+    // Crash (or an exit-0 liar with an incomplete journal — treat the
+    // same; trusting it would silently drop points).
+    if (!seat.wedge_killed) {
+      record_incident(driver::FailureKind::kInternalError,
+                      exit_description(seat, wstatus), seat.asg.launches);
+    }
+    note_crash_point(seat, undone);
+
+    if (seat.asg.launches > opts_.max_restarts) {
+      record_incident(
+          driver::FailureKind::kWorkerCrash,
+          "shard " + std::to_string(seat.asg.shard) + " abandoned after " +
+              std::to_string(seat.asg.launches - 1) + " restart(s); " +
+              std::to_string(undone.size()) +
+              " unfinished point(s) will be reported as failed",
+          seat.asg.launches);
+      gave_up_ = true;
+      seat.state = SeatState::kIdle;
+      return;
+    }
+    ++restarts_;
+    const std::size_t nth_restart = seat.asg.launches;  // 1-based
+    double backoff = opts_.restart_backoff_ms;
+    for (std::size_t i = 1; i < nth_restart && backoff < opts_.restart_backoff_max_ms;
+         ++i) {
+      backoff *= 2.0;
+    }
+    backoff = std::min(backoff, opts_.restart_backoff_max_ms);
+    seat.state = SeatState::kBackoff;
+    seat.backoff_until = after_ms(Clock::now(), backoff);
+  }
+
+  std::string exit_description(const Seat& seat, int wstatus) const {
+    std::string msg = "shard " + std::to_string(seat.asg.shard) + " worker ";
+    if (WIFSIGNALED(wstatus)) {
+      msg += "killed by signal " + std::to_string(WTERMSIG(wstatus));
+    } else if (WIFEXITED(wstatus)) {
+      msg += "exited with status " + std::to_string(WEXITSTATUS(wstatus));
+    } else {
+      msg += "ended abnormally";
+    }
+    if (seat.inflight >= 0) {
+      msg += " while point " + std::to_string(seat.inflight) + " was in flight";
+    }
+    return msg;
+  }
+
+  /// Crash-streak bookkeeping: K consecutive crashes with the same point
+  /// in flight quarantine that point (the next launch journals the
+  /// kQuarantined verdict instead of executing it again).
+  void note_crash_point(const Seat& seat,
+                        const std::vector<std::size_t>& undone) {
+    if (seat.inflight < 0) return;
+    const auto idx = static_cast<std::size_t>(seat.inflight);
+    // Only an unfinished point can be the culprit; a crash after the
+    // journal line landed is not the point's fault.
+    if (!std::binary_search(undone.begin(), undone.end(), idx)) return;
+    const std::size_t streak = ++crash_streak_[idx];
+    if (streak >= opts_.crash_quarantine_after &&
+        quarantine_.insert(idx).second) {
+      record_incident(
+          driver::FailureKind::kWorkerCrash,
+          "point " + std::to_string(idx) + " quarantined after " +
+              std::to_string(streak) + " consecutive worker crash(es)",
+          streak);
+    }
+  }
+
+  /// Grid indices in the assignment's window with no journaled record,
+  /// ascending. Unparseable lines are skipped here (their points read as
+  /// undone and re-run); the final merge still applies the strict typed
+  /// checks to every line.
+  std::vector<std::size_t> undone_in(const Assignment& asg) const {
+    std::vector<char> done(asg.range.size(), 0);
+    for (const auto& line : read_journal_lines(asg.journal)) {
+      driver::JournalEntry entry;
+      if (!driver::parse_journal_line(line, &entry)) continue;
+      if (asg.range.contains(entry.rec.index)) {
+        done[entry.rec.index - asg.range.begin] = 1;
+      }
+    }
+    std::vector<std::size_t> undone;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (done[i] == 0) undone.push_back(asg.range.begin + i);
+    }
+    return undone;
+  }
+
+  /// Split a reclaimed range across the idle capacity. Chunk 0 keeps the
+  /// original journal (resume skips everything already recorded); chunks
+  /// k >= 1 get fresh `.steal<k>` journals so every file has exactly one
+  /// sequence of owners.
+  void repartition(Seat& seat, const std::vector<std::size_t>& undone) {
+    if (undone.empty()) return;
+    std::size_t idle = 0;
+    for (const auto& other : seats_) {
+      if (other.state == SeatState::kIdle) ++idle;
+    }
+    const ShardRange remaining{undone.front(), seat.asg.range.end};
+    const auto chunks = split_range(remaining, 1 + idle);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      Assignment asg;
+      asg.shard = seat.asg.shard;
+      asg.range = chunks[c];
+      if (c == 0) {
+        asg.journal = seat.asg.journal;
+        asg.launches = seat.asg.launches;
+      } else {
+        const std::size_t k = ++steal_counter_[seat.asg.shard];
+        asg.journal = shard_journal_path(opts_.journal_base, seat.asg.shard, k);
+        journal_paths_.push_back(asg.journal);
+        ++steals_;
+      }
+      queue_.push_back(std::move(asg));
+    }
+  }
+
+  void record_incident(driver::FailureKind kind, std::string message,
+                       std::size_t attempts) {
+    incidents_.push_back(
+        driver::PointFailure{kind, std::move(message), attempts});
+  }
+
+  // --- final assembly --------------------------------------------------
+
+  driver::SweepResult assemble() {
+    MergedJournal merged =
+        merge_journals(points_, spec_.workload, journal_paths_);
+    if (!merged.missing.empty() && !gave_up_) {
+      throw SimulationError(
+          "distributed sweep finished with " +
+          std::to_string(merged.missing.size()) +
+          " unrecorded point(s) but no abandoned shard — supervisor bug");
+    }
+    for (const std::size_t idx : merged.missing) {
+      driver::RunRecord rec;
+      rec.index = idx;
+      rec.workload = spec_.workload;
+      rec.knobs = points_[idx].knobs;
+      rec.status = driver::PointStatus::kFailed;
+      rec.failure = driver::PointFailure{
+          driver::FailureKind::kWorkerCrash,
+          "shard abandoned after exhausting worker restarts", 0};
+      merged.records[idx] = std::move(rec);
+    }
+    driver::SweepResult result;
+    result.spec = spec_;
+    result.records = std::move(merged.records);
+    result.campaign = driver::summarize_campaign(result.records);
+    result.campaign.worker_restarts = restarts_;
+    result.campaign.worker_steals = steals_;
+    result.campaign.worker_failures = std::move(incidents_);
+    return result;
+  }
+
+  driver::ExperimentSpec spec_;         // as given (result.spec)
+  driver::ExperimentSpec worker_spec_;  // scrubbed copy workers overlay
+  SupervisorOptions opts_;
+  const WorkerBody& body_;
+  const LaunchHook& hook_;
+
+  std::vector<driver::RunPoint> points_;
+  std::vector<Seat> seats_;
+  std::deque<Assignment> queue_;
+  std::vector<std::string> journal_paths_;
+  std::size_t next_shard_id_ = 0;
+  std::map<std::size_t, std::size_t> steal_counter_;  // per original shard
+  std::map<std::size_t, std::size_t> crash_streak_;   // per grid index
+  std::set<std::size_t> quarantine_;
+  std::vector<driver::PointFailure> incidents_;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t steals_ = 0;
+  bool gave_up_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+driver::SweepResult run_distributed(const driver::ExperimentSpec& spec,
+                                    const SupervisorOptions& opts,
+                                    const WorkerBody& body,
+                                    const LaunchHook& hook) {
+  Supervisor supervisor(spec, opts, body, hook);
+  return supervisor.run();
+}
+
+}  // namespace psync::dist

@@ -1,0 +1,107 @@
+// The sweep leader: shards one ExperimentSpec grid across worker
+// *processes* and survives their deaths.
+//
+// Supervision model, in one paragraph: the grid is cut into contiguous
+// ranges (shard.hpp), each range is an *assignment* with its own
+// checkpoint journal, and `workers` process seats execute assignments.
+// Every worker heartbeats over an inherited pipe (heartbeat.hpp); silence
+// longer than the liveness timeout means the process is wedged and it is
+// SIGKILLed. A dead or wedged worker's assignment is relaunched in place
+// with exponential backoff, resuming its own journal, so only the points
+// that were never durably recorded re-run. A point that kills its worker
+// K launches in a row is quarantined — recorded as
+// kQuarantined/worker_crash — instead of being allowed to crash-loop the
+// sweep. When a seat runs out of work it steals: the straggler with the
+// most unfinished points is asked to stop (SIGTERM -> graceful exit), its
+// unfinished suffix is re-partitioned across the idle seats, and each
+// stolen chunk gets its own `.steal<k>` journal. At the end every journal
+// the run produced — including those left by SIGKILLed workers — is merged
+// (merge.hpp) into one grid-order SweepResult.
+//
+// Determinism: per-point seeds come from the global grid index and merged
+// records are journal round-trips, so the rendered JSON/CSV is
+// byte-identical to a single-process serial run no matter how many workers
+// died along the way. All supervision accounting (restarts, steals,
+// incident list) lives in the non-serialized CampaignReport fields.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "psync/common/cancel.hpp"
+#include "psync/dist/worker.hpp"
+#include "psync/driver/runner.hpp"
+
+namespace psync::dist {
+
+struct SupervisorOptions {
+  /// Worker process seats (and initial shard count). 0 is treated as 1.
+  std::size_t workers = 2;
+
+  /// Worker heartbeat interval; liveness timeout is
+  /// heartbeat_ms * liveness_factor (a worker is presumed wedged — and
+  /// SIGKILLed — after that much silence). The factor leaves room for
+  /// scheduler jitter; with a 100 ms beat a worker must go a full second
+  /// without any traffic before it is declared dead.
+  double heartbeat_ms = 100.0;
+  double liveness_factor = 10.0;
+
+  /// Restart policy per assignment: backoff before relaunch n is
+  /// restart_backoff_ms * 2^(n-1), capped at restart_backoff_max_ms; after
+  /// max_restarts an assignment is abandoned and its unfinished points are
+  /// reported as kFailed/worker_crash instead of looping forever.
+  double restart_backoff_ms = 50.0;
+  double restart_backoff_max_ms = 2000.0;
+  std::size_t max_restarts = 5;
+
+  /// Quarantine a grid point after this many consecutive worker crashes
+  /// with that point in flight (the crash analogue of PointGuard's retry
+  /// budget; uses the same taxonomy via kWorkerCrash).
+  std::size_t crash_quarantine_after = 3;
+
+  /// Work stealing: an idle seat may reclaim the unfinished suffix of the
+  /// busiest running seat, but only when at least min_steal_points remain
+  /// (smaller remainders finish faster than a SIGTERM round-trip).
+  bool steal = true;
+  std::size_t min_steal_points = 4;
+  /// How long a SIGTERMed straggler gets to flush and exit before SIGKILL.
+  double term_grace_ms = 5000.0;
+
+  /// Shard journals are "<journal_base>.shard<i>[.steal<k>].jsonl"
+  /// (shard.hpp). Required — the journals *are* the crash-safety story.
+  std::string journal_base;
+
+  /// SweepEngine threads inside each worker (default 1: ascending-order
+  /// execution keeps a shard's unfinished remainder a contiguous suffix,
+  /// which is what makes stealing cheap).
+  std::size_t worker_threads = 1;
+
+  /// Leader-side graceful shutdown (SIGTERM/SIGINT handler token):
+  /// once cancelled the leader SIGTERMs every worker, waits for the grace
+  /// period, reaps, and throws CancelledError — all journal tails durable.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Runs in the forked child, never returns control flow to the leader:
+/// either executes the shard in-process (default: run_worker) or execs a
+/// fresh binary (psync_sim's `--worker-shard` mode). Its return value
+/// becomes the child's exit code.
+using WorkerBody =
+    std::function<int(const driver::ExperimentSpec&, const WorkerConfig&)>;
+
+/// Leader-side hook applied to each WorkerConfig just before fork — how
+/// tests and the fault smoke inject crash_on_index / stall_on_index for
+/// specific shards and generations. May be empty.
+using LaunchHook = std::function<void(WorkerConfig&)>;
+
+/// Execute `spec`'s sweep across worker processes and merge the shard
+/// journals into one grid-order SweepResult. Throws ConfigError for a
+/// missing journal_base, CancelledError on leader shutdown, and the merge
+/// layer's typed errors if the journals are corrupt or mismatched.
+driver::SweepResult run_distributed(const driver::ExperimentSpec& spec,
+                                    const SupervisorOptions& opts,
+                                    const WorkerBody& body = {},
+                                    const LaunchHook& hook = {});
+
+}  // namespace psync::dist

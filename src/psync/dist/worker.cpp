@@ -1,0 +1,105 @@
+#include "psync/dist/worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "psync/common/check.hpp"
+#include "psync/dist/heartbeat.hpp"
+#include "psync/driver/runner.hpp"
+
+namespace psync::dist {
+
+namespace {
+
+// Process-wide shutdown token for worker processes. SIGTERM (the leader
+// reclaiming a straggler's range, or an operator) and SIGINT both request
+// a graceful wind-down: finish/abandon at the next cycle-batch boundary,
+// leave the journal tail durable, exit kWorkerExitCancelled.
+CancelToken g_worker_cancel;
+
+void worker_signal_handler(int /*signo*/) { g_worker_cancel.cancel(); }
+
+void install_worker_signals() {
+  struct sigaction sa = {};
+  sa.sa_handler = worker_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls too
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A dead leader surfaces as EPIPE on the heartbeat write (handled by the
+  // emitter), never as a fatal SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+// Observer layered over the heartbeat emitter that applies the
+// fault-injection hooks. The crash fires *after* the start heartbeat goes
+// out, so the leader's liveness bookkeeping has seen the in-flight index —
+// exactly what a real mid-point crash looks like on the wire.
+class FaultHookObserver final : public driver::PointObserver {
+ public:
+  FaultHookObserver(HeartbeatEmitter* emitter, const WorkerConfig& cfg)
+      : emitter_(emitter), cfg_(cfg) {}
+
+  void on_point_start(std::size_t index) override {
+    emitter_->on_point_start(index);
+    const auto idx = static_cast<std::int64_t>(index);
+    if (cfg_.crash_on_index == idx) {
+      // Simulated hard crash: no unwinding, no journal line, no exit
+      // handlers — indistinguishable from SIGKILL for the supervisor.
+      ::_exit(kWorkerExitInjectedCrash);
+    }
+    if (cfg_.stall_on_index == idx) {
+      // Simulated wedge: silence the timer thread, then hang. The leader
+      // must notice the quiet pipe and SIGKILL us.
+      emitter_->stop();
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+  }
+
+  void on_point_done(std::size_t index, driver::PointStatus status) override {
+    emitter_->on_point_done(index, status);
+  }
+
+ private:
+  HeartbeatEmitter* const emitter_;
+  const WorkerConfig& cfg_;
+};
+
+}  // namespace
+
+int run_worker(driver::ExperimentSpec spec, const WorkerConfig& cfg) {
+  install_worker_signals();
+  g_worker_cancel.reset();
+
+  try {
+    HeartbeatEmitter emitter(cfg.heartbeat_fd, cfg.shard, cfg.heartbeat_ms,
+                             &g_worker_cancel);
+    FaultHookObserver observer(&emitter, cfg);
+
+    spec.shard_begin = cfg.range.begin;
+    spec.shard_end = cfg.range.end;
+    spec.journal_path = cfg.journal_path;
+    spec.resume = true;  // a fresh journal resumes trivially; a restarted
+                         // worker picks up where its predecessor died
+    spec.quarantine_indices = cfg.quarantine;
+    spec.cancel = &g_worker_cancel;
+    spec.observer = &observer;
+
+    (void)driver::Runner::run(spec);
+    return kWorkerExitOk;
+  } catch (const CancelledError&) {
+    return kWorkerExitCancelled;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psync worker (shard %zu): %s\n", cfg.shard,
+                 e.what());
+    return kWorkerExitError;
+  }
+}
+
+}  // namespace psync::dist

@@ -1,0 +1,65 @@
+// Shard-worker execution: the body every distributed worker process runs,
+// whether it got here by fork() (in-process launcher: tests, benches) or
+// by fork+exec of `psync_sim --worker-shard` (the CLI leader).
+//
+// A worker owns one contiguous window of the sweep grid and one shard
+// journal. It always opens the journal in resume mode, so a replacement
+// for a SIGKILLed worker re-runs only the points its predecessor did not
+// durably finish; flock ownership (common/journal) guarantees the
+// predecessor is actually gone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psync/dist/shard.hpp"
+#include "psync/driver/experiment.hpp"
+
+namespace psync::dist {
+
+/// Worker exit codes the supervisor keys its state machine on. Anything
+/// else — including death by signal — is a crash.
+inline constexpr int kWorkerExitOk = 0;         // shard window complete
+inline constexpr int kWorkerExitError = 1;      // typed failure (see stderr)
+inline constexpr int kWorkerExitCancelled = 4;  // graceful SIGTERM/SIGINT
+/// _exit code of the crash-injection hook below; outside the documented
+/// 0-4 band so it always lands in the supervisor's crash path.
+inline constexpr int kWorkerExitInjectedCrash = 86;
+
+struct WorkerConfig {
+  /// Shard id (stable across restarts; steal chunks get fresh ids).
+  std::size_t shard = 0;
+  /// Restart generation: 0 on first launch, +1 per relaunch. Informational
+  /// for launchers (e.g. "inject a fault only on generation 0").
+  std::size_t generation = 0;
+  /// Global grid window this worker executes.
+  ShardRange range;
+  /// Shard journal (always opened keep_existing: resume semantics).
+  std::string journal_path;
+  /// Grid indices the leader quarantined; recorded, not executed.
+  std::vector<std::size_t> quarantine;
+  /// Heartbeat pipe write end (< 0 = no heartbeats) and interval.
+  int heartbeat_fd = -1;
+  double heartbeat_ms = 100.0;
+
+  // --- fault-injection hooks (tests and the dist fault smoke) -----------
+  /// _exit(kWorkerExitInjectedCrash) when this grid index starts (< 0 off).
+  std::int64_t crash_on_index = -1;
+  /// Silence heartbeats and hang forever when this grid index starts
+  /// (< 0 off) — a synthetic deadlock the leader must detect by liveness
+  /// timeout and answer with SIGKILL.
+  std::int64_t stall_on_index = -1;
+};
+
+/// Run one shard worker to completion in this process. Installs
+/// SIGTERM/SIGINT handlers (graceful cancel -> kWorkerExitCancelled) and
+/// ignores SIGPIPE (a broken heartbeat pipe cancels the run instead), so
+/// call it only from a process dedicated to being a worker — a forked
+/// child or a `psync_sim --worker-shard` invocation. Never throws.
+///
+/// `spec` is the full-sweep spec; the shard window, journal, quarantine
+/// list, cancel token and heartbeat observer are overlaid from `cfg`.
+int run_worker(driver::ExperimentSpec spec, const WorkerConfig& cfg);
+
+}  // namespace psync::dist

@@ -1,5 +1,6 @@
 #include "psync/driver/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,8 @@ FailureKind classify_failure(const std::exception& e) {
 }
 
 bool failure_is_retryable(FailureKind kind) {
+  // kWorkerCrash is a leader-side verdict (the point already ate its K
+  // restarts at process granularity), so it is terminal here.
   return kind == FailureKind::kTimeout || kind == FailureKind::kInternalError;
 }
 
@@ -65,8 +68,13 @@ RunRecord fail_record(const std::string& workload, const RunPoint& point) {
 }  // namespace
 
 RunRecord PointGuard::run(const std::string& workload, const RunPoint& point,
-                          const PointFn& fn) const {
-  if (!params_.isolate) return fn(point);
+                          const PointFn& fn,
+                          const CancelToken* external) const {
+  if (!params_.isolate) {
+    RunPoint pt = point;
+    if (pt.cancel == nullptr) pt.cancel = external;
+    return fn(pt);
+  }
 
   if (params_.max_point_mb > 0) {
     const std::size_t est = estimate_point_bytes(workload, point);
@@ -84,11 +92,17 @@ RunRecord PointGuard::run(const std::string& workload, const RunPoint& point,
   }
 
   for (std::size_t attempt = 1;; ++attempt) {
+    if (external != nullptr && external->cancelled()) {
+      throw CancelledError("sweep cancelled before point attempt");
+    }
     CancelToken token;
     RunPoint pt = point;
     if (params_.point_timeout_ms > 0.0) {
       token.set_deadline_ms(params_.point_timeout_ms);
+      token.set_parent(external);
       pt.cancel = &token;
+    } else if (external != nullptr) {
+      pt.cancel = external;
     }
 
     FailureKind kind = FailureKind::kInternalError;
@@ -98,9 +112,13 @@ RunRecord PointGuard::run(const std::string& workload, const RunPoint& point,
       rec.retries = attempt - 1;
       return rec;
     } catch (const std::exception& e) {
+      // A process-wide shutdown is not a point failure: rethrow so the
+      // abandoned point stays un-journaled and un-recorded.
+      if (external != nullptr && external->cancelled()) throw;
       kind = classify_failure(e);
       message = e.what();
     } catch (...) {
+      if (external != nullptr && external->cancelled()) throw;
       message = "unknown exception type";
     }
 
@@ -119,10 +137,14 @@ RunRecord PointGuard::run(const std::string& workload, const RunPoint& point,
   }
 }
 
-CampaignReport summarize_campaign(const std::vector<RunRecord>& records) {
+CampaignReport summarize_campaign(const std::vector<RunRecord>& records,
+                                  std::size_t begin, std::size_t end) {
   CampaignReport c;
-  c.points = records.size();
-  for (const auto& rec : records) {
+  begin = std::min(begin, records.size());
+  end = std::min(end, records.size());
+  c.points = end - begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& rec = records[i];
     switch (rec.status) {
       case PointStatus::kOk: ++c.ok; break;
       case PointStatus::kFailed: ++c.failed; break;

@@ -63,8 +63,17 @@ class PointGuard {
   /// kFailed (non-retryable failure), or kQuarantined (transient failure
   /// that exhausted max_retries); failed records carry the point's index
   /// and knobs plus a PointFailure, and no metrics.
+  ///
+  /// `external` (optional, non-owning) is a process-wide shutdown token:
+  /// once it reads cancelled, the guard stops retrying and *rethrows*
+  /// CancelledError instead of classifying it as a kTimeout point failure
+  /// — an abandoned point must never be journaled as failed, or a resumed
+  /// sweep would splice a spurious failure where the reference run has a
+  /// result. The per-attempt watchdog token is parented to `external` so
+  /// machines abandon at their next cycle-batch boundary.
   RunRecord run(const std::string& workload, const RunPoint& point,
-                const PointFn& fn) const;
+                const PointFn& fn,
+                const CancelToken* external = nullptr) const;
 
   const GuardParams& params() const { return params_; }
 
@@ -85,11 +94,28 @@ struct CampaignReport {
   std::uint64_t retries = 0;        // total retry attempts consumed
   std::vector<std::size_t> quarantine;  // quarantined grid indices
 
+  /// Distributed-execution accounting (dist/supervisor.hpp), filled only
+  /// by the leader. Like `resumed`, deliberately NOT serialized: a merged
+  /// distributed sweep must render byte-identical to a single-process run
+  /// even when workers died and were restarted along the way.
+  std::uint64_t worker_restarts = 0;  // dead/wedged workers relaunched
+  std::uint64_t worker_steals = 0;    // ranges re-partitioned off workers
+  /// One entry per supervised worker incident, in the point-failure
+  /// taxonomy: kTimeout = heartbeat liveness expired (wedged, SIGKILLed),
+  /// kInternalError = crashed/abnormal exit, kWorkerCrash = a point was
+  /// quarantined after K consecutive crashes.
+  std::vector<PointFailure> worker_failures;
+
   bool all_ok() const { return failed == 0 && quarantined == 0; }
 };
 
-/// Tally a record set (resumed is left at 0; Runner fills it in).
-CampaignReport summarize_campaign(const std::vector<RunRecord>& records);
+/// Tally a record set (resumed is left at 0; Runner fills it in). The
+/// optional [begin, end) window restricts the tally to a shard's slice of
+/// the grid — records outside it (e.g. splice-tolerated entries from a
+/// re-partitioned journal) are not this worker's to report.
+CampaignReport summarize_campaign(const std::vector<RunRecord>& records,
+                                  std::size_t begin = 0,
+                                  std::size_t end = static_cast<std::size_t>(-1));
 
 /// One parsed checkpoint-journal record.
 struct JournalEntry {

@@ -22,6 +22,11 @@
 
 namespace psync::driver {
 
+/// Per-point progress callback (defined in workload.hpp, next to
+/// PointStatus). The distributed execution layer implements it to stream
+/// heartbeats to the leader; nullptr observers cost nothing.
+class PointObserver;
+
 /// One sweep knob and the values it takes. Multiple axes form a cartesian
 /// grid (first axis slowest, row-major).
 struct SweepAxis {
@@ -86,6 +91,36 @@ struct ExperimentSpec {
   /// their journaled results back into grid order, so a killed sweep plus
   /// resume renders byte-identical output to an uninterrupted run.
   bool resume = false;
+
+  // --- Sharded / distributed execution (src/psync/dist) -----------------
+  // Seeds and knobs always come from the *global* grid index, so a shard
+  // worker produces exactly the records a full run would — sharding is a
+  // coordination concern, never a determinism one.
+
+  /// Execute only grid indices in [shard_begin, min(shard_end, grid size)).
+  /// Defaults cover the whole grid. Resume tolerates journal entries
+  /// outside the window (they are validated and spliced, not errors), so a
+  /// replacement worker can take over a dead worker's journal even after
+  /// its range was re-partitioned.
+  std::size_t shard_begin = 0;
+  std::size_t shard_end = static_cast<std::size_t>(-1);
+
+  /// Grid indices the leader has quarantined (K consecutive worker crashes
+  /// on the same point). Runner records them as kQuarantined/worker_crash
+  /// without executing them, and journals that verdict so a later resume
+  /// or merge sees it.
+  std::vector<std::size_t> quarantine_indices;
+
+  /// Process-wide cooperative shutdown token (non-owning; may be set from
+  /// a SIGTERM/SIGINT handler). Once cancelled: no new point starts, the
+  /// in-flight points finish or abandon at their next cycle-batch
+  /// boundary, the journal tail is already durable, and Runner::run throws
+  /// CancelledError instead of returning a partial result.
+  const CancelToken* cancel = nullptr;
+
+  /// Per-point progress hook (non-owning): on_point_start before a point
+  /// executes, on_point_done after its record is journaled/stored.
+  PointObserver* observer = nullptr;
 };
 
 /// One expanded point of the sweep grid: knob values already applied to

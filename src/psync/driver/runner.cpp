@@ -1,5 +1,6 @@
 #include "psync/driver/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
@@ -32,11 +33,25 @@ SweepResult Runner::run(const ExperimentSpec& spec) {
   const auto points = SweepEngine::expand(spec);
   result.records.resize(points.size());
 
+  // Shard window: only [begin, end) of the grid is this run's to execute.
+  // Seeds/knobs are derived from global indices during expansion, so the
+  // window changes *which* points run, never what any point computes.
+  const std::size_t begin = std::min(spec.shard_begin, points.size());
+  const std::size_t end = std::min(spec.shard_end, points.size());
+  if (begin > end) {
+    throw ConfigError("shard window [" + std::to_string(spec.shard_begin) +
+                      ", " + std::to_string(spec.shard_end) + ") is inverted");
+  }
+
   // Resume: reconstitute journaled points into their grid slots. Every
   // entry must match this sweep (grid bounds, point seed, workload) or the
   // journal belongs to a different campaign — fail loudly rather than mix
-  // results. read_journal_lines already dropped a torn final line (kill -9
-  // mid-append); a malformed line elsewhere means the file is not ours.
+  // results. Entries *outside* the shard window are still validated and
+  // spliced (a replacement worker may inherit a journal whose range was
+  // since re-partitioned), they just don't count toward this run's
+  // campaign. read_journal_lines already dropped a torn final line
+  // (kill -9 mid-append); a malformed line elsewhere means the file is not
+  // ours.
   std::vector<char> done(points.size(), 0);
   std::size_t resumed = 0;
   if (spec.resume) {
@@ -46,18 +61,18 @@ SweepResult Runner::run(const ExperimentSpec& spec) {
     for (const auto& line : read_journal_lines(spec.journal_path)) {
       JournalEntry entry;
       if (!parse_journal_line(line, &entry)) {
-        throw SimulationError("corrupt checkpoint journal line in '" +
-                              spec.journal_path + "'");
+        throw JournalCorruptError("corrupt checkpoint journal line in '" +
+                                  spec.journal_path + "'");
       }
       const std::size_t idx = entry.rec.index;
       if (idx >= points.size() || entry.seed != points[idx].seed ||
           entry.rec.workload != spec.workload) {
-        throw SimulationError(
+        throw JournalConflictError(
             "checkpoint journal '" + spec.journal_path +
             "' does not match this sweep (point " + std::to_string(idx) +
             "); refusing to mix campaigns");
       }
-      if (done[idx] == 0) ++resumed;
+      if (done[idx] == 0 && idx >= begin && idx < end) ++resumed;
       result.records[idx] = std::move(entry.rec);
       done[idx] = 1;
     }
@@ -68,8 +83,27 @@ SweepResult Runner::run(const ExperimentSpec& spec) {
     journal.open(spec.journal_path, /*keep_existing=*/spec.resume);
   }
 
+  // Leader-quarantined points: record the verdict without executing, and
+  // journal it so a resume or a shard merge sees the same story.
+  for (const std::size_t idx : spec.quarantine_indices) {
+    if (idx < begin || idx >= end || done[idx] != 0) continue;
+    RunRecord rec;
+    rec.index = idx;
+    rec.workload = spec.workload;
+    rec.knobs = points[idx].knobs;
+    rec.status = PointStatus::kQuarantined;
+    rec.failure = PointFailure{
+        FailureKind::kWorkerCrash,
+        "quarantined by the sweep leader after repeated worker crashes on "
+        "this point",
+        0};
+    if (journal.is_open()) journal.append(journal_line(rec, points[idx].seed));
+    result.records[idx] = std::move(rec);
+    done[idx] = 1;
+  }
+
   std::vector<std::size_t> pending;
-  for (std::size_t i = 0; i < points.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     if (done[i] == 0) pending.push_back(i);
   }
 
@@ -77,17 +111,37 @@ SweepResult Runner::run(const ExperimentSpec& spec) {
   std::mutex mu;  // serializes journal appends and record stores
   SweepEngine engine(spec.threads);
   engine.map(pending, [&](const std::size_t i) {
-    RunRecord rec =
-        guard.run(spec.workload, points[i], [&](const RunPoint& pt) {
-          return run_point(spec.workload, pt);
-        });
+    // Shutdown check: once the process-wide token fires, unstarted points
+    // stay unstarted (and unrecorded) — completion is tracked via done[]
+    // so the run is reported cancelled, not silently short.
+    if (spec.cancel != nullptr && spec.cancel->cancelled()) return 0;
+    if (spec.observer != nullptr) spec.observer->on_point_start(i);
+    RunRecord rec = guard.run(
+        spec.workload, points[i],
+        [&](const RunPoint& pt) { return run_point(spec.workload, pt); },
+        spec.cancel);
     std::lock_guard<std::mutex> lock(mu);
     if (journal.is_open()) journal.append(journal_line(rec, points[i].seed));
+    const PointStatus status = rec.status;
     result.records[i] = std::move(rec);
+    done[i] = 1;
+    if (spec.observer != nullptr) spec.observer->on_point_done(i, status);
     return 0;
   });
 
-  result.campaign = summarize_campaign(result.records);
+  if (spec.cancel != nullptr && spec.cancel->cancelled()) {
+    std::size_t remaining = 0;
+    for (const std::size_t i : pending) {
+      if (done[i] == 0) ++remaining;
+    }
+    if (remaining > 0) {
+      throw CancelledError("sweep cancelled with " +
+                           std::to_string(remaining) +
+                           " point(s) unfinished; journal tail is durable");
+    }
+  }
+
+  result.campaign = summarize_campaign(result.records, begin, end);
   result.campaign.resumed = resumed;
   return result;
 }

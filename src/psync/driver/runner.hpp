@@ -42,9 +42,17 @@ class Runner {
   ///     checkpoint journal as one fsync'd JSONL line;
   ///   * spec.resume — points already in the journal are reconstituted
   ///     instead of re-run (validated against this sweep's grid indices,
-  ///     seeds and workload; throws SimulationError on a mismatched or
-  ///     corrupt journal), and the rendered output is byte-identical to an
-  ///     uninterrupted run.
+  ///     seeds and workload; throws JournalCorruptError/JournalConflictError
+  ///     — both SimulationError — on a damaged or mismatched journal), and
+  ///     the rendered output is byte-identical to an uninterrupted run;
+  ///   * spec.shard_begin/shard_end — execute only that window of the grid
+  ///     (the distributed layer's shard contract; seeds stay global);
+  ///   * spec.quarantine_indices — record those points as quarantined
+  ///     (worker_crash) without executing them;
+  ///   * spec.cancel — cooperative shutdown: no new point starts after the
+  ///     token fires, in-flight points abandon at cycle-batch boundaries,
+  ///     and CancelledError is thrown instead of returning a short result;
+  ///   * spec.observer — per-point start/done callbacks (heartbeats).
   static SweepResult run(const ExperimentSpec& spec);
 
   /// Execute one already-expanded point.

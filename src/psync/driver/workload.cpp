@@ -29,6 +29,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kTimeout: return "timeout";
     case FailureKind::kOomEstimateExceeded: return "oom_estimate_exceeded";
     case FailureKind::kInternalError: return "internal_error";
+    case FailureKind::kWorkerCrash: return "worker_crash";
   }
   return "?";
 }
@@ -48,6 +49,7 @@ FailureKind failure_kind_from_string(const std::string& s) {
   if (s == "timeout") return FailureKind::kTimeout;
   if (s == "oom_estimate_exceeded") return FailureKind::kOomEstimateExceeded;
   if (s == "internal_error") return FailureKind::kInternalError;
+  if (s == "worker_crash") return FailureKind::kWorkerCrash;
   throw SimulationError("unknown failure kind: " + s);
 }
 

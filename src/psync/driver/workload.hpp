@@ -40,6 +40,7 @@ enum class FailureKind {
   kTimeout,              // CancelledError: watchdog deadline exceeded
   kOomEstimateExceeded,  // working-set estimate over guard.max_point_mb
   kInternalError,        // anything else (bug, bad_alloc, unknown throw)
+  kWorkerCrash,          // a dist worker process died on/near this point
 };
 
 enum class PointStatus {
@@ -53,6 +54,21 @@ const char* to_string(PointStatus status);
 /// Parse the to_string forms back; throws SimulationError on unknown text.
 FailureKind failure_kind_from_string(const std::string& s);
 PointStatus point_status_from_string(const std::string& s);
+
+/// Per-point progress callback (declared in experiment.hpp so
+/// ExperimentSpec can hold one). Called from SweepEngine pool threads under
+/// the Runner's journal lock, so implementations see starts and
+/// completions in a consistent order but must stay cheap and re-entrant.
+class PointObserver {
+ public:
+  virtual ~PointObserver() = default;
+  /// The point at `index` is about to execute (after resume/quarantine
+  /// filtering — only points that actually run are announced).
+  virtual void on_point_start(std::size_t index) = 0;
+  /// The point's record has been journaled (when a journal is configured)
+  /// and stored.
+  virtual void on_point_done(std::size_t index, PointStatus status) = 0;
+};
 
 /// What an isolated point died of (attached to its RunRecord).
 struct PointFailure {

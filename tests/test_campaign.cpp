@@ -47,6 +47,33 @@ TEST(CancelToken, ExplicitCancelThrowsOnPoll) {
   EXPECT_THROW(token.poll(), CancelledError);
 }
 
+TEST(CancelToken, ParentCancelPropagatesToChild) {
+  CancelToken parent;
+  CancelToken child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_THROW(child.poll(), CancelledError);
+  // Only the explicit flag chains — the child's own state is untouched.
+  child.set_parent(nullptr);
+  EXPECT_FALSE(child.cancelled());
+}
+
+TEST(CancelToken, ResetDisarmsFlagDeadlineAndParent) {
+  CancelToken parent;
+  parent.cancel();
+  CancelToken token;
+  token.set_parent(&parent);
+  token.cancel();
+  token.set_deadline_ms(0.0);
+  EXPECT_TRUE(token.expired());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.expired());
+  EXPECT_NO_THROW(token.poll());
+}
+
 TEST(CancelToken, DeadlineExpiresOnWallClock) {
   CancelToken token;
   token.set_deadline_ms(1.0);

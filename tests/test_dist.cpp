@@ -1,0 +1,504 @@
+// Distributed sweeps (src/psync/dist): shard planning, the heartbeat wire
+// codec, flock journal ownership, the crash-identical journal merge, the
+// Runner's shard window, and full leader/worker supervision — worker
+// crash restart, wedge detection via heartbeat liveness, crash-loop
+// quarantine, and work stealing — all asserted against the tentpole
+// invariant: the merged output is byte-identical to a single-process run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psync/common/check.hpp"
+#include "psync/common/journal.hpp"
+#include "psync/dist/heartbeat.hpp"
+#include "psync/dist/merge.hpp"
+#include "psync/dist/shard.hpp"
+#include "psync/dist/supervisor.hpp"
+#include "psync/dist/worker.hpp"
+#include "psync/driver/runner.hpp"
+
+namespace psync::dist {
+namespace {
+
+using driver::ExperimentSpec;
+using driver::FailureKind;
+using driver::PointStatus;
+using driver::RunPoint;
+using driver::RunRecord;
+using driver::Runner;
+using driver::SweepEngine;
+
+/// Unique per test-process journal base: a stale journal from an earlier
+/// run would otherwise be resumed (that's the feature) and poison a test.
+std::string fresh_base(const std::string& name) {
+  return testing::TempDir() + "psync_dist_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Cheap deterministic workload: the metric depends only on the point's
+/// seed (which depends only on the global grid index), so any correctly
+/// merged execution is byte-identical to a serial one. The t_p knob value
+/// doubles as a per-point host sleep in ms, to give the supervisor's
+/// timing machinery (stealing, liveness) something to observe.
+class DistTestWorkload final : public driver::Workload {
+ public:
+  std::string name() const override { return "dist_test"; }
+  RunRecord run(const RunPoint& pt) const override {
+    double tp = 0.0;
+    for (const auto& [knob, value] : pt.knobs) {
+      if (knob == "t_p") tp = value;
+    }
+    if (tp > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(tp)));
+    }
+    RunRecord rec;
+    rec.metrics.push_back(
+        {"val", static_cast<double>(pt.seed % 1000003ULL) / 997.0, -1});
+    return rec;
+  }
+};
+
+ExperimentSpec make_spec(std::vector<double> tp_values) {
+  driver::register_workload(std::make_unique<DistTestWorkload>());
+  ExperimentSpec spec;
+  spec.workload = "dist_test";
+  spec.axes.push_back({"t_p", std::move(tp_values)});
+  spec.threads = 1;
+  spec.guard.max_retries = 0;
+  return spec;
+}
+
+std::vector<double> uniform(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+SupervisorOptions fast_opts(const std::string& base, std::size_t workers) {
+  SupervisorOptions opts;
+  opts.workers = workers;
+  opts.journal_base = base;
+  opts.heartbeat_ms = 10.0;
+  opts.liveness_factor = 20.0;  // 200 ms — generous for loaded CI hosts
+  opts.restart_backoff_ms = 1.0;
+  opts.restart_backoff_max_ms = 10.0;
+  opts.min_steal_points = 2;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning
+
+TEST(ShardPlan, BalancedContiguousGapFreeCover) {
+  const auto shards = plan_shards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 4u);  // 10 % 3 extra point goes first
+  EXPECT_EQ(shards[1].begin, 4u);
+  EXPECT_EQ(shards[1].end, 7u);
+  EXPECT_EQ(shards[2].begin, 7u);
+  EXPECT_EQ(shards[2].end, 10u);
+}
+
+TEST(ShardPlan, MoreWorkersThanPointsYieldsSingletons) {
+  const auto shards = plan_shards(3, 8);
+  ASSERT_EQ(shards.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(shards[i].begin, i);
+    EXPECT_EQ(shards[i].end, i + 1);
+  }
+}
+
+TEST(ShardPlan, EdgeCases) {
+  EXPECT_TRUE(plan_shards(0, 4).empty());
+  const auto zero_workers = plan_shards(5, 0);  // treated as one worker
+  ASSERT_EQ(zero_workers.size(), 1u);
+  EXPECT_EQ(zero_workers[0].size(), 5u);
+}
+
+TEST(ShardPlan, SplitRangePreservesWindow) {
+  const auto chunks = split_range({10, 21}, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks.front().begin, 10u);
+  EXPECT_EQ(chunks.back().end, 21u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);  // gap-free
+    EXPECT_GE(chunks[i - 1].size(), chunks[i].size());
+  }
+}
+
+TEST(ShardPlan, JournalNaming) {
+  EXPECT_EQ(shard_journal_path("/tmp/base", 2), "/tmp/base.shard2.jsonl");
+  EXPECT_EQ(shard_journal_path("/tmp/base", 2, 3),
+            "/tmp/base.shard2.steal3.jsonl");
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat wire codec
+
+TEST(HeartbeatCodec, RoundTripsEveryKind) {
+  for (const auto kind :
+       {Heartbeat::Kind::kProgress, Heartbeat::Kind::kPointStart,
+        Heartbeat::Kind::kPointDone}) {
+    Heartbeat hb;
+    hb.shard = 7;
+    hb.kind = kind;
+    hb.points_done = 42;
+    hb.inflight = kind == Heartbeat::Kind::kPointStart ? 1337 : -1;
+    Heartbeat parsed;
+    ASSERT_TRUE(parse_heartbeat_line(heartbeat_line(hb), &parsed));
+    EXPECT_EQ(parsed.shard, hb.shard);
+    EXPECT_EQ(parsed.kind, hb.kind);
+    EXPECT_EQ(parsed.points_done, hb.points_done);
+    EXPECT_EQ(parsed.inflight, hb.inflight);
+  }
+}
+
+TEST(HeartbeatCodec, RejectsGarbage) {
+  Heartbeat hb;
+  EXPECT_FALSE(parse_heartbeat_line("", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("hb", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("hb 1 x 0 -", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("hb 1 p 0", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("hb 1 p 0 - trailing", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("hb one p 0 -", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("xx 1 p 0 -", &hb));
+  EXPECT_FALSE(parse_heartbeat_line("hb 1 p 0 -\n", &hb));  // raw newline
+}
+
+// ---------------------------------------------------------------------------
+// Journal ownership (flock)
+
+TEST(JournalLock, SecondOpenerGetsTypedBusyError) {
+  const std::string path = fresh_base("lock.jsonl");
+  JournalWriter owner;
+  owner.open(path, /*keep_existing=*/false);
+  owner.append("held");
+  JournalWriter intruder;
+  EXPECT_THROW(intruder.open(path, /*keep_existing=*/true), JournalBusyError);
+  // The refused open must not have truncated or corrupted the journal.
+  owner.append("still mine");
+  owner.close();
+  EXPECT_EQ(read_journal_lines(path),
+            (std::vector<std::string>{"held", "still mine"}));
+  // Ownership is releasable: after close the lock is free.
+  JournalWriter next;
+  EXPECT_NO_THROW(next.open(path, /*keep_existing=*/true));
+  next.close();
+  std::remove(path.c_str());
+}
+
+TEST(JournalLock, BusyIsASimulationErrorSubtype) {
+  const std::string path = fresh_base("lock2.jsonl");
+  JournalWriter owner;
+  owner.open(path, false);
+  JournalWriter intruder;
+  EXPECT_THROW(intruder.open(path, true), SimulationError);
+  owner.close();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Journal merge
+
+/// A complete shard journal file for `range`, built from a serial run.
+void write_journal_for(const ExperimentSpec& spec, const ShardRange& range,
+                       const std::string& path) {
+  ExperimentSpec shard = spec;
+  shard.shard_begin = range.begin;
+  shard.shard_end = range.end;
+  shard.journal_path = path;
+  (void)Runner::run(shard);
+}
+
+TEST(Merge, ReassemblesInterleavedShardsInGridOrder) {
+  const auto spec = make_spec(uniform(9, 0.0));
+  const auto points = SweepEngine::expand(spec);
+  const std::string base = fresh_base("merge");
+  std::vector<std::string> paths;
+  for (std::size_t s = 0; s < 3; ++s) {
+    paths.push_back(shard_journal_path(base, s));
+    write_journal_for(spec, {s * 3, s * 3 + 3}, paths.back());
+  }
+  const MergedJournal merged = merge_journals(points, "dist_test", paths);
+  EXPECT_TRUE(merged.missing.empty());
+  EXPECT_EQ(merged.duplicates, 0u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(merged.records[i].index, i);
+    EXPECT_EQ(merged.records[i].status, PointStatus::kOk);
+  }
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+TEST(Merge, AgreeingDuplicatesAreDedupedFirstWins) {
+  const auto spec = make_spec(uniform(4, 0.0));
+  const auto points = SweepEngine::expand(spec);
+  const std::string base = fresh_base("dup");
+  const std::string a = shard_journal_path(base, 0);
+  const std::string b = shard_journal_path(base, 0, 1);
+  write_journal_for(spec, {0, 4}, a);
+  write_journal_for(spec, {2, 4}, b);  // overlaps points 2, 3
+  const MergedJournal merged = merge_journals(points, "dist_test", {a, b});
+  EXPECT_TRUE(merged.missing.empty());
+  EXPECT_EQ(merged.duplicates, 2u);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(Merge, ConflictingDuplicateStatusIsATypedError) {
+  const auto spec = make_spec(uniform(2, 0.0));
+  const auto points = SweepEngine::expand(spec);
+  const std::string base = fresh_base("conflict");
+  RunRecord ok;
+  ok.index = 1;
+  ok.workload = "dist_test";
+  ok.metrics.push_back({"val", 1.0, 2});
+  RunRecord failed = ok;
+  failed.status = PointStatus::kFailed;
+  failed.metrics.clear();
+  failed.failure =
+      driver::PointFailure{FailureKind::kInternalError, "boom", 1};
+  const std::string a = base + ".a.jsonl";
+  const std::string b = base + ".b.jsonl";
+  write_file(a, driver::journal_line(ok, points[1].seed) + "\n");
+  write_file(b, driver::journal_line(failed, points[1].seed) + "\n");
+  EXPECT_THROW(merge_journals(points, "dist_test", {a, b}),
+               JournalConflictError);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(Merge, OutOfGridAndMismatchedCampaignsAreTypedErrors) {
+  const auto spec = make_spec(uniform(2, 0.0));
+  const auto points = SweepEngine::expand(spec);
+  const std::string path = fresh_base("alien.jsonl");
+  RunRecord rec;
+  rec.index = 99;  // outside the 2-point grid
+  rec.workload = "dist_test";
+  write_file(path, driver::journal_line(rec, 1) + "\n");
+  EXPECT_THROW(merge_journals(points, "dist_test", {path}),
+               JournalConflictError);
+  rec.index = 0;  // in grid, wrong seed
+  write_file(path, driver::journal_line(rec, points[0].seed + 1) + "\n");
+  EXPECT_THROW(merge_journals(points, "dist_test", {path}),
+               JournalConflictError);
+  std::remove(path.c_str());
+}
+
+TEST(Merge, CorruptLineIsATypedError) {
+  const auto spec = make_spec(uniform(2, 0.0));
+  const auto points = SweepEngine::expand(spec);
+  const std::string path = fresh_base("corrupt.jsonl");
+  write_file(path, "{not a journal line}\n");
+  EXPECT_THROW(merge_journals(points, "dist_test", {path}),
+               JournalCorruptError);
+  std::remove(path.c_str());
+}
+
+TEST(Merge, MissingFilesAndPointsAreReportedNotInvented) {
+  const auto spec = make_spec(uniform(6, 0.0));
+  const auto points = SweepEngine::expand(spec);
+  const std::string base = fresh_base("sparse");
+  const std::string have = shard_journal_path(base, 0);
+  write_journal_for(spec, {0, 3}, have);
+  const MergedJournal merged = merge_journals(
+      points, "dist_test", {have, shard_journal_path(base, 1)});
+  EXPECT_EQ(merged.missing, (std::vector<std::size_t>{3, 4, 5}));
+  std::remove(have.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Runner shard window
+
+TEST(RunnerShard, WindowLimitsExecutionAndAccounting) {
+  auto spec = make_spec(uniform(8, 0.0));
+  spec.shard_begin = 2;
+  spec.shard_end = 5;
+  const auto result = Runner::run(spec);
+  ASSERT_EQ(result.records.size(), 8u);
+  EXPECT_EQ(result.campaign.points, 3u);
+  EXPECT_EQ(result.campaign.ok, 3u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const bool in_window = i >= 2 && i < 5;
+    EXPECT_EQ(!result.records[i].metrics.empty(), in_window) << "point " << i;
+  }
+}
+
+TEST(RunnerShard, InvertedWindowIsAConfigError) {
+  auto spec = make_spec(uniform(4, 0.0));
+  spec.shard_begin = 3;
+  spec.shard_end = 1;
+  EXPECT_THROW(Runner::run(spec), ConfigError);
+}
+
+TEST(RunnerShard, ResumeToleratesOutOfWindowEntries) {
+  // A replacement worker can inherit a journal whose range was since
+  // re-partitioned: entries outside its window are spliced, not errors,
+  // and only in-window entries count as resumed.
+  auto spec = make_spec(uniform(6, 0.0));
+  const std::string journal = fresh_base("window.jsonl");
+  spec.journal_path = journal;
+  (void)Runner::run(spec);  // full-grid journal: 6 entries
+
+  auto windowed = spec;
+  windowed.resume = true;
+  windowed.shard_begin = 4;
+  windowed.shard_end = 6;
+  const auto result = Runner::run(windowed);
+  EXPECT_EQ(result.campaign.resumed, 2u);  // only the in-window entries
+  EXPECT_EQ(result.campaign.points, 2u);
+  std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed execution (in-process fork workers)
+
+TEST(Distributed, MatchesSerialRunByteForByte) {
+  const auto spec = make_spec(uniform(12, 1.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("happy");
+  const auto dist = run_distributed(spec, fast_opts(base, 3));
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_EQ(dist.campaign.worker_restarts, 0u);
+  EXPECT_TRUE(dist.campaign.worker_failures.empty());
+}
+
+TEST(Distributed, MissingJournalBaseIsAConfigError) {
+  const auto spec = make_spec(uniform(4, 0.0));
+  SupervisorOptions opts;
+  opts.workers = 2;  // journal_base left empty
+  EXPECT_THROW(run_distributed(spec, opts), ConfigError);
+}
+
+TEST(Distributed, AlreadyCancelledLeaderThrowsCancelled) {
+  const auto spec = make_spec(uniform(4, 0.0));
+  CancelToken cancel;
+  cancel.cancel();
+  auto opts = fast_opts(fresh_base("precancel"), 2);
+  opts.cancel = &cancel;
+  EXPECT_THROW(run_distributed(spec, opts), CancelledError);
+}
+
+TEST(Distributed, CrashedWorkerIsRestartedAndOutputIsIdentical) {
+  const auto spec = make_spec(uniform(12, 1.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("crash");
+  // First launch of shard 1 dies mid-shard with a hard _exit (no unwind,
+  // no journal flush beyond completed points) — the SIGKILL shape.
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    if (cfg.shard == 1 && cfg.generation == 0) {
+      cfg.crash_on_index = static_cast<std::int64_t>(cfg.range.begin + 1);
+    }
+  };
+  auto opts = fast_opts(base, 3);
+  // No stealing: if the other seats go idle before the crash is reaped
+  // they would reclaim the dying shard as a steal, and this test is about
+  // the restart path specifically (stealing has its own test).
+  opts.steal = false;
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_GE(dist.campaign.worker_restarts, 1u);
+  bool crash_incident = false;
+  for (const auto& incident : dist.campaign.worker_failures) {
+    crash_incident |= incident.kind == FailureKind::kInternalError;
+  }
+  EXPECT_TRUE(crash_incident);
+}
+
+TEST(Distributed, WedgedWorkerIsKilledByLivenessAndOutputIsIdentical) {
+  const auto spec = make_spec(uniform(8, 1.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("wedge");
+  auto opts = fast_opts(base, 2);
+  opts.heartbeat_ms = 10.0;
+  opts.liveness_factor = 8.0;  // 80 ms of silence = wedged
+  opts.term_grace_ms = 200.0;
+  // No stealing: the idle seat would otherwise SIGTERM the wedged worker
+  // for its range before the liveness timeout gets to prove itself.
+  opts.steal = false;
+  // First launch of shard 0 goes silent (heartbeats stopped, thread hung)
+  // at its second point — only the liveness timeout can catch this.
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    if (cfg.shard == 0 && cfg.generation == 0) {
+      cfg.stall_on_index = static_cast<std::int64_t>(cfg.range.begin + 1);
+    }
+  };
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_GE(dist.campaign.worker_restarts, 1u);
+  bool wedge_incident = false;
+  for (const auto& incident : dist.campaign.worker_failures) {
+    wedge_incident |= incident.kind == FailureKind::kTimeout;
+  }
+  EXPECT_TRUE(wedge_incident) << "liveness timeout should be in the taxonomy";
+}
+
+TEST(Distributed, CrashLoopingPointIsQuarantinedNotFatal) {
+  const auto spec = make_spec(uniform(9, 0.0));
+  const std::string base = fresh_base("quarantine");
+  auto opts = fast_opts(base, 3);
+  opts.crash_quarantine_after = 2;
+  // Point 4 kills its worker on every launch, forever.
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    if (cfg.range.contains(4)) cfg.crash_on_index = 4;
+  };
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  ASSERT_EQ(dist.records.size(), 9u);
+  EXPECT_EQ(dist.records[4].status, PointStatus::kQuarantined);
+  ASSERT_TRUE(dist.records[4].failure.has_value());
+  EXPECT_EQ(dist.records[4].failure->kind, FailureKind::kWorkerCrash);
+  EXPECT_EQ(dist.campaign.quarantined, 1u);
+  EXPECT_EQ(dist.campaign.ok, 8u);  // the sweep itself survived
+  bool quarantine_incident = false;
+  for (const auto& incident : dist.campaign.worker_failures) {
+    quarantine_incident |= incident.kind == FailureKind::kWorkerCrash;
+  }
+  EXPECT_TRUE(quarantine_incident);
+}
+
+TEST(Distributed, IdleWorkersStealFromStragglersAndOutputIsIdentical) {
+  // Shard 0's points are instant, shard 1's are slow: the first seat goes
+  // idle early and must reclaim part of the straggler's range.
+  std::vector<double> tp = uniform(6, 0.0);
+  const auto slow = uniform(6, 40.0);
+  tp.insert(tp.end(), slow.begin(), slow.end());
+  const auto spec = make_spec(std::move(tp));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("steal");
+  auto opts = fast_opts(base, 2);
+  opts.term_grace_ms = 2000.0;
+  const auto dist = run_distributed(spec, opts);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_GE(dist.campaign.worker_steals, 1u);
+}
+
+TEST(Distributed, WorkerEntryPointCompletesAShardInProcess) {
+  const auto spec = make_spec(uniform(5, 0.0));
+  const std::string journal = fresh_base("worker.jsonl");
+  WorkerConfig cfg;
+  cfg.range = {1, 4};
+  cfg.journal_path = journal;
+  cfg.heartbeat_fd = -1;  // no pipe: single-process smoke of the entry
+  EXPECT_EQ(run_worker(spec, cfg), kWorkerExitOk);
+  const auto lines = read_journal_lines(journal);
+  EXPECT_EQ(lines.size(), 3u);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace psync::dist

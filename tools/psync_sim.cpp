@@ -56,7 +56,7 @@
 // Usage:
 //   psync_sim [--strict] [--threads N] [--json | --csv] [--profile]
 //             [--journal PATH | --resume PATH] [--timeout-ms X]
-//             [--retries N] <config.ini>
+//             [--retries N] [--workers N] [--heartbeat-ms X] <config.ini>
 //   psync_sim --demo          # print a sample config and exit
 //   psync_sim --list          # list registered workload kinds
 //
@@ -67,21 +67,43 @@
 // quarantined points are reported in the campaign summary (stderr) and in
 // the JSON/CSV status columns.
 //
+// Distributed sweeps: --workers N shards the grid across N worker
+// *processes* supervised by this one (src/psync/dist): per-shard fsync'd
+// journals, heartbeat liveness (--heartbeat-ms, default 100), automatic
+// restart-with-backoff of crashed or wedged workers, work stealing from
+// stragglers, and a final merge that renders byte-identical output to a
+// single-process run — see docs/robustness.md. Workers are launched as
+// `psync_sim --worker-shard A:B ...` re-invocations of this binary; the
+// worker flags are internal plumbing, not a user interface. --journal
+// doubles as the shard-journal base path (default: under /tmp).
+//
+// Graceful shutdown: SIGTERM or SIGINT cancels the sweep cooperatively —
+// no new point starts, in-flight points abandon at their next cycle-batch
+// boundary, every journal tail stays durable (resumable) — and the tool
+// exits with code 4.
+//
 // Exit codes: 0 success; 1 config/journal error or every point failed;
 // 2 usage or strict-mode config problems; 3 --strict with any failed or
-// quarantined point.
+// quarantined point; 4 cancelled by SIGTERM/SIGINT (journal resumable).
 //
 // --profile prints a host wall-clock breakdown (config parse / sweep run /
 // render, plus per-sweep-point cost) to stderr; simulation results are
 // unaffected.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "psync/common/config.hpp"
 #include "psync/common/table.hpp"
 #include "psync/core/trace.hpp"
+#include "psync/dist/supervisor.hpp"
+#include "psync/dist/worker.hpp"
 #include "psync/driver/runner.hpp"
 #include "psync/perf/stopwatch.hpp"
 
@@ -225,9 +247,60 @@ int usage() {
                "[--profile]\n"
                "                 [--journal PATH | --resume PATH] "
                "[--timeout-ms X] [--retries N]\n"
-               "                 <config.ini>\n"
+               "                 [--workers N] [--heartbeat-ms X] "
+               "<config.ini>\n"
                "       psync_sim --demo | --list\n");
   return 2;
+}
+
+// Process-wide shutdown token: SIGTERM/SIGINT request a graceful wind-down
+// (journal tails stay durable, exit code 4) instead of killing the sweep
+// mid-write. The handler is a relaxed atomic store — async-signal-safe.
+psync::CancelToken g_cancel;
+
+void sim_signal_handler(int /*signo*/) { g_cancel.cancel(); }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = sim_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: wake blocking syscalls too
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+/// "A:B" -> [A, B). Returns false on anything malformed.
+bool parse_shard_range(const std::string& arg, dist::ShardRange* out) {
+  const std::size_t colon = arg.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long a = std::strtoull(arg.c_str(), &end, 10);
+  if (end != arg.c_str() + colon) return false;
+  const char* bp = arg.c_str() + colon + 1;
+  const unsigned long long b = std::strtoull(bp, &end, 10);
+  if (*end != '\0') return false;
+  out->begin = static_cast<std::size_t>(a);
+  out->end = static_cast<std::size_t>(b);
+  return true;
+}
+
+/// "3,7,12" -> {3, 7, 12}. Empty string -> empty list.
+bool parse_index_list(const std::string& arg, std::vector<std::size_t>* out) {
+  std::size_t at = 0;
+  while (at < arg.size()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(arg.c_str() + at, &end, 10);
+    if (end == arg.c_str() + at) return false;
+    out->push_back(static_cast<std::size_t>(v));
+    at = static_cast<std::size_t>(end - arg.c_str());
+    if (at < arg.size()) {
+      if (arg[at] != ',') return false;
+      ++at;
+    }
+  }
+  return true;
 }
 
 /// --profile: wall-clock breakdown of the tool's own phases plus the
@@ -278,6 +351,11 @@ int main(int argc, char** argv) {
   double timeout_ms = -1.0;
   long retries_override = -1;
   std::string config_path;
+  long workers = 0;            // > 0: distributed leader mode
+  double heartbeat_ms = 100.0;
+  // Internal worker-mode plumbing (leader-launched re-invocations).
+  bool worker_mode = false;
+  dist::WorkerConfig worker_cfg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -315,6 +393,40 @@ int main(int argc, char** argv) {
     } else if (arg == "--retries") {
       if (i + 1 >= argc) return usage();
       retries_override = std::atol(argv[++i]);
+    } else if (arg == "--workers") {
+      if (i + 1 >= argc) return usage();
+      workers = std::atol(argv[++i]);
+      if (workers <= 0) return usage();
+    } else if (arg == "--heartbeat-ms") {
+      if (i + 1 >= argc) return usage();
+      heartbeat_ms = std::atof(argv[++i]);
+    } else if (arg == "--worker-shard") {
+      if (i + 1 >= argc) return usage();
+      worker_mode = true;
+      if (!parse_shard_range(argv[++i], &worker_cfg.range)) return usage();
+    } else if (arg == "--worker-id") {
+      if (i + 1 >= argc) return usage();
+      worker_cfg.shard = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--worker-generation") {
+      if (i + 1 >= argc) return usage();
+      worker_cfg.generation = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--worker-journal") {
+      if (i + 1 >= argc) return usage();
+      worker_cfg.journal_path = argv[++i];
+    } else if (arg == "--heartbeat-fd") {
+      if (i + 1 >= argc) return usage();
+      worker_cfg.heartbeat_fd = static_cast<int>(std::atol(argv[++i]));
+    } else if (arg == "--quarantine") {
+      if (i + 1 >= argc) return usage();
+      if (!parse_index_list(argv[++i], &worker_cfg.quarantine)) {
+        return usage();
+      }
+    } else if (arg == "--crash-on-index") {  // fault injection (tests/smoke)
+      if (i + 1 >= argc) return usage();
+      worker_cfg.crash_on_index = std::atol(argv[++i]);
+    } else if (arg == "--stall-on-index") {
+      if (i + 1 >= argc) return usage();
+      worker_cfg.stall_on_index = std::atol(argv[++i]);
     } else if (!arg.empty() && arg.front() == '-') {
       return usage();
     } else if (config_path.empty()) {
@@ -324,6 +436,31 @@ int main(int argc, char** argv) {
     }
   }
   if (config_path.empty()) return usage();
+
+  // Worker mode: a shard worker launched by a leader's --workers run. The
+  // spec is rebuilt from the same config + overrides the leader saw; shard
+  // window, journal and heartbeat plumbing come from the worker flags.
+  // run_worker installs its own signal handling and never throws.
+  if (worker_mode) {
+    try {
+      const IniConfig cfg = IniConfig::load(config_path);
+      auto spec = driver::spec_from_config(cfg);
+      if (threads_override > 0) {
+        spec.threads = static_cast<std::size_t>(threads_override);
+      }
+      if (timeout_ms >= 0.0) spec.guard.point_timeout_ms = timeout_ms;
+      if (retries_override >= 0) {
+        spec.guard.max_retries = static_cast<std::size_t>(retries_override);
+      }
+      worker_cfg.heartbeat_ms = heartbeat_ms;
+      return dist::run_worker(spec, worker_cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psync_sim (worker): %s\n", e.what());
+      return 1;
+    }
+  }
+
+  install_signal_handlers();
 
   try {
     perf::PhaseProfiler prof;
@@ -358,7 +495,70 @@ int main(int argc, char** argv) {
     prof.end();
 
     prof.begin("run sweep");
-    const auto result = driver::Runner::run(spec);
+    driver::SweepResult result;
+    if (workers > 0) {
+      // Distributed leader: shard the grid across worker processes that
+      // re-invoke this binary in --worker-shard mode. The merged result
+      // renders through exactly the same paths as a serial run.
+      dist::SupervisorOptions opts;
+      opts.workers = static_cast<std::size_t>(workers);
+      opts.heartbeat_ms = heartbeat_ms;
+      opts.journal_base = !spec.journal_path.empty()
+                              ? spec.journal_path
+                              : "/tmp/psync-dist-" + std::to_string(::getpid());
+      opts.cancel = &g_cancel;
+      const dist::WorkerBody body = [&](const driver::ExperimentSpec&,
+                                        const dist::WorkerConfig& wc) -> int {
+        std::vector<std::string> args = {
+            "psync_sim",
+            "--worker-shard",
+            std::to_string(wc.range.begin) + ":" + std::to_string(wc.range.end),
+            "--worker-id", std::to_string(wc.shard),
+            "--worker-generation", std::to_string(wc.generation),
+            "--worker-journal", wc.journal_path,
+            "--heartbeat-fd", std::to_string(wc.heartbeat_fd),
+            "--heartbeat-ms", std::to_string(wc.heartbeat_ms),
+            "--threads", "1"};
+        if (!wc.quarantine.empty()) {
+          std::string list;
+          for (const std::size_t idx : wc.quarantine) {
+            if (!list.empty()) list += ',';
+            list += std::to_string(idx);
+          }
+          args.push_back("--quarantine");
+          args.push_back(list);
+        }
+        if (wc.crash_on_index >= 0) {
+          args.push_back("--crash-on-index");
+          args.push_back(std::to_string(wc.crash_on_index));
+        }
+        if (wc.stall_on_index >= 0) {
+          args.push_back("--stall-on-index");
+          args.push_back(std::to_string(wc.stall_on_index));
+        }
+        if (timeout_ms >= 0.0) {
+          args.push_back("--timeout-ms");
+          args.push_back(std::to_string(timeout_ms));
+        }
+        if (retries_override >= 0) {
+          args.push_back("--retries");
+          args.push_back(std::to_string(retries_override));
+        }
+        args.push_back(config_path);
+        std::vector<char*> argv_exec;
+        argv_exec.reserve(args.size() + 1);
+        for (auto& a : args) argv_exec.push_back(a.data());
+        argv_exec.push_back(nullptr);
+        ::execv("/proc/self/exe", argv_exec.data());
+        std::fprintf(stderr, "psync_sim: execv failed: %s\n",
+                     std::strerror(errno));
+        return 127;
+      };
+      result = dist::run_distributed(spec, opts, body);
+    } else {
+      spec.cancel = &g_cancel;
+      result = driver::Runner::run(spec);
+    }
     prof.end(result.records.size(), "points");
 
     prof.begin("render output");
@@ -395,9 +595,31 @@ int main(int argc, char** argv) {
                      rec.failure->message.c_str());
       }
     }
+    // Distributed supervision accounting (never serialized: the JSON/CSV
+    // stay byte-identical to a single-process run).
+    if (workers > 0 &&
+        (camp.worker_restarts > 0 || camp.worker_steals > 0 ||
+         !camp.worker_failures.empty())) {
+      std::fprintf(stderr,
+                   "psync_sim: dist: %llu worker restart(s), %llu range "
+                   "steal(s), %zu incident(s)\n",
+                   static_cast<unsigned long long>(camp.worker_restarts),
+                   static_cast<unsigned long long>(camp.worker_steals),
+                   camp.worker_failures.size());
+      for (const auto& incident : camp.worker_failures) {
+        std::fprintf(stderr, "psync_sim:   dist %s: %s\n",
+                     to_string(incident.kind), incident.message.c_str());
+      }
+    }
     if (camp.ok == 0 && camp.points > 0) return 1;  // nothing succeeded
     if (strict && !camp.all_ok()) return 3;
     return 0;
+  } catch (const CancelledError& e) {
+    std::fprintf(stderr,
+                 "psync_sim: cancelled: %s (resume with --resume against the "
+                 "same journal)\n",
+                 e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psync_sim: %s\n", e.what());
     return 1;
