@@ -25,6 +25,7 @@
 #include "psync/dist/shard.hpp"
 #include "psync/dist/supervisor.hpp"
 #include "psync/driver/runner.hpp"
+#include "psync/driver/session.hpp"
 #include "psync/fft/fft.hpp"
 #include "psync/fft/four_step.hpp"
 #include "psync/mesh/mesh.hpp"
@@ -205,7 +206,7 @@ std::uint64_t run_fig11_sweep(std::uint64_t iters) {
     psync::driver::ExperimentSpec spec;
     spec.workload = "fig11";
     spec.axes.push_back({"k", {1, 2, 4, 8, 16, 32, 64}});
-    const auto result = psync::driver::Runner::run(spec);
+    const auto result = psync::driver::Session().run(spec);
     points += result.records.size();
   }
   return points;
@@ -220,7 +221,7 @@ std::uint64_t run_fig13_sweep(std::uint64_t iters) {
       if (spec.axes.empty()) spec.axes.push_back({"cores", {}});
       spec.axes.front().values.push_back(c);
     }
-    const auto result = psync::driver::Runner::run(spec);
+    const auto result = psync::driver::Session().run(spec);
     points += result.records.size();
   }
   return points;
@@ -241,7 +242,7 @@ std::uint64_t run_fig13_fft2d(std::uint64_t iters, bool fast) {
     spec.machine.matrix_cols = 128;
     spec.machine.delivery_blocks = 4;
     spec.verify = true;
-    const auto result = psync::driver::Runner::run(spec);
+    const auto result = psync::driver::Session().run(spec);
     if (result.records.empty()) std::abort();
     elements += 128 * 128;
   }
@@ -264,7 +265,7 @@ std::uint64_t run_driver_sweep_fft2d(std::uint64_t iters, bool journal) {
     spec.machine.matrix_cols = 256;
     spec.axes.push_back({"blocks", {1, 2, 4, 8}});
     if (journal) spec.journal_path = kBenchJournalPath;
-    const auto result = psync::driver::Runner::run(spec);
+    const auto result = psync::driver::Session().run(spec);
     if (!result.campaign.all_ok()) std::abort();
     points += result.records.size();
     if (journal) std::remove(kBenchJournalPath);

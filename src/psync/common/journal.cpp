@@ -1,9 +1,11 @@
 #include "psync/common/journal.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -106,6 +108,25 @@ void JournalWriter::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+std::vector<std::string> list_journal_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return paths;
+  const std::string suffix = ".jsonl";
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    paths.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(paths.begin(), paths.end());
+  return paths;
 }
 
 std::vector<std::string> read_journal_lines(const std::string& path) {

@@ -51,4 +51,11 @@ class JournalWriter {
 [[nodiscard]] std::vector<std::string> read_journal_lines(
     const std::string& path);
 
+/// Every "*.jsonl" file directly inside `dir`, as full paths, sorted by
+/// name (deterministic scan order). A missing or unreadable directory
+/// reads as empty — the journal-store index for a cache directory that
+/// has not been written to yet.
+[[nodiscard]] std::vector<std::string> list_journal_files(
+    const std::string& dir);
+
 }  // namespace psync

@@ -12,6 +12,7 @@
 #include "psync/common/check.hpp"
 #include "psync/dist/heartbeat.hpp"
 #include "psync/driver/runner.hpp"
+#include "psync/driver/session.hpp"
 
 namespace psync::dist {
 
@@ -91,7 +92,13 @@ int run_worker(driver::ExperimentSpec spec, const WorkerConfig& cfg) {
     spec.cancel = &g_worker_cancel;
     spec.observer = &observer;
 
-    (void)driver::Runner::run(spec);
+    // Submit through the Session API and join: same executor as the
+    // serial path, but the validate/freeze phase runs before the shard
+    // journal is touched.
+    driver::Session session;
+    auto handle = session.submit(spec);
+    handle.wait();
+    (void)handle.result();  // rethrows on failure/cancel
     return kWorkerExitOk;
   } catch (const CancelledError&) {
     return kWorkerExitCancelled;

@@ -394,10 +394,12 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string journal_line(const RunRecord& rec, std::uint64_t seed) {
+std::string journal_line(const RunRecord& rec, std::uint64_t seed,
+                         std::uint64_t point_digest) {
   std::ostringstream os;
-  os << "{\"v\":1,\"index\":" << rec.index << ",\"seed\":" << seed
-     << ",\"workload\":\"" << json_escape(rec.workload) << "\",\"status\":\""
+  os << "{\"v\":1,\"index\":" << rec.index << ",\"seed\":" << seed;
+  if (point_digest != 0) os << ",\"pd\":" << point_digest;
+  os << ",\"workload\":\"" << json_escape(rec.workload) << "\",\"status\":\""
      << to_string(rec.status) << "\",\"retries\":" << rec.retries
      << ",\"wall_ms\":" << fmt_double(rec.wall_ns * 1e-6) << ",\"knobs\":[";
   for (std::size_t k = 0; k < rec.knobs.size(); ++k) {
@@ -455,6 +457,8 @@ bool parse_journal_line(const std::string& line, JournalEntry* out) {
       } else if (key == "seed") {
         if (!parse_u64(&c, &entry.seed)) return false;
         saw_seed = true;
+      } else if (key == "pd") {
+        if (!parse_u64(&c, &entry.point_digest)) return false;
       } else if (key == "workload") {
         if (!parse_string(&c, &entry.rec.workload)) return false;
         saw_workload = true;

@@ -91,6 +91,10 @@ struct CampaignReport {
   /// Deliberately NOT serialized: resumed output must stay byte-identical
   /// to an uninterrupted run.
   std::size_t resumed = 0;
+  /// Points served by a Session's PointCache instead of re-run. NOT
+  /// serialized, for the same reason as `resumed`: a cache-served
+  /// resubmission must render byte-identical to the original run.
+  std::size_t cache_hits = 0;
   std::uint64_t retries = 0;        // total retry attempts consumed
   std::vector<std::size_t> quarantine;  // quarantined grid indices
 
@@ -120,13 +124,22 @@ CampaignReport summarize_campaign(const std::vector<RunRecord>& records,
 /// One parsed checkpoint-journal record.
 struct JournalEntry {
   std::uint64_t seed = 0;  // the point's deterministic seed (resume check)
-  RunRecord rec;           // metrics + status + raw report fragments
+  /// Content digest of the point (point_digest(), experiment.hpp); 0 when
+  /// the line predates digests. Nonzero digests let the serve layer's
+  /// result cache index journal records by content, and let resume detect
+  /// a journal whose parameter blocks no longer match the spec even when
+  /// index/seed/workload still line up.
+  std::uint64_t point_digest = 0;
+  RunRecord rec;  // metrics + status + raw report fragments
 };
 
 /// Render one completed point as a single JSONL journal line (no trailing
 /// newline; JournalWriter::append adds it). Doubles as %.17g, machine
-/// reports embedded as raw core::run_report_json fragments.
-std::string journal_line(const RunRecord& rec, std::uint64_t seed);
+/// reports embedded as raw core::run_report_json fragments. A nonzero
+/// `point_digest` is recorded as a "pd" field; 0 omits it, so records
+/// written before digests existed re-render byte-identically.
+std::string journal_line(const RunRecord& rec, std::uint64_t seed,
+                         std::uint64_t point_digest = 0);
 
 /// Parse one journal line. Returns false (out untouched beyond partial
 /// writes) on any malformed, truncated, or unknown-format input — every

@@ -62,6 +62,17 @@ struct ExperimentSpec {
   /// reliability | fig11 | fig13 (see workload.hpp).
   std::string workload = "fft2d";
 
+  /// Canonical JSON over every result-determining field of the spec — the
+  /// workload, the full machine/mesh parameter blocks (all nested device,
+  /// fault and reliability parameters), verify/with_mesh/transpose_elements,
+  /// the input seed, the sweep axes, and the run-report schema version.
+  /// Execution-policy fields (threads, guard, journal/resume, shard window,
+  /// cancel/observer) are deliberately excluded: they change *how* a sweep
+  /// runs, never its rendered bytes — that invariant is what makes the
+  /// digest a sound result-cache key. Key order is fixed and doubles are
+  /// %.17g, so equal specs always produce equal bytes.
+  std::string canonical_json() const;
+
   core::PsyncMachineParams machine;
   core::MeshMachineParams mesh;
   /// Run the electronic-mesh comparison alongside the P-sync machine
@@ -136,11 +147,36 @@ struct RunPoint {
   std::uint32_t transpose_elements = 256;
   std::uint64_t seed = 0;
 
+  /// Content digest of this point: a stable 64-bit hash of the point's
+  /// canonical JSON (workload, applied knob values, the expanded parameter
+  /// blocks, seed, schema version). Two points with equal digests compute
+  /// the same record byte for byte, regardless of which grid, process or
+  /// host they came from — the result cache's per-point key. Filled in by
+  /// SweepEngine::expand.
+  std::uint64_t digest = 0;
+
   /// Cooperative watchdog token the PointGuard arms per attempt; workloads
   /// thread it into the machines they construct (set_cancel). nullptr when
   /// no deadline is armed.
   const CancelToken* cancel = nullptr;
 };
+
+/// Stable 64-bit FNV-1a digest of spec.canonical_json(): the result-cache
+/// key for a whole campaign. Identical across processes, hosts and runs.
+std::uint64_t spec_digest(const ExperimentSpec& spec);
+
+/// Canonical JSON for one expanded run point (same field rules as
+/// ExperimentSpec::canonical_json, but over the point's post-knob parameter
+/// blocks and its own derived seed).
+std::string point_canonical_json(const std::string& workload,
+                                 const RunPoint& pt);
+
+/// Stable 64-bit FNV-1a digest of point_canonical_json(): the result
+/// cache's per-point key (RunPoint::digest).
+std::uint64_t point_digest(const std::string& workload, const RunPoint& pt);
+
+/// FNV-1a over raw bytes — the one hash both digests reduce through.
+std::uint64_t fnv1a64(const std::string& bytes);
 
 /// Apply one sweep knob to the parameter blocks. Returns false for an
 /// unknown knob name. Knobs: processors, blocks, rows, cols,

@@ -1,14 +1,12 @@
 #include "psync/driver/runner.hpp"
 
-#include <algorithm>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 
 #include "psync/common/check.hpp"
-#include "psync/common/journal.hpp"
 #include "psync/common/table.hpp"
 #include "psync/core/trace.hpp"
+#include "psync/driver/session.hpp"
 #include "psync/perf/stopwatch.hpp"
 
 namespace psync::driver {
@@ -25,125 +23,11 @@ RunRecord Runner::run_point(const std::string& workload, const RunPoint& pt) {
 }
 
 SweepResult Runner::run(const ExperimentSpec& spec) {
-  SweepResult result;
-  result.spec = spec;
-  // Resolve the workload up front so an unknown kind fails before any
-  // threads spawn (and with a message naming the known kinds).
-  (void)find_workload(spec.workload);
-  const auto points = SweepEngine::expand(spec);
-  result.records.resize(points.size());
-
-  // Shard window: only [begin, end) of the grid is this run's to execute.
-  // Seeds/knobs are derived from global indices during expansion, so the
-  // window changes *which* points run, never what any point computes.
-  const std::size_t begin = std::min(spec.shard_begin, points.size());
-  const std::size_t end = std::min(spec.shard_end, points.size());
-  if (begin > end) {
-    throw ConfigError("shard window [" + std::to_string(spec.shard_begin) +
-                      ", " + std::to_string(spec.shard_end) + ") is inverted");
-  }
-
-  // Resume: reconstitute journaled points into their grid slots. Every
-  // entry must match this sweep (grid bounds, point seed, workload) or the
-  // journal belongs to a different campaign — fail loudly rather than mix
-  // results. Entries *outside* the shard window are still validated and
-  // spliced (a replacement worker may inherit a journal whose range was
-  // since re-partitioned), they just don't count toward this run's
-  // campaign. read_journal_lines already dropped a torn final line
-  // (kill -9 mid-append); a malformed line elsewhere means the file is not
-  // ours.
-  std::vector<char> done(points.size(), 0);
-  std::size_t resumed = 0;
-  if (spec.resume) {
-    if (spec.journal_path.empty()) {
-      throw SimulationError("resume requested without a journal path");
-    }
-    for (const auto& line : read_journal_lines(spec.journal_path)) {
-      JournalEntry entry;
-      if (!parse_journal_line(line, &entry)) {
-        throw JournalCorruptError("corrupt checkpoint journal line in '" +
-                                  spec.journal_path + "'");
-      }
-      const std::size_t idx = entry.rec.index;
-      if (idx >= points.size() || entry.seed != points[idx].seed ||
-          entry.rec.workload != spec.workload) {
-        throw JournalConflictError(
-            "checkpoint journal '" + spec.journal_path +
-            "' does not match this sweep (point " + std::to_string(idx) +
-            "); refusing to mix campaigns");
-      }
-      if (done[idx] == 0 && idx >= begin && idx < end) ++resumed;
-      result.records[idx] = std::move(entry.rec);
-      done[idx] = 1;
-    }
-  }
-
-  JournalWriter journal;
-  if (!spec.journal_path.empty()) {
-    journal.open(spec.journal_path, /*keep_existing=*/spec.resume);
-  }
-
-  // Leader-quarantined points: record the verdict without executing, and
-  // journal it so a resume or a shard merge sees the same story.
-  for (const std::size_t idx : spec.quarantine_indices) {
-    if (idx < begin || idx >= end || done[idx] != 0) continue;
-    RunRecord rec;
-    rec.index = idx;
-    rec.workload = spec.workload;
-    rec.knobs = points[idx].knobs;
-    rec.status = PointStatus::kQuarantined;
-    rec.failure = PointFailure{
-        FailureKind::kWorkerCrash,
-        "quarantined by the sweep leader after repeated worker crashes on "
-        "this point",
-        0};
-    if (journal.is_open()) journal.append(journal_line(rec, points[idx].seed));
-    result.records[idx] = std::move(rec);
-    done[idx] = 1;
-  }
-
-  std::vector<std::size_t> pending;
-  for (std::size_t i = begin; i < end; ++i) {
-    if (done[i] == 0) pending.push_back(i);
-  }
-
-  const PointGuard guard(spec.guard);
-  std::mutex mu;  // serializes journal appends and record stores
-  SweepEngine engine(spec.threads);
-  engine.map(pending, [&](const std::size_t i) {
-    // Shutdown check: once the process-wide token fires, unstarted points
-    // stay unstarted (and unrecorded) — completion is tracked via done[]
-    // so the run is reported cancelled, not silently short.
-    if (spec.cancel != nullptr && spec.cancel->cancelled()) return 0;
-    if (spec.observer != nullptr) spec.observer->on_point_start(i);
-    RunRecord rec = guard.run(
-        spec.workload, points[i],
-        [&](const RunPoint& pt) { return run_point(spec.workload, pt); },
-        spec.cancel);
-    std::lock_guard<std::mutex> lock(mu);
-    if (journal.is_open()) journal.append(journal_line(rec, points[i].seed));
-    const PointStatus status = rec.status;
-    result.records[i] = std::move(rec);
-    done[i] = 1;
-    if (spec.observer != nullptr) spec.observer->on_point_done(i, status);
-    return 0;
-  });
-
-  if (spec.cancel != nullptr && spec.cancel->cancelled()) {
-    std::size_t remaining = 0;
-    for (const std::size_t i : pending) {
-      if (done[i] == 0) ++remaining;
-    }
-    if (remaining > 0) {
-      throw CancelledError("sweep cancelled with " +
-                           std::to_string(remaining) +
-                           " point(s) unfinished; journal tail is durable");
-    }
-  }
-
-  result.campaign = summarize_campaign(result.records, begin, end);
-  result.campaign.resumed = resumed;
-  return result;
+  // The execution body lives in Session::execute (session.cpp) since the
+  // submission/execution split; this shim keeps the synchronous entry
+  // every pre-service call site was written against, exceptions included.
+  Session session;
+  return session.run(spec);
 }
 
 namespace {
@@ -224,6 +108,45 @@ std::string sweep_table(const SweepResult& result, const std::string& title) {
   return t.to_string();
 }
 
+std::string point_json(const RunRecord& rec) {
+  // Same precision as the batch document so the serve daemon can stream
+  // exactly the objects sweep_json would embed — byte for byte.
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"index\":" << rec.index << ",\"status\":\"" << to_string(rec.status)
+     << "\",\"knobs\":{";
+  for (std::size_t k = 0; k < rec.knobs.size(); ++k) {
+    if (k > 0) os << ',';
+    os << '"' << rec.knobs[k].first << "\":" << rec.knobs[k].second;
+  }
+  os << "},\"metrics\":{";
+  for (std::size_t m = 0; m < rec.metrics.size(); ++m) {
+    if (m > 0) os << ',';
+    os << '"' << rec.metrics[m].name << "\":" << rec.metrics[m].value;
+  }
+  os << '}';
+  if (rec.failure) {
+    os << ",\"failure\":{\"kind\":\"" << to_string(rec.failure->kind)
+       << "\",\"message\":\"" << json_escape(rec.failure->message)
+       << "\",\"attempts\":" << rec.failure->attempts << '}';
+  }
+  // Reports: live typed reports when the point ran in this process, raw
+  // journal fragments (stored verbatim) when it was resumed or served
+  // from the result cache — the bytes are identical either way.
+  if (rec.psync) {
+    os << ",\"report\":" << core::run_report_json(*rec.psync);
+  } else if (!rec.psync_json.empty()) {
+    os << ",\"report\":" << rec.psync_json;
+  }
+  if (rec.mesh) {
+    os << ",\"mesh_report\":" << core::run_report_json(*rec.mesh);
+  } else if (!rec.mesh_json.empty()) {
+    os << ",\"mesh_report\":" << rec.mesh_json;
+  }
+  os << '}';
+  return os.str();
+}
+
 std::string sweep_json(const SweepResult& result) {
   std::ostringstream os;
   os.precision(12);
@@ -235,39 +158,8 @@ std::string sweep_json(const SweepResult& result) {
      << ",\"quarantined\":" << result.campaign.quarantined
      << ",\"retried\":" << result.campaign.retries << "},\"points\":[";
   for (std::size_t i = 0; i < result.records.size(); ++i) {
-    const auto& rec = result.records[i];
     if (i > 0) os << ',';
-    os << "{\"index\":" << rec.index << ",\"status\":\""
-       << to_string(rec.status) << "\",\"knobs\":{";
-    for (std::size_t k = 0; k < rec.knobs.size(); ++k) {
-      if (k > 0) os << ',';
-      os << '"' << rec.knobs[k].first << "\":" << rec.knobs[k].second;
-    }
-    os << "},\"metrics\":{";
-    for (std::size_t m = 0; m < rec.metrics.size(); ++m) {
-      if (m > 0) os << ',';
-      os << '"' << rec.metrics[m].name << "\":" << rec.metrics[m].value;
-    }
-    os << '}';
-    if (rec.failure) {
-      os << ",\"failure\":{\"kind\":\"" << to_string(rec.failure->kind)
-         << "\",\"message\":\"" << json_escape(rec.failure->message)
-         << "\",\"attempts\":" << rec.failure->attempts << '}';
-    }
-    // Reports: live typed reports when the point ran in this process, raw
-    // journal fragments (stored verbatim) when it was resumed — the bytes
-    // are identical either way.
-    if (rec.psync) {
-      os << ",\"report\":" << core::run_report_json(*rec.psync);
-    } else if (!rec.psync_json.empty()) {
-      os << ",\"report\":" << rec.psync_json;
-    }
-    if (rec.mesh) {
-      os << ",\"mesh_report\":" << core::run_report_json(*rec.mesh);
-    } else if (!rec.mesh_json.empty()) {
-      os << ",\"mesh_report\":" << rec.mesh_json;
-    }
-    os << '}';
+    os << point_json(result.records[i]);
   }
   os << "]}";
   return os.str();

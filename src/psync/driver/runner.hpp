@@ -66,6 +66,11 @@ std::string sweep_table(const SweepResult& result, const std::string& title);
 /// report?, mesh_report?}, ...]} — reports via core::run_summary_json.
 std::string sweep_json(const SweepResult& result);
 
+/// One record of sweep_json's "points" array as a standalone JSON object,
+/// byte-identical to its embedded form. The serve daemon streams these to
+/// subscribers as points complete.
+std::string point_json(const RunRecord& rec);
+
 /// CSV: knob columns + metric columns, one row per point.
 std::string sweep_csv(const SweepResult& result);
 

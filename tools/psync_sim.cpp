@@ -105,6 +105,7 @@
 #include "psync/dist/supervisor.hpp"
 #include "psync/dist/worker.hpp"
 #include "psync/driver/runner.hpp"
+#include "psync/driver/session.hpp"
 #include "psync/perf/stopwatch.hpp"
 
 namespace {
@@ -348,6 +349,8 @@ int main(int argc, char** argv) {
   long threads_override = -1;
   std::string journal_path;
   bool resume = false;
+  bool saw_journal = false;
+  bool saw_resume = false;
   double timeout_ms = -1.0;
   long retries_override = -1;
   std::string config_path;
@@ -383,10 +386,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--journal") {
       if (i + 1 >= argc) return usage();
       journal_path = argv[++i];
+      saw_journal = true;
     } else if (arg == "--resume") {
       if (i + 1 >= argc) return usage();
       journal_path = argv[++i];
       resume = true;
+      saw_resume = true;
     } else if (arg == "--timeout-ms") {
       if (i + 1 >= argc) return usage();
       timeout_ms = std::atof(argv[++i]);
@@ -436,6 +441,15 @@ int main(int argc, char** argv) {
     }
   }
   if (config_path.empty()) return usage();
+  // --journal and --resume are documented as alternatives: --resume PATH
+  // already appends newly finished points to PATH. Passing both used to
+  // silently keep whichever came last; make the conflict loud instead.
+  if (saw_journal && saw_resume) {
+    std::fprintf(stderr,
+                 "psync_sim: --journal and --resume are mutually exclusive "
+                 "(--resume PATH already appends new points to PATH)\n");
+    return usage();
+  }
 
   // Worker mode: a shard worker launched by a leader's --workers run. The
   // spec is rebuilt from the same config + overrides the leader saw; shard
@@ -557,7 +571,20 @@ int main(int argc, char** argv) {
       result = dist::run_distributed(spec, opts, body);
     } else {
       spec.cancel = &g_cancel;
-      result = driver::Runner::run(spec);
+      // Session API: validate (pure, typed diagnostics — all of them, not
+      // just the first throw), then submit the frozen spec and join. Same
+      // bytes as the old Runner::run path.
+      const auto errors = driver::Session::validate(spec);
+      if (!errors.empty()) {
+        for (const auto& err : errors) {
+          std::fprintf(stderr, "psync_sim: error: %s\n", err.what());
+        }
+        return 1;
+      }
+      driver::Session session;
+      auto handle = session.submit(spec);
+      handle.wait();
+      result = handle.take();
     }
     prof.end(result.records.size(), "points");
 
