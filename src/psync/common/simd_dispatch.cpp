@@ -1,0 +1,48 @@
+#include "psync/common/simd_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace psync::simd {
+namespace {
+
+bool read_force_scalar() {
+  const char* v = std::getenv("PSYNC_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
+
+bool force_scalar() {
+  static const bool v = read_force_scalar();
+  return v;
+}
+
+bool have_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool v = __builtin_cpu_supports("avx2") != 0;
+  return v && !force_scalar();
+#else
+  return false;
+#endif
+}
+
+bool have_pclmul() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool v = __builtin_cpu_supports("pclmul") != 0 &&
+                        __builtin_cpu_supports("sse4.1") != 0;
+  return v && !force_scalar();
+#else
+  return false;
+#endif
+}
+
+bool have_neon() {
+#if defined(__aarch64__) && defined(__ARM_NEON)
+  return !force_scalar();
+#else
+  return false;
+#endif
+}
+
+}  // namespace psync::simd

@@ -1,0 +1,25 @@
+// Runtime ISA detection for the optional vector kernels (FFT butterflies,
+// CRC32 folding, SECDED syndromes). Queries are cached after the first call
+// and honor the PSYNC_FORCE_SCALAR environment variable, so tests and CI can
+// pin the scalar fallbacks without rebuilding. Kernel translation units are
+// compiled with per-source ISA flags (see the fft/ and reliability/
+// CMakeLists); everything here is plain portable C++.
+#pragma once
+
+namespace psync::simd {
+
+/// True when PSYNC_FORCE_SCALAR is set to a non-empty value other than "0"
+/// in the environment. Read once, then cached for the process lifetime.
+bool force_scalar();
+
+/// CPU executes AVX2 and the process is not pinned to scalar paths.
+bool have_avx2();
+
+/// CPU executes PCLMULQDQ + SSE4.1 (carry-less multiply CRC folding) and the
+/// process is not pinned to scalar paths.
+bool have_pclmul();
+
+/// Compiled for a target with NEON (AArch64) and not pinned to scalar.
+bool have_neon();
+
+}  // namespace psync::simd

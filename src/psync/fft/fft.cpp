@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "psync/common/check.hpp"
+#include "psync/fft/fft_kernels.hpp"
 
 namespace psync::fft {
 namespace {
@@ -20,6 +21,10 @@ std::size_t ilog2(std::size_t n) {
 
 std::atomic<bool> g_fast_kernel{true};
 
+// -1 = auto (use the vector bodies whenever the CPU supports them),
+// 0 = forced scalar, 1 = forced on (still gated on availability).
+std::atomic<int> g_vector_kernel{-1};
+
 }  // namespace
 
 void set_fast_kernel(bool on) {
@@ -27,6 +32,16 @@ void set_fast_kernel(bool on) {
 }
 
 bool fast_kernel() { return g_fast_kernel.load(std::memory_order_relaxed); }
+
+void set_vector_kernel(bool on) {
+  g_vector_kernel.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool vector_kernel() {
+  if (!detail::vector_kernel_available()) return false;
+  const int v = g_vector_kernel.load(std::memory_order_relaxed);
+  return v != 0;
+}
 
 std::uint64_t block_phase_mults(std::size_t n, std::size_t k) {
   PSYNC_CHECK(is_pow2(n) && is_pow2(k) && k <= n);
@@ -171,6 +186,9 @@ OpCount FftPlan::run_stages_fast(std::span<Complex> data,
   };
 
   double* const d = reinterpret_cast<double*>(data.data());
+  // The vector bodies need >= 2 complexes per butterfly half (half >= 2);
+  // stages below that stay on the scalar loops.
+  const bool vec = vector_kernel();
   std::size_t s = first_stage;
   while (s < last_stage) {
     const std::size_t half = std::size_t{1} << s;
@@ -185,6 +203,13 @@ OpCount FftPlan::run_stages_fast(std::span<Complex> data,
       const double* const w2r = stage_tw_re_.data() + stage_off_[s + 1];
       const double* const w2i = stage_tw_im_.data() + stage_off_[s + 1];
       const std::size_t end = block_offset + block_size;
+      if (vec && half >= 2) {
+        detail::fused_pair_vec(d, w1r, w1i, w2r, w2i, half, block_offset, end);
+        count_stage();
+        count_stage();
+        s += 2;
+        continue;
+      }
       for (std::size_t start = block_offset; start < end; start += quad) {
         double* const p0 = d + 2 * start;
         double* const p1 = p0 + 2 * half;
@@ -241,6 +266,12 @@ OpCount FftPlan::run_stages_fast(std::span<Complex> data,
     PSYNC_CHECK_MSG(m <= block_size,
                     "butterfly span exceeds the block being computed");
     const std::size_t end = block_offset + block_size;
+    if (vec && half >= 2) {
+      detail::single_stage_vec(d, w1r, w1i, half, block_offset, end);
+      count_stage();
+      ++s;
+      continue;
+    }
     for (std::size_t start = block_offset; start < end; start += m) {
       double* const lo = d + 2 * start;
       double* const hi = lo + 2 * half;

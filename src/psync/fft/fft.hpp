@@ -51,6 +51,17 @@ std::uint64_t full_fft_mults(std::size_t n);
 void set_fast_kernel(bool on);
 bool fast_kernel();
 
+/// Select the vectorized (AVX2 on x86, NEON on AArch64) butterfly bodies
+/// inside the fast kernel. Default: on whenever the CPU supports them; the
+/// PSYNC_FORCE_SCALAR environment variable pins the scalar loops regardless.
+/// The vector bodies perform the same real multiplies and adds per element
+/// as the scalar fast kernel (no FMA contraction), so results stay
+/// bit-identical across all three paths. vector_kernel() reports the
+/// *effective* state: false when the hardware or build cannot run the
+/// vector path, whatever was requested.
+void set_vector_kernel(bool on);
+bool vector_kernel();
+
 /// Precomputed plan for N-point transforms (N a power of two, N >= 1).
 class FftPlan {
  public:

@@ -1,0 +1,111 @@
+// AVX2 bodies for the fast FFT stage kernel. Two complexes ride in each
+// 256-bit vector as [re0 im0 re1 im1]. A complex multiply w*b is computed as
+//   addsub(wr * b, wi * swap(b))
+// which performs, per element, the same two multiplies and one add/subtract
+// as the scalar kernel — vmulpd/vaddsubpd round exactly like their scalar
+// counterparts and no FMA contraction is used, so results are bit-identical.
+// This TU alone is compiled with -mavx2 (see CMakeLists); when the compiler
+// lacks the flag it degrades to stubs that report the path unavailable.
+#include "psync/fft/fft_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "psync/common/simd_dispatch.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace psync::fft::detail {
+namespace {
+
+// [a, b] from memory -> [a, a, b, b]: one twiddle per complex lane pair.
+inline __m256d dup_pairs(const double* p) {
+  return _mm256_permute4x64_pd(_mm256_castpd128_pd256(_mm_loadu_pd(p)), 0x50);
+}
+
+// [re0 im0 re1 im1] -> [im0 re0 im1 re1].
+inline __m256d swap_halves(__m256d v) { return _mm256_permute_pd(v, 0x5); }
+
+// (wr + i*wi) * b for two interleaved complexes.
+inline __m256d cmul(__m256d wr, __m256d wi, __m256d b) {
+  return _mm256_addsub_pd(_mm256_mul_pd(wr, b),
+                          _mm256_mul_pd(wi, swap_halves(b)));
+}
+
+}  // namespace
+
+bool fft_avx2_available() { return simd::have_avx2(); }
+
+void fused_pair_avx2(double* d, const double* w1r, const double* w1i,
+                     const double* w2r, const double* w2i, std::size_t half,
+                     std::size_t begin, std::size_t end) {
+  const std::size_t quad = half << 2;
+  for (std::size_t start = begin; start < end; start += quad) {
+    double* const p0 = d + 2 * start;
+    double* const p1 = p0 + 2 * half;
+    double* const p2 = p1 + 2 * half;
+    double* const p3 = p2 + 2 * half;
+    for (std::size_t j = 0; j < half; j += 2) {
+      const __m256d wr = dup_pairs(w1r + j);
+      const __m256d wi = dup_pairs(w1i + j);
+      // Stage s: butterfly (p0, p1) and (p2, p3), same twiddle.
+      const __m256d t0 = cmul(wr, wi, _mm256_loadu_pd(p1 + 2 * j));
+      const __m256d a0 = _mm256_loadu_pd(p0 + 2 * j);
+      const __m256d u0 = _mm256_add_pd(a0, t0);
+      const __m256d u1 = _mm256_sub_pd(a0, t0);
+      const __m256d t1 = cmul(wr, wi, _mm256_loadu_pd(p3 + 2 * j));
+      const __m256d a2 = _mm256_loadu_pd(p2 + 2 * j);
+      const __m256d u2 = _mm256_add_pd(a2, t1);
+      const __m256d u3 = _mm256_sub_pd(a2, t1);
+      // Stage s+1: butterfly (u0, u2) with w2[j], (u1, u3) with w2[j+half].
+      const __m256d v0r = dup_pairs(w2r + j);
+      const __m256d v0i = dup_pairs(w2i + j);
+      const __m256d t2 = cmul(v0r, v0i, u2);
+      _mm256_storeu_pd(p0 + 2 * j, _mm256_add_pd(u0, t2));
+      _mm256_storeu_pd(p2 + 2 * j, _mm256_sub_pd(u0, t2));
+      const __m256d v1r = dup_pairs(w2r + half + j);
+      const __m256d v1i = dup_pairs(w2i + half + j);
+      const __m256d t3 = cmul(v1r, v1i, u3);
+      _mm256_storeu_pd(p1 + 2 * j, _mm256_add_pd(u1, t3));
+      _mm256_storeu_pd(p3 + 2 * j, _mm256_sub_pd(u1, t3));
+    }
+  }
+}
+
+void single_stage_avx2(double* d, const double* w1r, const double* w1i,
+                       std::size_t half, std::size_t begin, std::size_t end) {
+  const std::size_t m = half << 1;
+  for (std::size_t start = begin; start < end; start += m) {
+    double* const lo = d + 2 * start;
+    double* const hi = lo + 2 * half;
+    for (std::size_t j = 0; j < half; j += 2) {
+      const __m256d wr = dup_pairs(w1r + j);
+      const __m256d wi = dup_pairs(w1i + j);
+      const __m256d t = cmul(wr, wi, _mm256_loadu_pd(hi + 2 * j));
+      const __m256d a = _mm256_loadu_pd(lo + 2 * j);
+      _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(a, t));
+      _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(a, t));
+    }
+  }
+}
+
+}  // namespace psync::fft::detail
+
+#else  // x86 but the compiler could not target AVX2: keep the path off.
+
+namespace psync::fft::detail {
+
+bool fft_avx2_available() { return false; }
+
+void fused_pair_avx2(double*, const double*, const double*, const double*,
+                     const double*, std::size_t, std::size_t, std::size_t) {}
+
+void single_stage_avx2(double*, const double*, const double*, std::size_t,
+                       std::size_t, std::size_t) {}
+
+}  // namespace psync::fft::detail
+
+#endif  // __AVX2__
+
+#endif  // x86

@@ -1,0 +1,81 @@
+// NEON (AArch64) bodies for the fast FFT stage kernel. One complex per
+// 128-bit vector: [re im]. The complex multiply w*b is
+//   (wr * b) + sign_flip_lane0(wi * swap(b))
+// where a - b is realized as a + (-b) via an IEEE-exact sign flip, so each
+// element sees the same two multiplies and one add/subtract as the scalar
+// kernel and results stay bit-identical (no FMA contraction is used). NEON
+// is baseline on AArch64, so this TU needs no special compile flags.
+#include "psync/fft/fft_kernels.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include "psync/common/simd_dispatch.hpp"
+
+namespace psync::fft::detail {
+namespace {
+
+// (wr + i*wi) * [br bi] = [wr*br - wi*bi, wr*bi + wi*br].
+inline float64x2_t cmul(double wr, double wi, float64x2_t b) {
+  const float64x2_t m1 = vmulq_n_f64(b, wr);
+  const float64x2_t m2 = vmulq_n_f64(vextq_f64(b, b, 1), wi);
+  // Negate lane 0 of m2, then add: lane0 = m1 - m2, lane1 = m1 + m2.
+  const uint64x2_t sign = {0x8000000000000000ull, 0};
+  const float64x2_t m2s =
+      vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(m2), sign));
+  return vaddq_f64(m1, m2s);
+}
+
+}  // namespace
+
+bool fft_neon_available() { return simd::have_neon(); }
+
+void fused_pair_neon(double* d, const double* w1r, const double* w1i,
+                     const double* w2r, const double* w2i, std::size_t half,
+                     std::size_t begin, std::size_t end) {
+  const std::size_t quad = half << 2;
+  for (std::size_t start = begin; start < end; start += quad) {
+    double* const p0 = d + 2 * start;
+    double* const p1 = p0 + 2 * half;
+    double* const p2 = p1 + 2 * half;
+    double* const p3 = p2 + 2 * half;
+    for (std::size_t j = 0; j < half; ++j) {
+      const double wr = w1r[j];
+      const double wi = w1i[j];
+      const float64x2_t t0 = cmul(wr, wi, vld1q_f64(p1 + 2 * j));
+      const float64x2_t a0 = vld1q_f64(p0 + 2 * j);
+      const float64x2_t u0 = vaddq_f64(a0, t0);
+      const float64x2_t u1 = vsubq_f64(a0, t0);
+      const float64x2_t t1 = cmul(wr, wi, vld1q_f64(p3 + 2 * j));
+      const float64x2_t a2 = vld1q_f64(p2 + 2 * j);
+      const float64x2_t u2 = vaddq_f64(a2, t1);
+      const float64x2_t u3 = vsubq_f64(a2, t1);
+      const float64x2_t t2 = cmul(w2r[j], w2i[j], u2);
+      vst1q_f64(p0 + 2 * j, vaddq_f64(u0, t2));
+      vst1q_f64(p2 + 2 * j, vsubq_f64(u0, t2));
+      const float64x2_t t3 = cmul(w2r[j + half], w2i[j + half], u3);
+      vst1q_f64(p1 + 2 * j, vaddq_f64(u1, t3));
+      vst1q_f64(p3 + 2 * j, vsubq_f64(u1, t3));
+    }
+  }
+}
+
+void single_stage_neon(double* d, const double* w1r, const double* w1i,
+                       std::size_t half, std::size_t begin, std::size_t end) {
+  const std::size_t m = half << 1;
+  for (std::size_t start = begin; start < end; start += m) {
+    double* const lo = d + 2 * start;
+    double* const hi = lo + 2 * half;
+    for (std::size_t j = 0; j < half; ++j) {
+      const float64x2_t t = cmul(w1r[j], w1i[j], vld1q_f64(hi + 2 * j));
+      const float64x2_t a = vld1q_f64(lo + 2 * j);
+      vst1q_f64(lo + 2 * j, vaddq_f64(a, t));
+      vst1q_f64(hi + 2 * j, vsubq_f64(a, t));
+    }
+  }
+}
+
+}  // namespace psync::fft::detail
+
+#endif  // AArch64 NEON

@@ -1,11 +1,17 @@
 #include "psync/reliability/crc32.hpp"
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstring>
 
+#include "psync/reliability/reliability_kernels.hpp"
+#include "psync/reliability/vector_codec.hpp"
+
 namespace psync::reliability {
 namespace {
+
+std::atomic<bool> g_vector_codec{true};
 
 // Slice-by-8 CRC-32: eight 256-entry tables let the hot loop fold eight
 // message bytes per iteration with eight independent lookups instead of
@@ -41,9 +47,23 @@ inline std::uint32_t update_bytewise(std::uint32_t crc,
 
 }  // namespace
 
+void set_vector_codec(bool on) {
+  g_vector_codec.store(on, std::memory_order_relaxed);
+}
+
+bool vector_codec() { return g_vector_codec.load(std::memory_order_relaxed); }
+
 std::uint32_t crc32_update(std::uint32_t crc, const void* data,
                            std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
+  // Long buffers fold 64 bytes per round with carry-less multiplies when
+  // the CPU has PCLMULQDQ; the remainder is identical to the table loops'.
+  if (len >= 64 && vector_codec() && detail::crc32_pclmul_available()) {
+    std::size_t consumed = 0;
+    crc = detail::crc32_fold_pclmul(crc, p, len, &consumed);
+    p += consumed;
+    len -= consumed;
+  }
   // Eight bytes per iteration. The 64-bit gather below assembles the bytes
   // little-endian regardless of host order, so the result always matches
   // the byte-wise loop.

@@ -1,0 +1,125 @@
+// PCLMULQDQ CRC-32 folding, after Gopal et al., "Fast CRC Computation for
+// Generic Polynomials Using PCLMULQDQ Instruction" (Intel whitepaper, 2009).
+// Four 128-bit lanes fold 64 input bytes per iteration by carry-less
+// multiplication with precomputed x^T mod P factors; a final Barrett
+// reduction collapses the 128-bit remainder to the 32-bit CRC. The math is
+// exact GF(2) arithmetic, so the result equals the table-driven loops bit
+// for bit — the identity tests enforce it. Only this TU is compiled with
+// -mpclmul -msse4.1 (see CMakeLists).
+#include "psync/reliability/reliability_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "psync/common/simd_dispatch.hpp"
+
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+
+#include <immintrin.h>
+
+namespace psync::reliability::detail {
+namespace {
+
+// x^T mod P factors for the reflected polynomial 0xEDB88320 at the fold
+// distances used below (bit-reflected, as in the whitepaper's tables):
+// k1 = x^(4*128+64), k2 = x^(4*128)  — 64-byte fold, four lanes
+// k3 = x^(128+64),   k4 = x^128     — 16-byte fold / lane combine
+// k5 = x^96                          — 128 -> 64 bit reduction
+// P' = reflected polynomial, mu = floor(x^64 / P) for Barrett reduction.
+inline __m128i k1k2() {
+  return _mm_set_epi64x(0x00000001c6e41596LL, 0x0000000154442bd4LL);
+}
+inline __m128i k3k4() {
+  return _mm_set_epi64x(0x00000000ccaa009eLL, 0x00000001751997d0LL);
+}
+inline __m128i k5() { return _mm_set_epi64x(0LL, 0x0000000163cd6124LL); }
+inline __m128i poly_mu() {
+  return _mm_set_epi64x(0x00000001f7011641LL, 0x00000001db710641LL);
+}
+inline __m128i mask_lo32() { return _mm_setr_epi32(~0, 0, ~0, 0); }
+
+// One 128-bit fold step: advance the accumulator by `dist` bytes and absorb
+// the next block.
+inline __m128i fold(__m128i acc, __m128i k, __m128i next) {
+  const __m128i lo = _mm_clmulepi64_si128(acc, k, 0x00);
+  const __m128i hi = _mm_clmulepi64_si128(acc, k, 0x11);
+  return _mm_xor_si128(_mm_xor_si128(lo, hi), next);
+}
+
+}  // namespace
+
+bool crc32_pclmul_available() { return simd::have_pclmul(); }
+
+std::uint32_t crc32_fold_pclmul(std::uint32_t crc, const unsigned char* p,
+                                std::size_t len, std::size_t* consumed) {
+  const std::size_t total = len & ~std::size_t{15};
+  const auto* b = reinterpret_cast<const __m128i*>(p);
+  __m128i x1 = _mm_loadu_si128(b + 0);
+  __m128i x2 = _mm_loadu_si128(b + 1);
+  __m128i x3 = _mm_loadu_si128(b + 2);
+  __m128i x4 = _mm_loadu_si128(b + 3);
+  // The running register XORs into the first 4 message bytes, exactly as in
+  // the table loops.
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  std::size_t pos = 64;
+
+  const __m128i kq = k1k2();
+  while (total - pos >= 64) {
+    const auto* nb = reinterpret_cast<const __m128i*>(p + pos);
+    x1 = fold(x1, kq, _mm_loadu_si128(nb + 0));
+    x2 = fold(x2, kq, _mm_loadu_si128(nb + 1));
+    x3 = fold(x3, kq, _mm_loadu_si128(nb + 2));
+    x4 = fold(x4, kq, _mm_loadu_si128(nb + 3));
+    pos += 64;
+  }
+
+  // Collapse the four lanes into one 128-bit accumulator.
+  const __m128i ks = k3k4();
+  x1 = fold(x1, ks, x2);
+  x1 = fold(x1, ks, x3);
+  x1 = fold(x1, ks, x4);
+
+  while (total - pos >= 16) {
+    x1 = fold(x1, ks,
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + pos)));
+    pos += 16;
+  }
+
+  // Reduce 128 -> 64 bits: fold the low qword by x^64 (k4), keep the high.
+  __m128i t = _mm_clmulepi64_si128(x1, ks, 0x10);
+  x1 = _mm_xor_si128(t, _mm_srli_si128(x1, 8));
+  // Reduce 96 -> 64: fold the low dword by x^96 (k5).
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask_lo32());
+  x1 = _mm_clmulepi64_si128(x1, k5(), 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  // Barrett reduction to 32 bits.
+  const __m128i pm = poly_mu();
+  t = _mm_and_si128(x1, mask_lo32());
+  t = _mm_clmulepi64_si128(t, pm, 0x10);  // * mu
+  t = _mm_and_si128(t, mask_lo32());
+  t = _mm_clmulepi64_si128(t, pm, 0x00);  // * P'
+  x1 = _mm_xor_si128(x1, t);
+
+  *consumed = pos;
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace psync::reliability::detail
+
+#else  // x86 without PCLMUL compiler support: keep the path off.
+
+namespace psync::reliability::detail {
+
+bool crc32_pclmul_available() { return false; }
+
+std::uint32_t crc32_fold_pclmul(std::uint32_t crc, const unsigned char*,
+                                std::size_t, std::size_t* consumed) {
+  *consumed = 0;
+  return crc;
+}
+
+}  // namespace psync::reliability::detail
+
+#endif  // __PCLMUL__ && __SSE4_1__
+
+#endif  // x86

@@ -1,0 +1,51 @@
+// ISA-specific kernel entry points for the reliability codecs. The real
+// bodies live in crc32_pclmul.cpp and secded_avx2.cpp, which are compiled
+// with per-source ISA flags (see CMakeLists); on targets without those
+// instruction sets the inline stubs below keep every call site portable.
+// Availability is a runtime question (CPUID + PSYNC_FORCE_SCALAR) answered
+// by the *_available() predicates; the kernels themselves must only be
+// called when their predicate holds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psync::reliability::detail {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool crc32_pclmul_available();
+/// Fold `len` bytes (len >= 64) into the raw CRC register using PCLMULQDQ.
+/// Consumes the largest multiple of 16 bytes and stores it in *consumed;
+/// the caller folds the remaining tail with the table loops.
+std::uint32_t crc32_fold_pclmul(std::uint32_t crc, const unsigned char* p,
+                                std::size_t len, std::size_t* consumed);
+
+bool secded_avx2_available();
+/// checks[0..3] = secded_encode(data[0..3]), four words per call.
+void secded_encode4_avx2(const std::uint64_t* data, std::uint8_t* checks);
+/// Bit i of the result is set iff word i of the group of four has a nonzero
+/// syndrome or odd overall parity — exactly the words the scalar decoder
+/// would classify via secded_decode.
+unsigned secded_flagged4_avx2(const std::uint64_t* data,
+                              const std::uint8_t* checks);
+
+#else
+
+inline bool crc32_pclmul_available() { return false; }
+inline std::uint32_t crc32_fold_pclmul(std::uint32_t crc,
+                                       const unsigned char*, std::size_t,
+                                       std::size_t* consumed) {
+  *consumed = 0;
+  return crc;
+}
+inline bool secded_avx2_available() { return false; }
+inline void secded_encode4_avx2(const std::uint64_t*, std::uint8_t*) {}
+inline unsigned secded_flagged4_avx2(const std::uint64_t*,
+                                     const std::uint8_t*) {
+  return 0;
+}
+
+#endif
+
+}  // namespace psync::reliability::detail

@@ -1,50 +1,18 @@
 #include "psync/reliability/secded.hpp"
 
-#include <array>
 #include <bit>
+
+#include "psync/reliability/reliability_kernels.hpp"
+#include "psync/reliability/secded_tables.hpp"
+#include "psync/reliability/vector_codec.hpp"
 
 namespace psync::reliability {
 namespace {
 
-// Codeword position of each data bit: positions 1..71 that are not powers
-// of two (the powers of two hold the parity bits). 71 positions minus 7
-// parity positions leaves exactly the 64 we need.
-constexpr std::array<std::uint8_t, 64> make_data_pos() {
-  std::array<std::uint8_t, 64> pos{};
-  int k = 0;
-  for (int j = 1; j <= 71; ++j) {
-    if ((j & (j - 1)) != 0) pos[static_cast<std::size_t>(k++)] =
-        static_cast<std::uint8_t>(j);
-  }
-  return pos;
-}
-constexpr std::array<std::uint8_t, 64> kDataPos = make_data_pos();
-
-// Inverse map: codeword position -> data bit index (or -1).
-constexpr std::array<std::int8_t, 128> make_pos_to_bit() {
-  std::array<std::int8_t, 128> inv{};
-  for (auto& v : inv) v = -1;
-  for (int k = 0; k < 64; ++k) inv[kDataPos[static_cast<std::size_t>(k)]] =
-      static_cast<std::int8_t>(k);
-  return inv;
-}
-constexpr std::array<std::int8_t, 128> kPosToBit = make_pos_to_bit();
-
-// Per-data-bit position, folded into seven 64-bit masks: kSynMask[i] has a
-// 1 at data bit k iff bit i of kDataPos[k] is set. The syndrome of a data
-// word is then seven popcount parities instead of a 64-iteration loop.
-constexpr std::array<std::uint64_t, 7> make_syn_masks() {
-  std::array<std::uint64_t, 7> m{};
-  for (int k = 0; k < 64; ++k) {
-    for (int i = 0; i < 7; ++i) {
-      if ((kDataPos[static_cast<std::size_t>(k)] >> i) & 1) {
-        m[static_cast<std::size_t>(i)] |= (std::uint64_t{1} << k);
-      }
-    }
-  }
-  return m;
-}
-constexpr std::array<std::uint64_t, 7> kSynMask = make_syn_masks();
+// Construction tables (kDataPos / kPosToBit / kSynMask) live in
+// secded_tables.hpp, shared with the AVX2 syndrome kernel.
+using detail::kPosToBit;
+using detail::kSynMask;
 
 // Syndrome contribution of the data bits alone.
 unsigned data_syndrome(std::uint64_t d) {
@@ -70,7 +38,13 @@ std::uint8_t secded_encode(std::uint64_t data) {
 
 void secded_encode_words(const std::uint64_t* data, std::size_t count,
                          std::uint8_t* checks) {
-  for (std::size_t i = 0; i < count; ++i) {
+  std::size_t i = 0;
+  if (vector_codec() && detail::secded_avx2_available()) {
+    for (; i + 4 <= count; i += 4) {
+      detail::secded_encode4_avx2(data + i, checks + i);
+    }
+  }
+  for (; i < count; ++i) {
     const std::uint64_t d = data[i];
     const unsigned syn = data_syndrome(d);
     const unsigned overall =
@@ -82,7 +56,9 @@ void secded_encode_words(const std::uint64_t* data, std::size_t count,
 void secded_decode_words(const std::uint64_t* data, const std::uint8_t* checks,
                          std::size_t count, bool correct, std::uint64_t* out,
                          SecdedWordStats* stats) {
-  for (std::size_t i = 0; i < count; ++i) {
+  // Decode one word exactly as the scalar loop always has; the vector path
+  // below only pre-screens groups of four for the all-clean common case.
+  const auto decode_one = [&](std::size_t i) {
     const std::uint64_t d = data[i];
     const std::uint8_t check = checks[i];
     const unsigned syn = data_syndrome(d) ^ (check & 0x7FU);
@@ -90,7 +66,7 @@ void secded_decode_words(const std::uint64_t* data, const std::uint8_t* checks,
         (std::popcount(d) + std::popcount(static_cast<unsigned>(check))) & 1);
     if (syn == 0 && parity == 0) {  // clean: no classification needed
       out[i] = d;
-      continue;
+      return;
     }
     const SecdedResult dec = secded_decode(d, check);
     ++stats->flagged_words;
@@ -99,7 +75,22 @@ void secded_decode_words(const std::uint64_t* data, const std::uint8_t* checks,
     }
     if (dec.double_error()) ++stats->double_errors;
     out[i] = correct ? dec.data : d;
+  };
+
+  std::size_t i = 0;
+  if (vector_codec() && detail::secded_avx2_available()) {
+    for (; i + 4 <= count; i += 4) {
+      if (detail::secded_flagged4_avx2(data + i, checks + i) == 0) {
+        out[i] = data[i];
+        out[i + 1] = data[i + 1];
+        out[i + 2] = data[i + 2];
+        out[i + 3] = data[i + 3];
+        continue;
+      }
+      for (std::size_t k = i; k < i + 4; ++k) decode_one(k);
+    }
   }
+  for (; i < count; ++i) decode_one(i);
 }
 
 SecdedResult secded_decode(std::uint64_t data, std::uint8_t check) {

@@ -1,0 +1,117 @@
+// AVX2 SECDED(72,64) syndrome batches: four 64-bit words per call. Each of
+// the seven folded position masks (and the overall parity) reduces to a
+// per-lane parity, computed with the classic nibble-parity shuffle plus a
+// byte-sum — pure GF(2) arithmetic, so check bytes and flagged-word masks
+// equal the scalar codec's exactly. Only this TU is compiled with -mavx2
+// (see CMakeLists).
+#include "psync/reliability/reliability_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "psync/common/simd_dispatch.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "psync/reliability/secded_tables.hpp"
+
+namespace psync::reliability::detail {
+namespace {
+
+// Parity of each nibble value 0..15, replicated across both 128-bit lanes
+// for vpshufb.
+inline __m256i nibble_parity_lut() {
+  return _mm256_setr_epi8(0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 0,
+                          1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0);
+}
+
+// Per-64-bit-lane parity of x: 0 or 1 in each lane.
+inline __m256i parity64(__m256i x) {
+  const __m256i lo_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lut = nibble_parity_lut();
+  const __m256i lo = _mm256_and_si256(x, lo_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), lo_mask);
+  const __m256i per_byte = _mm256_xor_si256(_mm256_shuffle_epi8(lut, lo),
+                                            _mm256_shuffle_epi8(lut, hi));
+  // Byte parities are 0/1; the lane parity is the low bit of their sum.
+  const __m256i sums = _mm256_sad_epu8(per_byte, _mm256_setzero_si256());
+  return _mm256_and_si256(sums, _mm256_set1_epi64x(1));
+}
+
+// 7-bit Hamming syndrome of the data bits, one per lane.
+inline __m256i syndrome4(__m256i d) {
+  __m256i syn = _mm256_setzero_si256();
+  for (int i = 0; i < 7; ++i) {
+    const __m256i m = _mm256_set1_epi64x(
+        static_cast<long long>(kSynMask[static_cast<std::size_t>(i)]));
+    syn = _mm256_or_si256(
+        syn, _mm256_slli_epi64(parity64(_mm256_and_si256(d, m)), i));
+  }
+  return syn;
+}
+
+// Parity of the low 8 bits of each lane (lanes hold zero-extended bytes).
+inline __m256i parity8(__m256i v) {
+  __m256i p = _mm256_xor_si256(v, _mm256_srli_epi64(v, 4));
+  p = _mm256_xor_si256(p, _mm256_srli_epi64(p, 2));
+  p = _mm256_xor_si256(p, _mm256_srli_epi64(p, 1));
+  return _mm256_and_si256(p, _mm256_set1_epi64x(1));
+}
+
+}  // namespace
+
+bool secded_avx2_available() { return simd::have_avx2(); }
+
+void secded_encode4_avx2(const std::uint64_t* data, std::uint8_t* checks) {
+  const __m256i d =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  const __m256i syn = syndrome4(d);
+  // overall = parity(data) ^ parity(syndrome), as in secded_encode.
+  const __m256i overall = _mm256_xor_si256(parity64(d), parity8(syn));
+  const __m256i check = _mm256_or_si256(syn, _mm256_slli_epi64(overall, 7));
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), check);
+  for (int i = 0; i < 4; ++i) {
+    checks[i] = static_cast<std::uint8_t>(lanes[i]);
+  }
+}
+
+unsigned secded_flagged4_avx2(const std::uint64_t* data,
+                              const std::uint8_t* checks) {
+  const __m256i d =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  std::uint32_t packed;
+  std::memcpy(&packed, checks, sizeof packed);
+  const __m256i cv =
+      _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(packed)));
+  const __m256i stored = _mm256_and_si256(cv, _mm256_set1_epi64x(0x7F));
+  const __m256i syn = _mm256_xor_si256(syndrome4(d), stored);
+  const __m256i par = _mm256_xor_si256(parity64(d), parity8(cv));
+  const __m256i clean = _mm256_cmpeq_epi64(_mm256_or_si256(syn, par),
+                                           _mm256_setzero_si256());
+  const int clean_mask = _mm256_movemask_pd(_mm256_castsi256_pd(clean));
+  return static_cast<unsigned>(~clean_mask) & 0xFU;
+}
+
+}  // namespace psync::reliability::detail
+
+#else  // x86 without AVX2 compiler support: keep the path off.
+
+namespace psync::reliability::detail {
+
+bool secded_avx2_available() { return false; }
+
+void secded_encode4_avx2(const std::uint64_t*, std::uint8_t*) {}
+
+unsigned secded_flagged4_avx2(const std::uint64_t*, const std::uint8_t*) {
+  return 0;
+}
+
+}  // namespace psync::reliability::detail
+
+#endif  // __AVX2__
+
+#endif  // x86

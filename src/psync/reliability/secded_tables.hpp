@@ -1,0 +1,51 @@
+// Constexpr construction tables for the SECDED(72,64) code, shared between
+// the scalar codec (secded.cpp) and the AVX2 syndrome kernel
+// (secded_avx2.cpp) so both paths fold exactly the same masks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace psync::reliability::detail {
+
+// Codeword position of each data bit: positions 1..71 that are not powers
+// of two (the powers of two hold the parity bits). 71 positions minus 7
+// parity positions leaves exactly the 64 we need.
+constexpr std::array<std::uint8_t, 64> make_data_pos() {
+  std::array<std::uint8_t, 64> pos{};
+  int k = 0;
+  for (int j = 1; j <= 71; ++j) {
+    if ((j & (j - 1)) != 0) pos[static_cast<std::size_t>(k++)] =
+        static_cast<std::uint8_t>(j);
+  }
+  return pos;
+}
+inline constexpr std::array<std::uint8_t, 64> kDataPos = make_data_pos();
+
+// Inverse map: codeword position -> data bit index (or -1).
+constexpr std::array<std::int8_t, 128> make_pos_to_bit() {
+  std::array<std::int8_t, 128> inv{};
+  for (auto& v : inv) v = -1;
+  for (int k = 0; k < 64; ++k) inv[kDataPos[static_cast<std::size_t>(k)]] =
+      static_cast<std::int8_t>(k);
+  return inv;
+}
+inline constexpr std::array<std::int8_t, 128> kPosToBit = make_pos_to_bit();
+
+// Per-data-bit position, folded into seven 64-bit masks: kSynMask[i] has a
+// 1 at data bit k iff bit i of kDataPos[k] is set. The syndrome of a data
+// word is then seven popcount parities instead of a 64-iteration loop.
+constexpr std::array<std::uint64_t, 7> make_syn_masks() {
+  std::array<std::uint64_t, 7> m{};
+  for (int k = 0; k < 64; ++k) {
+    for (int i = 0; i < 7; ++i) {
+      if ((kDataPos[static_cast<std::size_t>(k)] >> i) & 1) {
+        m[static_cast<std::size_t>(i)] |= (std::uint64_t{1} << k);
+      }
+    }
+  }
+  return m;
+}
+inline constexpr std::array<std::uint64_t, 7> kSynMask = make_syn_masks();
+
+}  // namespace psync::reliability::detail

@@ -1,0 +1,17 @@
+// Runtime toggle for the vectorized reliability codecs: PCLMUL carry-less
+// CRC-32 folding and AVX2 SECDED syndrome batches. Mirrors
+// fft::set_fast_kernel: a process-wide switch so equivalence tests and
+// before/after benchmarks can pin either path.
+#pragma once
+
+namespace psync::reliability {
+
+/// Request (default) or decline the vector codec paths. This is the
+/// *requested* state; each call site additionally requires the matching CPU
+/// feature (simd::have_pclmul / simd::have_avx2), and PSYNC_FORCE_SCALAR in
+/// the environment pins the scalar loops regardless. All paths produce
+/// byte-identical results — the toggle only trades speed.
+void set_vector_codec(bool on);
+bool vector_codec();
+
+}  // namespace psync::reliability
