@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -75,6 +76,11 @@ void JournalWriter::open(const std::string& path, bool keep_existing) {
     throw SimulationError("journal: cannot trim torn tail of '" + path +
                           "': " + err);
   }
+  // O_CREAT may have minted a new directory entry; make it durable now.
+  // Without this, a crash right after the first fsync'd append could lose
+  // the *file name* while its blocks survive — the journal would read as
+  // absent even though every acknowledged line was flushed.
+  fsync_parent_dir(path);
   fd_ = fd;
   path_ = path;
 }
@@ -108,6 +114,43 @@ void JournalWriter::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : slash == 0 ? std::string("/")
+                                           : path.substr(0, slash);
+  int fd = -1;
+  do {
+    fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return;  // best-effort: an unreadable parent is not fatal
+  int rc = -1;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);  // EINVAL etc. from fsync: fs does not support it; ignore
+}
+
+void durable_rename(const std::string& from, const std::string& to) {
+  int rc = -1;
+  do {
+    rc = ::rename(from.c_str(), to.c_str());
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw SimulationError("journal: rename '" + from + "' -> '" + to +
+                          "' failed: " + std::strerror(errno));
+  }
+  fsync_parent_dir(to);
+  // Cross-directory renames also dirty the source's parent (the old entry
+  // disappears); persist it too when it differs.
+  const auto dir_of = [](const std::string& p) {
+    const auto s = p.find_last_of('/');
+    return s == std::string::npos ? std::string(".") : p.substr(0, s);
+  };
+  if (dir_of(from) != dir_of(to)) fsync_parent_dir(from);
 }
 
 std::vector<std::string> list_journal_files(const std::string& dir) {

@@ -1,0 +1,51 @@
+// Decorrelated-jitter backoff (the AWS architecture-blog variant):
+//
+//   sleep(n) = min(cap, uniform(base, prev * 3))
+//
+// Exponential backoff with identical parameters makes every worker killed
+// by one partition retry on the same schedule — the reconnect stampede
+// arrives as synchronized waves that can re-trigger the overload that
+// killed them. Drawing each interval uniformly from [base, 3*prev] keeps
+// the exponential *envelope* (expected growth factor 1.5-2x per attempt)
+// while decorrelating individual workers: two seeds never share a
+// schedule, and the spread within one attempt number covers the whole
+// [base, cap] band once enough attempts have passed.
+//
+// Deterministic per seed, so supervisor tests replay exact schedules.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "psync/common/rng.hpp"
+
+namespace psync::dist {
+
+class DecorrelatedBackoff {
+ public:
+  DecorrelatedBackoff(double base_ms, double cap_ms, std::uint64_t seed)
+      : base_ms_(base_ms), cap_ms_(std::max(cap_ms, base_ms)), rng_(seed) {}
+
+  /// The next backoff interval, in [base_ms, cap_ms]. Attempt 1 is always
+  /// exactly base_ms (fast first retry); jitter starts at attempt 2.
+  double next_ms() {
+    if (prev_ms_ <= 0.0) {
+      prev_ms_ = base_ms_;
+      return prev_ms_;
+    }
+    const double hi = std::min(cap_ms_, prev_ms_ * 3.0);
+    prev_ms_ = base_ms_ + (hi - base_ms_) * rng_.next_double();
+    return prev_ms_;
+  }
+
+  /// Back to the initial state (after a success, retry from the bottom).
+  void reset() { prev_ms_ = 0.0; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  double prev_ms_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace psync::dist

@@ -1,0 +1,101 @@
+#include "psync/dist/chaos.hpp"
+
+#include <algorithm>
+
+namespace psync::dist {
+
+ChaosTransport::ChaosTransport(const ChaosOptions& opts)
+    : opts_(opts), rng_(opts.seed == 0 ? 1 : opts.seed) {}
+
+std::vector<Frame> ChaosTransport::offer(const Frame& frame, double now_ms) {
+  std::vector<Frame> out;
+  if (!enabled()) {
+    out.push_back(frame);
+    return out;
+  }
+  ++offered_;
+  ++frames_since_partition_;
+  // One-shot partitions must never re-arm after healing: the frame
+  // counter stays past the threshold forever, so gate on partitions_.
+  if (opts_.partition_after > 0 && partition_heal_ms_ < 0.0 &&
+      !partition_armed_ && (opts_.partition_repeat || partitions_ == 0) &&
+      frames_since_partition_ >= opts_.partition_after) {
+    partition_armed_ = true;
+  }
+
+  // Decision order is fixed (drop, duplicate, reorder, delay) and every
+  // probability draws from the one Rng stream whether or not it fires —
+  // that is what makes a seed replay the identical schedule even when a
+  // different frame mix flows through.
+  const bool do_drop = rng_.next_bool(opts_.drop);
+  const bool do_dup = rng_.next_bool(opts_.duplicate);
+  const bool do_reorder = rng_.next_bool(opts_.reorder);
+  const bool do_delay = rng_.next_bool(opts_.delay);
+  if (do_drop) {
+    ++dropped_;
+    return out;  // the reorder hold, if any, keeps waiting
+  }
+
+  std::vector<Frame> ready;
+  if (do_reorder && !have_reorder_hold_) {
+    // Hold this frame; it rides out *after* the next transmitted one.
+    have_reorder_hold_ = true;
+    reorder_hold_ = frame;
+    ++reordered_;
+  } else if (do_delay) {
+    delayed_frames_.push_back({frame, now_ms + opts_.delay_ms});
+    ++delayed_;
+  } else {
+    ready.push_back(frame);
+  }
+
+  for (auto& f : ready) {
+    out.push_back(std::move(f));
+    if (have_reorder_hold_) {
+      out.push_back(std::move(reorder_hold_));
+      have_reorder_hold_ = false;
+    }
+  }
+  if (do_dup && !out.empty()) {
+    out.push_back(out.front());
+    ++duplicated_;
+  }
+  return out;
+}
+
+std::vector<Frame> ChaosTransport::due(double now_ms) {
+  std::vector<Frame> out;
+  auto it = delayed_frames_.begin();
+  while (it != delayed_frames_.end()) {
+    if (it->release_ms <= now_ms) {
+      out.push_back(std::move(it->frame));
+      it = delayed_frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+bool ChaosTransport::take_partition(double now_ms) {
+  if (partition_heal_ms_ >= 0.0 && now_ms >= partition_heal_ms_) {
+    // Healed: forget the window; re-arm only in repeat mode.
+    partition_heal_ms_ = -1.0;
+    if (opts_.partition_repeat) frames_since_partition_ = 0;
+  }
+  if (!partition_armed_) return false;
+  partition_armed_ = false;
+  partition_heal_ms_ = now_ms + opts_.partition_ms;
+  ++partitions_;
+  // A severed connection also strands anything the injector was holding —
+  // exactly like a real network dropping queued packets.
+  delayed_frames_.clear();
+  have_reorder_hold_ = false;
+  return true;
+}
+
+bool ChaosTransport::partitioned(double now_ms) const {
+  return partition_heal_ms_ >= 0.0 && now_ms < partition_heal_ms_;
+}
+
+}  // namespace psync::dist

@@ -1,0 +1,134 @@
+#include "psync/dist/frame.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace psync::dist {
+
+bool frame_kind_valid(std::uint8_t kind) {
+  return kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
+         kind <= static_cast<std::uint8_t>(FrameKind::kJournalAck);
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + frame.payload.size());
+  wire.push_back(static_cast<char>(kFrameMagic));
+  wire.push_back(static_cast<char>(frame.kind));
+  const auto len = static_cast<std::uint32_t>(frame.payload.size());
+  wire.push_back(static_cast<char>(len & 0xFF));
+  wire.push_back(static_cast<char>((len >> 8) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 24) & 0xFF));
+  wire += frame.payload;
+  return wire;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact before growing: keeps the buffer bounded by one frame plus one
+  // read, not by connection lifetime.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame* out) {
+  if (corrupt_) return Result::kCorrupt;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Result::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  if (p[0] != kFrameMagic || !frame_kind_valid(p[1])) {
+    corrupt_ = true;
+    return Result::kCorrupt;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(p[2]) |
+                            (static_cast<std::uint32_t>(p[3]) << 8) |
+                            (static_cast<std::uint32_t>(p[4]) << 16) |
+                            (static_cast<std::uint32_t>(p[5]) << 24);
+  if (len > kMaxFramePayload) {
+    corrupt_ = true;
+    return Result::kCorrupt;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return Result::kNeedMore;
+  out->kind = static_cast<FrameKind>(p[1]);
+  out->payload.assign(buf_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  return Result::kFrame;
+}
+
+void FrameDecoder::reset() {
+  buf_.clear();
+  pos_ = 0;
+  corrupt_ = false;
+}
+
+namespace {
+
+/// Parse one decimal field at *p; advances *p past it. Returns false on
+/// no digits or overflow.
+bool parse_u64(const char** p, std::uint64_t* out) {
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(*p, &endp, 10);
+  if (endp == *p || errno != 0) return false;
+  *p = endp;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string hello_payload(const HelloClaim& claim) {
+  return "shard " + std::to_string(claim.shard) + " epoch " +
+         std::to_string(claim.epoch);
+}
+
+bool parse_hello_payload(const std::string& payload, HelloClaim* out) {
+  const char* p = payload.c_str();
+  if (std::strncmp(p, "shard ", 6) != 0) return false;
+  p += 6;
+  std::uint64_t shard = 0;
+  if (!parse_u64(&p, &shard)) return false;
+  if (std::strncmp(p, " epoch ", 7) != 0) return false;
+  p += 7;
+  std::uint64_t epoch = 0;
+  if (!parse_u64(&p, &epoch) || *p != '\0') return false;
+  out->shard = static_cast<std::size_t>(shard);
+  out->epoch = epoch;
+  return true;
+}
+
+std::string journal_payload(std::size_t index, const std::string& line) {
+  return std::to_string(index) + " " + line;
+}
+
+bool parse_journal_payload(const std::string& payload, std::size_t* index,
+                           std::string* line) {
+  const char* p = payload.c_str();
+  std::uint64_t idx = 0;
+  if (!parse_u64(&p, &idx) || *p != ' ') return false;
+  *index = static_cast<std::size_t>(idx);
+  line->assign(p + 1);
+  return true;
+}
+
+std::string journal_ack_payload(std::size_t index) {
+  return std::to_string(index);
+}
+
+bool parse_journal_ack_payload(const std::string& payload,
+                               std::size_t* index) {
+  const char* p = payload.c_str();
+  std::uint64_t idx = 0;
+  if (!parse_u64(&p, &idx) || *p != '\0') return false;
+  *index = static_cast<std::size_t>(idx);
+  return true;
+}
+
+bool hello_ack_fenced(const std::string& payload) {
+  return payload.rfind("fenced", 0) == 0;
+}
+
+}  // namespace psync::dist

@@ -1,10 +1,10 @@
 #include "psync/dist/heartbeat.hpp"
 
-#include <unistd.h>
-
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+
+#include "psync/dist/transport.hpp"
 
 namespace psync::dist {
 
@@ -73,14 +73,10 @@ bool parse_heartbeat_line(const std::string& line, Heartbeat* out) {
   return true;
 }
 
-HeartbeatEmitter::HeartbeatEmitter(int fd, std::size_t shard,
-                                   double interval_ms,
-                                   CancelToken* on_broken_pipe)
-    : fd_(fd),
-      shard_(shard),
-      interval_ms_(interval_ms),
-      on_broken_pipe_(on_broken_pipe) {
-  if (fd_ >= 0 && interval_ms_ > 0.0) {
+HeartbeatEmitter::HeartbeatEmitter(WorkerLink* link, std::size_t shard,
+                                   double interval_ms)
+    : link_(link), shard_(shard), interval_ms_(interval_ms) {
+  if (link_ != nullptr && interval_ms_ > 0.0) {
     timer_ = std::thread([this] { timer_loop(); });
   }
 }
@@ -126,25 +122,16 @@ void HeartbeatEmitter::timer_loop() {
 }
 
 void HeartbeatEmitter::emit_locked(Heartbeat::Kind kind) {
-  if (fd_ < 0 || pipe_broken_) return;
+  if (link_ == nullptr || link_dead_) return;
   Heartbeat hb;
   hb.shard = shard_;
   hb.kind = kind;
   hb.points_done = done_;
   hb.inflight = inflight_;
-  std::string line = heartbeat_line(hb);
-  line.push_back('\n');
-  // One write(2) per line, far below PIPE_BUF: atomic against the other
-  // writer thread. EPIPE means the leader is gone — stop beating and ask
-  // the worker to wind down (SIGPIPE is ignored in worker processes).
-  ssize_t n = -1;
-  do {
-    n = ::write(fd_, line.data(), line.size());
-  } while (n < 0 && errno == EINTR);
-  if (n < 0) {
-    pipe_broken_ = true;
-    if (on_broken_pipe_ != nullptr) on_broken_pipe_->cancel();
-  }
+  // The link owns delivery and death: a pipe link fails (and cancels the
+  // worker) when the leader is gone, a socket link absorbs outages by
+  // reconnecting and only reports false once this epoch is fenced.
+  if (!link_->send_heartbeat(hb)) link_dead_ = true;
 }
 
 }  // namespace psync::dist

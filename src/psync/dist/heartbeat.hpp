@@ -1,20 +1,24 @@
 // Heartbeat protocol between shard workers and the sweep leader.
 //
-// Wire format: one short text line per message over an inherited pipe,
+// Wire format: one short text line per message,
 //
 //   hb <shard> <kind> <points_done> <inflight>\n
 //
 // where <kind> is p (periodic progress), s (point start), or d (point
 // done) and <inflight> is the global grid index of the point currently
-// executing, or "-" when none is. Lines are written with a single
-// write(2) well under PIPE_BUF, so they never interleave even though the
-// emitter's timer thread and the sweep thread both write.
+// executing, or "-" when none is. Over the pipe transport a line is
+// written with a single write(2) well under PIPE_BUF, so lines never
+// interleave even though the emitter's timer thread and the sweep thread
+// both write; over the socket transport the identical line rides as one
+// heartbeat frame's payload (transport.hpp) — same codec, new envelope.
 //
 // Liveness is "any traffic at all": the worker-side emitter runs a timer
 // thread that sends a progress line every interval even while one point
-// computes for a long time, so a silent pipe means the *process* is
+// computes for a long time, so a silent channel means the *process* is
 // wedged (deadlocked, stopped, or looping outside the sim), not merely
 // busy — exactly the condition the leader answers with SIGKILL + restart.
+// (Socket mode adds a second failure class the leader tells apart: a
+// *disconnected* worker is partitioned, not wedged.)
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,8 @@
 #include "psync/driver/workload.hpp"
 
 namespace psync::dist {
+
+class WorkerLink;  // transport.hpp
 
 struct Heartbeat {
   enum class Kind { kProgress, kPointStart, kPointDone };
@@ -51,14 +57,18 @@ bool parse_heartbeat_line(const std::string& line, Heartbeat* out);
 /// Runner announces point starts/completions, plus a timer thread that
 /// keeps beating while a single point runs long.
 ///
-/// A broken pipe (the leader died) cancels `on_broken_pipe` so the worker
-/// winds down instead of computing for nobody. With fd < 0 every write is
-/// a no-op (single-process use, tests).
+/// The emitter writes through a WorkerLink (transport.hpp), which owns
+/// the channel's failure story: a pipe link cancels the worker when the
+/// leader's read end is gone, a socket link reconnects on its own and
+/// only goes dead when the leader fences this worker's epoch. Either way
+/// a dead link stops the timer — no point beating into the void. The
+/// timer tick doubles as the socket link's I/O pump, so acks drain and
+/// reconnects progress even while the sweep thread computes one long
+/// point. With a null link every write is a no-op (tests).
 class HeartbeatEmitter final : public driver::PointObserver {
  public:
-  /// Does not own `fd`. `on_broken_pipe` may be nullptr.
-  HeartbeatEmitter(int fd, std::size_t shard, double interval_ms,
-                   CancelToken* on_broken_pipe);
+  /// Does not own `link` (which may be nullptr: heartbeats disabled).
+  HeartbeatEmitter(WorkerLink* link, std::size_t shard, double interval_ms);
   ~HeartbeatEmitter() override;
   HeartbeatEmitter(const HeartbeatEmitter&) = delete;
   HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
@@ -77,15 +87,14 @@ class HeartbeatEmitter final : public driver::PointObserver {
   /// Write one line; requires mu_ held.
   void emit_locked(Heartbeat::Kind kind);
 
-  const int fd_;
+  WorkerLink* const link_;
   const std::size_t shard_;
   const double interval_ms_;
-  CancelToken* const on_broken_pipe_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopped_ = false;
-  bool pipe_broken_ = false;
+  bool link_dead_ = false;
   std::uint64_t done_ = 0;
   std::int64_t inflight_ = -1;
   std::thread timer_;

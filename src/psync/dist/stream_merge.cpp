@@ -1,0 +1,53 @@
+#include "psync/dist/stream_merge.hpp"
+
+#include <utility>
+
+#include "psync/common/check.hpp"
+
+namespace psync::dist {
+
+StreamingMerger::StreamingMerger(std::size_t grid, Emit emit)
+    : grid_(grid),
+      emit_(std::move(emit)),
+      seen_(grid, 0),
+      status_(grid, driver::PointStatus::kOk) {}
+
+bool StreamingMerger::offer(const driver::RunRecord& rec) {
+  const std::size_t idx = rec.index;
+  if (idx >= grid_) {
+    throw JournalConflictError(
+        "streaming merge: record index " + std::to_string(idx) +
+        " outside the sweep grid of " + std::to_string(grid_) + " points");
+  }
+  if (seen_[idx] != 0) {
+    if (status_[idx] != rec.status) {
+      throw JournalConflictError(
+          "streaming merge: two records for point " + std::to_string(idx) +
+          " disagree on status (" +
+          std::string(driver::to_string(status_[idx])) + " vs " +
+          std::string(driver::to_string(rec.status)) + ")");
+    }
+    ++duplicates_;
+    return false;
+  }
+  seen_[idx] = 1;
+  status_[idx] = rec.status;
+  ++arrived_;
+  if (idx != next_) {
+    held_.emplace(idx, rec);
+    return true;
+  }
+  // Contiguous prefix grows: emit this record, then drain every held
+  // record it unblocked.
+  if (emit_) emit_(next_, rec);
+  ++next_;
+  auto it = held_.begin();
+  while (it != held_.end() && it->first == next_) {
+    if (emit_) emit_(next_, it->second);
+    ++next_;
+    it = held_.erase(it);
+  }
+  return true;
+}
+
+}  // namespace psync::dist

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -10,17 +11,25 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "psync/common/check.hpp"
 #include "psync/common/journal.hpp"
+#include "psync/dist/backoff.hpp"
+#include "psync/dist/frame.hpp"
 #include "psync/dist/heartbeat.hpp"
 #include "psync/dist/merge.hpp"
+#include "psync/dist/stream_merge.hpp"
+#include "psync/dist/transport.hpp"
 #include "psync/driver/campaign.hpp"
 #include "psync/driver/sweep.hpp"
 
@@ -39,6 +48,45 @@ Clock::time_point after_ms(Clock::time_point t, double ms) {
                  std::chrono::duration<double, std::milli>(ms));
 }
 
+/// A connection that sent HELLO gets this long from accept() to do so
+/// before the leader drops it (a dialer that never identifies itself is
+/// noise, not a worker).
+constexpr double kHelloGraceMs = 2000.0;
+
+/// Best-effort frame write on a (possibly nonblocking) connection fd.
+/// Small control frames normally land in the socket buffer whole; a full
+/// buffer gets one short POLLOUT wait per chunk. Returns false on a hard
+/// error — the caller treats the connection as dropped.
+bool send_frame_fd(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 100) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Leader-side journal ownership for one socket-mode assignment: the
+/// writer holding the shard journal's flock, plus the per-index status
+/// map that makes retransmitted journal frames idempotent. Shared because
+/// a steal re-partition hands chunk 0 the same journal file.
+struct LeaderJournal {
+  JournalWriter writer;
+  std::map<std::size_t, driver::PointStatus> status;
+};
+
 /// One unit of schedulable work: a contiguous grid range bound to its own
 /// checkpoint journal. Assignments outlive the workers that execute them —
 /// a crashed worker's assignment is relaunched, a straggler's is split.
@@ -47,6 +95,7 @@ struct Assignment {
   ShardRange range;
   std::string journal;
   std::size_t launches = 0;     // processes started for this assignment
+  std::shared_ptr<LeaderJournal> led;  // socket transport only
 };
 
 enum class SeatState {
@@ -62,15 +111,28 @@ struct Seat {
   SeatState state = SeatState::kIdle;
   Assignment asg;
   pid_t pid = -1;
-  int pipe_fd = -1;  // heartbeat read end
+  int pipe_fd = -1;  // pipe transport: heartbeat read end
   std::string rdbuf;
+  int conn_fd = -1;  // socket transport: attached worker connection
+  FrameDecoder decoder;
+  std::uint64_t epoch = 0;     // lease epoch of the current launch
+  bool connected_once = false; // a handshake landed this launch
   Clock::time_point last_beat{};
   Clock::time_point backoff_until{};
   Clock::time_point term_deadline{};
   std::int64_t inflight = -1;      // grid index last reported in flight
   std::uint64_t reported_done = 0; // points finished this launch (heartbeat)
   bool wedge_killed = false;  // liveness SIGKILL sent; incident recorded
+  bool lost = false;          // connection-loss incident recorded
   bool stealing = false;      // kTerming is a steal reclaim, not shutdown
+  std::optional<DecorrelatedBackoff> restart_backoff;
+};
+
+/// An accepted connection that has not yet claimed a (shard, epoch).
+struct PendingConn {
+  int fd = -1;
+  FrameDecoder decoder;
+  Clock::time_point deadline{};
 };
 
 class Supervisor {
@@ -84,6 +146,7 @@ class Supervisor {
           "journals are the crash-safety mechanism, not an option)");
     }
     if (opts_.workers == 0) opts_.workers = 1;
+    socket_ = opts_.transport == TransportKind::kSocket;
     worker_spec_ = spec;
     worker_spec_.threads = std::max<std::size_t>(opts_.worker_threads, 1);
     worker_spec_.journal_path.clear();
@@ -95,7 +158,14 @@ class Supervisor {
     points_ = driver::SweepEngine::expand(spec);
   }
 
+  ~Supervisor() { teardown(); }
+
   driver::SweepResult run() {
+    if (socket_) {
+      listen_fd_ = tcp_listen(opts_.listen_host, opts_.listen_port,
+                              &listen_port_);
+    }
+    if (opts_.on_record) merger_.emplace(points_.size(), opts_.on_record);
     for (const auto& range : plan_shards(points_.size(), opts_.workers)) {
       Assignment asg;
       asg.shard = next_shard_id_++;
@@ -105,6 +175,11 @@ class Supervisor {
       queue_.push_back(std::move(asg));
     }
     seats_.resize(opts_.workers);
+    for (std::size_t s = 0; s < seats_.size(); ++s) {
+      seats_[s].restart_backoff.emplace(
+          opts_.restart_backoff_ms, opts_.restart_backoff_max_ms,
+          opts_.backoff_seed + 0x9E3779B97F4A7C15ULL * (s + 1));
+    }
 
     while (work_remains()) {
       const auto now = Clock::now();
@@ -113,7 +188,10 @@ class Supervisor {
       wait_for_events(now);
       reap();
       enforce_deadlines(Clock::now());
+      if (merger_ && !socket_) tail_journals();
     }
+    if (merger_ && !socket_) tail_journals();
+    teardown();
     if (shutdown_) {
       throw CancelledError(
           "distributed sweep cancelled; shard journal tails are durable");
@@ -130,6 +208,35 @@ class Supervisor {
     return false;
   }
 
+  /// Close every leader-side fd and dispose of orphaned worker processes.
+  /// Idempotent; runs both on the normal exit path and from the
+  /// destructor (an exception mid-loop must not leak fds or children).
+  void teardown() {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& pc : pending_) {
+      if (pc.fd >= 0) ::close(pc.fd);
+    }
+    pending_.clear();
+    for (auto& seat : seats_) {
+      if (seat.conn_fd >= 0) {
+        ::close(seat.conn_fd);
+        seat.conn_fd = -1;
+      }
+    }
+    // Orphans are partitioned workers the loop deliberately left alive so
+    // fencing could turn them away. The run is over: nobody will answer
+    // their reconnects, so end them.
+    for (const pid_t pid : orphans_) {
+      ::kill(pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(pid, &wstatus, 0);
+    }
+    orphans_.clear();
+  }
+
   // --- cancellation ----------------------------------------------------
 
   void check_cancel(Clock::time_point now) {
@@ -142,7 +249,7 @@ class Supervisor {
     for (auto& seat : seats_) {
       switch (seat.state) {
         case SeatState::kRunning:
-          ::kill(seat.pid, SIGTERM);
+          if (seat.pid > 0) ::kill(seat.pid, SIGTERM);
           seat.state = SeatState::kTerming;
           seat.stealing = false;
           seat.term_deadline = after_ms(now, opts_.term_grace_ms);
@@ -173,6 +280,7 @@ class Supervisor {
       if (seat.state != SeatState::kIdle) continue;
       seat.asg = std::move(queue_.front());
       queue_.pop_front();
+      seat.restart_backoff->reset();
       launch(seat);
     }
     maybe_steal(now);
@@ -222,85 +330,272 @@ class Supervisor {
   // --- process lifecycle -----------------------------------------------
 
   void launch(Seat& seat) {
-    int fds[2] = {-1, -1};
-    if (::pipe(fds) != 0) {
-      throw SimulationError("distributed sweep: pipe(2) failed: " +
-                            std::string(std::strerror(errno)));
-    }
-
     WorkerConfig cfg;
     cfg.shard = seat.asg.shard;
     cfg.generation = seat.asg.launches;
     cfg.range = seat.asg.range;
-    cfg.journal_path = seat.asg.journal;
     cfg.quarantine.assign(quarantine_.begin(), quarantine_.end());
-    cfg.heartbeat_fd = fds[1];
     cfg.heartbeat_ms = opts_.heartbeat_ms;
+
+    int fds[2] = {-1, -1};
+    if (socket_) {
+      // Leader-side journal ownership: open (resume) on the assignment's
+      // first launch and seed the dedup map from whatever a predecessor
+      // durably recorded.
+      if (!seat.asg.led) attach_leader_journal(seat.asg);
+      // A socket worker has no local journal to resume from, so the
+      // leader narrows its window past the durably-done prefix. Interior
+      // gaps (a steal overlap) re-run and land as agreeing duplicates.
+      while (cfg.range.begin < cfg.range.end &&
+             seat.asg.led->status.count(cfg.range.begin) != 0) {
+        ++cfg.range.begin;
+      }
+      if (cfg.range.begin >= cfg.range.end) {
+        // The previous worker recorded everything before dying — the
+        // assignment is already complete, nothing to launch.
+        seat.state = SeatState::kIdle;
+        seat.restart_backoff->reset();
+        return;
+      }
+      cfg.connect_host = opts_.advertise_host.empty() ? opts_.listen_host
+                                                      : opts_.advertise_host;
+      cfg.connect_port = listen_port_;
+      cfg.epoch = ledger_.issue(seat.asg.shard);
+    } else {
+      cfg.journal_path = seat.asg.journal;
+      if (::pipe(fds) != 0) {
+        throw SimulationError("distributed sweep: pipe(2) failed: " +
+                              std::string(std::strerror(errno)));
+      }
+      cfg.heartbeat_fd = fds[1];
+    }
     if (hook_) hook_(cfg);
 
     const pid_t pid = ::fork();
     if (pid < 0) {
       const std::string err = std::strerror(errno);
-      ::close(fds[0]);
-      ::close(fds[1]);
+      if (fds[0] >= 0) ::close(fds[0]);
+      if (fds[1] >= 0) ::close(fds[1]);
+      if (socket_) ledger_.revoke(cfg.epoch);
       throw SimulationError("distributed sweep: fork(2) failed: " + err);
     }
     if (pid == 0) {
-      // Child: keep only our heartbeat write end. Inherited read ends of
-      // other seats' pipes would otherwise keep those pipes from ever
-      // reporting EOF to the leader.
-      ::close(fds[0]);
+      // Child: drop every leader-side fd — the listener, attached and
+      // pending connections, and other seats' pipe read ends (an
+      // inherited read end would keep a pipe from ever reporting EOF).
+      if (fds[0] >= 0) ::close(fds[0]);
+      if (listen_fd_ >= 0) ::close(listen_fd_);
+      for (const auto& pc : pending_) {
+        if (pc.fd >= 0) ::close(pc.fd);
+      }
       for (const auto& other : seats_) {
         if (other.pipe_fd >= 0) ::close(other.pipe_fd);
+        if (other.conn_fd >= 0) ::close(other.conn_fd);
       }
       const int rc = body_ ? body_(worker_spec_, cfg)
                            : run_worker(worker_spec_, cfg);
       ::_exit(rc);
     }
-    ::close(fds[1]);
-    const int fl = ::fcntl(fds[0], F_GETFL);
-    ::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK);
+    if (!socket_) {
+      ::close(fds[1]);
+      const int fl = ::fcntl(fds[0], F_GETFL);
+      ::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK);
+    }
 
     seat.pid = pid;
     seat.pipe_fd = fds[0];
     seat.rdbuf.clear();
+    seat.conn_fd = -1;
+    seat.decoder.reset();
+    seat.epoch = cfg.epoch;
+    seat.connected_once = false;
     seat.state = SeatState::kRunning;
     seat.last_beat = Clock::now();
     seat.inflight = -1;
     seat.reported_done = 0;
     seat.wedge_killed = false;
+    seat.lost = false;
     seat.stealing = false;
     ++seat.asg.launches;
   }
 
+  /// Open the leader's writer on a socket-mode assignment's journal and
+  /// replay its existing records into the dedup map (and the streaming
+  /// merger — a resumed file is history subscribers have not seen).
+  void attach_leader_journal(Assignment& asg) {
+    asg.led = std::make_shared<LeaderJournal>();
+    for (const auto& line : read_journal_lines(asg.journal)) {
+      driver::JournalEntry entry;
+      // Unparseable lines read as undone here and re-run; the final merge
+      // still applies the strict typed checks to every line.
+      if (!driver::parse_journal_line(line, &entry)) continue;
+      asg.led->status.emplace(entry.rec.index, entry.rec.status);
+      if (merger_) merger_->offer(entry.rec);
+    }
+    asg.led->writer.open(asg.journal, /*keep_existing=*/true);
+  }
+
   void wait_for_events(Clock::time_point now) {
+    enum class Ref { kListen, kPending, kConn, kPipe };
     std::vector<pollfd> fds;
-    std::vector<std::size_t> owner;
+    std::vector<std::pair<Ref, std::size_t>> owner;
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      owner.emplace_back(Ref::kListen, 0);
+    }
+    for (std::size_t p = 0; p < pending_.size(); ++p) {
+      fds.push_back({pending_[p].fd, POLLIN, 0});
+      owner.emplace_back(Ref::kPending, p);
+    }
     for (std::size_t s = 0; s < seats_.size(); ++s) {
       if (seats_[s].pipe_fd >= 0) {
         fds.push_back({seats_[s].pipe_fd, POLLIN, 0});
-        owner.push_back(s);
+        owner.emplace_back(Ref::kPipe, s);
+      }
+      if (seats_[s].conn_fd >= 0) {
+        fds.push_back({seats_[s].conn_fd, POLLIN, 0});
+        owner.emplace_back(Ref::kConn, s);
       }
     }
     const int timeout = poll_timeout_ms(now);
     const int n = ::poll(fds.empty() ? nullptr : fds.data(),
                          static_cast<nfds_t>(fds.size()), timeout);
     if (n <= 0) return;  // timeout or EINTR: deadlines handled by caller
+    bool accepted = false;
     for (std::size_t i = 0; i < fds.size(); ++i) {
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        drain_pipe(seats_[owner[i]]);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      switch (owner[i].first) {
+        case Ref::kListen:
+          accepted = true;  // accept after the loop: pending_ may grow
+          break;
+        case Ref::kPending:
+          service_pending(pending_[owner[i].second]);
+          break;
+        case Ref::kConn:
+          // The seat may have been re-attached (its old fd closed) by an
+          // earlier service_pending this round; match by fd to be safe.
+          if (seats_[owner[i].second].conn_fd == fds[i].fd) {
+            drain_socket(seats_[owner[i].second]);
+          }
+          break;
+        case Ref::kPipe:
+          drain_pipe(seats_[owner[i].second]);
+          break;
       }
+    }
+    // Drop pending slots that attached (fd moved to a seat) or closed.
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [](const PendingConn& pc) {
+                                    return pc.fd < 0;
+                                  }),
+                   pending_.end());
+    if (accepted) accept_connections();
+  }
+
+  void accept_connections() {
+    for (;;) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // EAGAIN drained the backlog; anything else (ECONNABORTED,
+        // EMFILE, ...) is transient from the leader's point of view — the
+        // worker retries with backoff, so just move on.
+        break;
+      }
+      const int fl = ::fcntl(fd, F_GETFL);
+      ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+      PendingConn pc;
+      pc.fd = fd;
+      pc.deadline = after_ms(Clock::now(), kHelloGraceMs);
+      pending_.push_back(std::move(pc));
     }
   }
 
+  /// Read a not-yet-identified connection. A valid HELLO attaches the
+  /// connection (and its decoder, which may already hold trailing frames)
+  /// to the claimed seat; anything else — a revoked epoch, a non-HELLO
+  /// first frame, framing garbage — closes it.
+  void service_pending(PendingConn& pc) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(pc.fd, buf, sizeof(buf));
+      if (n > 0) {
+        pc.decoder.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      ::close(pc.fd);  // EOF or error before HELLO: not a worker
+      pc.fd = -1;
+      return;
+    }
+    Frame frame;
+    const auto r = pc.decoder.next(&frame);
+    if (r == FrameDecoder::Result::kNeedMore) return;
+    if (r == FrameDecoder::Result::kCorrupt ||
+        frame.kind != FrameKind::kHello) {
+      ::close(pc.fd);
+      pc.fd = -1;
+      return;
+    }
+    HelloClaim claim;
+    if (!parse_hello_payload(frame.payload, &claim)) {
+      ::close(pc.fd);
+      pc.fd = -1;
+      return;
+    }
+    Seat* seat = seat_by_epoch(claim.epoch);
+    if (seat == nullptr || !ledger_.valid(claim.epoch) ||
+        ledger_.shard_of(claim.epoch) != claim.shard) {
+      // Fence: this launch's lease was revoked (its shard was given away
+      // while the worker was partitioned, or its exit was already
+      // handled). The zombie is told so and refused — it can never write
+      // a record into a shard someone else now owns.
+      ++fenced_;
+      (void)send_frame_fd(
+          pc.fd, Frame{FrameKind::kHelloAck,
+                       std::string("fenced stale epoch ") +
+                           std::to_string(claim.epoch)});
+      ::close(pc.fd);
+      pc.fd = -1;
+      return;
+    }
+    if (!send_frame_fd(pc.fd, Frame{FrameKind::kHelloAck, kHelloAckOk})) {
+      ::close(pc.fd);
+      pc.fd = -1;
+      return;
+    }
+    if (seat->conn_fd >= 0) ::close(seat->conn_fd);
+    seat->conn_fd = pc.fd;
+    seat->decoder = std::move(pc.decoder);  // trailing frames come along
+    pc.fd = -1;
+    pc.decoder.reset();
+    if (seat->connected_once) ++reconnects_;
+    seat->connected_once = true;
+    seat->last_beat = Clock::now();
+    process_frames(*seat);
+  }
+
+  Seat* seat_by_epoch(std::uint64_t epoch) {
+    if (epoch == 0) return nullptr;
+    for (auto& seat : seats_) {
+      if (seat.epoch == epoch) return &seat;
+    }
+    return nullptr;
+  }
+
   /// Sleep until the nearest deadline: a backoff expiry, a liveness
-  /// timeout, or a SIGTERM grace cutoff — capped so child exits (reaped
-  /// with WNOHANG) are noticed promptly even when no deadline is near.
+  /// timeout, a SIGTERM grace cutoff, or a pending handshake deadline —
+  /// capped so child exits (reaped with WNOHANG) are noticed promptly
+  /// even when no deadline is near.
   int poll_timeout_ms(Clock::time_point now) const {
-    double next = 250.0;
+    double next = socket_ ? 50.0 : 250.0;
     const double liveness = liveness_ms();
+    for (const auto& pc : pending_) {
+      next = std::min(next, ms_between(now, pc.deadline));
+    }
     for (const auto& seat : seats_) {
-      if (seat.pid > 0 && seat.pipe_fd < 0) {
+      if (!socket_ && seat.pid > 0 && seat.pipe_fd < 0) {
         // Heartbeat EOF seen but the exit not yet reaped: the process is
         // mid-_exit — fds close before the zombie becomes waitable — so
         // there is nothing to poll. Tick fast until waitpid catches it
@@ -326,7 +621,7 @@ class Supervisor {
           break;
       }
     }
-    return std::max(10, static_cast<int>(std::ceil(next)));
+    return std::max(socket_ ? 5 : 10, static_cast<int>(std::ceil(next)));
   }
 
   double liveness_ms() const {
@@ -361,10 +656,146 @@ class Supervisor {
       seat.rdbuf.erase(0, nl + 1);
       Heartbeat hb;
       if (!parse_heartbeat_line(line, &hb)) continue;  // torn/garbled: drop
-      seat.reported_done = hb.points_done;
-      seat.inflight = hb.kind == Heartbeat::Kind::kPointStart ? hb.inflight
-                      : hb.kind == Heartbeat::Kind::kPointDone ? -1
-                                                               : seat.inflight;
+      apply_heartbeat(seat, hb);
+    }
+  }
+
+  void drain_socket(Seat& seat) {
+    char buf[4096];
+    bool got_bytes = false;
+    for (;;) {
+      const ssize_t n = ::read(seat.conn_fd, buf, sizeof(buf));
+      if (n > 0) {
+        got_bytes = true;
+        seat.decoder.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF or error: the connection dropped. Unlike a pipe EOF this is
+      // not evidence of death — the worker may be mid-reconnect behind a
+      // partition. Liveness (kConnectionLost) decides later.
+      ::close(seat.conn_fd);
+      seat.conn_fd = -1;
+      break;
+    }
+    if (got_bytes) seat.last_beat = Clock::now();
+    process_frames(seat);
+  }
+
+  void process_frames(Seat& seat) {
+    Frame frame;
+    for (;;) {
+      const auto r = seat.decoder.next(&frame);
+      if (r == FrameDecoder::Result::kNeedMore) break;
+      if (r == FrameDecoder::Result::kCorrupt) {
+        // Framing desync is unrecoverable on a byte stream: drop the
+        // connection, the worker reconnects and the codec starts clean.
+        if (seat.conn_fd >= 0) {
+          ::close(seat.conn_fd);
+          seat.conn_fd = -1;
+        }
+        seat.decoder.reset();
+        break;
+      }
+      switch (frame.kind) {
+        case FrameKind::kHeartbeat: {
+          Heartbeat hb;
+          if (parse_heartbeat_line(frame.payload, &hb)) {
+            apply_heartbeat(seat, hb);
+          }
+          break;
+        }
+        case FrameKind::kJournal:
+          handle_journal_frame(seat, frame.payload);
+          break;
+        default:
+          break;  // wrong-direction or unknown control frame: ignore
+      }
+    }
+  }
+
+  void apply_heartbeat(Seat& seat, const Heartbeat& hb) {
+    seat.reported_done = hb.points_done;
+    seat.inflight = hb.kind == Heartbeat::Kind::kPointStart ? hb.inflight
+                    : hb.kind == Heartbeat::Kind::kPointDone
+                        ? -1
+                        : seat.inflight;
+  }
+
+  /// One shipped journal record: append-once (fsync before the ack, so an
+  /// acked record is durable), dedup retransmissions by grid index, and
+  /// feed the streaming merger. A status-disagreeing duplicate or a
+  /// record that contradicts the grid is a JournalConflictError — the
+  /// same trust model as the batch merge.
+  void handle_journal_frame(Seat& seat, const std::string& payload) {
+    std::size_t index = 0;
+    std::string line;
+    if (!parse_journal_payload(payload, &index, &line)) return;  // garbled
+    driver::JournalEntry entry;
+    if (!driver::parse_journal_line(line, &entry) ||
+        entry.rec.index != index) {
+      return;  // no ack: the worker retransmits (or dies trying)
+    }
+    if (index >= points_.size() || entry.seed != points_[index].seed) {
+      throw JournalConflictError(
+          "shard " + std::to_string(seat.asg.shard) +
+          " shipped a record that does not match this sweep (point " +
+          std::to_string(index) + "); refusing to mix campaigns");
+    }
+    PSYNC_CHECK(seat.asg.led != nullptr);
+    LeaderJournal& led = *seat.asg.led;
+    const auto it = led.status.find(index);
+    if (it != led.status.end()) {
+      if (it->second != entry.rec.status) {
+        throw JournalConflictError(
+            "point " + std::to_string(index) +
+            " shipped twice with disagreeing status (" +
+            std::string(driver::to_string(it->second)) + " vs " +
+            driver::to_string(entry.rec.status) + ")");
+      }
+      ++shipped_duplicates_;  // idempotent retransmission: ack again
+    } else {
+      led.writer.append(line);  // durable before the ack goes out
+      led.status.emplace(index, entry.rec.status);
+      if (merger_) merger_->offer(entry.rec);
+    }
+    if (seat.conn_fd >= 0) {
+      (void)send_frame_fd(seat.conn_fd, Frame{FrameKind::kJournalAck,
+                                              journal_ack_payload(index)});
+    }
+  }
+
+  /// Pipe-mode streaming: tail every shard journal file for complete new
+  /// lines and feed them to the merger. Only runs when a streaming sink
+  /// is configured, so the plain pipe path pays nothing.
+  void tail_journals() {
+    for (const auto& path : journal_paths_) {
+      auto& tail = tails_[path];
+      const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) continue;  // not created yet
+      if (tail.offset > 0) {
+        ::lseek(fd, static_cast<off_t>(tail.offset), SEEK_SET);
+      }
+      char buf[8192];
+      ssize_t n = 0;
+      while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+        tail.buf.append(buf, static_cast<std::size_t>(n));
+        tail.offset += static_cast<std::size_t>(n);
+      }
+      ::close(fd);
+      std::size_t nl = 0;
+      while ((nl = tail.buf.find('\n')) != std::string::npos) {
+        const std::string line = tail.buf.substr(0, nl);
+        tail.buf.erase(0, nl + 1);
+        driver::JournalEntry entry;
+        if (!driver::parse_journal_line(line, &entry)) continue;
+        if (entry.rec.index >= points_.size() ||
+            entry.seed != points_[entry.rec.index].seed) {
+          continue;  // the batch merge raises the typed error
+        }
+        merger_->offer(entry.rec);
+      }
     }
   }
 
@@ -377,39 +808,88 @@ class Supervisor {
       const pid_t pid = ::waitpid(seat.pid, &wstatus, WNOHANG);
       if (pid == seat.pid) handle_exit(seat, wstatus);
     }
+    // Orphans (partitioned workers whose shard moved on) exit on their own
+    // once fencing turns them away; collect them opportunistically.
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      int wstatus = 0;
+      const pid_t pid = ::waitpid(*it, &wstatus, WNOHANG);
+      if (pid == *it || (pid < 0 && errno == ECHILD)) {
+        it = orphans_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   void enforce_deadlines(Clock::time_point now) {
     const double liveness = liveness_ms();
+    for (auto& pc : pending_) {
+      if (pc.fd >= 0 && now >= pc.deadline) {
+        ::close(pc.fd);  // never said HELLO: not a worker
+        pc.fd = -1;
+      }
+    }
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [](const PendingConn& pc) {
+                                    return pc.fd < 0;
+                                  }),
+                   pending_.end());
     for (auto& seat : seats_) {
-      if (seat.state == SeatState::kRunning && liveness > 0.0 &&
-          ms_between(seat.last_beat, now) > liveness) {
-        // Wedged: the pipe has been silent past the liveness timeout even
-        // though the worker-side timer thread beats through long points.
-        // SIGKILL is the only safe answer to a process we can't trust to
-        // unwind; its journal is fsync'd line-by-line so nothing durable
-        // is lost.
+      if (seat.state != SeatState::kRunning || liveness <= 0.0 ||
+          ms_between(seat.last_beat, now) <= liveness) {
+        if (seat.state == SeatState::kTerming && now >= seat.term_deadline &&
+            seat.pid > 0) {
+          ::kill(seat.pid, SIGKILL);
+          seat.term_deadline = after_ms(now, opts_.term_grace_ms);
+        }
+        continue;
+      }
+      if (socket_ && seat.conn_fd < 0) {
+        // Silent *and* disconnected: the worker is on the far side of a
+        // partition (or its host died). Two reasons not to SIGKILL the
+        // pid: it may be a launch wrapper whose real worker is remote,
+        // and killing is not needed for safety — revoking the epoch is.
+        // The shard relaunches; if the original ever reconnects it is
+        // fenced and stands down by itself.
         record_incident(
-            driver::FailureKind::kTimeout,
+            driver::FailureKind::kConnectionLost,
             "shard " + std::to_string(seat.asg.shard) + " worker (pid " +
-                std::to_string(seat.pid) + ") heartbeat silent for " +
-                std::to_string(static_cast<long>(ms_between(seat.last_beat,
-                                                            now))) +
+                std::to_string(seat.pid) + ", epoch " +
+                std::to_string(seat.epoch) + ") disconnected and silent for " +
+                std::to_string(static_cast<long>(
+                    ms_between(seat.last_beat, now))) +
                 " ms (liveness timeout " +
                 std::to_string(static_cast<long>(liveness)) +
-                " ms); killing",
+                " ms); fencing its epoch and relaunching",
             seat.asg.launches);
-        seat.wedge_killed = true;
-        ::kill(seat.pid, SIGKILL);
-        // Exit flows through the normal reap path; stay out of kRunning so
-        // the incident isn't re-recorded next tick.
-        seat.state = SeatState::kTerming;
-        seat.term_deadline = after_ms(now, opts_.term_grace_ms);
-      } else if (seat.state == SeatState::kTerming &&
-                 now >= seat.term_deadline && seat.pid > 0) {
-        ::kill(seat.pid, SIGKILL);
-        seat.term_deadline = after_ms(now, opts_.term_grace_ms);
+        ledger_.revoke(seat.epoch);
+        seat.epoch = 0;
+        if (seat.pid > 0) orphans_.push_back(seat.pid);
+        seat.pid = -1;
+        seat.lost = true;
+        schedule_relaunch(seat);
+        continue;
       }
+      // Wedged: the channel has been silent past the liveness timeout even
+      // though the worker-side timer thread beats through long points.
+      // SIGKILL is the only safe answer to a process we can't trust to
+      // unwind; the journal is fsync'd line-by-line so nothing durable
+      // is lost.
+      record_incident(
+          driver::FailureKind::kTimeout,
+          "shard " + std::to_string(seat.asg.shard) + " worker (pid " +
+              std::to_string(seat.pid) + ") heartbeat silent for " +
+              std::to_string(
+                  static_cast<long>(ms_between(seat.last_beat, now))) +
+              " ms (liveness timeout " +
+              std::to_string(static_cast<long>(liveness)) + " ms); killing",
+          seat.asg.launches);
+      seat.wedge_killed = true;
+      ::kill(seat.pid, SIGKILL);
+      // Exit flows through the normal reap path; stay out of kRunning so
+      // the incident isn't re-recorded next tick.
+      seat.state = SeatState::kTerming;
+      seat.term_deadline = after_ms(now, opts_.term_grace_ms);
     }
   }
 
@@ -421,6 +901,18 @@ class Supervisor {
         seat.pipe_fd = -1;
       }
     }
+    if (seat.conn_fd >= 0) {
+      drain_socket(seat);  // salvage frames still in the socket buffer
+      if (seat.conn_fd >= 0) {
+        ::close(seat.conn_fd);
+        seat.conn_fd = -1;
+      }
+    }
+    if (seat.epoch != 0) {
+      // This launch is over; any later claim of its epoch is a zombie.
+      ledger_.revoke(seat.epoch);
+      seat.epoch = 0;
+    }
     seat.pid = -1;
 
     if (shutdown_) {
@@ -430,7 +922,8 @@ class Supervisor {
 
     const bool graceful = WIFEXITED(wstatus) &&
                           (WEXITSTATUS(wstatus) == kWorkerExitOk ||
-                           WEXITSTATUS(wstatus) == kWorkerExitCancelled);
+                           WEXITSTATUS(wstatus) == kWorkerExitCancelled ||
+                           WEXITSTATUS(wstatus) == kWorkerExitFenced);
     const std::vector<std::size_t> undone = undone_in(seat.asg);
 
     if (seat.stealing) {
@@ -454,39 +947,38 @@ class Supervisor {
       // a worker that crashed after durably recording its last point owes
       // us nothing.
       seat.state = SeatState::kIdle;
+      seat.restart_backoff->reset();
       return;
     }
 
     // Crash (or an exit-0 liar with an incomplete journal — treat the
     // same; trusting it would silently drop points).
-    if (!seat.wedge_killed) {
+    if (!seat.wedge_killed && !seat.lost) {
       record_incident(driver::FailureKind::kInternalError,
                       exit_description(seat, wstatus), seat.asg.launches);
     }
     note_crash_point(seat, undone);
+    schedule_relaunch(seat);
+  }
 
+  /// Relaunch policy shared by crash exits and connection loss: give up
+  /// after max_restarts, otherwise back off with decorrelated jitter.
+  void schedule_relaunch(Seat& seat) {
     if (seat.asg.launches > opts_.max_restarts) {
       record_incident(
           driver::FailureKind::kWorkerCrash,
           "shard " + std::to_string(seat.asg.shard) + " abandoned after " +
               std::to_string(seat.asg.launches - 1) + " restart(s); " +
-              std::to_string(undone.size()) +
-              " unfinished point(s) will be reported as failed",
+              "unfinished point(s) will be reported as failed",
           seat.asg.launches);
       gave_up_ = true;
       seat.state = SeatState::kIdle;
       return;
     }
     ++restarts_;
-    const std::size_t nth_restart = seat.asg.launches;  // 1-based
-    double backoff = opts_.restart_backoff_ms;
-    for (std::size_t i = 1; i < nth_restart && backoff < opts_.restart_backoff_max_ms;
-         ++i) {
-      backoff *= 2.0;
-    }
-    backoff = std::min(backoff, opts_.restart_backoff_max_ms);
     seat.state = SeatState::kBackoff;
-    seat.backoff_until = after_ms(Clock::now(), backoff);
+    seat.backoff_until =
+        after_ms(Clock::now(), seat.restart_backoff->next_ms());
   }
 
   std::string exit_description(const Seat& seat, int wstatus) const {
@@ -564,6 +1056,7 @@ class Supervisor {
       if (c == 0) {
         asg.journal = seat.asg.journal;
         asg.launches = seat.asg.launches;
+        asg.led = seat.asg.led;  // same file, same writer, same dedup map
       } else {
         const std::size_t k = ++steal_counter_[seat.asg.shard];
         asg.journal = shard_journal_path(opts_.journal_base, seat.asg.shard, k);
@@ -583,6 +1076,11 @@ class Supervisor {
   // --- final assembly --------------------------------------------------
 
   driver::SweepResult assemble() {
+    // Release the leader-held journal writers (and their flocks) before
+    // the merge reads the files back.
+    for (auto& seat : seats_) {
+      if (seat.asg.led) seat.asg.led->writer.close();
+    }
     MergedJournal merged =
         merge_journals(points_, spec_.workload, journal_paths_);
     if (!merged.missing.empty() && !gave_up_) {
@@ -608,6 +1106,8 @@ class Supervisor {
     result.campaign = driver::summarize_campaign(result.records);
     result.campaign.worker_restarts = restarts_;
     result.campaign.worker_steals = steals_;
+    result.campaign.worker_reconnects = reconnects_;
+    result.campaign.worker_fenced = fenced_;
     result.campaign.worker_failures = std::move(incidents_);
     return result;
   }
@@ -631,6 +1131,25 @@ class Supervisor {
   std::uint64_t steals_ = 0;
   bool gave_up_ = false;
   bool shutdown_ = false;
+
+  // --- socket transport state ------------------------------------------
+  bool socket_ = false;
+  int listen_fd_ = -1;
+  std::uint16_t listen_port_ = 0;
+  EpochLedger ledger_;
+  std::vector<PendingConn> pending_;
+  std::vector<pid_t> orphans_;  // partitioned pids awaiting self-exit
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t fenced_ = 0;
+  std::uint64_t shipped_duplicates_ = 0;
+
+  // --- streaming merge -------------------------------------------------
+  std::optional<StreamingMerger> merger_;
+  struct TailState {
+    std::size_t offset = 0;
+    std::string buf;
+  };
+  std::map<std::string, TailState> tails_;  // pipe-mode journal tailing
 };
 
 }  // namespace
@@ -641,6 +1160,43 @@ driver::SweepResult run_distributed(const driver::ExperimentSpec& spec,
                                     const LaunchHook& hook) {
   Supervisor supervisor(spec, opts, body, hook);
   return supervisor.run();
+}
+
+driver::CampaignExecutor distributed_executor(SupervisorOptions opts) {
+  return [opts](const driver::FrozenSpec& frozen,
+                driver::CampaignFeed& feed) -> driver::SweepResult {
+    SupervisorOptions run_opts = opts;
+    if (run_opts.journal_base.empty()) {
+      if (!frozen.spec.journal_path.empty()) {
+        run_opts.journal_base = frozen.spec.journal_path + ".dist";
+      } else {
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(frozen.digest));
+        run_opts.journal_base = "/tmp/psync-dist-" + std::string(hex);
+      }
+    }
+    run_opts.cancel = feed.token();
+    std::vector<char> streamed(frozen.points.size(), 0);
+    const auto chained = run_opts.on_record;
+    run_opts.on_record = [&feed, &streamed, &chained](
+                             std::size_t index,
+                             const driver::RunRecord& rec) {
+      if (index < streamed.size()) streamed[index] = 1;
+      feed.emit(index, rec);
+      if (chained) chained(index, rec);
+    };
+    driver::SweepResult result = run_distributed(frozen.spec, run_opts);
+    // Back-fill: records the stream never carried (e.g. the synthesized
+    // failures of an abandoned shard) so subscribers see every point
+    // exactly once.
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      if (i >= streamed.size() || streamed[i] == 0) {
+        feed.emit(i, result.records[i]);
+      }
+    }
+    return result;
+  };
 }
 
 }  // namespace psync::dist

@@ -4,12 +4,13 @@
 // Supervision model, in one paragraph: the grid is cut into contiguous
 // ranges (shard.hpp), each range is an *assignment* with its own
 // checkpoint journal, and `workers` process seats execute assignments.
-// Every worker heartbeats over an inherited pipe (heartbeat.hpp); silence
-// longer than the liveness timeout means the process is wedged and it is
+// Every worker heartbeats over its transport (heartbeat.hpp over an
+// inherited pipe, or framed over TCP — transport.hpp); silence longer
+// than the liveness timeout means the process is wedged and it is
 // SIGKILLed. A dead or wedged worker's assignment is relaunched in place
-// with exponential backoff, resuming its own journal, so only the points
-// that were never durably recorded re-run. A point that kills its worker
-// K launches in a row is quarantined — recorded as
+// with decorrelated-jitter backoff, resuming its journal, so only the
+// points that were never durably recorded re-run. A point that kills its
+// worker K launches in a row is quarantined — recorded as
 // kQuarantined/worker_crash — instead of being allowed to crash-loop the
 // sweep. When a seat runs out of work it steals: the straggler with the
 // most unfinished points is asked to stop (SIGTERM -> graceful exit), its
@@ -18,26 +19,66 @@
 // the run produced — including those left by SIGKILLed workers — is merged
 // (merge.hpp) into one grid-order SweepResult.
 //
+// The socket transport (TransportKind::kSocket) moves the journal to the
+// leader's side of the wire: workers stream each completed point's
+// journal line over TCP, the leader appends it to the local per-shard
+// journal (fsync before ack — journal remains truth), dedups
+// retransmissions by grid index, and *fences* zombie workers by lease
+// epoch: every launch gets a fresh epoch, the epoch is revoked when the
+// leader moves on (relaunch after connection loss, steal reclaim, exit),
+// and a worker reconnecting with a revoked epoch is refused before it can
+// write a single record. Connection loss is its own failure class
+// (kConnectionLost): a disconnected worker that stays silent past the
+// liveness window is presumed partitioned — it is *not* killed (the
+// process may be unreachable, not dead); its shard is relaunched and the
+// fence keeps the survivor out.
+//
 // Determinism: per-point seeds come from the global grid index and merged
 // records are journal round-trips, so the rendered JSON/CSV is
 // byte-identical to a single-process serial run no matter how many workers
 // died along the way. All supervision accounting (restarts, steals,
-// incident list) lives in the non-serialized CampaignReport fields.
+// reconnects, fences, incident list) lives in the non-serialized
+// CampaignReport fields.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "psync/common/cancel.hpp"
+#include "psync/dist/transport.hpp"
 #include "psync/dist/worker.hpp"
 #include "psync/driver/runner.hpp"
+#include "psync/driver/session.hpp"
 
 namespace psync::dist {
 
 struct SupervisorOptions {
   /// Worker process seats (and initial shard count). 0 is treated as 1.
   std::size_t workers = 2;
+
+  /// Channel the leader drives its workers over. kPipe is PR 6 unchanged
+  /// (inherited heartbeat pipe, workers journal to the shared
+  /// filesystem); kSocket listens on TCP, workers dial back, and journal
+  /// records ship to the leader (transport.hpp).
+  TransportKind transport = TransportKind::kPipe;
+  /// Socket transport: where the leader listens (port 0 = ephemeral) and
+  /// the host workers are told to dial. advertise_host defaults to
+  /// listen_host — set it when workers run on other machines and must
+  /// dial a routable address rather than the bind address.
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  std::string advertise_host;
+
+  /// Streaming merge sink: called with (index, record) in strictly
+  /// ascending grid order as completed points become contiguous
+  /// (stream_merge.hpp), while later shards still compute. Socket mode
+  /// feeds it straight off the journal frames; pipe mode tails the shard
+  /// journal files (only when the sink is set, so the plain pipe path
+  /// stays zero-overhead). The final SweepResult still comes from the
+  /// end-of-run journal merge — this is a live view, not a second truth.
+  std::function<void(std::size_t, const driver::RunRecord&)> on_record;
 
   /// Worker heartbeat interval; liveness timeout is
   /// heartbeat_ms * liveness_factor (a worker is presumed wedged — and
@@ -47,13 +88,18 @@ struct SupervisorOptions {
   double heartbeat_ms = 100.0;
   double liveness_factor = 10.0;
 
-  /// Restart policy per assignment: backoff before relaunch n is
-  /// restart_backoff_ms * 2^(n-1), capped at restart_backoff_max_ms; after
-  /// max_restarts an assignment is abandoned and its unfinished points are
-  /// reported as kFailed/worker_crash instead of looping forever.
+  /// Restart policy per assignment: relaunch n waits a decorrelated-
+  /// jitter draw (backoff.hpp) from [restart_backoff_ms,
+  /// min(restart_backoff_max_ms, 3 * previous wait)] — first relaunch
+  /// waits exactly restart_backoff_ms. After max_restarts an assignment
+  /// is abandoned and its unfinished points are reported as
+  /// kFailed/worker_crash instead of looping forever.
   double restart_backoff_ms = 50.0;
   double restart_backoff_max_ms = 2000.0;
   std::size_t max_restarts = 5;
+  /// Seed of the restart jitter (mixed with the seat index so seats never
+  /// share a schedule). Fixed default keeps runs reproducible.
+  std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ULL;
 
   /// Quarantine a grid point after this many consecutive worker crashes
   /// with that point in flight (the crash analogue of PointGuard's retry
@@ -85,14 +131,15 @@ struct SupervisorOptions {
 
 /// Runs in the forked child, never returns control flow to the leader:
 /// either executes the shard in-process (default: run_worker) or execs a
-/// fresh binary (psync_sim's `--worker-shard` mode). Its return value
-/// becomes the child's exit code.
+/// fresh binary (psync_sim's `--worker-shard` / `--connect` modes, or a
+/// launch template that ships the worker to another host). Its return
+/// value becomes the child's exit code.
 using WorkerBody =
     std::function<int(const driver::ExperimentSpec&, const WorkerConfig&)>;
 
 /// Leader-side hook applied to each WorkerConfig just before fork — how
-/// tests and the fault smoke inject crash_on_index / stall_on_index for
-/// specific shards and generations. May be empty.
+/// tests and the fault smokes inject crash_on_index / stall_on_index /
+/// chaos options for specific shards and generations. May be empty.
 using LaunchHook = std::function<void(WorkerConfig&)>;
 
 /// Execute `spec`'s sweep across worker processes and merge the shard
@@ -103,5 +150,17 @@ driver::SweepResult run_distributed(const driver::ExperimentSpec& spec,
                                     const SupervisorOptions& opts,
                                     const WorkerBody& body = {},
                                     const LaunchHook& hook = {});
+
+/// Adapt run_distributed into a driver::CampaignExecutor, so a Session —
+/// and therefore the serve daemon — executes submitted campaigns across
+/// worker processes instead of an in-process thread pool. Per campaign:
+/// `opts.journal_base` defaults to "<spec.journal_path>.dist" (or a
+/// digest-named path under /tmp when the spec has no journal), the
+/// campaign's cancel token becomes the leader shutdown token, and the
+/// streaming merge feeds each contiguous record to the campaign's event
+/// stream while the sweep still runs — subscribers see partial results
+/// live. Records the stream never carried (abandoned-shard back-fill)
+/// are emitted after the merge, so every point is published exactly once.
+driver::CampaignExecutor distributed_executor(SupervisorOptions opts);
 
 }  // namespace psync::dist

@@ -1,0 +1,480 @@
+#include "psync/dist/transport.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "psync/common/check.hpp"
+
+namespace psync::dist {
+
+// --- PipeWorkerLink ----------------------------------------------------
+
+PipeWorkerLink::PipeWorkerLink(int fd, CancelToken* on_dead)
+    : fd_(fd), on_dead_(on_dead) {}
+
+bool PipeWorkerLink::send_heartbeat(const Heartbeat& hb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return true;  // heartbeats disabled: never "dead"
+  if (broken_) return false;
+  std::string line = heartbeat_line(hb);
+  line.push_back('\n');
+  // One write(2) per line, far below PIPE_BUF: atomic against the other
+  // writer thread. EPIPE means the leader is gone — stop beating and ask
+  // the worker to wind down (SIGPIPE is ignored in worker processes).
+  ssize_t n = -1;
+  do {
+    n = ::write(fd_, line.data(), line.size());
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    broken_ = true;
+    if (on_dead_ != nullptr) on_dead_->cancel();
+    return false;
+  }
+  return true;
+}
+
+// --- SocketWorkerLink --------------------------------------------------
+
+SocketWorkerLink::SocketWorkerLink(const SocketLinkOptions& opts,
+                                   CancelToken* on_fenced)
+    : opts_(opts),
+      on_fenced_(on_fenced),
+      chaos_(opts.chaos),
+      backoff_(opts.reconnect_base_ms, opts.reconnect_cap_ms,
+               opts.reconnect_seed),
+      t0_(std::chrono::steady_clock::now()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)ensure_connected_locked(now_ms());
+}
+
+SocketWorkerLink::~SocketWorkerLink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+double SocketWorkerLink::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+bool SocketWorkerLink::send_heartbeat(const Heartbeat& hb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = now_ms();
+  pump_locked(now);
+  if (fenced_) return false;
+  if (fd_ >= 0) {
+    transmit_locked({FrameKind::kHeartbeat, heartbeat_line(hb)}, now);
+  }
+  // Disconnected is not dead: the reconnect loop keeps trying, and a
+  // missed heartbeat during an outage is exactly what the leader's
+  // connection-loss taxonomy is for.
+  return !fenced_;
+}
+
+void SocketWorkerLink::send_journal(std::size_t index,
+                                    const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fenced_) return;
+  const double now = now_ms();
+  unacked_[index] = Pending{line, -1.0};
+  pump_locked(now);
+  if (fd_ >= 0) {
+    transmit_locked({FrameKind::kJournal, journal_payload(index, line)}, now);
+    const auto it = unacked_.find(index);
+    if (it != unacked_.end()) it->second.last_sent_ms = now;
+  }
+}
+
+bool SocketWorkerLink::fenced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_;
+}
+
+std::size_t SocketWorkerLink::unacked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unacked_.size();
+}
+
+bool SocketWorkerLink::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+std::size_t SocketWorkerLink::reconnects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reconnects_;
+}
+
+bool SocketWorkerLink::flush(double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(timeout_ms));
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fenced_) return false;
+      if (unacked_.empty()) return true;
+      pump_locked(now_ms());
+      if (unacked_.empty()) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return unacked_.empty();
+}
+
+void SocketWorkerLink::pump_locked(double now) {
+  if (fenced_) return;
+  if (!ensure_connected_locked(now)) return;
+  drain_locked(now);
+  if (fd_ < 0 || fenced_) return;
+  // Retransmit shipped-but-unacked records (a dropped frame, or a
+  // reconnect that raced the ack). The leader dedups by index, so an ack
+  // that was merely delayed costs one agreeing duplicate, nothing more.
+  for (auto& [index, pending] : unacked_) {
+    if (pending.last_sent_ms >= 0.0 &&
+        now - pending.last_sent_ms < opts_.resend_ms) {
+      continue;
+    }
+    transmit_locked({FrameKind::kJournal, journal_payload(index, pending.line)},
+                    now);
+    pending.last_sent_ms = now;
+    if (fd_ < 0) return;  // transmit noticed a dead connection
+  }
+  // Release chaos-delayed frames whose hold expired.
+  for (const Frame& frame : chaos_.due(now)) {
+    if (fd_ < 0) break;
+    raw_send_locked(encode_frame(frame), now);
+  }
+}
+
+bool SocketWorkerLink::ensure_connected_locked(double now) {
+  if (fd_ >= 0) return true;
+  if (fenced_) return false;
+  if (chaos_.partitioned(now)) return false;  // the net is "down"
+  if (now < next_connect_ms_) return false;
+  const int fd = tcp_connect(opts_.host, opts_.port);
+  if (fd < 0) {
+    next_connect_ms_ = now + backoff_.next_ms();
+    return false;
+  }
+  // Handshake, in the clear (chaos applies to post-handshake frames only:
+  // a HELLO that never arrives is indistinguishable from the connect
+  // failing, which the partition injection already covers).
+  const HelloClaim claim{opts_.shard, opts_.epoch};
+  const std::string hello =
+      encode_frame({FrameKind::kHello, hello_payload(claim)});
+  std::size_t off = 0;
+  while (off < hello.size()) {
+    const ssize_t n = ::write(fd, hello.data() + off, hello.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      next_connect_ms_ = now + backoff_.next_ms();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Wait (bounded) for the ack.
+  decoder_.reset();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              opts_.handshake_timeout_ms));
+  Frame ack;
+  for (;;) {
+    FrameDecoder::Result r = decoder_.next(&ack);
+    if (r == FrameDecoder::Result::kFrame) break;
+    if (r == FrameDecoder::Result::kCorrupt ||
+        std::chrono::steady_clock::now() >= deadline) {
+      ::close(fd);
+      decoder_.reset();
+      next_connect_ms_ = now + backoff_.next_ms();
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pn = ::poll(&pfd, 1, 50);
+    if (pn < 0 && errno != EINTR) {
+      ::close(fd);
+      next_connect_ms_ = now + backoff_.next_ms();
+      return false;
+    }
+    if (pn <= 0) continue;
+    char buf[1024];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      next_connect_ms_ = now + backoff_.next_ms();
+      return false;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+  if (ack.kind != FrameKind::kHelloAck) {
+    ::close(fd);
+    decoder_.reset();
+    next_connect_ms_ = now + backoff_.next_ms();
+    return false;
+  }
+  if (hello_ack_fenced(ack.payload)) {
+    ::close(fd);
+    decoder_.reset();
+    fence_locked();
+    return false;
+  }
+  // Accepted. Nonblocking from here on; the pump drains acks.
+  const int fl = ::fcntl(fd, F_GETFL);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  fd_ = fd;
+  if (connected_once_) ++reconnects_;
+  connected_once_ = true;
+  backoff_.reset();
+  next_connect_ms_ = 0.0;
+  // Everything unacked goes again right away — the previous connection
+  // may have died with records in flight.
+  for (auto& [index, pending] : unacked_) {
+    transmit_locked({FrameKind::kJournal, journal_payload(index, pending.line)},
+                    now);
+    pending.last_sent_ms = now;
+    if (fd_ < 0) return false;
+  }
+  return fd_ >= 0;
+}
+
+void SocketWorkerLink::drain_locked(double now) {
+  if (fd_ < 0) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    disconnect_locked(now);  // EOF or a hard error
+    return;
+  }
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result r = decoder_.next(&frame);
+    if (r == FrameDecoder::Result::kNeedMore) break;
+    if (r == FrameDecoder::Result::kCorrupt) {
+      disconnect_locked(now);  // framing desync: only a fresh stream helps
+      return;
+    }
+    switch (frame.kind) {
+      case FrameKind::kJournalAck: {
+        std::size_t index = 0;
+        if (parse_journal_ack_payload(frame.payload, &index)) {
+          unacked_.erase(index);
+        }
+        break;
+      }
+      case FrameKind::kHelloAck:
+        // A late fence: the leader decided mid-stream this epoch is done.
+        if (hello_ack_fenced(frame.payload)) {
+          disconnect_locked(now);
+          fence_locked();
+          return;
+        }
+        break;
+      default:
+        break;  // leader never sends other kinds; ignore
+    }
+  }
+}
+
+void SocketWorkerLink::transmit_locked(const Frame& frame, double now) {
+  for (const Frame& out : chaos_.offer(frame, now)) {
+    if (fd_ < 0) break;
+    raw_send_locked(encode_frame(out), now);
+  }
+  if (chaos_.take_partition(now) && fd_ >= 0) {
+    disconnect_locked(now);
+  }
+}
+
+void SocketWorkerLink::raw_send_locked(const std::string& wire, double now) {
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The kernel buffer is full (tiny frames, so this is rare). A short
+      // blocking wait beats dropping the frame on the floor.
+      pollfd pfd{fd_, POLLOUT, 0};
+      (void)::poll(&pfd, 1, 100);
+      continue;
+    }
+    if (n < 0) {
+      disconnect_locked(now);
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SocketWorkerLink::disconnect_locked(double now) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_.reset();
+  next_connect_ms_ = now + backoff_.next_ms();
+}
+
+void SocketWorkerLink::fence_locked() {
+  fenced_ = true;
+  if (on_fenced_ != nullptr) on_fenced_->cancel();
+}
+
+// --- EpochLedger -------------------------------------------------------
+
+std::uint64_t EpochLedger::issue(std::size_t shard) {
+  const std::uint64_t epoch = next_++;
+  active_[epoch] = shard;
+  return epoch;
+}
+
+void EpochLedger::revoke(std::uint64_t epoch) { active_.erase(epoch); }
+
+bool EpochLedger::valid(std::uint64_t epoch) const {
+  return active_.count(epoch) != 0;
+}
+
+std::size_t EpochLedger::shard_of(std::uint64_t epoch) const {
+  const auto it = active_.find(epoch);
+  PSYNC_CHECK(it != active_.end());
+  return it->second;
+}
+
+// --- TCP plumbing ------------------------------------------------------
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::uint16_t* actual_port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw SimulationError("dist: cannot resolve listen address '" + host +
+                          "': " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string err = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      err = std::strerror(errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 64) == 0) {
+      break;
+    }
+    err = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw SimulationError("dist: cannot listen on " + host + ":" +
+                          std::to_string(port) + ": " + err);
+  }
+  if (actual_port != nullptr) {
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      if (addr.ss_family == AF_INET) {
+        *actual_port =
+            ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+      } else if (addr.ss_family == AF_INET6) {
+        *actual_port =
+            ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+      }
+    }
+  }
+  const int fl = ::fcntl(fd, F_GETFL);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  return fd;
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      set_nodelay(fd);
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+bool parse_host_port(const std::string& s, std::string* host,
+                     std::uint16_t* port) {
+  const std::size_t colon = s.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    *host = "127.0.0.1";
+    port_str = s;
+  } else {
+    *host = s.substr(0, colon);
+    port_str = s.substr(colon + 1);
+  }
+  if (host->empty() || port_str.empty()) return false;
+  char* endp = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(port_str.c_str(), &endp, 10);
+  if (endp == port_str.c_str() || *endp != '\0' || errno != 0 || v > 65535) {
+    return false;
+  }
+  *port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+}  // namespace psync::dist

@@ -1,0 +1,215 @@
+// The pluggable leader<->worker transport.
+//
+// PR 6's supervisor spoke to workers over one inherited pipe per seat:
+// heartbeat lines flowed up, and the journal never traveled at all — the
+// worker wrote it to a shared filesystem. That is exactly right on one
+// host and exactly wrong across a network. This layer splits the channel
+// behind a small interface:
+//
+//   WorkerLink        what a worker writes to (heartbeats + journal)
+//   PipeWorkerLink    today's behavior, byte-compatible: heartbeat text
+//                     lines on the inherited fd, journal written locally
+//   SocketWorkerLink  TCP to the leader: length-prefixed frames
+//                     (frame.hpp) carrying the same heartbeat lines plus
+//                     a journal-shipping stream — each completed point's
+//                     journal record goes to the leader, which appends it
+//                     to the local per-shard journal. Journal-remains-
+//                     truth, and the PR 6 merge stays crash-identical.
+//
+// Socket-mode robustness lives here, worker-side:
+//
+//   * Reconnect with decorrelated-jitter backoff (backoff.hpp). A broken
+//     connection is not a death sentence — the worker keeps computing and
+//     keeps trying; completed records queue as unacked.
+//   * At-least-once journal shipping: every record is retransmitted until
+//     the leader acks it (on reconnect, and periodically against drops).
+//     The leader dedups by index, so retransmission is idempotent.
+//   * Lease-epoch fencing: every connection opens with a HELLO claiming
+//     (shard, epoch). The leader issued that epoch for exactly one launch
+//     and revokes it when it gives the shard away; a zombie worker
+//     reconnecting after its partition healed is answered "fenced", its
+//     link goes permanently dead, and it can never double-write a shard
+//     someone else now owns.
+//   * ChaosTransport (chaos.hpp) decorates the outbound frame path for
+//     deterministic fault injection in tests and the net-chaos smoke.
+//
+// Leader-side state (who owns which epoch) is EpochLedger, kept here so
+// the fencing decision is a pure, unit-testable object instead of
+// supervisor plumbing.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "psync/common/cancel.hpp"
+#include "psync/dist/backoff.hpp"
+#include "psync/dist/chaos.hpp"
+#include "psync/dist/frame.hpp"
+#include "psync/dist/heartbeat.hpp"
+
+namespace psync::dist {
+
+/// Which channel a supervisor drives its workers over.
+enum class TransportKind {
+  kPipe,    // inherited pipe, local journals (PR 6, byte-compatible)
+  kSocket,  // TCP frames, journal shipped to the leader
+};
+
+/// What a worker process writes to. Implementations are thread-safe: the
+/// heartbeat timer thread and the sweep thread both call in.
+class WorkerLink {
+ public:
+  virtual ~WorkerLink() = default;
+  /// Emit one heartbeat. Returns false once the link is permanently dead
+  /// (pipe: the leader's read end is gone; socket: this epoch was fenced)
+  /// — the worker should wind down.
+  virtual bool send_heartbeat(const Heartbeat& hb) = 0;
+  /// Ship one completed point's journal line (socket), or no-op (pipe:
+  /// the worker journals to the local filesystem itself).
+  virtual void send_journal(std::size_t index, const std::string& line) = 0;
+  /// Permanently dead because the leader refused this worker's epoch.
+  [[nodiscard]] virtual bool fenced() const { return false; }
+  /// Journal records shipped but not yet acked durable by the leader.
+  [[nodiscard]] virtual std::size_t unacked() const { return 0; }
+  /// Block until every queued journal record is acked or `timeout_ms`
+  /// passes (pumping I/O while waiting). True when the queue drained.
+  virtual bool flush(double timeout_ms) {
+    (void)timeout_ms;
+    return true;
+  }
+};
+
+/// PR 6's channel, unchanged on the wire: heartbeat text lines over the
+/// inherited pipe fd, one write(2) per line. A failed write (the leader
+/// died) cancels `on_dead` so the worker stops computing for nobody.
+class PipeWorkerLink final : public WorkerLink {
+ public:
+  /// Does not own `fd`; fd < 0 makes every send a no-op (single-process
+  /// use, tests). `on_dead` may be nullptr.
+  PipeWorkerLink(int fd, CancelToken* on_dead);
+
+  bool send_heartbeat(const Heartbeat& hb) override;
+  void send_journal(std::size_t index, const std::string& line) override {
+    (void)index;
+    (void)line;  // journal-by-filesystem: the worker's JournalWriter owns it
+  }
+
+ private:
+  const int fd_;
+  CancelToken* const on_dead_;
+  std::mutex mu_;
+  bool broken_ = false;
+};
+
+struct SocketLinkOptions {
+  std::string host;
+  std::uint16_t port = 0;
+  std::size_t shard = 0;
+  std::uint64_t epoch = 0;
+  /// Reconnect backoff band (decorrelated jitter) and its seed.
+  double reconnect_base_ms = 20.0;
+  double reconnect_cap_ms = 1000.0;
+  std::uint64_t reconnect_seed = 1;
+  /// Unacked journal records are retransmitted this often (drop defense).
+  double resend_ms = 250.0;
+  /// How long to wait for the leader's hello-ack before treating the
+  /// connection attempt as failed.
+  double handshake_timeout_ms = 2000.0;
+  /// Seeded outbound fault injection (tests, smoke); seed 0 = off.
+  ChaosOptions chaos;
+};
+
+class SocketWorkerLink final : public WorkerLink {
+ public:
+  /// Attempts the first connection immediately (failures just schedule a
+  /// retry). `on_fenced` (may be nullptr) is cancelled when the leader
+  /// refuses this epoch — the worker must stop, its shard belongs to
+  /// someone else now.
+  SocketWorkerLink(const SocketLinkOptions& opts, CancelToken* on_fenced);
+  ~SocketWorkerLink() override;
+
+  bool send_heartbeat(const Heartbeat& hb) override;
+  void send_journal(std::size_t index, const std::string& line) override;
+  [[nodiscard]] bool fenced() const override;
+  [[nodiscard]] std::size_t unacked() const override;
+  bool flush(double timeout_ms) override;
+
+  [[nodiscard]] bool connected() const;
+  /// Successful handshakes beyond the first (for tests and stderr).
+  [[nodiscard]] std::size_t reconnects() const;
+  /// Injection accounting of the decorating ChaosTransport.
+  [[nodiscard]] const ChaosTransport& chaos() const { return chaos_; }
+
+ private:
+  double now_ms() const;
+  /// Reconnect / drain acks / retransmit / release chaos holds. The
+  /// heartbeat timer thread calls this every interval, so the link makes
+  /// progress even while the sweep thread computes one long point.
+  void pump_locked(double now);
+  bool ensure_connected_locked(double now);
+  void drain_locked(double now);
+  void transmit_locked(const Frame& frame, double now);
+  void raw_send_locked(const std::string& wire, double now);
+  void disconnect_locked(double now);
+  void fence_locked();
+
+  SocketLinkOptions opts_;
+  CancelToken* const on_fenced_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  ChaosTransport chaos_;
+  DecorrelatedBackoff backoff_;
+  std::chrono::steady_clock::time_point t0_;
+  double next_connect_ms_ = 0.0;
+  bool connected_once_ = false;
+  bool fenced_ = false;
+  std::size_t reconnects_ = 0;
+  struct Pending {
+    std::string line;
+    double last_sent_ms = -1.0;  // < 0: never transmitted
+  };
+  std::map<std::size_t, Pending> unacked_;
+};
+
+/// Leader-side lease ledger: which (shard, epoch) claims are currently
+/// valid. One epoch is issued per launch and revoked when the launch's
+/// seat moves on (exit handled, shard stolen, connection-loss relaunch);
+/// a HELLO claiming a revoked epoch is fenced.
+class EpochLedger {
+ public:
+  /// Mint the epoch for a new launch of `shard`. Epochs are unique across
+  /// the ledger's lifetime and never reused.
+  std::uint64_t issue(std::size_t shard);
+  /// The launch is over; any future claim of this epoch is a zombie.
+  void revoke(std::uint64_t epoch);
+  [[nodiscard]] bool valid(std::uint64_t epoch) const;
+  /// The shard an active epoch was issued for (epoch must be valid()).
+  [[nodiscard]] std::size_t shard_of(std::uint64_t epoch) const;
+  [[nodiscard]] std::size_t active() const { return active_.size(); }
+
+ private:
+  std::uint64_t next_ = 1;
+  std::map<std::uint64_t, std::size_t> active_;
+};
+
+// --- TCP plumbing ------------------------------------------------------
+
+/// Bind + listen on host:port (port 0 = ephemeral; the chosen port comes
+/// back through *actual_port). Returns the nonblocking listen fd; throws
+/// SimulationError on failure.
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::uint16_t* actual_port);
+
+/// Blocking connect; returns the fd or -1 (errno holds the reason).
+int tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Parse "host:port" or bare "port" (host defaults to 127.0.0.1).
+bool parse_host_port(const std::string& s, std::string* host,
+                     std::uint16_t* port);
+
+}  // namespace psync::dist

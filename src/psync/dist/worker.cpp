@@ -3,14 +3,19 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "psync/common/check.hpp"
 #include "psync/dist/heartbeat.hpp"
+#include "psync/dist/transport.hpp"
+#include "psync/driver/campaign.hpp"
 #include "psync/driver/runner.hpp"
 #include "psync/driver/session.hpp"
 
@@ -21,7 +26,9 @@ namespace {
 // Process-wide shutdown token for worker processes. SIGTERM (the leader
 // reclaiming a straggler's range, or an operator) and SIGINT both request
 // a graceful wind-down: finish/abandon at the next cycle-batch boundary,
-// leave the journal tail durable, exit kWorkerExitCancelled.
+// leave the journal tail durable, exit kWorkerExitCancelled. In socket
+// mode the link also cancels this token when the leader fences the
+// worker's epoch — same wind-down, exit kWorkerExitFenced.
 CancelToken g_worker_cancel;
 
 void worker_signal_handler(int /*signo*/) { g_worker_cancel.cancel(); }
@@ -34,7 +41,7 @@ void install_worker_signals() {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
   // A dead leader surfaces as EPIPE on the heartbeat write (handled by the
-  // emitter), never as a fatal SIGPIPE.
+  // link), never as a fatal SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
 }
 
@@ -57,7 +64,7 @@ class FaultHookObserver final : public driver::PointObserver {
     }
     if (cfg_.stall_on_index == idx) {
       // Simulated wedge: silence the timer thread, then hang. The leader
-      // must notice the quiet pipe and SIGKILL us.
+      // must notice the quiet channel and SIGKILL us.
       emitter_->stop();
       for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
     }
@@ -72,22 +79,95 @@ class FaultHookObserver final : public driver::PointObserver {
   const WorkerConfig& cfg_;
 };
 
+/// Socket mode: stream every completed point's journal line to the
+/// leader as the campaign produces events, then drain and flush. The
+/// event log is the bridge — Session::execute publishes each record
+/// after its (leader-side, in our case nonexistent) journal write, in
+/// completion order, so the shipped stream carries exactly the lines a
+/// local JournalWriter would have appended.
+void ship_journal_stream(driver::CampaignHandle& handle,
+                         const std::vector<driver::RunPoint>& points,
+                         SocketWorkerLink* link) {
+  std::size_t cursor = 0;
+  std::vector<driver::CampaignEvent> events;
+  for (;;) {
+    events.clear();
+    cursor = handle.events_since(cursor, 50.0, &events);
+    for (const auto& ev : events) {
+      link->send_journal(
+          ev.index, driver::journal_line(ev.record, points[ev.index].seed,
+                                         points[ev.index].digest));
+    }
+    if (handle.done() && events.empty()) break;
+    if (link->fenced()) break;  // the campaign is being cancelled anyway
+  }
+}
+
+/// Post-run flush: keep pumping until the leader acked every record or
+/// the budget runs out. Exiting with unacked records is safe — the leader
+/// treats an incomplete journal as undone work and re-runs it — this just
+/// avoids that re-run in the common case of a transient disconnect.
+void flush_unacked(SocketWorkerLink* link, double heartbeat_ms) {
+  const double budget_ms =
+      std::max(2000.0, heartbeat_ms > 0.0 ? 100.0 * heartbeat_ms : 0.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(budget_ms));
+  while (link->unacked() > 0 && !link->fenced() &&
+         std::chrono::steady_clock::now() < deadline) {
+    (void)link->flush(50.0);
+  }
+}
+
 }  // namespace
 
 int run_worker(driver::ExperimentSpec spec, const WorkerConfig& cfg) {
   install_worker_signals();
   g_worker_cancel.reset();
+  const bool socket_mode = !cfg.connect_host.empty();
 
+  std::unique_ptr<SocketWorkerLink> socket_link;
+  std::unique_ptr<PipeWorkerLink> pipe_link;
+  WorkerLink* link = nullptr;
   try {
-    HeartbeatEmitter emitter(cfg.heartbeat_fd, cfg.shard, cfg.heartbeat_ms,
-                             &g_worker_cancel);
+    if (socket_mode) {
+      SocketLinkOptions lopts;
+      lopts.host = cfg.connect_host;
+      lopts.port = cfg.connect_port;
+      lopts.shard = cfg.shard;
+      lopts.epoch = cfg.epoch;
+      // Jitter seed: decorrelate reconnect schedules across shards and
+      // generations so one partition's survivors don't stampede back in
+      // lockstep.
+      lopts.reconnect_seed =
+          0x9E3779B97F4A7C15ULL ^ (cfg.epoch * 0x2545F4914F6CDD1DULL + 1) ^
+          (static_cast<std::uint64_t>(cfg.shard) << 32);
+      lopts.chaos = cfg.chaos;
+      socket_link = std::make_unique<SocketWorkerLink>(lopts, &g_worker_cancel);
+      link = socket_link.get();
+    } else {
+      pipe_link =
+          std::make_unique<PipeWorkerLink>(cfg.heartbeat_fd, &g_worker_cancel);
+      link = pipe_link.get();
+    }
+
+    HeartbeatEmitter emitter(link, cfg.shard, cfg.heartbeat_ms);
     FaultHookObserver observer(&emitter, cfg);
 
     spec.shard_begin = cfg.range.begin;
     spec.shard_end = cfg.range.end;
-    spec.journal_path = cfg.journal_path;
-    spec.resume = true;  // a fresh journal resumes trivially; a restarted
-                         // worker picks up where its predecessor died
+    if (socket_mode) {
+      // No local journal: the leader appends shipped records to the shard
+      // journal on its side of the wire. Restart resume happens by the
+      // leader narrowing cfg.range to the undone suffix.
+      spec.journal_path.clear();
+      spec.resume = false;
+    } else {
+      spec.journal_path = cfg.journal_path;
+      spec.resume = true;  // a fresh journal resumes trivially; a restarted
+                           // worker picks up where its predecessor died
+    }
     spec.quarantine_indices = cfg.quarantine;
     spec.cancel = &g_worker_cancel;
     spec.observer = &observer;
@@ -96,11 +176,24 @@ int run_worker(driver::ExperimentSpec spec, const WorkerConfig& cfg) {
     // serial path, but the validate/freeze phase runs before the shard
     // journal is touched.
     driver::Session session;
-    auto handle = session.submit(spec);
+    driver::FrozenSpec frozen = driver::Session::freeze(spec);
+    const std::vector<driver::RunPoint> points = frozen.points;
+    auto handle = session.submit(std::move(frozen));
+    if (socket_mode) {
+      ship_journal_stream(handle, points, socket_link.get());
+    }
     handle.wait();
     (void)handle.result();  // rethrows on failure/cancel
+    if (socket_mode) flush_unacked(socket_link.get(), cfg.heartbeat_ms);
     return kWorkerExitOk;
   } catch (const CancelledError&) {
+    if (link != nullptr && link->fenced()) return kWorkerExitFenced;
+    if (socket_link != nullptr) {
+      // A SIGTERMed straggler still owes the leader whatever it finished
+      // (a steal reclaim reads the journal to split the remainder).
+      flush_unacked(socket_link.get(), cfg.heartbeat_ms);
+      if (socket_link->fenced()) return kWorkerExitFenced;
+    }
     return kWorkerExitCancelled;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psync worker (shard %zu): %s\n", cfg.shard,

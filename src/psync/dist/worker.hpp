@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "psync/dist/chaos.hpp"
 #include "psync/dist/shard.hpp"
 #include "psync/driver/experiment.hpp"
 
@@ -23,8 +24,12 @@ namespace psync::dist {
 inline constexpr int kWorkerExitOk = 0;         // shard window complete
 inline constexpr int kWorkerExitError = 1;      // typed failure (see stderr)
 inline constexpr int kWorkerExitCancelled = 4;  // graceful SIGTERM/SIGINT
+/// Socket mode: the leader refused this worker's lease epoch (the shard
+/// was given away while this worker was partitioned). Not a crash — the
+/// zombie found out it is one and stood down; its seat moved on long ago.
+inline constexpr int kWorkerExitFenced = 5;
 /// _exit code of the crash-injection hook below; outside the documented
-/// 0-4 band so it always lands in the supervisor's crash path.
+/// 0-5 band so it always lands in the supervisor's crash path.
 inline constexpr int kWorkerExitInjectedCrash = 86;
 
 struct WorkerConfig {
@@ -43,6 +48,20 @@ struct WorkerConfig {
   int heartbeat_fd = -1;
   double heartbeat_ms = 100.0;
 
+  // --- socket transport (transport.hpp) ---------------------------------
+  /// Leader address to dial; non-empty selects the socket transport. The
+  /// worker then journals nothing locally — it streams each completed
+  /// point's journal line to the leader (at-least-once, leader dedups)
+  /// and `journal_path` stays empty.
+  std::string connect_host;
+  std::uint16_t connect_port = 0;
+  /// Lease epoch the leader issued for exactly this launch; the HELLO
+  /// fencing identity. Meaningless in pipe mode.
+  std::uint64_t epoch = 0;
+  /// Seeded frame-level fault injection on the worker's link (tests and
+  /// the net-chaos smoke); seed 0 = clean link.
+  ChaosOptions chaos;
+
   // --- fault-injection hooks (tests and the dist fault smoke) -----------
   /// _exit(kWorkerExitInjectedCrash) when this grid index starts (< 0 off).
   std::int64_t crash_on_index = -1;
@@ -60,6 +79,10 @@ struct WorkerConfig {
 ///
 /// `spec` is the full-sweep spec; the shard window, journal, quarantine
 /// list, cancel token and heartbeat observer are overlaid from `cfg`.
+/// With `cfg.connect_host` set the worker dials the leader instead of
+/// journaling locally: completed points stream over the socket and the
+/// leader appends them to the shard journal (exit kWorkerExitFenced when
+/// the leader refuses this launch's epoch).
 int run_worker(driver::ExperimentSpec spec, const WorkerConfig& cfg);
 
 }  // namespace psync::dist

@@ -57,6 +57,16 @@ void note_point(Campaign* c, std::size_t index, const RunRecord& rec,
 
 }  // namespace
 
+void CampaignFeed::emit(std::size_t index, const RunRecord& rec) {
+  PSYNC_CHECK(c_ != nullptr);
+  note_point(c_, index, rec, CampaignEvent::Source::kRun);
+}
+
+const CancelToken* CampaignFeed::token() const {
+  PSYNC_CHECK(c_ != nullptr);
+  return &c_->token;
+}
+
 CampaignState CampaignHandle::state() const {
   PSYNC_CHECK(c_ != nullptr);
   std::lock_guard<std::mutex> lock(c_->mu);
@@ -199,9 +209,19 @@ CampaignHandle Session::submit(FrozenSpec frozen) {
   }
   PointCache* cache = opts_.cache;
   Campaign* raw = c.get();
-  raw->thread = std::thread([frozen = std::move(frozen), cache, raw] {
+  raw->thread = std::thread([frozen = std::move(frozen), cache,
+                             executor = opts_.executor, raw] {
     try {
-      execute(frozen, cache, raw);
+      if (executor) {
+        CampaignFeed feed(raw);
+        SweepResult result = executor(frozen, feed);
+        std::lock_guard<std::mutex> lock(raw->mu);
+        raw->result = std::move(result);
+        raw->state = CampaignState::kDone;
+        raw->cv.notify_all();
+      } else {
+        execute(frozen, cache, raw);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(raw->mu);
       raw->error = std::current_exception();

@@ -30,6 +30,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kOomEstimateExceeded: return "oom_estimate_exceeded";
     case FailureKind::kInternalError: return "internal_error";
     case FailureKind::kWorkerCrash: return "worker_crash";
+    case FailureKind::kConnectionLost: return "connection_lost";
   }
   return "?";
 }
@@ -50,6 +51,7 @@ FailureKind failure_kind_from_string(const std::string& s) {
   if (s == "oom_estimate_exceeded") return FailureKind::kOomEstimateExceeded;
   if (s == "internal_error") return FailureKind::kInternalError;
   if (s == "worker_crash") return FailureKind::kWorkerCrash;
+  if (s == "connection_lost") return FailureKind::kConnectionLost;
   throw SimulationError("unknown failure kind: " + s);
 }
 

@@ -41,6 +41,10 @@ enum class FailureKind {
   kOomEstimateExceeded,  // working-set estimate over guard.max_point_mb
   kInternalError,        // anything else (bug, bad_alloc, unknown throw)
   kWorkerCrash,          // a dist worker process died on/near this point
+  kConnectionLost,       // a remote worker's link dropped and never came
+                         // back within the liveness window (partition or
+                         // remote host death — the process may live on;
+                         // epoch fencing keeps its late writes out)
 };
 
 enum class PointStatus {

@@ -6,8 +6,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
+
+#include "psync/dist/supervisor.hpp"
 
 namespace psync::serve {
 
@@ -38,7 +42,19 @@ void Server::start() {
   // With no cache directory the ResultCache still serves hits in memory
   // (journals and restart durability just don't happen) — unit-test mode.
   if (!opts_.cache_dir.empty()) cache_.open(opts_.cache_dir);
-  session_ = driver::Session({&cache_});
+  driver::Session::Options sopts;
+  sopts.cache = &cache_;
+  if (opts_.dist_workers > 0) {
+    dist::SupervisorOptions dopts;
+    dopts.workers = opts_.dist_workers;
+    dopts.transport = opts_.dist_socket ? dist::TransportKind::kSocket
+                                        : dist::TransportKind::kPipe;
+    // journal_base stays empty: the executor derives it per campaign from
+    // the spec's (cache-directory) journal path, so shard journals land
+    // next to the campaign's own journal and resume across restarts.
+    sopts.executor = dist::distributed_executor(dopts);
+  }
+  session_ = driver::Session(sopts);
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -132,12 +148,33 @@ std::size_t Server::campaigns() const {
 }
 
 void Server::accept_loop() {
+  int accept_failures = 0;
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener shut down (stop()) or broken
+      if (stopping_.load()) break;  // stop() shut the listener down
+      const int err = errno;
+      if (err == ECONNABORTED || err == EPROTO || err == EMFILE ||
+          err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+          err == EAGAIN || err == EWOULDBLOCK) {
+        // Transient: a client that reset before we reached it
+        // (ECONNABORTED/EPROTO), fd exhaustion (EMFILE/ENFILE), or
+        // kernel memory pressure (ENOBUFS/ENOMEM). None of these may
+        // take the daemon's front door down — log, back off so the
+        // pressure can clear (an EMFILE tight-loop would burn the CPU
+        // without freeing a single descriptor), and keep accepting.
+        ++accept_failures;
+        std::fprintf(stderr, "psync_serve: accept(2) failed (%s); retrying\n",
+                     std::strerror(err));
+        const int shift = std::min(accept_failures, 7);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min(1000, 10 << shift)));
+        continue;
+      }
+      break;  // the listener itself is broken (EBADF, EINVAL): give up
     }
+    accept_failures = 0;
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load()) {
       ::close(fd);

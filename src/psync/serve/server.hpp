@@ -53,6 +53,18 @@ struct ServerOptions {
   /// Reject request lines longer than this (a defense against a client
   /// streaming garbage into the daemon's memory).
   std::size_t max_line_bytes = 1 << 20;
+  /// Execute each submitted campaign across this many worker *processes*
+  /// via the distributed supervisor (dist::distributed_executor) instead
+  /// of the in-process thread pool; 0 keeps the in-process path. Shard
+  /// journals (under "<cache journal>.dist.*") own resume in this mode —
+  /// the PointCache is not consulted — and the streaming merge feeds
+  /// subscribe frames while shards still compute.
+  std::size_t dist_workers = 0;
+  /// With dist_workers > 0: drive the workers over the TCP socket
+  /// transport (journal shipping + epoch fencing) instead of the local
+  /// heartbeat pipe. Mostly exercised by tests; the pipe is the right
+  /// default on one host.
+  bool dist_socket = false;
 };
 
 class Server {

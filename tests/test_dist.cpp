@@ -487,6 +487,156 @@ TEST(Distributed, IdleWorkersStealFromStragglersAndOutputIsIdentical) {
   EXPECT_GE(dist.campaign.worker_steals, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Socket transport (TCP frames, journal shipped to the leader)
+
+SupervisorOptions socket_opts(const std::string& base, std::size_t workers) {
+  auto opts = fast_opts(base, workers);
+  opts.transport = TransportKind::kSocket;
+  opts.listen_host = "127.0.0.1";
+  opts.listen_port = 0;  // ephemeral
+  return opts;
+}
+
+TEST(DistributedSocket, MatchesSerialRunByteForByte) {
+  const auto spec = make_spec(uniform(12, 1.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("sock_happy");
+  const auto dist = run_distributed(spec, socket_opts(base, 3));
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_EQ(dist.campaign.worker_restarts, 0u);
+  EXPECT_EQ(dist.campaign.worker_fenced, 0u);
+  EXPECT_TRUE(dist.campaign.worker_failures.empty());
+}
+
+TEST(DistributedSocket, StreamingMergeDeliversRecordsInGridOrder) {
+  const auto spec = make_spec(uniform(10, 1.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("sock_stream");
+  auto opts = socket_opts(base, 3);
+  std::vector<std::size_t> streamed;
+  opts.on_record = [&](std::size_t index, const RunRecord& rec) {
+    streamed.push_back(index);
+    EXPECT_EQ(rec.index, index);
+  };
+  const auto dist = run_distributed(spec, opts);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  // Every point streamed, exactly once, in strictly ascending grid order.
+  ASSERT_EQ(streamed.size(), 10u);
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], i);
+  }
+}
+
+TEST(DistributedSocket, ChaosLossyLinksStillProduceIdenticalOutput) {
+  const auto spec = make_spec(uniform(12, 2.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("sock_chaos");
+  auto opts = socket_opts(base, 3);
+  // Every link drops, duplicates, reorders and delays frames. The
+  // correctness claim: at-least-once shipping + leader dedup + the
+  // journal merge make all of this invisible in the output.
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    cfg.chaos.seed = 1000 + cfg.shard;
+    cfg.chaos.drop = 0.15;
+    cfg.chaos.duplicate = 0.15;
+    cfg.chaos.reorder = 0.1;
+    cfg.chaos.delay = 0.1;
+    cfg.chaos.delay_ms = 10.0;
+  };
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_EQ(dist.campaign.failed, 0u);
+}
+
+TEST(DistributedSocket, CrashedWorkerIsRestartedAndOutputIsIdentical) {
+  const auto spec = make_spec(uniform(12, 1.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("sock_crash");
+  auto opts = socket_opts(base, 3);
+  opts.steal = false;  // the restart path specifically
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    if (cfg.shard == 1 && cfg.generation == 0) {
+      cfg.crash_on_index = static_cast<std::int64_t>(cfg.range.begin + 1);
+    }
+  };
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_GE(dist.campaign.worker_restarts, 1u);
+}
+
+TEST(DistributedSocket, PartitionedWorkerIsFencedOnReconnect) {
+  // The full zombie story. Shard 0's link partitions mid-shard: the
+  // leader sees the connection die, waits out the liveness window,
+  // declares kConnectionLost, revokes the epoch and relaunches the shard
+  // — WITHOUT killing the old process (it may be unreachable, not dead).
+  // The partition heals, the zombie reconnects claiming its revoked
+  // epoch, and the leader must refuse it before it writes a single
+  // record. Shard 2 is slow on purpose so the sweep is still running
+  // when the zombie comes back.
+  std::vector<double> tp;
+  for (std::size_t i = 0; i < 4; ++i) tp.push_back(40.0);  // shard 0
+  for (std::size_t i = 0; i < 4; ++i) tp.push_back(2.0);   // shard 1
+  for (std::size_t i = 0; i < 4; ++i) tp.push_back(150.0); // shard 2
+  const auto spec = make_spec(std::move(tp));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("sock_fence");
+  auto opts = socket_opts(base, 3);
+  opts.heartbeat_ms = 10.0;
+  opts.liveness_factor = 10.0;  // 100 ms of post-disconnect silence
+  opts.steal = false;  // idle seats must not reclaim the slow shard
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    if (cfg.shard == 0 && cfg.generation == 0) {
+      cfg.chaos.seed = 77;
+      cfg.chaos.partition_after = 10;  // a few beats in
+      cfg.chaos.partition_ms = 250.0;  // heals while the sweep still runs
+    }
+  };
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  // Identity is the non-negotiable part: the zombie's late writes were
+  // fenced out, the replacement's journal is the only truth for shard 0.
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(dist), driver::sweep_csv(serial));
+  EXPECT_GE(dist.campaign.worker_restarts, 1u);
+  EXPECT_GE(dist.campaign.worker_fenced, 1u)
+      << "the healed zombie should have been refused";
+  bool lost_incident = false;
+  for (const auto& incident : dist.campaign.worker_failures) {
+    lost_incident |= incident.kind == FailureKind::kConnectionLost;
+  }
+  EXPECT_TRUE(lost_incident)
+      << "connection loss should be its own failure class, not a wedge";
+}
+
+TEST(DistributedSocket, ReconnectingWorkerResumesWithoutDataLoss) {
+  // A transient partition *shorter* than the liveness window: the leader
+  // keeps the seat, the worker reconnects with the SAME epoch, retransmits
+  // its unacked tail, and nothing is lost or duplicated in the output.
+  const auto spec = make_spec(uniform(10, 15.0));
+  const auto serial = Runner::run(spec);
+  const std::string base = fresh_base("sock_reconnect");
+  auto opts = socket_opts(base, 2);
+  opts.heartbeat_ms = 10.0;
+  opts.liveness_factor = 40.0;  // 400 ms — longer than the partition
+  opts.steal = false;
+  const LaunchHook hook = [](WorkerConfig& cfg) {
+    if (cfg.shard == 0 && cfg.generation == 0) {
+      cfg.chaos.seed = 99;
+      cfg.chaos.partition_after = 8;
+      cfg.chaos.partition_ms = 60.0;  // heals well inside liveness
+    }
+  };
+  const auto dist = run_distributed(spec, opts, {}, hook);
+  EXPECT_EQ(driver::sweep_json(dist), driver::sweep_json(serial));
+  EXPECT_EQ(dist.campaign.worker_fenced, 0u)
+      << "same-epoch reconnect inside the liveness window is welcome";
+  EXPECT_GE(dist.campaign.worker_reconnects, 1u);
+  EXPECT_EQ(dist.campaign.worker_restarts, 0u);
+}
+
 TEST(Distributed, WorkerEntryPointCompletesAShardInProcess) {
   const auto spec = make_spec(uniform(5, 0.0));
   const std::string journal = fresh_base("worker.jsonl");

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "psync/common/journal.hpp"
+#include "psync/dist/supervisor.hpp"
 #include "psync/driver/runner.hpp"
 #include "psync/driver/session.hpp"
 #include "psync/driver/sweep.hpp"
@@ -39,6 +41,12 @@ using driver::SweepResult;
 
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "psync_serve_" + name;
+}
+
+Session::Options cache_opts(driver::PointCache* cache) {
+  Session::Options opts;
+  opts.cache = cache;
+  return opts;
 }
 
 /// A small but real fft2d sweep grid (4 points, verify on).
@@ -277,6 +285,99 @@ TEST(Session, CancelFinishesTheCampaignAsCancelled) {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed executor: the streaming merge feeds subscribers live
+
+/// Deterministic record keyed on the point seed; sleeps the t_p knob (in
+/// milliseconds) so a slow tail point keeps the campaign running long
+/// after the first records have streamed in.
+class ServeStreamWorkload final : public driver::Workload {
+ public:
+  std::string name() const override { return "serve_stream"; }
+  RunRecord run(const driver::RunPoint& pt) const override {
+    double tp = 0.0;
+    for (const auto& [knob, value] : pt.knobs) {
+      if (knob == "t_p") tp = value;
+    }
+    if (tp > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(tp)));
+    }
+    RunRecord rec;
+    rec.metrics.push_back(
+        {"val", static_cast<double>(pt.seed % 1000003ULL) / 997.0, -1});
+    return rec;
+  }
+};
+
+ExperimentSpec stream_spec(std::vector<double> tp_values) {
+  driver::register_workload(std::make_unique<ServeStreamWorkload>());
+  ExperimentSpec spec;
+  spec.workload = "serve_stream";
+  spec.axes.push_back({"t_p", std::move(tp_values)});
+  spec.threads = 1;
+  spec.guard.max_retries = 0;
+  return spec;
+}
+
+TEST(SessionDist, SocketExecutorStreamsPartialResultsWhileRunning) {
+  // Five quick points and one slow straggler: the straggler pins the
+  // campaign in kRunning while the quick points' records ship over the
+  // socket, so "a partial result arrived before the last shard finished"
+  // is observable without timing luck.
+  const auto spec = stream_spec({10, 10, 10, 10, 10, 400});
+  const SweepResult serial = driver::Runner::run(spec);
+
+  dist::SupervisorOptions dopts;
+  dopts.workers = 2;
+  dopts.journal_base = testing::TempDir() + "psync_serve_stream_" +
+                       std::to_string(::getpid());
+  dopts.heartbeat_ms = 10.0;
+  dopts.liveness_factor = 50.0;
+  dopts.transport = dist::TransportKind::kSocket;
+  dopts.listen_host = "127.0.0.1";
+  dopts.listen_port = 0;  // ephemeral
+
+  Session::Options sopts;
+  sopts.executor = dist::distributed_executor(dopts);
+  Session session(sopts);
+  auto handle = session.submit(spec);
+
+  bool partial_while_running = false;
+  std::size_t streamed_while_running = 0;
+  std::size_t cursor = 0;
+  std::vector<CampaignEvent> events;
+  while (handle.state() == CampaignState::kRunning) {
+    cursor = handle.events_since(cursor, 25.0, &events);
+    // Checking state *after* the read: these events were published while
+    // the campaign still ran, which is the whole point of the stream.
+    if (!events.empty() && handle.state() == CampaignState::kRunning) {
+      partial_while_running = true;
+      streamed_while_running += events.size();
+    }
+  }
+  handle.wait();
+  EXPECT_EQ(handle.state(), CampaignState::kDone);
+  EXPECT_TRUE(partial_while_running)
+      << "no partial result surfaced before the campaign finished";
+  EXPECT_GE(streamed_while_running, 1u);
+
+  // A late subscriber replaying from cursor 0 sees every point exactly
+  // once, in grid order (the streaming merge emits the contiguous
+  // prefix, so call order == grid order here).
+  events.clear();
+  EXPECT_EQ(handle.events_since(0, 0.0, &events), 6u);
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].index, i);
+    EXPECT_EQ(events[i].status, PointStatus::kOk);
+  }
+
+  // And the merged table is byte-identical to the serial run.
+  EXPECT_EQ(driver::sweep_json(handle.result()), driver::sweep_json(serial));
+  EXPECT_EQ(driver::sweep_csv(handle.result()), driver::sweep_csv(serial));
+}
+
+// ---------------------------------------------------------------------------
 // Result cache: hit / miss / partial overlap
 
 TEST(Cache, ResubmissionIsServedWithoutExecuting) {
@@ -285,7 +386,7 @@ TEST(Cache, ResubmissionIsServedWithoutExecuting) {
   auto spec = small_spec();
   spec.observer = &first_run;
 
-  Session warm(Session::Options{&cache});
+  Session warm(cache_opts(&cache));
   const auto reference = warm.run(spec);
   EXPECT_EQ(first_run.starts.load(), 4u);
   EXPECT_EQ(cache.size(), 4u);
@@ -294,7 +395,7 @@ TEST(Cache, ResubmissionIsServedWithoutExecuting) {
   // byte-identical. This is the acceptance criterion of the service.
   CountingObserver second_run;
   spec.observer = &second_run;
-  Session cached(Session::Options{&cache});
+  Session cached(cache_opts(&cache));
   const auto served = cached.run(spec);
   EXPECT_EQ(second_run.starts.load(), 0u);
   EXPECT_EQ(second_run.dones.load(), 0u);
@@ -305,7 +406,7 @@ TEST(Cache, ResubmissionIsServedWithoutExecuting) {
 
 TEST(Cache, PartialOverlapExecutesOnlyTheNewPoints) {
   ResultCache cache;
-  Session session(Session::Options{&cache});
+  Session session(cache_opts(&cache));
   (void)session.run(small_spec());  // 4 points cached
 
   // Appending to the *slowest* axis keeps the base grid's points at their
@@ -336,7 +437,7 @@ TEST(Cache, FailedPointsAreNeverCached) {
   spec.axes.push_back({"blocks", {1, 2}});
   spec.guard.max_point_mb = 1;  // every point fails the admission gate
 
-  Session session(Session::Options{&cache});
+  Session session(cache_opts(&cache));
   const auto result = session.run(spec);
   EXPECT_EQ(result.campaign.failed, 2u);
   EXPECT_EQ(cache.size(), 0u);
@@ -367,7 +468,7 @@ TEST(Cache, RebuildsTheIndexFromJournalsOnOpen) {
   auto spec = small_spec();
   spec.journal_path = writer.journal_path(driver::spec_digest(spec));
   std::remove(spec.journal_path.c_str());
-  Session session(Session::Options{&writer});
+  Session session(cache_opts(&writer));
   (void)session.run(spec);
 
   // A different process opening the same directory sees every point.
@@ -825,6 +926,59 @@ TEST(Daemon, ShutdownOpWakesWaiters) {
   EXPECT_TRUE(shutdown);
   waiter.join();  // wait_for_shutdown must return without stop()
   daemon.server->stop();
+}
+
+TEST(Daemon, DistSocketBackendMatchesTheRunnerAndStreamsSubscribe) {
+  // The daemon executing campaigns across TCP-socket worker processes is
+  // still byte-identical to the in-process Runner, and a subscriber sees
+  // the per-point stream the distributed merge feeds through the
+  // campaign's event channel.
+  ServerOptions opts;
+  opts.socket_path = temp_path("dist_sock_" + std::to_string(::getpid()));
+  std::remove(opts.socket_path.c_str());
+  opts.dist_workers = 2;
+  opts.dist_socket = true;
+  Server server(opts);
+  server.start();
+
+  Client client(opts.socket_path);
+  ASSERT_TRUE(client.connected());
+  const std::string response = client.round_trip(submit_frame(kSmallIni));
+  bool ok = false;
+  ASSERT_TRUE(find_bool_field(response, "ok", &ok)) << response;
+  ASSERT_TRUE(ok) << response;
+  std::string id;
+  ASSERT_TRUE(find_string_field(response, "campaign", &id));
+
+  // Subscribe streams one point frame per record, then one done frame.
+  Client sub(opts.socket_path);
+  ASSERT_TRUE(sub.connected());
+  ASSERT_TRUE(sub.send_line(
+      "{\"op\":\"subscribe\",\"campaign\":" + json_string(id) + "}"));
+  std::size_t points = 0;
+  std::string line;
+  for (;;) {
+    ASSERT_TRUE(sub.read_line(&line));
+    std::string event;
+    ASSERT_TRUE(find_string_field(line, "event", &event)) << line;
+    if (event == "done") break;
+    EXPECT_EQ(event, "point") << line;
+    ++points;
+  }
+  EXPECT_EQ(points, 4u);
+  std::string state;
+  ASSERT_TRUE(find_string_field(line, "state", &state));
+  EXPECT_EQ(state, "done");
+
+  // results stays byte-identical to the in-process Runner.
+  const std::string results = client.round_trip(
+      "{\"op\":\"results\",\"campaign\":" + json_string(id) + "}");
+  ASSERT_TRUE(find_bool_field(results, "ok", &ok) && ok) << results;
+  std::string body;
+  ASSERT_TRUE(find_string_field(results, "body", &body));
+  EXPECT_EQ(body, driver::sweep_json(driver::Runner::run(small_spec())));
+
+  server.stop();
 }
 
 }  // namespace

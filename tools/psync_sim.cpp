@@ -56,7 +56,9 @@
 // Usage:
 //   psync_sim [--strict] [--threads N] [--json | --csv] [--profile]
 //             [--journal PATH | --resume PATH] [--timeout-ms X]
-//             [--retries N] [--workers N] [--heartbeat-ms X] <config.ini>
+//             [--retries N] [--workers N] [--heartbeat-ms X]
+//             [--listen [HOST:]PORT [--advertise HOST]] [chaos flags]
+//             <config.ini>
 //   psync_sim --demo          # print a sample config and exit
 //   psync_sim --list          # list registered workload kinds
 //
@@ -76,6 +78,24 @@
 // `psync_sim --worker-shard A:B ...` re-invocations of this binary; the
 // worker flags are internal plumbing, not a user interface. --journal
 // doubles as the shard-journal base path (default: under /tmp).
+//
+// Remote workers: --listen [HOST:]PORT (PORT 0 = ephemeral) switches the
+// leader to the TCP socket transport — workers dial back, heartbeats and
+// per-point journal records travel as length-prefixed frames, the leader
+// appends records to the local shard journals (fsync before ack) and
+// fences zombie workers by lease epoch. --advertise HOST is the address
+// workers are told to dial when it differs from the bind address (two-host
+// runs; see EXPERIMENTS.md). A worker launched by hand connects with
+// `psync_sim --worker-shard A:B --connect HOST:PORT --worker-epoch E ...`.
+//
+// Network chaos (tests and the net-chaos CI smoke): --chaos-seed S arms a
+// deterministic frame-level fault injector on every worker's link
+// (per-shard derived seeds); --chaos-drop/--chaos-dup/--chaos-reorder/
+// --chaos-delay set per-frame probabilities, --chaos-delay-ms the hold
+// time, and --chaos-partition-after N/--chaos-partition-ms T sever the
+// connection after N frames for T ms (with --chaos-partition-repeat
+// re-arming it). The merged output must stay byte-identical to a serial
+// run under any of this — that is the property the flags exist to test.
 //
 // Graceful shutdown: SIGTERM or SIGINT cancels the sweep cooperatively —
 // no new point starts, in-flight points abandon at their next cycle-batch
@@ -248,8 +268,14 @@ int usage() {
                "[--profile]\n"
                "                 [--journal PATH | --resume PATH] "
                "[--timeout-ms X] [--retries N]\n"
-               "                 [--workers N] [--heartbeat-ms X] "
-               "<config.ini>\n"
+               "                 [--workers N] [--heartbeat-ms X]\n"
+               "                 [--listen [HOST:]PORT [--advertise HOST]]\n"
+               "                 [--chaos-seed S --chaos-drop P --chaos-dup P "
+               "--chaos-reorder P\n"
+               "                  --chaos-delay P --chaos-delay-ms X\n"
+               "                  --chaos-partition-after N "
+               "--chaos-partition-ms X [--chaos-partition-repeat]]\n"
+               "                 <config.ini>\n"
                "       psync_sim --demo | --list\n");
   return 2;
 }
@@ -356,6 +382,11 @@ int main(int argc, char** argv) {
   std::string config_path;
   long workers = 0;            // > 0: distributed leader mode
   double heartbeat_ms = 100.0;
+  std::string listen_spec;     // --listen: leader socket transport
+  std::string advertise_host;  // --advertise: address workers dial
+  // Frame-level fault injection on the worker links (leader forwards it to
+  // every worker it launches; a worker applies it to its own link).
+  dist::ChaosOptions chaos;
   // Internal worker-mode plumbing (leader-launched re-invocations).
   bool worker_mode = false;
   dist::WorkerConfig worker_cfg;
@@ -405,6 +436,49 @@ int main(int argc, char** argv) {
     } else if (arg == "--heartbeat-ms") {
       if (i + 1 >= argc) return usage();
       heartbeat_ms = std::atof(argv[++i]);
+    } else if (arg == "--listen") {
+      if (i + 1 >= argc) return usage();
+      listen_spec = argv[++i];
+    } else if (arg == "--advertise") {
+      if (i + 1 >= argc) return usage();
+      advertise_host = argv[++i];
+    } else if (arg == "--chaos-seed") {
+      if (i + 1 >= argc) return usage();
+      chaos.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--chaos-drop") {
+      if (i + 1 >= argc) return usage();
+      chaos.drop = std::atof(argv[++i]);
+    } else if (arg == "--chaos-dup") {
+      if (i + 1 >= argc) return usage();
+      chaos.duplicate = std::atof(argv[++i]);
+    } else if (arg == "--chaos-reorder") {
+      if (i + 1 >= argc) return usage();
+      chaos.reorder = std::atof(argv[++i]);
+    } else if (arg == "--chaos-delay") {
+      if (i + 1 >= argc) return usage();
+      chaos.delay = std::atof(argv[++i]);
+    } else if (arg == "--chaos-delay-ms") {
+      if (i + 1 >= argc) return usage();
+      chaos.delay_ms = std::atof(argv[++i]);
+    } else if (arg == "--chaos-partition-after") {
+      if (i + 1 >= argc) return usage();
+      chaos.partition_after =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--chaos-partition-ms") {
+      if (i + 1 >= argc) return usage();
+      chaos.partition_ms = std::atof(argv[++i]);
+    } else if (arg == "--chaos-partition-repeat") {
+      chaos.partition_repeat = true;
+    } else if (arg == "--connect") {  // worker mode: dial the leader
+      if (i + 1 >= argc) return usage();
+      worker_mode = true;
+      if (!dist::parse_host_port(argv[++i], &worker_cfg.connect_host,
+                                 &worker_cfg.connect_port)) {
+        return usage();
+      }
+    } else if (arg == "--worker-epoch") {
+      if (i + 1 >= argc) return usage();
+      worker_cfg.epoch = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--worker-shard") {
       if (i + 1 >= argc) return usage();
       worker_mode = true;
@@ -450,6 +524,17 @@ int main(int argc, char** argv) {
                  "(--resume PATH already appends new points to PATH)\n");
     return usage();
   }
+  // --listen/--advertise configure the leader's socket transport; without
+  // --workers they would be silently ignored (and a bad HOST:PORT never
+  // diagnosed). Make that loud too.
+  if (!listen_spec.empty() && (workers <= 0 || worker_mode)) {
+    std::fprintf(stderr, "psync_sim: --listen requires --workers N\n");
+    return usage();
+  }
+  if (!advertise_host.empty() && listen_spec.empty()) {
+    std::fprintf(stderr, "psync_sim: --advertise requires --listen\n");
+    return usage();
+  }
 
   // Worker mode: a shard worker launched by a leader's --workers run. The
   // spec is rebuilt from the same config + overrides the leader saw; shard
@@ -467,6 +552,7 @@ int main(int argc, char** argv) {
         spec.guard.max_retries = static_cast<std::size_t>(retries_override);
       }
       worker_cfg.heartbeat_ms = heartbeat_ms;
+      worker_cfg.chaos = chaos;
       return dist::run_worker(spec, worker_cfg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "psync_sim (worker): %s\n", e.what());
@@ -521,6 +607,25 @@ int main(int argc, char** argv) {
                               ? spec.journal_path
                               : "/tmp/psync-dist-" + std::to_string(::getpid());
       opts.cancel = &g_cancel;
+      if (!listen_spec.empty()) {
+        opts.transport = dist::TransportKind::kSocket;
+        if (!dist::parse_host_port(listen_spec, &opts.listen_host,
+                                   &opts.listen_port)) {
+          std::fprintf(stderr, "psync_sim: bad --listen '%s'\n",
+                       listen_spec.c_str());
+          return usage();
+        }
+        opts.advertise_host = advertise_host;
+      }
+      // Per-shard chaos seeds: derived, not shared, so the shards' fault
+      // sequences decorrelate while a fixed --chaos-seed still replays the
+      // identical run.
+      const dist::LaunchHook hook = [&](dist::WorkerConfig& wc) {
+        if (chaos.seed == 0) return;
+        wc.chaos = chaos;
+        wc.chaos.seed = chaos.seed ^ (0x9E3779B97F4A7C15ULL * (wc.shard + 1));
+        if (wc.chaos.seed == 0) wc.chaos.seed = 1;  // 0 would disarm it
+      };
       const dist::WorkerBody body = [&](const driver::ExperimentSpec&,
                                         const dist::WorkerConfig& wc) -> int {
         std::vector<std::string> args = {
@@ -529,10 +634,48 @@ int main(int argc, char** argv) {
             std::to_string(wc.range.begin) + ":" + std::to_string(wc.range.end),
             "--worker-id", std::to_string(wc.shard),
             "--worker-generation", std::to_string(wc.generation),
-            "--worker-journal", wc.journal_path,
-            "--heartbeat-fd", std::to_string(wc.heartbeat_fd),
             "--heartbeat-ms", std::to_string(wc.heartbeat_ms),
             "--threads", "1"};
+        if (!wc.connect_host.empty()) {
+          // Socket transport: dial the leader, ship records, no local
+          // journal or heartbeat pipe.
+          args.push_back("--connect");
+          args.push_back(wc.connect_host + ":" +
+                         std::to_string(wc.connect_port));
+          args.push_back("--worker-epoch");
+          args.push_back(std::to_string(wc.epoch));
+        } else {
+          args.push_back("--worker-journal");
+          args.push_back(wc.journal_path);
+          args.push_back("--heartbeat-fd");
+          args.push_back(std::to_string(wc.heartbeat_fd));
+        }
+        if (wc.chaos.seed != 0) {
+          const auto dbl = [](double v) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            return std::string(buf);
+          };
+          args.push_back("--chaos-seed");
+          args.push_back(std::to_string(wc.chaos.seed));
+          args.push_back("--chaos-drop");
+          args.push_back(dbl(wc.chaos.drop));
+          args.push_back("--chaos-dup");
+          args.push_back(dbl(wc.chaos.duplicate));
+          args.push_back("--chaos-reorder");
+          args.push_back(dbl(wc.chaos.reorder));
+          args.push_back("--chaos-delay");
+          args.push_back(dbl(wc.chaos.delay));
+          args.push_back("--chaos-delay-ms");
+          args.push_back(dbl(wc.chaos.delay_ms));
+          args.push_back("--chaos-partition-after");
+          args.push_back(std::to_string(wc.chaos.partition_after));
+          args.push_back("--chaos-partition-ms");
+          args.push_back(dbl(wc.chaos.partition_ms));
+          if (wc.chaos.partition_repeat) {
+            args.push_back("--chaos-partition-repeat");
+          }
+        }
         if (!wc.quarantine.empty()) {
           std::string list;
           for (const std::size_t idx : wc.quarantine) {
@@ -568,7 +711,7 @@ int main(int argc, char** argv) {
                      std::strerror(errno));
         return 127;
       };
-      result = dist::run_distributed(spec, opts, body);
+      result = dist::run_distributed(spec, opts, body, hook);
     } else {
       spec.cancel = &g_cancel;
       // Session API: validate (pure, typed diagnostics — all of them, not
@@ -626,12 +769,16 @@ int main(int argc, char** argv) {
     // stay byte-identical to a single-process run).
     if (workers > 0 &&
         (camp.worker_restarts > 0 || camp.worker_steals > 0 ||
+         camp.worker_reconnects > 0 || camp.worker_fenced > 0 ||
          !camp.worker_failures.empty())) {
       std::fprintf(stderr,
                    "psync_sim: dist: %llu worker restart(s), %llu range "
-                   "steal(s), %zu incident(s)\n",
+                   "steal(s), %llu reconnect(s), %llu fenced, "
+                   "%zu incident(s)\n",
                    static_cast<unsigned long long>(camp.worker_restarts),
                    static_cast<unsigned long long>(camp.worker_steals),
+                   static_cast<unsigned long long>(camp.worker_reconnects),
+                   static_cast<unsigned long long>(camp.worker_fenced),
                    camp.worker_failures.size());
       for (const auto& incident : camp.worker_failures) {
         std::fprintf(stderr, "psync_sim:   dist %s: %s\n",
