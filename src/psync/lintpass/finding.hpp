@@ -1,0 +1,36 @@
+// Finding and suppression records produced by the lint engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psync::lintpass {
+
+/// One rule violation at a source location. `file` is repo-relative.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     // rule id, e.g. "det-wall-clock"
+  std::string message;  // what fired, with the offending token
+  std::string hint;     // how to fix or how to justify-and-suppress
+};
+
+/// One `// psync-lint: allow(<rule>): <reason>` comment that silenced a
+/// finding. Counted and reported so audited exceptions stay visible.
+struct Suppression {
+  std::string file;
+  int line = 0;        // line of the suppression comment
+  std::string rule;
+  std::string reason;
+  int uses = 0;        // findings it silenced
+};
+
+/// Everything one lint run produced.
+struct Report {
+  std::vector<Finding> findings;        // unsuppressed — these gate CI
+  std::vector<Suppression> suppressions;  // used, justified exceptions
+  int files_scanned = 0;
+  int parse_failures = 0;  // files the lexer rejected (exit code 3)
+};
+
+}  // namespace psync::lintpass

@@ -1,0 +1,76 @@
+#include "psync/lintpass/layers.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace psync::lintpass {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("layer file line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+LayerGraph LayerGraph::parse(const std::string& text) {
+  LayerGraph g;
+  std::vector<std::pair<int, std::string>> pending;  // (line, "a -> b")
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.rfind("layer", 0) != 0) fail(lineno, "expected 'layer <name>'");
+    line = trim(line.substr(5));
+    std::string name = line;
+    std::string deps;
+    if (auto colon = line.find(':'); colon != std::string::npos) {
+      name = trim(line.substr(0, colon));
+      deps = line.substr(colon + 1);
+    }
+    if (name.empty()) fail(lineno, "empty layer name");
+    if (g.deps_.count(name) != 0) fail(lineno, "duplicate layer " + name);
+    auto& set = g.deps_[name];
+    std::istringstream ds(deps);
+    std::string dep;
+    while (ds >> dep) {
+      set.insert(dep);
+      pending.emplace_back(lineno, name + " -> " + dep);
+    }
+  }
+  // Deps must name declared layers; checked after the full read so the
+  // file can list modules in any order.
+  for (const auto& [line, edge] : pending) {
+    const std::string dep = edge.substr(edge.find("-> ") + 3);
+    if (g.deps_.count(dep) == 0) {
+      fail(line, "edge " + edge + " names undeclared layer " + dep);
+    }
+  }
+  return g;
+}
+
+std::string module_of(const std::string& rel_path) {
+  const std::string prefix = "src/psync/";
+  if (rel_path.rfind(prefix, 0) != 0) return "";
+  const std::size_t start = prefix.size();
+  const std::size_t slash = rel_path.find('/', start);
+  if (slash == std::string::npos) return "";  // a file directly in src/psync
+  return rel_path.substr(start, slash - start);
+}
+
+}  // namespace psync::lintpass

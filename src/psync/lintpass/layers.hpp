@@ -1,0 +1,54 @@
+// The frozen module-layer DAG and its text format.
+//
+// tools/lint_layers.txt commits the *actual* include graph of src/psync at
+// module granularity; psync_lint rejects any edge not listed there, so a
+// new upward or cross-layer #include is a lint failure until the DAG is
+// deliberately amended in review.
+//
+// File format, one module per line (order irrelevant, '#' comments):
+//
+//   layer <module>
+//   layer <module>: <dep> <dep> ...
+//
+// Every <dep> must itself be declared a layer; self-edges are implicit.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace psync::lintpass {
+
+class LayerGraph {
+ public:
+  /// Parse the layer-file text. Throws std::runtime_error with a line
+  /// number on malformed lines, duplicate layers, or undeclared deps.
+  static LayerGraph parse(const std::string& text);
+
+  [[nodiscard]] bool has_layer(const std::string& module) const {
+    return deps_.count(module) != 0;
+  }
+
+  /// Is a `from` → `to` include edge allowed? Self-edges always are.
+  [[nodiscard]] bool allowed(const std::string& from,
+                             const std::string& to) const {
+    if (from == to) return true;
+    auto it = deps_.find(from);
+    return it != deps_.end() && it->second.count(to) != 0;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::set<std::string>>& deps()
+      const {
+    return deps_;
+  }
+
+ private:
+  // module -> allowed dependency modules (sorted for deterministic output)
+  std::map<std::string, std::set<std::string>> deps_;
+};
+
+/// The module a repo-relative path belongs to for layering purposes:
+/// "src/psync/<module>/..." → "<module>", anything else → "".
+std::string module_of(const std::string& rel_path);
+
+}  // namespace psync::lintpass

@@ -1,0 +1,315 @@
+#include "psync/lintpass/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace psync::lintpass {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Multi-character punctuators the rules match on, longest first so a
+// linear scan implements maximal munch. Single characters fall through.
+constexpr std::array<const char*, 22> kPuncts = {
+    "<<=", ">>=", "->*", "...", "->", "::", "<<", ">>", "++", "--", "==",
+    "!=",  "<=",  ">=",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (!at_end()) {
+      if (skip_continuation()) continue;
+      const char c = peek();
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (is_ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  // Consume a backslash-newline splice wherever it occurs.
+  bool skip_continuation() {
+    if (peek() == '\\' && (peek(1) == '\n' ||
+                           (peek(1) == '\r' && peek(2) == '\n'))) {
+      pos_ += peek(1) == '\r' ? 3 : 2;
+      ++line_;
+      return true;
+    }
+    return false;
+  }
+
+  void push(TokKind kind, std::string text, int start_line) {
+    tokens_.push_back(Token{kind, std::move(text), start_line, line_});
+  }
+
+  void lex_line_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    while (!at_end()) {
+      if (skip_continuation()) continue;  // spliced comment spans lines
+      if (peek() == '\n') break;
+      body.push_back(peek());
+      ++pos_;
+    }
+    push(TokKind::kComment, std::move(body), start);
+  }
+
+  void lex_block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    while (true) {
+      if (at_end()) throw LexError("unterminated /* comment", start);
+      if (peek() == '*' && peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (peek() == '\n') ++line_;
+      body.push_back(peek());
+      ++pos_;
+    }
+    push(TokKind::kComment, std::move(body), start);
+  }
+
+  // A directive runs to the end of line, honoring splices and comments; a
+  // // comment ends it, a /* */ comment inside is skipped (and its newlines
+  // counted). The body keeps quoted filenames verbatim for include parsing.
+  void lex_directive() {
+    const int start = line_;
+    ++pos_;  // '#'
+    std::string body;
+    while (!at_end()) {
+      if (skip_continuation()) {
+        body.push_back(' ');
+        continue;
+      }
+      const char c = peek();
+      if (c == '\n') break;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        body.push_back(' ');
+        continue;
+      }
+      body.push_back(c);
+      ++pos_;
+    }
+    push(TokKind::kDirective, std::move(body), start);
+    at_line_start_ = false;
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const int start = line_;
+    std::string text;
+    while (!at_end()) {
+      if (skip_continuation()) continue;
+      if (!is_ident_cont(peek())) break;
+      text.push_back(peek());
+      ++pos_;
+    }
+    // Encoding prefixes and raw-string markers bind to a following quote:
+    // R"(...)", u8"...", L'x', u8R"(...)". Without this, the body of a raw
+    // string would be tokenized as code.
+    const bool raw = !text.empty() && text.back() == 'R';
+    const bool prefix =
+        text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+        text == "LR" || text == "u8" || text == "u" || text == "U" ||
+        text == "L";
+    if (prefix && peek() == '"') {
+      lex_string(raw);
+      return;
+    }
+    if (prefix && !raw && peek() == '\'') {
+      lex_char();
+      return;
+    }
+    push(TokKind::kIdent, std::move(text), start);
+  }
+
+  void lex_number() {
+    const int start = line_;
+    std::string text;
+    while (!at_end()) {
+      if (skip_continuation()) continue;
+      const char c = peek();
+      if (is_ident_cont(c) || c == '.') {
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      // Digit separator: 1'000'000 — consume the quote only when it sits
+      // between digits, so it cannot open a character literal.
+      if (c == '\'' && !text.empty() && is_ident_cont(peek(1))) {
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      // Exponent sign: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P')) {
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    push(TokKind::kNumber, std::move(text), start);
+  }
+
+  void lex_string(bool raw) {
+    const int start = line_;
+    ++pos_;  // opening quote
+    std::string body;
+    if (raw) {
+      std::string delim;
+      while (!at_end() && peek() != '(') {
+        delim.push_back(peek());
+        ++pos_;
+      }
+      if (at_end()) throw LexError("unterminated raw string delimiter", start);
+      ++pos_;  // '('
+      const std::string close = ")" + delim + "\"";
+      while (true) {
+        if (at_end()) throw LexError("unterminated raw string", start);
+        if (src_.compare(pos_, close.size(), close) == 0) {
+          pos_ += close.size();
+          break;
+        }
+        if (peek() == '\n') ++line_;
+        body.push_back(peek());
+        ++pos_;
+      }
+    } else {
+      while (true) {
+        if (at_end() || peek() == '\n') {
+          throw LexError("unterminated string literal", start);
+        }
+        if (skip_continuation()) continue;
+        if (peek() == '\\') {
+          body.push_back(peek());
+          body.push_back(peek(1));
+          pos_ += 2;
+          continue;
+        }
+        if (peek() == '"') {
+          ++pos_;
+          break;
+        }
+        body.push_back(peek());
+        ++pos_;
+      }
+    }
+    push(TokKind::kString, std::move(body), start);
+  }
+
+  void lex_char() {
+    const int start = line_;
+    ++pos_;  // opening quote
+    std::string body;
+    while (true) {
+      if (at_end() || peek() == '\n') {
+        throw LexError("unterminated character literal", start);
+      }
+      if (peek() == '\\') {
+        body.push_back(peek());
+        body.push_back(peek(1));
+        pos_ += 2;
+        continue;
+      }
+      if (peek() == '\'') {
+        ++pos_;
+        break;
+      }
+      body.push_back(peek());
+      ++pos_;
+    }
+    push(TokKind::kChar, std::move(body), start);
+  }
+
+  void lex_punct() {
+    const int start = line_;
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      if (src_.compare(pos_, n, p) == 0) {
+        pos_ += n;
+        push(TokKind::kPunct, p, start);
+        return;
+      }
+    }
+    push(TokKind::kPunct, std::string(1, peek()), start);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace psync::lintpass

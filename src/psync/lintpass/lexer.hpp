@@ -1,0 +1,60 @@
+// A comment/string/raw-string-aware C++ tokenizer for psync_lint.
+//
+// This is deliberately NOT a compiler front end: it produces exactly the
+// token granularity the lint rules need — identifiers, punctuators (maximal
+// munch over the multi-character set the rules match on), string/char
+// literals, comments, and whole preprocessor directives — with accurate
+// line numbers. Its one hard guarantee is the one the rules depend on:
+// nothing inside a string literal, character literal, raw string, or
+// comment is ever emitted as an identifier or punctuator, so `"rand()"`
+// in a log message can never fire a determinism rule.
+//
+// Handled: //- and /*-comments, line continuations (backslash-newline,
+// including inside directives), ordinary string/char literals with escape
+// sequences, encoding prefixes (u8 L u U), raw strings R"delim(...)delim",
+// digit separators (1'000'000 must not open a char literal), and
+// pp-numbers. Unterminated literals/comments throw LexError, which
+// psync_lint reports as a parse failure (exit 3) rather than guessing.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace psync::lintpass {
+
+enum class TokKind {
+  kIdent,      // identifier or keyword
+  kNumber,     // pp-number
+  kString,     // string literal (text = contents, quotes stripped)
+  kChar,       // character literal
+  kPunct,      // punctuator, maximal munch (::, <<, ++, ==, <<=, ...)
+  kComment,    // // or /* */ (text = body without delimiters)
+  kDirective,  // whole preprocessor directive (text = after '#', joined)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;      // 1-based line where the token starts
+  int end_line = 0;  // last line (differs for multi-line comments/strings)
+};
+
+/// Thrown when the input cannot be tokenized (unterminated string, char,
+/// raw string, or block comment). `line` is where the offending construct
+/// started.
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& what, int line)
+      : std::runtime_error(what), line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenize one source file. Throws LexError on malformed input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace psync::lintpass

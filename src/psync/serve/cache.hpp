@@ -62,6 +62,10 @@ class ResultCache : public driver::PointCache {
 
   mutable std::mutex mu_;
   std::string dir_;
+  // Audited: this index is find/insert/size/clear only — nothing ever
+  // iterates it, so its hash order cannot reach a journal, a response, or
+  // any other serialized byte. The durable order lives in the journals.
+  // psync-lint: allow(det-unordered): lookup-only index; iteration order never escapes (see audit note above)
   std::unordered_map<std::uint64_t, Entry> map_;
 };
 

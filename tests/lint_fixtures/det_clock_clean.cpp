@@ -1,0 +1,12 @@
+// Fixture: simulation time is not wall time — members and other-namespace
+// functions named time() must NOT fire det-wall-clock.
+struct Event {
+  long time_ps = 0;
+  [[nodiscard]] long time() const { return time_ps; }
+};
+
+namespace sim {
+long time() { return 42; }
+}  // namespace sim
+
+long sim_now(const Event& e) { return e.time() + sim::time(); }

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads in a non-allowlisted module must fire
+// det-wall-clock (chrono clock mention and a bare time() call).
+#include <chrono>
+#include <ctime>
+
+long wall_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count() + time(nullptr);
+}

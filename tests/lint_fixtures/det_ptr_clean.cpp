@@ -1,0 +1,9 @@
+// Fixture: printing ids and shifting integers must NOT fire
+// det-pointer-format.
+#include <cstdio>
+#include <iostream>
+
+void print_id(int id, int shift) {
+  std::printf("point %d\n", id);
+  std::cout << (id << shift) << "\n";
+}

@@ -1,0 +1,10 @@
+// Fixture: formatting an address into output must fire det-pointer-format
+// (printf %-conversion, static_cast<void*> stream, C-style (void*) stream).
+#include <cstdio>
+#include <iostream>
+
+void leak_addresses(const int* p) {
+  std::printf("at %p\n", static_cast<const void*>(p));
+  std::cout << static_cast<const void*>(p) << "\n";
+  std::cout << (void*)p << "\n";  // NOLINT: fixture exercises the C cast
+}

@@ -1,0 +1,9 @@
+// Fixture: ambient randomness in result-determining code must fire
+// det-rand (three shapes: bare call, std::-qualified, random_device).
+#include <cstdlib>
+#include <random>
+
+int noisy_seed() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand() + std::rand();
+}

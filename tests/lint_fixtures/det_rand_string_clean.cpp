@@ -1,0 +1,11 @@
+// Fixture: "rand()" in string literals, raw strings, char sequences and
+// comments must NOT fire det-rand — the tokenizer, not a grep, decides.
+// A comment mentioning rand() or std::random_device is documentation.
+#include <string>
+
+std::string describe() {
+  const std::string a = "call rand() never";         // rand() in a string
+  const std::string b = R"(raw rand() srand(42))";   // rand() in a raw string
+  const std::string c = "time(nullptr) no clock";    /* also just text */
+  return a + b + c;
+}

@@ -1,0 +1,7 @@
+// Fixture: std::map in an order-sensitive module is the fix, not a
+// finding.
+#include <cstdint>
+#include <map>
+#include <string>
+
+std::map<std::uint64_t, std::string> index_by_digest();

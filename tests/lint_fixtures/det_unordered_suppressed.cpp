@@ -1,0 +1,8 @@
+// Fixture: the same unordered container under an audited suppression must
+// not count as a finding — but must be reported as a used suppression.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+// psync-lint: allow(det-unordered): fixture audit — lookup-only, order never serialized
+std::unordered_map<std::uint64_t, std::string> index_by_digest();

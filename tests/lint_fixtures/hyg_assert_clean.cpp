@@ -1,0 +1,8 @@
+// Fixture: side-effect-free asserts (comparisons only) on a durability
+// path are fine.
+#include <cassert>
+
+void verify(int written, int expected) {
+  assert(written == expected);
+  assert(written <= expected && written >= 0);
+}

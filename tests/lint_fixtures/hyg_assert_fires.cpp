@@ -1,0 +1,8 @@
+// Fixture: linted under a pretend src/psync/dist/ path — an assert whose
+// argument mutates state vanishes under NDEBUG and must fire
+// hyg-assert-side-effect.
+#include <cassert>
+
+void commit(int* written, int expected) {
+  assert(++*written == expected);
+}

@@ -1,0 +1,4 @@
+// Fixture: #pragma once present — hygiene rules must stay quiet.
+#pragma once
+
+int guarded();

@@ -1,0 +1,2 @@
+// Fixture: a header without #pragma once must fire hyg-pragma-once.
+int missing_guard();

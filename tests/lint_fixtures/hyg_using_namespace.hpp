@@ -1,0 +1,9 @@
+// Fixture: a using-directive at header scope must fire
+// hyg-using-namespace (the guard is present, so only that rule fires).
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+string leaky();

@@ -1,0 +1,6 @@
+// Fixture: linted under a pretend src/psync/upper/ path against
+// mini_layers.txt — upper -> lower is the declared downward edge.
+#include "psync/lower/base.hpp"
+#include "psync/upper/other.hpp"
+
+int use_lower();

@@ -1,0 +1,7 @@
+// Fixture: linted under a pretend src/psync/lower/ path against
+// mini_layers.txt — lower -> upper is an upward edge and must be
+// rejected; psync/ghost/ is an undeclared module.
+#include "psync/ghost/haunt.hpp"
+#include "psync/upper/api.hpp"
+
+int use_upper();

@@ -1,0 +1,6 @@
+// Fixture: linted under a pretend src/psync/dist/ path against the REAL
+// tools/lint_layers.txt — dist must not include serve, so this is the
+// acceptance-criteria upward edge that has to be rejected.
+#include "psync/serve/server.hpp"
+
+int use_serve();

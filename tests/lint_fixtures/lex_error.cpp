@@ -1,0 +1,3 @@
+// Fixture: an untokenizable file (unterminated raw string) must be a
+// parse failure, never a silent skip.
+const char* oops = R"(this raw string never closes;

@@ -1,0 +1,9 @@
+// Fixture: suppressions without a reason or naming unknown rules must
+// fire lint-bad-suppression — the audit trail is mandatory.
+#include <cstdlib>
+
+// psync-lint: allow(det-rand)
+int a() { return rand(); }
+
+// psync-lint: allow(not-a-rule): misspelled rule id
+int b() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: a suppression that silences nothing must itself become a
+// lint-unused-suppression finding.
+// psync-lint: allow(det-rand): stale allowance left behind by a refactor
+int quiet() { return 7; }

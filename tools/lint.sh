@@ -11,12 +11,15 @@
 # tree works). Defaults to ./build.
 #
 # Environment:
-#   CLANG_TIDY   explicit clang-tidy binary to use
-#   LINT_JOBS    parallel clang-tidy processes (default: nproc)
+#   CLANG_TIDY    explicit clang-tidy binary to use
+#   LINT_JOBS     parallel clang-tidy processes (default: nproc)
+#   LINT_REQUIRE  when 1, a missing clang-tidy is a hard failure instead
+#                 of a skip. CI sets this so a regressed install step
+#                 cannot silently turn the gate green.
 #
-# Exits 0 when clang-tidy is clean or not installed (the CI static-analysis
-# job installs it; local machines without clang are not blocked), non-zero
-# on findings.
+# Exits 0 when clang-tidy is clean, or (without LINT_REQUIRE=1) when it is
+# not installed — local machines without clang are not blocked. Non-zero
+# on findings or, under LINT_REQUIRE=1, on a missing binary.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +43,10 @@ find_clang_tidy() {
 
 clang_tidy="$(find_clang_tidy)"
 if [[ -z "${clang_tidy}" ]]; then
+  if [[ "${LINT_REQUIRE:-0}" == "1" ]]; then
+    echo "lint.sh: clang-tidy not found and LINT_REQUIRE=1; failing" >&2
+    exit 1
+  fi
   echo "lint.sh: clang-tidy not found; skipping (install clang-tidy or set" \
        "CLANG_TIDY to enable)" >&2
   exit 0
